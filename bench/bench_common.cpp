@@ -1,0 +1,105 @@
+#include "bench_common.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/log.h"
+
+namespace rmssd::bench {
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print() const
+{
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows_) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        std::string line;
+        for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+            std::string cell = rows_[r][c];
+            cell.resize(widths[c], ' ');
+            line += cell;
+            line += "  ";
+        }
+        std::printf("%s\n", line.c_str());
+        if (r == 0) {
+            std::string rule;
+            for (const std::size_t w : widths)
+                rule += std::string(w, '-') + "  ";
+            std::printf("%s\n", rule.c_str());
+        }
+    }
+}
+
+void
+banner(const std::string &title, const std::string &subtitle)
+{
+    std::printf("\n==============================================\n");
+    std::printf("%s\n", title.c_str());
+    if (!subtitle.empty())
+        std::printf("%s\n", subtitle.c_str());
+    std::printf("==============================================\n\n");
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    else if (seconds >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    return buf;
+}
+
+std::string
+fmtTimesPer1k(Nanos perBatchNanos)
+{
+    // The paper reports execution time of 1K inferences.
+    return fmt(nanosToSeconds(perBatchNanos) * 1000.0, 2);
+}
+
+workload::TraceConfig
+defaultTrace()
+{
+    return workload::localityK(0.3);
+}
+
+int
+runMicrobenchmarks(int argc, char **argv)
+{
+    setInformEnabled(false);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace rmssd::bench

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries: aligned table
+ * printing, standard workload parameters, and the google-benchmark
+ * tail run.
+ */
+
+#ifndef RMSSD_BENCH_COMMON_H
+#define RMSSD_BENCH_COMMON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/dlrm.h"
+#include "workload/driver.h"
+#include "workload/trace.h"
+
+namespace rmssd::bench {
+
+/** Column-aligned plain-text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+    void print() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a figure/table banner. */
+void banner(const std::string &title, const std::string &subtitle);
+
+/** Format helpers. */
+std::string fmt(double v, int precision = 1);
+std::string fmtSeconds(double seconds);
+std::string fmtTimesPer1k(Nanos perBatchNanos);
+
+/** Measurement scale: requests measured per configuration. */
+struct RunScale
+{
+    std::uint32_t numBatches = 6;
+    std::uint32_t warmupBatches = 4;
+};
+
+/** The paper's default synthetic trace (K = 0.3). */
+workload::TraceConfig defaultTrace();
+
+/**
+ * Hand control to google-benchmark for the cases the binary
+ * registered (run after printing the paper tables).
+ */
+int runMicrobenchmarks(int argc, char **argv);
+
+} // namespace rmssd::bench
+
+#endif // RMSSD_BENCH_COMMON_H

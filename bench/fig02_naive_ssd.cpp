@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 2 — Performance of naive SSD deployment for recommendation
+ * inference: (a-c) execution time of 1K inferences and (d-f) the
+ * time breakdown, for RMC1-3 at batch 1/32/64 on SSD-S, SSD-M, and
+ * DRAM.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/registry.h"
+#include "bench_common.h"
+#include "model/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace rmssd;
+
+void
+runFigure()
+{
+    bench::banner("Fig. 2 - Naive SSD deployment",
+                  "Execution time of 1K inferences (s) and breakdown "
+                  "(%), synthetic trace K=0.3");
+
+    const std::vector<std::string> systems{"SSD-S", "SSD-M", "DRAM"};
+    const std::vector<std::uint32_t> batches{1, 32, 64};
+
+    for (const char *modelName : {"RMC1", "RMC2", "RMC3"}) {
+        const model::ModelConfig cfg = model::modelByName(modelName);
+        std::printf("--- %s ---\n", modelName);
+        bench::TextTable time({"batch", "system", "time/1K inf (s)"});
+        bench::TextTable parts({"batch", "system", "top-mlp%",
+                                "bot-mlp%", "concat%", "emb-op%",
+                                "emb-fs%", "emb-ssd%", "other%"});
+        for (const std::uint32_t batch : batches) {
+            for (const std::string &system : systems) {
+                auto sys = baseline::makeSystem(system, cfg);
+                workload::TraceGenerator gen(cfg, bench::defaultTrace());
+                const bench::RunScale scale;
+                const workload::RunResult r = sys->run(
+                    gen, batch, scale.numBatches, scale.warmupBatches);
+
+                time.addRow({std::to_string(batch), system,
+                             bench::fmtTimesPer1k(r.latencyPerBatch())});
+                const double total =
+                    static_cast<double>(r.breakdown.total());
+                auto pct = [&](Nanos v) {
+                    return bench::fmt(100.0 * v / total, 1);
+                };
+                parts.addRow({std::to_string(batch), system,
+                              pct(r.breakdown.topMlp),
+                              pct(r.breakdown.botMlp),
+                              pct(r.breakdown.concat),
+                              pct(r.breakdown.embOp),
+                              pct(r.breakdown.embFs),
+                              pct(r.breakdown.embSsd),
+                              pct(r.breakdown.other)});
+            }
+        }
+        time.print();
+        std::printf("\n");
+        parts.print();
+        std::printf("\n");
+    }
+}
+
+void
+BM_SsdNaiveInference(benchmark::State &state)
+{
+    const model::ModelConfig cfg = model::rmc1();
+    auto sys = baseline::makeSystem("SSD-S", cfg);
+    workload::TraceGenerator gen(cfg, bench::defaultTrace());
+    sys->run(gen, 1, 2, 2); // warm
+    for (auto _ : state) {
+        const auto r = sys->run(gen, 1, 1, 0);
+        benchmark::DoNotOptimize(r.totalNanos);
+    }
+}
+BENCHMARK(BM_SsdNaiveInference);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runFigure();
+    return rmssd::bench::runMicrobenchmarks(argc, argv);
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 4 — Embedding vector access pattern of the synthetic
+ * Criteo-like trace: the top-occurrence index table, the
+ * occurrence-count histogram summary, and the one-hit-wonder share.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace rmssd;
+
+void
+runFigure()
+{
+    bench::banner("Fig. 4 - Embedding vector access pattern",
+                  "Synthetic Criteo-like trace, K=0.3 (2M lookups "
+                  "into one table)");
+
+    const model::ModelConfig cfg = model::rmc1();
+    workload::TraceGenerator gen(cfg, bench::defaultTrace());
+    const auto h = gen.histogram(2'000'000, 10);
+
+    bench::TextTable top({"rank", "occurrences", "index id",
+                          "% of total lookups"});
+    for (std::size_t i = 0; i < h.top.size(); ++i) {
+        top.addRow({std::to_string(i + 1),
+                    std::to_string(h.top[i].first),
+                    std::to_string(h.top[i].second),
+                    bench::fmt(100.0 * h.top[i].first / h.totalLookups,
+                               2)});
+    }
+    top.print();
+
+    std::printf("\nTotal lookups:        %llu\n",
+                static_cast<unsigned long long>(h.totalLookups));
+    std::printf("Unique indices:       %llu\n",
+                static_cast<unsigned long long>(h.uniqueIndices));
+    std::printf("Accessed exactly once: %llu (%.2f%% of unique; "
+                "paper: 84.74%%)\n",
+                static_cast<unsigned long long>(h.onceAccessed),
+                100.0 * h.onceAccessed / h.uniqueIndices);
+    std::printf("Top-10 lookup share:  %.1f%%\n", 100.0 * h.topShare);
+
+    workload::TraceGenerator gen2(cfg, bench::defaultTrace());
+    const auto hTop10k = gen2.histogram(2'000'000, 10000);
+    double share10k = 0.0;
+    for (const auto &[count, idx] : hTop10k.top)
+        share10k += static_cast<double>(count);
+    std::printf("Top-10000 lookup share: %.1f%% (paper: 59.2%%)\n",
+                100.0 * share10k / hTop10k.totalLookups);
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const model::ModelConfig cfg = model::rmc1();
+    workload::TraceGenerator gen(cfg, bench::defaultTrace());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.next());
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runFigure();
+    return rmssd::bench::runMicrobenchmarks(argc, argv);
+}

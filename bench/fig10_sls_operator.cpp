@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 10 — SLS operator performance (RMC1 configuration):
+ * (a) execution time of 1K SLS operations across SSD-S, EMB-MMIO,
+ * EMB-PageSum, EMB-VectorSum, DRAM; (b) sensitivity to the number of
+ * lookups per table.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/registry.h"
+#include "bench_common.h"
+#include "model/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace rmssd;
+
+const std::vector<std::string> kSystems{
+    "SSD-S", "EMB-MMIO", "EMB-PageSum", "EMB-VectorSum", "DRAM"};
+
+double
+slsSecondsPer1k(const std::string &system,
+                const model::ModelConfig &cfg)
+{
+    auto sys = baseline::makeSystem(system, cfg);
+    sys->setSlsOnly(true);
+    workload::TraceGenerator gen(cfg, bench::defaultTrace());
+    const auto r = sys->run(gen, 1, 6, 4);
+    return nanosToSeconds(r.latencyPerBatch()) * 1000.0;
+}
+
+void
+runFigure()
+{
+    bench::banner("Fig. 10(a) - SLS operator execution time",
+                  "RMC1 configuration (80 lookups/table), time of 1K "
+                  "SLS ops (s)");
+
+    const model::ModelConfig cfg = model::rmc1();
+    bench::TextTable a({"system", "time/1K SLS (s)", "vs SSD-S"});
+    double ssdS = 0.0;
+    for (const std::string &system : kSystems) {
+        const double secs = slsSecondsPer1k(system, cfg);
+        if (system == "SSD-S")
+            ssdS = secs;
+        a.addRow({system, bench::fmt(secs, 2),
+                  bench::fmt(ssdS / secs, 1) + "x"});
+    }
+    a.print();
+
+    bench::banner("Fig. 10(b) - Sensitivity to lookups per table",
+                  "Execution time of 1K SLS ops (s) vs lookups");
+    bench::TextTable b({"lookups", "SSD-S", "EMB-MMIO", "EMB-PageSum",
+                        "EMB-VectorSum", "DRAM"});
+    for (const std::uint32_t lookups : {8u, 16u, 32u, 64u, 80u, 128u}) {
+        model::ModelConfig swept = model::rmc1();
+        swept.lookupsPerTable = lookups;
+        std::vector<std::string> row{std::to_string(lookups)};
+        for (const std::string &system : kSystems)
+            row.push_back(bench::fmt(slsSecondsPer1k(system, swept), 2));
+        b.addRow(std::move(row));
+    }
+    b.print();
+    std::printf("\nExpected shape: time grows linearly with lookups; "
+                "EMB-VectorSum stays within ~2x of DRAM.\n");
+}
+
+void
+BM_EmbVectorSumSls(benchmark::State &state)
+{
+    const model::ModelConfig cfg = model::rmc1();
+    auto sys = baseline::makeSystem("EMB-VectorSum", cfg);
+    sys->setSlsOnly(true);
+    workload::TraceGenerator gen(cfg, bench::defaultTrace());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys->run(gen, 1, 1, 0).totalNanos);
+    }
+}
+BENCHMARK(BM_EmbVectorSumSls);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runFigure();
+    return rmssd::bench::runMicrobenchmarks(argc, argv);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig. 11 — End-to-end performance of the SSD-based recommendation
+ * systems with the emb / mlp / others breakdown, RMC1-3.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/registry.h"
+#include "bench_common.h"
+#include "model/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace rmssd;
+
+void
+runFigure()
+{
+    bench::banner("Fig. 11 - End-to-end performance",
+                  "Time of 1K inferences (s) with emb/mlp/others "
+                  "breakdown, batch 1");
+
+    const std::vector<std::string> systems{
+        "SSD-S", "EMB-MMIO", "EMB-PageSum", "EMB-VectorSum", "DRAM"};
+
+    for (const char *modelName : {"RMC1", "RMC2", "RMC3"}) {
+        const model::ModelConfig cfg = model::modelByName(modelName);
+        std::printf("--- %s ---\n", modelName);
+        bench::TextTable table({"system", "total (s/1K)", "emb (s)",
+                                "mlp (s)", "others (s)"});
+        for (const std::string &system : systems) {
+            auto sys = baseline::makeSystem(system, cfg);
+            workload::TraceGenerator gen(cfg, bench::defaultTrace());
+            const auto r = sys->run(gen, 1, 6, 4);
+            const double scale =
+                1000.0 / static_cast<double>(r.batches);
+            const auto &bd = r.breakdown;
+            const double emb = nanosToSeconds(bd.embOp + bd.embFs +
+                                              bd.embSsd) *
+                               scale;
+            const double mlp =
+                nanosToSeconds(bd.topMlp + bd.botMlp + bd.concat) *
+                scale;
+            const double other = nanosToSeconds(bd.other) * scale;
+            table.addRow({system,
+                          bench::fmt(emb + mlp + other, 2),
+                          bench::fmt(emb, 2), bench::fmt(mlp, 2),
+                          bench::fmt(other, 2)});
+        }
+        table.print();
+        std::printf("\n");
+    }
+    std::printf("Expected shape: EMB-VectorSum within ~2x of DRAM for "
+                "RMC1/2 and MLP becomes the bottleneck for RMC3.\n");
+}
+
+void
+BM_EndToEndVectorSum(benchmark::State &state)
+{
+    const model::ModelConfig cfg = model::rmc3();
+    auto sys = baseline::makeSystem("EMB-VectorSum", cfg);
+    workload::TraceGenerator gen(cfg, bench::defaultTrace());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys->run(gen, 1, 1, 0).totalNanos);
+    }
+}
+BENCHMARK(BM_EndToEndVectorSum);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runFigure();
+    return rmssd::bench::runMicrobenchmarks(argc, argv);
+}

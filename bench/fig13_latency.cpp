@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fig. 13 — Latency of the implementations: time of 1K batch-1
+ * inferences (the paper's y-axis) for SSD-S, RecSSD, EMB-VectorSum,
+ * RM-SSD, DRAM on RMC1-3.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/registry.h"
+#include "bench_common.h"
+#include "baseline/rm_ssd_system.h"
+#include "engine/rm_ssd.h"
+#include "model/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace rmssd;
+
+void
+runFigure()
+{
+    bench::banner("Fig. 13 - Latency",
+                  "Time of 1K batch-1 inferences (s); lower is better");
+
+    const std::vector<std::string> systems{
+        "SSD-S", "RecSSD", "EMB-VectorSum", "RM-SSD", "DRAM"};
+
+    bench::TextTable table({"system", "RMC1", "RMC2", "RMC3"});
+    std::vector<double> ssdS(3, 0.0);
+    std::vector<double> rmssd(3, 0.0);
+    for (const std::string &system : systems) {
+        std::vector<std::string> row{system};
+        int m = 0;
+        for (const char *modelName : {"RMC1", "RMC2", "RMC3"}) {
+            const model::ModelConfig cfg =
+                model::modelByName(modelName);
+            workload::TraceGenerator gen(cfg, bench::defaultTrace());
+            double secsPer1k = 0.0;
+            if (system == "RM-SSD") {
+                // Closed-loop latency on an idle device.
+                baseline::RmSsdSystem sys(cfg);
+                secsPer1k =
+                    nanosToSeconds(sys.measureLatency(gen, 1)) * 1000.0;
+            } else {
+                auto sys = baseline::makeSystem(system, cfg);
+                const auto r = sys->run(gen, 1, 6, 4);
+                secsPer1k =
+                    nanosToSeconds(r.breakdown.total() / r.batches) *
+                    1000.0;
+            }
+            if (system == "SSD-S")
+                ssdS[m] = secsPer1k;
+            if (system == "RM-SSD")
+                rmssd[m] = secsPer1k;
+            row.push_back(bench::fmt(secsPer1k, 2));
+            ++m;
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    std::printf("\nLatency reduction of RM-SSD vs SSD-S: ");
+    for (int m = 0; m < 3; ++m)
+        std::printf("%s%.0f%%", m ? " / " : "",
+                    100.0 * (1.0 - rmssd[m] / ssdS[m]));
+    std::printf("  (paper: up to 97%%)\n");
+}
+
+void
+BM_RmSsdSingleInference(benchmark::State &state)
+{
+    model::ModelConfig cfg = model::rmc1();
+    engine::RmSsd dev(cfg, {});
+    dev.loadTables();
+    std::vector<model::Sample> batch{dev.model().makeSample(0)};
+    for (auto _ : state) {
+        dev.resetTiming();
+        benchmark::DoNotOptimize(dev.infer(batch).latency);
+    }
+}
+BENCHMARK(BM_RmSsdSingleInference);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runFigure();
+    return rmssd::bench::runMicrobenchmarks(argc, argv);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 15 — The extreme MLP-dominated models (NCF, WnD): throughput
+ * of all six systems; RM-SSD should beat even the DRAM-only version
+ * thanks to the in-device MLP pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/registry.h"
+#include "bench_common.h"
+#include "model/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace rmssd;
+
+const std::vector<std::string> kSystems{
+    "SSD-S",        "RecSSD", "EMB-VectorSum",
+    "RM-SSD-Naive", "RM-SSD", "DRAM"};
+
+void
+runFigure()
+{
+    bench::banner("Fig. 15 - MLP-dominated models (NCF, WnD)",
+                  "Throughput in 1000 QPS, batch 8");
+
+    for (const char *modelName : {"NCF", "WnD"}) {
+        const model::ModelConfig cfg = model::modelByName(modelName);
+        std::printf("--- %s ---\n", modelName);
+        bench::TextTable table({"system", "kQPS"});
+        double dram = 0.0;
+        double rm = 0.0;
+        for (const std::string &system : kSystems) {
+            auto sys = baseline::makeSystem(system, cfg);
+            workload::TraceGenerator gen(cfg, bench::defaultTrace());
+            const auto r = sys->run(gen, 8, 6, 4);
+            const double kqps = r.qps() / 1000.0;
+            if (system == "DRAM")
+                dram = kqps;
+            if (system == "RM-SSD")
+                rm = kqps;
+            table.addRow({system, bench::fmt(kqps, 1)});
+        }
+        table.print();
+        std::printf("RM-SSD vs DRAM: %.1fx (paper: RM-SSD beats "
+                    "DRAM-only on both models)\n\n",
+                    rm / dram);
+    }
+}
+
+void
+BM_NcfInference(benchmark::State &state)
+{
+    const model::ModelConfig cfg = model::ncf();
+    auto sys = baseline::makeSystem("RM-SSD", cfg);
+    workload::TraceGenerator gen(cfg, bench::defaultTrace());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys->run(gen, 8, 1, 0).totalNanos);
+    }
+}
+BENCHMARK(BM_NcfInference);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runFigure();
+    return rmssd::bench::runMicrobenchmarks(argc, argv);
+}

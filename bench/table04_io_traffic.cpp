@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table IV — I/O traffic reduction of the ISC realizations versus
+ * the SSD-S baseline (batch 1): RecSSD, EMB-VectorSum, RM-SSD.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/registry.h"
+#include "bench_common.h"
+#include "model/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace rmssd;
+
+void
+runTable()
+{
+    bench::banner("Table IV - I/O traffic reduction vs SSD-S",
+                  "Host-read bytes of SSD-S / host-read bytes of "
+                  "system, batch 1");
+
+    bench::TextTable table(
+        {"model", "RecSSD", "EMB-VectorSum", "RM-SSD"});
+    for (const char *modelName : {"RMC1", "RMC2", "RMC3"}) {
+        const model::ModelConfig cfg = model::modelByName(modelName);
+
+        auto base = baseline::makeSystem("SSD-S", cfg);
+        workload::TraceGenerator genBase(cfg, bench::defaultTrace());
+        const auto rBase = base->run(genBase, 1, 8, 6);
+        const double baseBytesPerInf =
+            static_cast<double>(rBase.hostTrafficBytes) /
+            static_cast<double>(rBase.batches);
+
+        std::vector<std::string> row{modelName};
+        for (const char *system :
+             {"RecSSD", "EMB-VectorSum", "RM-SSD"}) {
+            auto sys = baseline::makeSystem(system, cfg);
+            workload::TraceGenerator gen(cfg, bench::defaultTrace());
+            const auto r = sys->run(gen, 1, 8, 6);
+            const double bytesPerInf =
+                static_cast<double>(r.hostTrafficBytes) /
+                static_cast<double>(r.batches);
+            row.push_back(bench::fmt(baseBytesPerInf / bytesPerInf, 0));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+    std::printf(
+        "\nPaper: RMC1 1989/1989/31826; RMC2 1071/1071/137142; "
+        "RMC3 546/546/10914.\n"
+        "RM-SSD returns one 64 B MMIO line per batch-1 inference.\n");
+}
+
+void
+BM_TrafficAccounting(benchmark::State &state)
+{
+    const model::ModelConfig cfg = model::rmc1();
+    auto sys = baseline::makeSystem("RM-SSD", cfg);
+    workload::TraceGenerator gen(cfg, bench::defaultTrace());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sys->run(gen, 1, 1, 0).hostTrafficBytes);
+    }
+}
+BENCHMARK(BM_TrafficAccounting);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runTable();
+    return rmssd::bench::runMicrobenchmarks(argc, argv);
+}

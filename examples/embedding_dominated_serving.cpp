@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Serving an embedding-dominated model (RMC1, 30 GB of tables):
+ * compares the naive SSD deployment, RecSSD-style offload, and the
+ * full RM-SSD on the same synthetic query trace — the paper's
+ * motivating scenario (Sections III and VI).
+ *
+ * Build & run:  ./build/examples/embedding_dominated_serving
+ */
+
+#include <cstdio>
+
+#include "baseline/registry.h"
+#include "model/model_zoo.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+
+int
+main()
+{
+    using namespace rmssd;
+
+    // Production-scale RMC1: 30 GB of embeddings, far beyond any
+    // reasonable DRAM budget.
+    const model::ModelConfig config = model::rmc1();
+    std::printf("model %s: %u tables, %.1f GB of embeddings, "
+                "%u lookups/table\n\n",
+                config.name.c_str(), config.numTables,
+                config.embeddingBytes() / 1e9, config.lookupsPerTable);
+
+    const workload::TraceConfig trace = workload::localityK(0.3);
+
+    std::printf("%-14s %12s %14s %16s\n", "system", "QPS",
+                "latency(ms)", "host MB/1K inf");
+    for (const char *name :
+         {"SSD-S", "SSD-M", "EMB-VectorSum", "RecSSD", "RM-SSD"}) {
+        auto system = baseline::makeSystem(name, config);
+        workload::TraceGenerator gen(config, trace);
+        const workload::RunResult r = system->run(
+            gen, /*batchSize=*/4, /*numBatches=*/6,
+            /*warmupBatches=*/4);
+        const double mbPer1k =
+            static_cast<double>(r.hostTrafficBytes) / r.batches *
+            1000.0 / 1e6;
+        std::printf("%-14s %12.0f %14.2f %16.1f\n", name, r.qps(),
+                    r.latencyPerBatch() / 1e6, mbPer1k);
+    }
+
+    std::printf("\nTakeaway: vector-grained in-storage pooling plus "
+                "the in-device MLP removes both the\nread "
+                "amplification and the host round trips; RM-SSD "
+                "serves the 30 GB model at DRAM-class QPS.\n");
+    return 0;
+}

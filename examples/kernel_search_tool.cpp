@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Kernel-search explorer: run the Section IV-C4 search for any model
+ * in the zoo (or a custom shape) against a chosen FPGA, and print the
+ * per-layer mapping, the Eq. 1 timing, and the resource bill.
+ *
+ * Usage:  ./build/examples/kernel_search_tool [model] [device]
+ *         model  = RMC1 | RMC2 | RMC3 | NCF | WnD   (default RMC3)
+ *         device = xcvu9p | xc7a200t                (default xcvu9p)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "engine/embedding_engine.h"
+#include "engine/kernel_search.h"
+#include "model/model_zoo.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rmssd;
+
+    const std::string modelName = argc > 1 ? argv[1] : "RMC3";
+    const std::string deviceName = argc > 2 ? argv[2] : "xcvu9p";
+
+    const model::ModelConfig config = model::modelByName(modelName);
+    engine::SearchConfig sc;
+    sc.device = (deviceName == "xc7a200t") ? engine::xc7a200t()
+                                           : engine::xcvu9p();
+
+    const double rcpv =
+        engine::EmbeddingEngine::steadyStateCyclesPerRead(
+            flash::tableIIGeometry(), flash::tableIITiming(),
+            config.vectorBytes());
+    const engine::SearchResult res =
+        engine::KernelSearch(sc).search(config, rcpv);
+
+    std::printf("kernel search: %s on %s (II = %u, bEV = %.1f "
+                "cycles/vector)\n\n",
+                config.name.c_str(), sc.device.name.c_str(), sc.ii,
+                rcpv);
+
+    std::printf("%-6s %12s %9s %8s %s\n", "layer", "shape (RxC)",
+                "kernel", "weights", "cycles/micro-batch");
+    for (const auto &l : res.plan.allLayers()) {
+        std::printf("%-6s %5u x %-6u %4ux%-4u %8s %llu\n",
+                    l.label.c_str(), l.shape.inputs, l.shape.outputs,
+                    l.kernel.kr, l.kernel.kc,
+                    l.weightsInDram ? "DRAM" : "BRAM",
+                    static_cast<unsigned long long>(
+                        engine::fcLayerCycles(l, res.plan.ii)));
+    }
+
+    std::printf("\nRule decisions:\n");
+    for (const std::string &note : res.notes)
+        std::printf("  %s\n", note.c_str());
+
+    std::printf("\nmicro-batch Nbatch = %u, targets %s\n",
+                res.plan.microBatch,
+                res.feasible ? "met (Tbot', Ttop' <= Temb')"
+                             : "NOT met (MLP-bound)");
+    std::printf("Temb' = %llu  Tbot' = %llu  Ttop' = %llu  "
+                "interval = %llu cycles\n",
+                static_cast<unsigned long long>(res.timing.embPrime),
+                static_cast<unsigned long long>(res.timing.botPrime),
+                static_cast<unsigned long long>(res.timing.topPrime),
+                static_cast<unsigned long long>(
+                    res.timing.pipelineInterval));
+    const double qps =
+        static_cast<double>(res.plan.microBatch) /
+        nanosToSeconds(cyclesToNanos(res.timing.pipelineInterval));
+    std::printf("steady-state throughput ~ %.0f QPS\n\n", qps);
+
+    std::printf("resources: LUT %llu  FF %llu  BRAM %.1f  DSP %llu\n",
+                static_cast<unsigned long long>(res.resources.lut),
+                static_cast<unsigned long long>(res.resources.ff),
+                res.resources.bram,
+                static_cast<unsigned long long>(res.resources.dsp));
+    std::printf("fits %s: %s\n", sc.device.name.c_str(),
+                sc.device.fits(res.resources) ? "yes" : "no");
+    return 0;
+}

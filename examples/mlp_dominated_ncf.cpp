@@ -1,0 +1,110 @@
+/**
+ * @file
+ * MLP-dominated inference (NCF / WnD) through the semantic-aware
+ * runtime API: demonstrates RM_create_table / RM_open_table /
+ * RM_send_inputs / RM_read_outputs plus the pre-send pipeline of
+ * Section IV-D, and shows RM-SSD beating the DRAM-only host.
+ *
+ * Build & run:  ./build/examples/mlp_dominated_ncf
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/registry.h"
+#include "model/model_zoo.h"
+#include "runtime/rm_api.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace rmssd;
+
+/** Flatten a sample batch into the framework array layout. */
+void
+flatten(const model::ModelConfig &cfg,
+        const std::vector<model::Sample> &batch,
+        std::vector<std::uint64_t> &sparse, std::vector<float> &dense)
+{
+    for (const model::Sample &s : batch) {
+        dense.insert(dense.end(), s.dense.begin(), s.dense.end());
+        for (std::uint32_t t = 0; t < cfg.numTables; ++t)
+            sparse.insert(sparse.end(), s.indices[t].begin(),
+                          s.indices[t].end());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    // A small functional NCF so the tables actually load.
+    model::ModelConfig config = model::ncf();
+    config.withRowsPerTable(2048);
+
+    engine::RmSsdOptions options;
+    options.functional = true;
+
+    // --- The four-call integration flow -----------------------------
+    runtime::RmRuntime rt(config, options, /*uid=*/1001);
+    for (std::uint32_t t = 0; t < config.numTables; ++t) {
+        const std::string path = "/ncf/table" + std::to_string(t);
+        if (rt.RM_create_table(t, path) != 0) {
+            std::printf("RM_create_table failed for %s\n", path.c_str());
+            return 1;
+        }
+        if (rt.RM_open_table(t, path) < 0) {
+            std::printf("RM_open_table failed for %s\n", path.c_str());
+            return 1;
+        }
+    }
+    std::printf("NCF tables created and opened via the RM-SSD "
+                "runtime API\n");
+
+    // Pre-send two requests before reading (system-level pipeline).
+    std::vector<std::vector<model::Sample>> requests;
+    for (int r = 0; r < 2; ++r) {
+        std::vector<model::Sample> batch;
+        for (int i = 0; i < 8; ++i)
+            batch.push_back(rt.device().model().makeSample(r * 100 + i));
+        requests.push_back(std::move(batch));
+    }
+    for (const auto &batch : requests) {
+        std::vector<std::uint64_t> sparse;
+        std::vector<float> dense;
+        flatten(config, batch, sparse, dense);
+        if (!rt.RM_send_inputs(0, config.lookupsPerTable, sparse,
+                               dense)) {
+            std::printf("RM_send_inputs failed\n");
+            return 1;
+        }
+    }
+    std::printf("pre-sent %zu requests; pending = %zu\n",
+                requests.size(), rt.pendingRequests());
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+        const std::vector<float> out = rt.RM_read_outputs();
+        std::printf("request %zu: %zu CTRs, first = %.6f, "
+                    "latency = %.1f us\n",
+                    r, out.size(), out[0], rt.lastLatency() / 1000.0);
+    }
+
+    // --- Why offload MLP-dominated models? --------------------------
+    std::printf("\nThroughput at production scale (30 GB tables, "
+                "batch 8):\n");
+    const model::ModelConfig big = model::ncf();
+    const workload::TraceConfig trace = workload::localityK(0.3);
+    std::printf("%-14s %12s\n", "system", "kQPS");
+    for (const char *name : {"DRAM", "RecSSD", "RM-SSD"}) {
+        auto system = baseline::makeSystem(name, big);
+        workload::TraceGenerator gen(big, trace);
+        const auto res = system->run(gen, 8, 6, 2);
+        std::printf("%-14s %12.1f\n", name, res.qps() / 1000.0);
+    }
+    std::printf("\nWith one lookup per table the model is pure MLP; "
+                "the FPGA pipeline outruns the host CPU\neven though "
+                "the model lives in flash (Fig. 15).\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SLA-oriented serving study: Poisson query arrivals against RM-SSD
+ * at increasing offered load, reporting tail latency (p50/p95/p99) —
+ * the "strict service level agreement" setting the paper's
+ * introduction motivates.
+ *
+ * Usage: ./build/examples/sla_serving [model] [batch]
+ *        model = RMC1 | RMC2 | RMC3 | NCF | WnD   (default RMC1)
+ *        batch = samples per request               (default 4)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "engine/rm_ssd.h"
+#include "model/model_zoo.h"
+#include "workload/serving.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rmssd;
+
+    const std::string modelName = argc > 1 ? argv[1] : "RMC1";
+    const std::uint32_t batch =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+
+    const model::ModelConfig config = model::modelByName(modelName);
+    engine::RmSsd device(config, {});
+    device.loadTables();
+    workload::TraceGenerator gen(config, workload::localityK(0.3));
+
+    // Saturation throughput tells us where to sweep.
+    const double peak = device.steadyStateQps(batch, 16);
+    std::printf("%s, batch %u: saturation throughput ~ %.0f QPS "
+                "(%.0f requests/s)\n\n",
+                modelName.c_str(), batch, peak, peak / batch);
+
+    std::printf("%-10s %12s %10s %10s %10s %10s\n", "load",
+                "requests/s", "p50 (us)", "p95 (us)", "p99 (us)",
+                "mean (us)");
+    for (const double util : {0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
+        workload::ServingConfig sc;
+        sc.arrivalQps = util * peak / batch;
+        sc.batchSize = batch;
+        sc.numRequests = 400;
+        const workload::ServingResult r =
+            workload::simulateServing(device, gen, sc);
+        std::printf("%-10s %12.0f %10.1f %10.1f %10.1f %10.1f\n",
+                    (std::to_string(static_cast<int>(util * 100)) + "%")
+                        .c_str(),
+                    r.offeredQps, r.p50 / 1e3, r.p95 / 1e3,
+                    r.p99 / 1e3, r.meanLatency / 1e3);
+    }
+    std::printf(
+        "\nReading: RM-SSD sustains the offered load with flat p50 "
+        "until utilization approaches\nsaturation, where queueing "
+        "inflates the tail - the usual M/D/1-like knee.\n");
+    return 0;
+}

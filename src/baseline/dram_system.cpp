@@ -1,0 +1,44 @@
+#include "baseline/dram_system.h"
+
+namespace rmssd::baseline {
+
+DramSystem::DramSystem(const model::ModelConfig &config,
+                       const host::CpuCosts &costs)
+    : InferenceSystem("DRAM"), config_(config), cpu_(costs)
+{
+}
+
+workload::RunResult
+DramSystem::run(workload::TraceGenerator &gen, std::uint32_t batchSize,
+                std::uint32_t numBatches, std::uint32_t warmupBatches)
+{
+    // DRAM execution is stateless across batches; warm-up only drains
+    // the generator to stay aligned with the other systems.
+    for (std::uint32_t b = 0; b < warmupBatches; ++b)
+        gen.nextBatch(batchSize);
+
+    workload::RunResult result;
+    result.system = name_;
+    for (std::uint32_t b = 0; b < numBatches; ++b) {
+        gen.nextBatch(batchSize);
+        workload::Breakdown bd;
+        // SLS pooling straight from DRAM.
+        bd.embOp += batchSize * cpu_.slsNanos(config_.lookupsPerSample(),
+                                              config_.vectorBytes());
+        if (slsOnly_) {
+            bd.other += cpu_.frameworkNanos();
+        } else {
+            addHostMlpCosts(cpu_, config_, batchSize, bd);
+        }
+        result.breakdown += bd;
+        result.totalNanos += bd.total();
+        ++result.batches;
+        result.samples += batchSize;
+        result.idealTrafficBytes +=
+            static_cast<std::uint64_t>(batchSize) *
+            config_.lookupsPerSample() * config_.vectorBytes();
+    }
+    return result;
+}
+
+} // namespace rmssd::baseline

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * DRAM-only reference system: the whole model in host memory, the
+ * paper's "ideal" configuration (Fig. 2's DRAM bars).
+ */
+
+#ifndef RMSSD_BASELINE_DRAM_SYSTEM_H
+#define RMSSD_BASELINE_DRAM_SYSTEM_H
+
+#include "baseline/system.h"
+
+namespace rmssd::baseline {
+
+/** Everything-in-memory host execution. */
+class DramSystem : public InferenceSystem
+{
+  public:
+    DramSystem(const model::ModelConfig &config,
+               const host::CpuCosts &costs = {});
+
+    workload::RunResult run(workload::TraceGenerator &gen,
+                            std::uint32_t batchSize,
+                            std::uint32_t numBatches,
+                            std::uint32_t warmupBatches) override;
+
+  private:
+    model::ModelConfig config_;
+    host::CpuModel cpu_;
+};
+
+} // namespace rmssd::baseline
+
+#endif // RMSSD_BASELINE_DRAM_SYSTEM_H

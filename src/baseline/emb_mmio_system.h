@@ -1,0 +1,40 @@
+/**
+ * @file
+ * EMB-MMIO baseline (Section VI-A): embedding pages are fetched to
+ * userspace directly over the MMIO window at page granularity,
+ * bypassing the file system and page cache; pooling and MLP stay on
+ * the host CPU.
+ */
+
+#ifndef RMSSD_BASELINE_EMB_MMIO_SYSTEM_H
+#define RMSSD_BASELINE_EMB_MMIO_SYSTEM_H
+
+#include "baseline/system.h"
+
+namespace rmssd::baseline {
+
+/** Page-granular host-pull over MMIO, no page cache. */
+class EmbMmioSystem : public InferenceSystem
+{
+  public:
+    explicit EmbMmioSystem(const model::ModelConfig &config,
+                           const host::CpuCosts &cpuCosts = {});
+
+    workload::RunResult run(workload::TraceGenerator &gen,
+                            std::uint32_t batchSize,
+                            std::uint32_t numBatches,
+                            std::uint32_t warmupBatches) override;
+
+  private:
+    /** Userspace copy cost of one 4 KB page pulled over MMIO. */
+    static constexpr Nanos kMmioPageCopyNanos = 2000;
+
+    model::ModelConfig config_;
+    host::CpuModel cpu_;
+    SimulatedSsd ssd_;
+    Nanos hostNow_ = 0;
+};
+
+} // namespace rmssd::baseline
+
+#endif // RMSSD_BASELINE_EMB_MMIO_SYSTEM_H

@@ -1,0 +1,56 @@
+#include "baseline/emb_vectorsum_system.h"
+
+namespace rmssd::baseline {
+
+EmbVectorSumSystem::EmbVectorSumSystem(const model::ModelConfig &config,
+                                       const host::CpuCosts &cpuCosts)
+    : InferenceSystem("EMB-VectorSum"), config_(config), cpu_(cpuCosts)
+{
+    engine::RmSsdOptions options;
+    options.variant = engine::EngineVariant::EmbeddingOnly;
+    // The host blocks on the pooled vectors before running its MLP,
+    // so there is no pre-send overlap in this configuration.
+    options.presend = false;
+    device_ = std::make_unique<engine::RmSsd>(config, options);
+    device_->loadTables();
+}
+
+workload::RunResult
+EmbVectorSumSystem::run(workload::TraceGenerator &gen,
+                        std::uint32_t batchSize,
+                        std::uint32_t numBatches,
+                        std::uint32_t warmupBatches)
+{
+    for (std::uint32_t b = 0; b < warmupBatches; ++b)
+        device_->infer(gen.nextBatch(batchSize));
+
+    workload::RunResult result;
+    result.system = name_;
+    const std::uint64_t trafficBefore = device_->hostBytesRead().value();
+
+    for (std::uint32_t b = 0; b < numBatches; ++b) {
+        const auto batch = gen.nextBatch(batchSize);
+        workload::Breakdown bd;
+        const engine::InferenceOutcome out = device_->infer(batch);
+        bd.embSsd += out.latency;
+        if (slsOnly_) {
+            bd.other += cpu_.frameworkNanos();
+        } else {
+            addHostMlpCosts(cpu_, config_, batchSize, bd);
+        }
+        // The host computes its MLP before issuing the next request.
+        device_->advanceHostClock(bd.total() - bd.embSsd);
+        result.breakdown += bd;
+        result.totalNanos += bd.total();
+        ++result.batches;
+        result.samples += batchSize;
+        result.idealTrafficBytes +=
+            static_cast<std::uint64_t>(batchSize) *
+            config_.lookupsPerSample() * config_.vectorBytes();
+    }
+    result.hostTrafficBytes =
+        device_->hostBytesRead().value() - trafficBefore;
+    return result;
+}
+
+} // namespace rmssd::baseline

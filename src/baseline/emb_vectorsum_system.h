@@ -1,0 +1,40 @@
+/**
+ * @file
+ * EMB-VectorSum baseline (Section VI-A): RM-SSD's Embedding Lookup
+ * Engine only — vector-grained in-device lookups and pooling — with
+ * the MLP layers still executed on the host CPU.
+ */
+
+#ifndef RMSSD_BASELINE_EMB_VECTORSUM_SYSTEM_H
+#define RMSSD_BASELINE_EMB_VECTORSUM_SYSTEM_H
+
+#include <memory>
+
+#include "baseline/system.h"
+#include "engine/rm_ssd.h"
+
+namespace rmssd::baseline {
+
+/** Embedding Lookup Engine in-device, MLP on host. */
+class EmbVectorSumSystem : public InferenceSystem
+{
+  public:
+    explicit EmbVectorSumSystem(const model::ModelConfig &config,
+                                const host::CpuCosts &cpuCosts = {});
+
+    workload::RunResult run(workload::TraceGenerator &gen,
+                            std::uint32_t batchSize,
+                            std::uint32_t numBatches,
+                            std::uint32_t warmupBatches) override;
+
+    engine::RmSsd &device() { return *device_; }
+
+  private:
+    model::ModelConfig config_;
+    host::CpuModel cpu_;
+    std::unique_ptr<engine::RmSsd> device_;
+};
+
+} // namespace rmssd::baseline
+
+#endif // RMSSD_BASELINE_EMB_VECTORSUM_SYSTEM_H

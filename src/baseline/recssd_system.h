@@ -1,0 +1,85 @@
+/**
+ * @file
+ * RecSSD-style baseline (Wilkening et al., ASPLOS'21) as re-implemented
+ * by the paper on its emulated SSD (Section VI-C): embedding lookups
+ * are offloaded to the SSD at *page* granularity with in-device
+ * pooling, and a host-side cache of hot embedding vectors serves the
+ * high-locality share; device partial sums and host-cached vectors
+ * merge on the CPU. The MLP stays on the host.
+ */
+
+#ifndef RMSSD_BASELINE_RECSSD_SYSTEM_H
+#define RMSSD_BASELINE_RECSSD_SYSTEM_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "baseline/emb_pagesum_system.h"
+#include "baseline/system.h"
+#include "nvme/dma.h"
+
+namespace rmssd::baseline {
+
+/** Host-side LRU cache of embedding vectors keyed by (table, row). */
+class HostVectorCache
+{
+  public:
+    explicit HostVectorCache(std::uint64_t capacityVectors);
+
+    /** Access a vector: hit refreshes, miss inserts. @return hit. */
+    bool access(std::uint32_t table, std::uint64_t row);
+
+    double hitRatio() const;
+    void resetStats();
+
+  private:
+    using Key = std::uint64_t;
+    static Key makeKey(std::uint32_t table, std::uint64_t row);
+
+    std::uint64_t capacity_;
+    std::list<Key> lru_;
+    std::unordered_map<Key, std::list<Key>::iterator> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** RecSSD: page-grain ISC pooling + host vector cache. */
+class RecssdSystem : public InferenceSystem
+{
+  public:
+    RecssdSystem(const model::ModelConfig &config,
+                 std::uint64_t cacheVectorsPerTable = 16384,
+                 const host::CpuCosts &cpuCosts = {});
+
+    workload::RunResult run(workload::TraceGenerator &gen,
+                            std::uint32_t batchSize,
+                            std::uint32_t numBatches,
+                            std::uint32_t warmupBatches) override;
+
+  private:
+    /** Host-side merge cost of one cached vector into the pool. */
+    static constexpr Nanos kMergePerVectorNanos = 60;
+    /**
+     * Per-page firmware handling on the device (command parsing,
+     * FTL interaction, page-aligned result buffering) — the OpenSSD
+     * datapath RecSSD runs on: ~5 us/page (1000 device cycles).
+     * Calibration: the paper's RecSSD throughput on RMC1 (~800 QPS
+     * at the default 65%-hit trace, Fig. 12/14) implies ~5.6 us per
+     * device page lookup, and the paper notes vector extraction and
+     * summing take about half the total lookup time on the ARM path.
+     */
+    static constexpr Cycle kFirmwarePerPageCycles = 1000;
+
+    model::ModelConfig config_;
+    host::CpuModel cpu_;
+    SimulatedSsd ssd_;
+    PageGrainPooler pooler_;
+    HostVectorCache cache_;
+    nvme::DmaEngine dma_;
+    Cycle deviceNow_ = 0;
+};
+
+} // namespace rmssd::baseline
+
+#endif // RMSSD_BASELINE_RECSSD_SYSTEM_H

@@ -1,0 +1,48 @@
+#include "baseline/registry.h"
+
+#include "baseline/dram_system.h"
+#include "baseline/emb_mmio_system.h"
+#include "baseline/emb_pagesum_system.h"
+#include "baseline/emb_vectorsum_system.h"
+#include "baseline/recssd_system.h"
+#include "baseline/rm_ssd_system.h"
+#include "baseline/ssd_naive_system.h"
+#include "sim/log.h"
+
+namespace rmssd::baseline {
+
+std::unique_ptr<InferenceSystem>
+makeSystem(const std::string &name, const model::ModelConfig &config)
+{
+    if (name == "DRAM")
+        return std::make_unique<DramSystem>(config);
+    if (name == "SSD-S")
+        return std::make_unique<SsdNaiveSystem>(config, 0.25);
+    if (name == "SSD-M")
+        return std::make_unique<SsdNaiveSystem>(config, 0.5);
+    if (name == "EMB-MMIO")
+        return std::make_unique<EmbMmioSystem>(config);
+    if (name == "EMB-PageSum")
+        return std::make_unique<EmbPageSumSystem>(config);
+    if (name == "EMB-VectorSum")
+        return std::make_unique<EmbVectorSumSystem>(config);
+    if (name == "RecSSD")
+        return std::make_unique<RecssdSystem>(config);
+    if (name == "RM-SSD-Naive")
+        return std::make_unique<RmSsdSystem>(
+            config, engine::EngineVariant::Naive);
+    if (name == "RM-SSD")
+        return std::make_unique<RmSsdSystem>(
+            config, engine::EngineVariant::Searched);
+    fatal("unknown system '%s'", name.c_str());
+}
+
+std::vector<std::string>
+allSystemNames()
+{
+    return {"DRAM",          "SSD-S",        "SSD-M",
+            "EMB-MMIO",      "EMB-PageSum",  "EMB-VectorSum",
+            "RecSSD",        "RM-SSD-Naive", "RM-SSD"};
+}
+
+} // namespace rmssd::baseline

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * System factory: build any evaluated system by its paper name.
+ */
+
+#ifndef RMSSD_BASELINE_REGISTRY_H
+#define RMSSD_BASELINE_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/system.h"
+
+namespace rmssd::baseline {
+
+/**
+ * Create a system by name: "DRAM", "SSD-S", "SSD-M", "EMB-MMIO",
+ * "EMB-PageSum", "EMB-VectorSum", "RecSSD", "RM-SSD-Naive", "RM-SSD".
+ * Fatal on unknown names.
+ */
+std::unique_ptr<InferenceSystem>
+makeSystem(const std::string &name, const model::ModelConfig &config);
+
+/** All system names in the paper's presentation order. */
+std::vector<std::string> allSystemNames();
+
+} // namespace rmssd::baseline
+
+#endif // RMSSD_BASELINE_REGISTRY_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The full RM-SSD (and RM-SSD-Naive) as an InferenceSystem: the
+ * entire recommendation inference runs in-device; only indices/dense
+ * inputs go down and CTR results come back.
+ */
+
+#ifndef RMSSD_BASELINE_RM_SSD_SYSTEM_H
+#define RMSSD_BASELINE_RM_SSD_SYSTEM_H
+
+#include <memory>
+
+#include "baseline/system.h"
+#include "engine/rm_ssd.h"
+
+namespace rmssd::baseline {
+
+/** Fully offloaded inference (Searched or Naive engine variant). */
+class RmSsdSystem : public InferenceSystem
+{
+  public:
+    RmSsdSystem(const model::ModelConfig &config,
+                engine::EngineVariant variant =
+                    engine::EngineVariant::Searched);
+
+    workload::RunResult run(workload::TraceGenerator &gen,
+                            std::uint32_t batchSize,
+                            std::uint32_t numBatches,
+                            std::uint32_t warmupBatches) override;
+
+    /**
+     * Closed-loop request latency on an idle device (the Fig. 13
+     * methodology): mean over @p requests single requests, each on
+     * fresh timing state.
+     */
+    Nanos measureLatency(workload::TraceGenerator &gen,
+                         std::uint32_t batchSize,
+                         std::uint32_t requests = 5);
+
+    engine::RmSsd &device() { return *device_; }
+
+  private:
+    model::ModelConfig config_;
+    std::unique_ptr<engine::RmSsd> device_;
+};
+
+} // namespace rmssd::baseline
+
+#endif // RMSSD_BASELINE_RM_SSD_SYSTEM_H

@@ -1,0 +1,82 @@
+#include "baseline/ssd_naive_system.h"
+
+#include <cmath>
+
+namespace rmssd::baseline {
+
+SsdNaiveSystem::SsdNaiveSystem(const model::ModelConfig &config,
+                               double dramFraction,
+                               const host::CpuCosts &cpuCosts,
+                               const host::IoStackCosts &ioCosts)
+    : InferenceSystem(dramFraction <= 0.25 ? "SSD-S" : "SSD-M"),
+      config_(config), cpu_(cpuCosts)
+{
+    ssd_.layoutTables(config_);
+    const std::uint64_t cachePages = static_cast<std::uint64_t>(
+        dramFraction * static_cast<double>(config_.embeddingBytes()) /
+        ssd_.flash().geometry().pageSizeBytes);
+    reader_ = std::make_unique<host::HostFileReader>(
+        ssd_.nvme(), cachePages, ioCosts);
+}
+
+void
+SsdNaiveSystem::serveBatch(const std::vector<model::Sample> &batch,
+                           workload::RunResult *result)
+{
+    workload::Breakdown bd;
+    const std::uint32_t evBytes = config_.vectorBytes();
+    for (const model::Sample &sample : batch) {
+        for (std::uint32_t t = 0; t < config_.numTables; ++t) {
+            for (const std::uint64_t row : sample.indices[t]) {
+                const host::IoCost cost = reader_->readVector(
+                    t, ssd_.tableExtents(t),
+                    row * static_cast<std::uint64_t>(evBytes), evBytes,
+                    hostNow_, {});
+                hostNow_ += cost.total();
+                bd.embFs += cost.fsNanos;
+                bd.embSsd += cost.ssdNanos;
+            }
+        }
+        // Userspace SLS accumulation over the fetched vectors.
+        const Nanos sls =
+            cpu_.slsNanos(config_.lookupsPerSample(), evBytes);
+        bd.embOp += sls;
+        hostNow_ += sls;
+    }
+    if (slsOnly_) {
+        bd.other += cpu_.frameworkNanos();
+        hostNow_ += cpu_.frameworkNanos();
+    } else {
+        hostNow_ += addHostMlpCosts(
+            cpu_, config_, static_cast<std::uint32_t>(batch.size()), bd);
+    }
+
+    if (result) {
+        result->breakdown += bd;
+        result->totalNanos += bd.total();
+        ++result->batches;
+        result->samples += batch.size();
+        result->idealTrafficBytes +=
+            static_cast<std::uint64_t>(batch.size()) *
+            config_.lookupsPerSample() * evBytes;
+    }
+}
+
+workload::RunResult
+SsdNaiveSystem::run(workload::TraceGenerator &gen,
+                    std::uint32_t batchSize, std::uint32_t numBatches,
+                    std::uint32_t warmupBatches)
+{
+    for (std::uint32_t b = 0; b < warmupBatches; ++b)
+        serveBatch(gen.nextBatch(batchSize), nullptr);
+    reader_->resetStats();
+
+    workload::RunResult result;
+    result.system = name_;
+    for (std::uint32_t b = 0; b < numBatches; ++b)
+        serveBatch(gen.nextBatch(batchSize), &result);
+    result.hostTrafficBytes = reader_->deviceBytes().value();
+    return result;
+}
+
+} // namespace rmssd::baseline

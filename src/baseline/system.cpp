@@ -1,0 +1,72 @@
+#include "baseline/system.h"
+
+#include "ftl/extent.h"
+#include "sim/log.h"
+
+namespace rmssd::baseline {
+
+SimulatedSsd::SimulatedSsd(const flash::Geometry &geometry,
+                           const flash::NandTiming &timing)
+    : flash_(geometry, timing),
+      ftl_(flash_, std::make_unique<ftl::LinearMapping>(
+                       geometry.totalPages())),
+      nvme_(ftl_)
+{
+}
+
+void
+SimulatedSsd::layoutTables(const model::ModelConfig &config)
+{
+    const std::uint32_t sectorSize =
+        flash_.geometry().sectorSizeBytes;
+    ftl::ExtentAllocator allocator(
+        flash_.geometry().capacityBytes() / sectorSize);
+    extents_.clear();
+    const std::uint64_t tableBytes =
+        config.rowsPerTable *
+        static_cast<std::uint64_t>(config.vectorBytes());
+    for (std::uint32_t t = 0; t < config.numTables; ++t) {
+        const std::uint64_t sectors =
+            (tableBytes + sectorSize - 1) / sectorSize;
+        extents_.push_back(allocator.allocate(
+            sectors, flash_.geometry().sectorsPerPage()));
+    }
+}
+
+const ftl::ExtentList &
+SimulatedSsd::tableExtents(std::uint32_t table) const
+{
+    RMSSD_ASSERT(table < extents_.size(), "table not laid out");
+    return extents_[table];
+}
+
+Nanos
+addHostMlpCosts(const host::CpuModel &cpu,
+                const model::ModelConfig &config,
+                std::uint32_t batchSize, workload::Breakdown &breakdown)
+{
+    auto toFcShapes = [](const std::vector<model::LayerShape> &shapes) {
+        std::vector<host::FcShape> out;
+        out.reserve(shapes.size());
+        for (const auto &s : shapes)
+            out.push_back(host::FcShape{s.inputs, s.outputs});
+        return out;
+    };
+
+    const Nanos bot =
+        cpu.mlpNanos(toFcShapes(config.bottomShapes()), batchSize);
+    const Nanos top =
+        cpu.mlpNanos(toFcShapes(config.topShapes()), batchSize);
+    const Nanos cat = cpu.concatNanos(
+        static_cast<std::uint64_t>(batchSize) * config.topInputDim() *
+        sizeof(float));
+    const Nanos fw = cpu.frameworkNanos();
+
+    breakdown.botMlp += bot;
+    breakdown.topMlp += top;
+    breakdown.concat += cat;
+    breakdown.other += fw;
+    return bot + top + cat + fw;
+}
+
+} // namespace rmssd::baseline

@@ -1,0 +1,92 @@
+#include "engine/embedding_engine.h"
+
+#include <algorithm>
+
+#include "engine/ev_sum.h"
+#include "sim/log.h"
+
+namespace rmssd::engine {
+
+EmbeddingEngine::EmbeddingEngine(EvTranslator &translator, ftl::Ftl &ftl)
+    : translator_(translator), ftl_(ftl)
+{
+}
+
+EmbeddingResult
+EmbeddingEngine::run(Cycle start, std::span<const model::Sample> samples,
+                     bool functional)
+{
+    EmbeddingResult result;
+    result.startCycle = start;
+
+    // Step 1 of Fig. 6: scan table metadata once per batch, then the
+    // translation pipeline issues one read per cycle.
+    Cycle issue = start + translator_.metadataScanCycles() +
+                  EvTranslator::kPipelineFillCycles;
+
+    Cycle lastDone = issue;
+    std::vector<std::uint8_t> buf;
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+        const model::Sample &sample = samples[s];
+        model::Vector pooledSample;
+        for (std::size_t t = 0; t < sample.indices.size(); ++t) {
+            const std::uint32_t tableId = static_cast<std::uint32_t>(t);
+            const std::uint32_t evBytes =
+                translator_.vectorBytes(tableId);
+            const std::uint32_t dim =
+                evBytes / static_cast<std::uint32_t>(sizeof(float));
+            std::vector<float> acc(functional ? dim : 0, 0.0f);
+
+            Cycle tableDone = issue;
+            for (const std::uint64_t index : sample.indices[t]) {
+                const EvReadRequest req =
+                    translator_.translate(tableId, index);
+                std::span<std::uint8_t> out;
+                if (functional) {
+                    buf.resize(req.bytes);
+                    out = buf;
+                }
+                const Cycle done =
+                    ftl_.readBytes(issue, req.lba, req.byteInSector,
+                                   req.bytes, out);
+                tableDone = std::max(tableDone, done);
+                if (functional)
+                    EvSum::accumulateBytes(buf, acc);
+                lookups_.inc();
+                lookupBytes_.inc(req.bytes);
+                issue += EvTranslator::kCyclesPerIndex;
+            }
+            // fadd pipeline drains after the table's last vector.
+            lastDone = std::max(lastDone, tableDone + EvSum::kDrainCycles);
+            if (functional) {
+                pooledSample.insert(pooledSample.end(), acc.begin(),
+                                    acc.end());
+            }
+        }
+        if (functional)
+            result.pooled.push_back(std::move(pooledSample));
+    }
+    result.issueEndCycle = issue;
+    result.doneCycle = lastDone;
+    return result;
+}
+
+double
+EmbeddingEngine::steadyStateCyclesPerRead(
+    const flash::Geometry &geometry, const flash::NandTiming &timing,
+    std::uint32_t evBytes)
+{
+    // Per channel, a vector read occupies its die for the flush and
+    // the shared bus for the transfer; with D dies the flushes
+    // overlap, so the channel sustains one read per
+    // max(flush/D, transfer) cycles. Channels run in parallel.
+    const double flushShare =
+        static_cast<double>(timing.flushCycles()) /
+        static_cast<double>(geometry.diesPerChannel);
+    const double busShare =
+        static_cast<double>(timing.transferCycles(evBytes));
+    return std::max(flushShare, busShare) /
+           static_cast<double>(geometry.numChannels);
+}
+
+} // namespace rmssd::engine

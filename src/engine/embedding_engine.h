@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Embedding Lookup Engine (Section IV-B): the two-stage vector-grained
+ * read pipeline. Stage one (device): EV Translator resolves indices
+ * and EV Sum pools returned vectors; stage two (flash channel):
+ * EV-FMCs fetch exactly EVsize bytes per lookup, striped across all
+ * channels and dies.
+ */
+
+#ifndef RMSSD_ENGINE_EMBEDDING_ENGINE_H
+#define RMSSD_ENGINE_EMBEDDING_ENGINE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/ev_translator.h"
+#include "ftl/ftl.h"
+#include "model/dlrm.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rmssd::engine {
+
+/** Outcome of one micro-batch of embedding lookups. */
+struct EmbeddingResult
+{
+    Cycle startCycle = 0;
+    Cycle doneCycle = 0;
+    /** Cycle the translator finished issuing this batch's reads. */
+    Cycle issueEndCycle = 0;
+    /** Per-sample pooled vectors (numTables*dim); empty if timing-only. */
+    std::vector<model::Vector> pooled;
+
+    Cycle elapsed() const { return doneCycle - startCycle; }
+};
+
+/** The in-storage embedding lookup engine. */
+class EmbeddingEngine
+{
+  public:
+    EmbeddingEngine(EvTranslator &translator, ftl::Ftl &ftl);
+
+    /**
+     * Look up and pool all indices of @p samples.
+     * @param start cycle the batch's indices are available on-device
+     * @param functional when true, vectors are actually read and
+     *        pooled; when false only timing is computed
+     */
+    EmbeddingResult run(Cycle start,
+                        std::span<const model::Sample> samples,
+                        bool functional);
+
+    /**
+     * Analytic steady-state device-wide cycles per vector read: the
+     * bEV of Eq. 1a, used by the kernel search to estimate Temb.
+     */
+    static double steadyStateCyclesPerRead(
+        const flash::Geometry &geometry,
+        const flash::NandTiming &timing, std::uint32_t evBytes);
+
+    const Counter &lookups() const { return lookups_; }
+    const Counter &lookupBytes() const { return lookupBytes_; }
+
+    EvTranslator &translator() { return translator_; }
+
+  private:
+    EvTranslator &translator_;
+    ftl::Ftl &ftl_;
+
+    Counter lookups_;
+    Counter lookupBytes_;
+};
+
+} // namespace rmssd::engine
+
+#endif // RMSSD_ENGINE_EMBEDDING_ENGINE_H

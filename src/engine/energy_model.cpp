@@ -1,0 +1,85 @@
+#include "engine/energy_model.h"
+
+namespace rmssd::engine {
+
+namespace {
+
+constexpr double kNano = 1e-9;
+constexpr double kPico = 1e-12;
+
+} // namespace
+
+EnergyModel::EnergyModel(const EnergyCosts &costs) : costs_(costs)
+{
+}
+
+std::uint64_t
+EnergyModel::macsPerSample(const model::ModelConfig &config)
+{
+    std::uint64_t macs = 0;
+    for (const model::LayerShape &s : config.allShapes()) {
+        macs += static_cast<std::uint64_t>(s.inputs) * s.outputs;
+    }
+    // Pooling adds: one fadd per element of every looked-up vector.
+    macs += config.lookupsPerSample() * config.embDim;
+    return macs;
+}
+
+EnergyReport
+EnergyModel::rmSsdWindow(const RmSsd &device, Nanos elapsed,
+                         std::uint64_t inferences) const
+{
+    const RmSsd &d = device;
+    EnergyReport r;
+
+    // Flash: every read (page or vector) flushes a full page from
+    // the cell array; only the transferred bytes cross the bus.
+    const flash::FlashArray &flash = d.flash();
+    const std::uint64_t flushes =
+        flash.totalPageReads() + flash.totalVectorReads() +
+        flash.totalPagePrograms();
+    r.flashJ = flushes * costs_.flashFlushNanojoules * kNano +
+               flash.totalBusBytes() * costs_.busPicojoulesPerByte *
+                   kPico;
+
+    // Compute: the MLP engine's MACs plus pooling adds.
+    r.computeJ = static_cast<double>(inferences) *
+                 macsPerSample(d.model().config()) *
+                 costs_.fpgaMacPicojoules * kPico;
+
+    // Host transfers: indices/dense down, results up.
+    r.transferJ = (d.hostBytesRead().value() +
+                   d.hostBytesWritten().value()) *
+                  costs_.pciePicojoulesPerByte * kPico;
+
+    // Static: SSD + its FPGA for the whole window; the host idles.
+    r.staticJ = (costs_.fpgaStaticWatts + costs_.ssdStaticWatts) *
+                nanosToSeconds(elapsed);
+    r.hostJ = 0.0;
+    return r;
+}
+
+EnergyReport
+EnergyModel::hostWindow(const model::ModelConfig &config, Nanos elapsed,
+                        Nanos hostBusy, std::uint64_t inferences,
+                        std::uint64_t deviceBytes,
+                        std::uint64_t pageReads) const
+{
+    EnergyReport r;
+    r.flashJ = pageReads * costs_.flashFlushNanojoules * kNano +
+               deviceBytes * costs_.busPicojoulesPerByte * kPico;
+    r.computeJ = static_cast<double>(inferences) *
+                 macsPerSample(config) * costs_.cpuMacPicojoules *
+                 kPico;
+    // Embedding bytes stream through host DRAM once.
+    r.computeJ += static_cast<double>(inferences) *
+                  config.lookupsPerSample() * config.vectorBytes() *
+                  costs_.dramPicojoulesPerByte * kPico;
+    r.transferJ =
+        deviceBytes * costs_.pciePicojoulesPerByte * kPico;
+    r.staticJ = costs_.ssdStaticWatts * nanosToSeconds(elapsed);
+    r.hostJ = costs_.hostCpuWatts * nanosToSeconds(hostBusy);
+    return r;
+}
+
+} // namespace rmssd::engine

@@ -1,0 +1,22 @@
+#include "engine/ev_sum.h"
+
+#include <cstring>
+
+#include "sim/log.h"
+
+namespace rmssd::engine {
+
+void
+EvSum::accumulateBytes(std::span<const std::uint8_t> raw,
+                       std::vector<float> &acc)
+{
+    RMSSD_ASSERT(raw.size() == acc.size() * sizeof(float),
+                 "EV byte length does not match accumulator dim");
+    for (std::size_t d = 0; d < acc.size(); ++d) {
+        float v;
+        std::memcpy(&v, raw.data() + d * sizeof(float), sizeof(float));
+        acc[d] += v;
+    }
+}
+
+} // namespace rmssd::engine

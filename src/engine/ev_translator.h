@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Embedding Vector Translator (Fig. 6): device-resident per-table
+ * extent metadata mapping embedding indices to LBAs.
+ *
+ * At RM_open_table time the host pushes each table's (start LBA,
+ * length) extents through the RM Registers; the translator derives the
+ * index range served by each extent (fixed EVsize per table) and keeps
+ * it in on-device DRAM. A lookup then runs the five steps of Fig. 6:
+ * fetch index, find the covering extent (parallel range check), take
+ * the extent's start LBA, add the index offset, and emit a read of
+ * exactly EVsize bytes.
+ */
+
+#ifndef RMSSD_ENGINE_EV_TRANSLATOR_H
+#define RMSSD_ENGINE_EV_TRANSLATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ftl/extent.h"
+#include "sim/types.h"
+
+namespace rmssd::engine {
+
+/** A vector-grained flash read emitted by the translator. */
+struct EvReadRequest
+{
+    std::uint64_t lba = 0;
+    std::uint32_t byteInSector = 0;
+    std::uint32_t bytes = 0;
+    std::uint32_t tableId = 0;
+};
+
+/** Device-side index-to-LBA translation unit. */
+class EvTranslator
+{
+  public:
+    /** Pipelined issue rate: one translated index per cycle. */
+    static constexpr Cycle kCyclesPerIndex = 1;
+    /** Depth of the translation pipeline (steps 2-5 of Fig. 6). */
+    static constexpr Cycle kPipelineFillCycles = 8;
+
+    explicit EvTranslator(std::uint32_t sectorSizeBytes);
+
+    /**
+     * Install a table's metadata (RM_open_table path).
+     * @param evBytes size of one embedding vector in bytes
+     */
+    void registerTable(std::uint32_t tableId,
+                       const ftl::ExtentList &extents,
+                       std::uint32_t evBytes, std::uint64_t numRows);
+
+    bool hasTable(std::uint32_t tableId) const;
+    std::uint32_t numTables() const;
+
+    /** Fig. 6 steps 2-5 for one index. Fatal on unknown table/index. */
+    EvReadRequest translate(std::uint32_t tableId,
+                            std::uint64_t index) const;
+
+    /**
+     * Step 1: per-batch metadata scan cost — the widest table's
+     * extent count, scanned one entry per cycle.
+     */
+    Cycle metadataScanCycles() const;
+
+    /** EVsize of a registered table. */
+    std::uint32_t vectorBytes(std::uint32_t tableId) const;
+
+  private:
+    /** One extent's precomputed index range (Fig. 6's table rows). */
+    struct ExtentRange
+    {
+        std::uint64_t firstIndex = 0; //!< inclusive
+        std::uint64_t lastIndex = 0;  //!< exclusive
+        std::uint64_t startLba = 0;
+    };
+
+    struct TableMeta
+    {
+        std::uint32_t evBytes = 0;
+        std::uint64_t numRows = 0;
+        std::vector<ExtentRange> ranges;
+    };
+
+    const TableMeta &meta(std::uint32_t tableId) const;
+
+    std::uint32_t sectorSize_;
+    std::vector<TableMeta> tables_; //!< indexed by tableId
+};
+
+} // namespace rmssd::engine
+
+#endif // RMSSD_ENGINE_EV_TRANSLATOR_H

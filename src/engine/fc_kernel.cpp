@@ -1,0 +1,43 @@
+#include "engine/fc_kernel.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace rmssd::engine {
+
+std::uint64_t
+EngineLayer::weightBytes() const
+{
+    return static_cast<std::uint64_t>(shape.inputs) * shape.outputs *
+           sizeof(float);
+}
+
+Cycle
+fcLayerCycles(const model::LayerShape &shape, const KernelConfig &kernel,
+              std::uint32_t ii)
+{
+    RMSSD_ASSERT(kernel.kr > 0 && kernel.kc > 0, "zero kernel dim");
+    const std::uint64_t rowSteps =
+        (shape.inputs + kernel.kr - 1) / kernel.kr;
+    const std::uint64_t colSteps =
+        (shape.outputs + kernel.kc - 1) / kernel.kc;
+    return rowSteps * colSteps * ii;
+}
+
+Cycle
+fcLayerCycles(const EngineLayer &layer, std::uint32_t ii)
+{
+    return fcLayerCycles(layer.shape, layer.kernel, ii);
+}
+
+KernelConfig
+clampKernel(const KernelConfig &kernel, const model::LayerShape &shape)
+{
+    KernelConfig k = kernel;
+    k.kr = std::min(k.kr, shape.inputs);
+    k.kc = std::min(k.kc, shape.outputs);
+    return k;
+}
+
+} // namespace rmssd::engine

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Kernel-block matrix-multiply model for FC layers (Section IV-C1).
+ *
+ * A layer with R inputs and C outputs, processed by a (kr x kc) kernel
+ * block with adder-tree reduction and initiation interval II, takes
+ *
+ *     T = ceil(R/kr) * ceil(C/kc) * II   cycles
+ *
+ * per micro-batch. The II slots of the floating-point accumulator
+ * pipeline are filled by up to II batch samples, so a micro-batch of
+ * Nbatch <= II samples costs the same T — the mechanism behind
+ * Rule Three's batch-size escalation (Section IV-C4) and the linear
+ * batch-1..4 throughput growth of the MLP-dominated RMC3 (Fig. 12c).
+ *
+ * Resource cost with II-cycle fmul/fadd reuse is kr*kc/II PE
+ * equivalents (Section IV-C1).
+ */
+
+#ifndef RMSSD_ENGINE_FC_KERNEL_H
+#define RMSSD_ENGINE_FC_KERNEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "model/dlrm.h"
+#include "sim/types.h"
+
+namespace rmssd::engine {
+
+/** Initiation interval of the fp32 accumulation pipeline. */
+inline constexpr std::uint32_t kDefaultII = 8;
+
+/** Kernel block dimensions along the row/column direction. */
+struct KernelConfig
+{
+    std::uint32_t kr = 16;
+    std::uint32_t kc = 16;
+
+    std::uint32_t product() const { return kr * kc; }
+    bool operator==(const KernelConfig &) const = default;
+};
+
+/** Scan direction of a layer's kernel streaming (Fig. 9). */
+enum class ScanDirection : std::uint8_t
+{
+    ColumnFirst,
+    RowFirst,
+};
+
+/** Functional role of a layer in the remapped topology (Fig. 8). */
+enum class LayerRole : std::uint8_t
+{
+    Bottom,       //!< original bottom MLP layer
+    BottomSplit,  //!< Lb: bottom part of the decomposed top L0
+    EmbeddingSplit, //!< Le: embedding part of the decomposed top L0
+    Top,          //!< remaining top MLP layer
+};
+
+/** One FC layer as mapped onto the FPGA. */
+struct EngineLayer
+{
+    std::string label;        //!< e.g. "Lb0", "Lb", "Le", "Lt1"
+    model::LayerShape shape;  //!< R inputs, C outputs
+    KernelConfig kernel;
+    LayerRole role = LayerRole::Bottom;
+    bool weightsInDram = false; //!< Rule Two outcome
+    ScanDirection scan = ScanDirection::ColumnFirst;
+
+    std::uint64_t weightBytes() const;
+};
+
+/** Cycles for one micro-batch (<= II samples) through one layer. */
+Cycle fcLayerCycles(const model::LayerShape &shape,
+                    const KernelConfig &kernel, std::uint32_t ii);
+
+/** Cycles for @p layer (same formula; convenience overload). */
+Cycle fcLayerCycles(const EngineLayer &layer, std::uint32_t ii);
+
+/** Clamp a kernel to the layer dimensions (kr <= R, kc <= C). */
+KernelConfig clampKernel(const KernelConfig &kernel,
+                         const model::LayerShape &shape);
+
+} // namespace rmssd::engine
+
+#endif // RMSSD_ENGINE_FC_KERNEL_H

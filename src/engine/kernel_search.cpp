@@ -1,0 +1,342 @@
+#include "engine/kernel_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace rmssd::engine {
+
+namespace {
+
+/** Largest power of two <= v (v >= 1). */
+std::uint32_t
+floorPow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+/** Collect mutable pointers to the bottom chain (b0.., Lb). */
+std::vector<EngineLayer *>
+bottomChain(MlpPlan &plan)
+{
+    std::vector<EngineLayer *> chain;
+    for (EngineLayer &l : plan.bottom)
+        chain.push_back(&l);
+    return chain;
+}
+
+/** Collect mutable pointers to the top chain (t1, t2, ...). */
+std::vector<EngineLayer *>
+topChain(MlpPlan &plan)
+{
+    std::vector<EngineLayer *> chain;
+    for (EngineLayer &l : plan.top)
+        chain.push_back(&l);
+    return chain;
+}
+
+} // namespace
+
+KernelSearch::KernelSearch(const SearchConfig &config) : config_(config)
+{
+    RMSSD_ASSERT(config_.ii >= 1, "II must be positive");
+}
+
+Cycle
+KernelSearch::embReadCycles(const model::ModelConfig &model,
+                            double readCyclesPerVector,
+                            std::uint32_t microBatch) const
+{
+    const double reads = static_cast<double>(model.lookupsPerSample()) *
+                         microBatch;
+    return static_cast<Cycle>(std::ceil(reads * readCyclesPerVector));
+}
+
+void
+KernelSearch::placeWeights(MlpPlan &plan,
+                           std::vector<std::string> &notes) const
+{
+    const double budgetBytes =
+        config_.device.weightBramBudget() * config_.costs.bytesPerBram;
+    while (static_cast<double>(plan.bramWeightBytes()) > budgetBytes) {
+        // Move the largest on-chip layer's weights to off-chip DRAM.
+        EngineLayer *largest = nullptr;
+        for (EngineLayer *l : bottomChain(plan)) {
+            if (!l->weightsInDram &&
+                (!largest || l->weightBytes() > largest->weightBytes()))
+                largest = l;
+        }
+        for (EngineLayer *l : topChain(plan)) {
+            if (!l->weightsInDram &&
+                (!largest || l->weightBytes() > largest->weightBytes()))
+                largest = l;
+        }
+        if (!plan.embeddingSplit.weightsInDram &&
+            (!largest || plan.embeddingSplit.weightBytes() >
+                             largest->weightBytes()))
+            largest = &plan.embeddingSplit;
+        if (!largest)
+            fatal("no layer left to spill but weights exceed BRAM");
+
+        largest->weightsInDram = true;
+        // Rule Two: kernel pinned to the DRAM stream rate.
+        largest->kernel = clampKernel(
+            KernelConfig{config_.dramWidthElems, config_.ii},
+            largest->shape);
+        notes.push_back("Rule1/2: " + largest->label +
+                        " weights -> DRAM, kernel pinned");
+    }
+}
+
+void
+KernelSearch::chooseMicroBatch(MlpPlan &plan,
+                               const model::ModelConfig &model,
+                               double readCyclesPerVector,
+                               std::vector<std::string> &notes) const
+{
+    // Probe with maximal kernels on all BRAM layers.
+    MlpPlan probe = plan;
+    const KernelConfig maxK{config_.maxKernelDim, config_.maxKernelDim};
+    auto maximize = [&](EngineLayer &l) {
+        if (!l.weightsInDram)
+            l.kernel = clampKernel(maxK, l.shape);
+    };
+    for (EngineLayer &l : probe.bottom)
+        maximize(l);
+    maximize(probe.embeddingSplit);
+    for (EngineLayer &l : probe.top)
+        maximize(l);
+
+    std::uint32_t microBatch = 1;
+    while (true) {
+        probe.microBatch = microBatch;
+        const MlpTiming t = planTiming(
+            probe,
+            embReadCycles(model, readCyclesPerVector, microBatch));
+        if (t.botPrime <= t.embPrime && t.topPrime <= t.embPrime)
+            break;
+        if (microBatch * 2 > config_.ii) {
+            notes.push_back(
+                "Rule3: targets unreachable even at Nbatch = II; "
+                "pipeline will be MLP-bound");
+            break;
+        }
+        microBatch *= 2;
+    }
+    plan.microBatch = microBatch;
+    notes.push_back("Rule3: Nbatch = " + std::to_string(microBatch));
+}
+
+void
+KernelSearch::assignMinimalFloor(MlpPlan &plan) const
+{
+    const std::uint32_t ii = config_.ii;
+
+    // Alternating (4,2)/(2,4) floor keeps kr*kc = II and satisfies
+    // the Eq. 3 chaining by construction.
+    std::uint32_t pos = 0;
+    std::uint32_t prevKc = config_.maxKernelDim;
+    auto assign = [&](EngineLayer &l, bool lastLayer) {
+        if (l.weightsInDram) {
+            prevKc = l.kernel.kc;
+            ++pos;
+            return;
+        }
+        KernelConfig k = (pos % 2 == 0) ? KernelConfig{4, 2}
+                                        : KernelConfig{2, 4};
+        k.kr = std::min({k.kr, prevKc, floorPow2(l.shape.inputs)});
+        k.kc = std::min(k.kc, floorPow2(l.shape.outputs));
+        if (!lastLayer) {
+            // Eq. 4: kernel reuse needs kr*kc >= II.
+            while (k.product() < ii &&
+                   k.kc < floorPow2(l.shape.outputs) * 2)
+                k.kc *= 2;
+        }
+        l.kernel = k;
+        prevKc = k.kc;
+        ++pos;
+    };
+
+    for (EngineLayer &l : plan.bottom)
+        assign(l, false);
+    // Le mirrors Lb's kernel (Eq. 3: kce = kcb).
+    if (plan.decomposed && !plan.embeddingSplit.weightsInDram) {
+        plan.embeddingSplit.kernel = clampKernel(
+            plan.bottom.back().kernel, plan.embeddingSplit.shape);
+    }
+    // Top chain starts constrained by kc of Lb/Le.
+    prevKc = std::min(plan.bottom.back().kernel.kc,
+                      plan.embeddingSplit.kernel.kc);
+    for (std::size_t j = 0; j < plan.top.size(); ++j)
+        assign(plan.top[j], j + 1 == plan.top.size());
+}
+
+bool
+KernelSearch::growSlowest(std::vector<EngineLayer *> &seq,
+                          std::uint32_t ii) const
+{
+    // Order candidates by current layer time, slowest first.
+    std::vector<std::size_t> order(seq.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        return fcLayerCycles(*seq[a], ii) > fcLayerCycles(*seq[b], ii);
+    });
+
+    for (const std::size_t i : order) {
+        EngineLayer &l = *seq[i];
+        if (l.weightsInDram)
+            continue; // Rule Two pins DRAM layers.
+        // Prefer growing kc: no chain cascade needed.
+        if (l.kernel.kc < config_.maxKernelDim &&
+            l.kernel.kc < l.shape.outputs) {
+            l.kernel.kc *= 2;
+            return true;
+        }
+        // Grow kr; the predecessor's kc must cover it (Eq. 3).
+        if (l.kernel.kr < config_.maxKernelDim &&
+            l.kernel.kr < l.shape.inputs) {
+            const std::uint32_t newKr = l.kernel.kr * 2;
+            if (i > 0) {
+                EngineLayer &pred = *seq[i - 1];
+                if (pred.kernel.kc < newKr) {
+                    if (pred.weightsInDram ||
+                        newKr > config_.maxKernelDim)
+                        continue;
+                    pred.kernel.kc = newKr;
+                }
+            }
+            l.kernel.kr = newKr;
+            return true;
+        }
+    }
+    return false;
+}
+
+SearchResult
+KernelSearch::search(const model::ModelConfig &model,
+                     double readCyclesPerVector) const
+{
+    SearchResult result;
+    const KernelConfig maxK{config_.maxKernelDim, config_.maxKernelDim};
+    MlpPlan plan = makePlan(model, maxK, /*decompose=*/true,
+                            /*compose=*/true);
+    plan.ii = config_.ii;
+
+    placeWeights(plan, result.notes);
+    chooseMicroBatch(plan, model, readCyclesPerVector, result.notes);
+    assignMinimalFloor(plan);
+
+    const Cycle embRead =
+        embReadCycles(model, readCyclesPerVector, plan.microBatch);
+
+    // Keep Temb' read-bound where possible: grow Le until it hides
+    // under the flash reads (throughput term of Eq. 2).
+    while (!plan.embeddingSplit.weightsInDram &&
+           fcLayerCycles(plan.embeddingSplit, plan.ii) > embRead) {
+        EngineLayer &le = plan.embeddingSplit;
+        if (le.kernel.kc < config_.maxKernelDim &&
+            le.kernel.kc < le.shape.outputs)
+            le.kernel.kc *= 2;
+        else if (le.kernel.kr < config_.maxKernelDim &&
+                 le.kernel.kr < le.shape.inputs)
+            le.kernel.kr *= 2;
+        else
+            break;
+    }
+    // Maintain kce = kcb (Eq. 3).
+    if (plan.embeddingSplit.kernel.kc > plan.bottom.back().kernel.kc)
+        plan.bottom.back().kernel.kc = plan.embeddingSplit.kernel.kc;
+
+    // Rule Four: grow the violating sequence's slowest layer.
+    auto bot = bottomChain(plan);
+    auto top = topChain(plan);
+    for (int iter = 0; iter < 1024; ++iter) {
+        const MlpTiming t = planTiming(plan, embRead);
+        const bool botOk = t.botPrime <= t.embPrime;
+        const bool topOk = t.topPrime <= t.embPrime;
+        if (botOk && topOk) {
+            result.feasible = true;
+            break;
+        }
+        bool grew = false;
+        if (!botOk)
+            grew = growSlowest(bot, plan.ii);
+        else
+            grew = growSlowest(top, plan.ii);
+        if (!grew) {
+            result.notes.push_back(
+                "Rule4: no further growth possible; leaving plan "
+                "MLP-bound");
+            break;
+        }
+    }
+
+    // Final sync of the Eq. 3 head constraint after growth.
+    if (!plan.top.empty()) {
+        const std::uint32_t krT1 = plan.top.front().kernel.kr;
+        if (plan.bottom.back().kernel.kc < krT1)
+            plan.bottom.back().kernel.kc = krT1;
+        if (plan.embeddingSplit.kernel.kc < krT1)
+            plan.embeddingSplit.kernel.kc = krT1;
+    }
+
+    result.plan = plan;
+    result.embReadCycles = embRead;
+    result.timing = planTiming(plan, embRead);
+    result.resources = ResourceModel(config_.costs)
+                           .engineResources(plan.allLayers(), plan.ii);
+    return result;
+}
+
+bool
+KernelSearch::satisfiesChainConstraints(const MlpPlan &plan,
+                                        std::uint32_t ii)
+{
+    // Eq. 3 within the bottom chain.
+    for (std::size_t i = 0; i + 1 < plan.bottom.size(); ++i) {
+        if (plan.bottom[i].kernel.kc < plan.bottom[i + 1].kernel.kr)
+            return false;
+    }
+    // Eq. 3 head: kce = kcb >= kr of the first top layer.
+    if (plan.decomposed && !plan.top.empty()) {
+        const std::uint32_t krT1 = plan.top.front().kernel.kr;
+        if (plan.bottom.back().kernel.kc < krT1 ||
+            plan.embeddingSplit.kernel.kc < krT1)
+            return false;
+    }
+    // Eq. 3 within the top chain.
+    for (std::size_t j = 0; j + 1 < plan.top.size(); ++j) {
+        if (plan.top[j].kernel.kc < plan.top[j + 1].kernel.kr)
+            return false;
+    }
+    // Eq. 4: kernel reuse floor, except the last layer (and except
+    // layers too small to reach it).
+    const auto layers = plan.allLayers();
+    for (const EngineLayer &l : layers) {
+        if (&l == &layers.back())
+            continue;
+        const std::uint32_t cap =
+            floorPow2(l.shape.inputs) * floorPow2(l.shape.outputs);
+        if (l.kernel.product() < std::min(ii, cap) &&
+            l.role != LayerRole::Top)
+            return false;
+    }
+    // The last *top* layer is the real exemption; re-check all top
+    // layers but the final one.
+    for (std::size_t j = 0; j + 1 < plan.top.size(); ++j) {
+        const EngineLayer &l = plan.top[j];
+        const std::uint32_t cap =
+            floorPow2(l.shape.inputs) * floorPow2(l.shape.outputs);
+        if (l.kernel.product() < std::min(ii, cap))
+            return false;
+    }
+    return true;
+}
+
+} // namespace rmssd::engine

@@ -1,0 +1,89 @@
+#include "engine/resource_model.h"
+
+#include <cmath>
+
+namespace rmssd::engine {
+
+ResourceUsage &
+ResourceUsage::operator+=(const ResourceUsage &o)
+{
+    lut += o.lut;
+    ff += o.ff;
+    bram += o.bram;
+    dsp += o.dsp;
+    return *this;
+}
+
+ResourceUsage
+ResourceUsage::operator+(const ResourceUsage &o) const
+{
+    ResourceUsage r = *this;
+    r += o;
+    return r;
+}
+
+bool
+FpgaDevice::fits(const ResourceUsage &usage) const
+{
+    return usage.lut <= lut && usage.ff <= ff && usage.bram <= bram &&
+           usage.dsp <= dsp;
+}
+
+FpgaDevice
+xcvu9p()
+{
+    return FpgaDevice{"XCVU9P", 1181768, 2363536, 2160.0, 6840};
+}
+
+FpgaDevice
+xc7a200t()
+{
+    return FpgaDevice{"XC7A200T", 215360, 269200, 365.0, 740};
+}
+
+ResourceModel::ResourceModel(const ResourceCosts &costs) : costs_(costs)
+{
+}
+
+ResourceUsage
+ResourceModel::layerResources(const EngineLayer &layer,
+                              std::uint32_t ii) const
+{
+    const KernelConfig k = clampKernel(layer.kernel, layer.shape);
+    // II-cycle reuse: kr*kc lanes share ceil(kr*kc/II) physical PEs.
+    const std::uint64_t pes =
+        (static_cast<std::uint64_t>(k.product()) + ii - 1) / ii;
+
+    ResourceUsage u;
+    u.lut = pes * (costs_.fmulLut + costs_.faddLut) + costs_.layerLut;
+    u.ff = pes * (costs_.fmulFf + costs_.faddFf) + costs_.layerFf;
+    u.dsp = pes * (costs_.fmulDsp + costs_.faddDsp);
+    u.bram = costs_.layerBram;
+    if (!layer.weightsInDram)
+        u.bram += weightBram(layer.weightBytes());
+    // DRAM-fed layers double-buffer a kernel stripe on chip instead.
+    else
+        u.bram += 2.0 * std::ceil(k.kr * sizeof(float) / 32.0);
+    return u;
+}
+
+ResourceUsage
+ResourceModel::engineResources(const std::vector<EngineLayer> &layers,
+                               std::uint32_t ii) const
+{
+    ResourceUsage total{costs_.engineLut, costs_.engineFf,
+                        costs_.engineBram, costs_.engineDsp};
+    for (const EngineLayer &layer : layers)
+        total += layerResources(layer, ii);
+    return total;
+}
+
+double
+ResourceModel::weightBram(std::uint64_t bytes) const
+{
+    return std::ceil(2.0 * static_cast<double>(bytes) /
+                     costs_.bytesPerBram) /
+           2.0; // half-BRAM (BRAM18) granularity
+}
+
+} // namespace rmssd::engine

@@ -1,0 +1,422 @@
+#include "engine/rm_ssd.h"
+
+#include <algorithm>
+
+#include "ftl/extent.h"
+#include "sim/log.h"
+
+namespace rmssd::engine {
+
+RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
+    : config_(config), options_(options), model_(config),
+      flash_(std::make_unique<flash::FlashArray>(options.geometry,
+                                                 options.timing)),
+      ftl_(std::make_unique<ftl::Ftl>(
+          *flash_, std::make_unique<ftl::LinearMapping>(
+                       options.geometry.totalPages()))),
+      nvme_(std::make_unique<nvme::NvmeController>(*ftl_)),
+      translator_(std::make_unique<EvTranslator>(
+          options.geometry.sectorSizeBytes)),
+      embeddingEngine_(
+          std::make_unique<EmbeddingEngine>(*translator_, *ftl_))
+{
+    if (config_.embeddingBytes() > options_.geometry.capacityBytes())
+        fatal("embedding tables (%.1f GB) exceed device capacity",
+              static_cast<double>(config_.embeddingBytes()) / 1e9);
+
+    const double rcpv = EmbeddingEngine::steadyStateCyclesPerRead(
+        options_.geometry, options_.timing, config_.vectorBytes());
+    const KernelSearch search(options_.search);
+
+    switch (options_.variant) {
+      case EngineVariant::Searched:
+        searchResult_ = search.search(config_, rcpv);
+        break;
+      case EngineVariant::DefaultKernels:
+      case EngineVariant::EmbeddingOnly: {
+        MlpPlan plan = makePlan(
+            config_,
+            KernelConfig{options_.search.maxKernelDim,
+                         options_.search.maxKernelDim},
+            /*decompose=*/true, /*compose=*/true);
+        plan.ii = options_.search.ii;
+        search.placeWeights(plan, searchResult_.notes);
+        search.chooseMicroBatch(plan, config_, rcpv,
+                                searchResult_.notes);
+        searchResult_.plan = plan;
+        searchResult_.embReadCycles =
+            search.embReadCycles(config_, rcpv, plan.microBatch);
+        searchResult_.timing =
+            planTiming(plan, searchResult_.embReadCycles);
+        searchResult_.resources =
+            ResourceModel(options_.search.costs)
+                .engineResources(plan.allLayers(), plan.ii);
+        searchResult_.feasible = true;
+        break;
+      }
+      case EngineVariant::Naive: {
+        MlpPlan plan = makePlan(
+            config_,
+            KernelConfig{options_.search.maxKernelDim,
+                         options_.search.maxKernelDim},
+            /*decompose=*/false, /*compose=*/false);
+        plan.ii = options_.search.ii;
+        search.placeWeights(plan, searchResult_.notes);
+        search.chooseMicroBatch(plan, config_, rcpv,
+                                searchResult_.notes);
+        searchResult_.plan = plan;
+        searchResult_.embReadCycles =
+            search.embReadCycles(config_, rcpv, plan.microBatch);
+        searchResult_.timing =
+            planTiming(plan, searchResult_.embReadCycles);
+        searchResult_.resources =
+            ResourceModel(options_.search.costs)
+                .engineResources(plan.allLayers(), plan.ii);
+        searchResult_.feasible = true;
+        break;
+      }
+    }
+}
+
+void
+RmSsd::registerTable(std::uint32_t tableId,
+                     const ftl::ExtentList &extents)
+{
+    RMSSD_ASSERT(tableId < config_.numTables, "table id out of range");
+    const auto &spec = model_.embedding().tables()[tableId];
+    translator_->registerTable(spec.tableId, extents,
+                               spec.vectorBytes(), spec.numRows);
+
+    if (options_.functional) {
+        const std::uint32_t sectorSize =
+            options_.geometry.sectorSizeBytes;
+        std::vector<std::uint8_t> row(spec.vectorBytes());
+        for (std::uint64_t r = 0; r < spec.numRows; ++r) {
+            spec.rowBytes(r, row);
+            const auto loc =
+                extents.locateByte(r * spec.vectorBytes(), sectorSize);
+            ftl_->writeBytesFunctional(loc.lba, loc.byteInSector, row);
+        }
+    }
+    tablesLoaded_ = translator_->numTables() == config_.numTables;
+}
+
+void
+RmSsd::loadTables()
+{
+    const std::uint32_t sectorSize = options_.geometry.sectorSizeBytes;
+    ftl::ExtentAllocator allocator(
+        options_.geometry.capacityBytes() / sectorSize,
+        options_.maxExtentSectors);
+
+    for (const auto &spec : model_.embedding().tables()) {
+        const std::uint64_t sectors =
+            (spec.totalBytes() + sectorSize - 1) / sectorSize;
+        registerTable(spec.tableId,
+                      allocator.allocate(
+                          sectors, options_.geometry.sectorsPerPage()));
+    }
+}
+
+Cycle
+RmSsd::loadTablesTimed()
+{
+    const std::uint32_t sectorSize = options_.geometry.sectorSizeBytes;
+    const std::uint32_t pageSize = options_.geometry.pageSizeBytes;
+    ftl::ExtentAllocator allocator(
+        options_.geometry.capacityBytes() / sectorSize,
+        options_.maxExtentSectors);
+
+    Cycle done = deviceNow_;
+    std::vector<std::uint8_t> pageBuf(pageSize);
+    for (const auto &spec : model_.embedding().tables()) {
+        const std::uint64_t sectors =
+            (spec.totalBytes() + sectorSize - 1) / sectorSize;
+        const ftl::ExtentList extents = allocator.allocate(
+            sectors, options_.geometry.sectorsPerPage());
+        translator_->registerTable(spec.tableId, extents,
+                                   spec.vectorBytes(), spec.numRows);
+
+        // Program every page of the table through the timed write
+        // path; pages stripe over channels/dies via the FTL layout.
+        const std::uint32_t vecsPerPage = pageSize / spec.vectorBytes();
+        std::uint64_t row = 0;
+        for (const ftl::Extent &e : extents.extents()) {
+            const std::uint64_t pages =
+                e.sectorCount / options_.geometry.sectorsPerPage();
+            for (std::uint64_t p = 0; p < pages && row < spec.numRows;
+                 ++p) {
+                if (options_.functional) {
+                    for (std::uint32_t v = 0;
+                         v < vecsPerPage && row + v < spec.numRows; ++v)
+                        spec.rowBytes(
+                            row + v,
+                            std::span(pageBuf)
+                                .subspan(v * spec.vectorBytes(),
+                                         spec.vectorBytes()));
+                }
+                const std::uint64_t lba =
+                    e.startLba + p * options_.geometry.sectorsPerPage();
+                const auto loc = ftl_->translate(lba);
+                done = std::max(
+                    done,
+                    flash_->programPage(
+                        deviceNow_, loc.ppn,
+                        options_.functional
+                            ? std::span<const std::uint8_t>(pageBuf)
+                            : std::span<const std::uint8_t>()));
+                row += vecsPerPage;
+            }
+        }
+    }
+    tablesLoaded_ = translator_->numTables() == config_.numTables;
+    deviceNow_ = done;
+    lastCompletion_ = done;
+    return done;
+}
+
+RmSsd::MicroBatchDone
+RmSsd::runMicroBatch(Cycle inputsReady,
+                     std::span<const model::Sample> samples,
+                     std::vector<float> *outputs)
+{
+    RMSSD_ASSERT(tablesLoaded_, "tables must be loaded before inference");
+    const MlpPlan &plan = searchResult_.plan;
+    const bool functional = options_.functional;
+
+    // Pipelined plans overlap lookups with the previous micro-batch's
+    // MLP; the naive engine serializes behind its GEMM unit.
+    const bool pipelined = plan.decomposed && plan.composed;
+    const Cycle embStart =
+        (pipelined || options_.variant == EngineVariant::EmbeddingOnly)
+            ? inputsReady
+            : std::max(inputsReady, topUnitFree_);
+    const EmbeddingResult emb =
+        embeddingEngine_->run(embStart, samples, functional);
+
+    MicroBatchDone out;
+    if (options_.variant == EngineVariant::EmbeddingOnly) {
+        out.done = emb.doneCycle;
+        out.issueEnd = emb.issueEndCycle;
+        if (functional && outputs) {
+            for (const model::Vector &pooled : emb.pooled)
+                outputs->insert(outputs->end(), pooled.begin(),
+                                pooled.end());
+        }
+        return out;
+    }
+
+    const Cycle botPrime =
+        plan.composed ? composedCycles(plan.bottom, plan.ii)
+                      : sequentialCycles(plan.bottom, plan.ii);
+    const Cycle topPrime =
+        plan.composed ? composedCycles(plan.top, plan.ii)
+                      : sequentialCycles(plan.top, plan.ii);
+
+    if (plan.decomposed && plan.composed) {
+        // Bottom MLP runs concurrently with the lookups; the unit
+        // accepts a new micro-batch every botPrime cycles.
+        const Cycle bottomStart = std::max(inputsReady, bottomUnitFree_);
+        const Cycle bottomDone = bottomStart + botPrime;
+        bottomUnitFree_ = bottomDone;
+
+        // Le consumes pooled vectors as tables complete (Eq. 1a).
+        const Cycle embPrimeDone = std::max(
+            emb.doneCycle,
+            inputsReady + fcLayerCycles(plan.embeddingSplit, plan.ii));
+
+        const Cycle ready = std::max(embPrimeDone, bottomDone);
+        const Cycle topStart = std::max(ready, topUnitFree_);
+        const Cycle topDone = topStart + topPrime;
+        topUnitFree_ = topDone;
+
+        out.done = topDone;
+        out.issueEnd = emb.issueEndCycle;
+    } else {
+        // Naive (Centaur-style GEMM unit): embedding, bottom MLP and
+        // top MLP run back-to-back with the concat barrier in
+        // between; no stage pipelining across micro-batches.
+        const Cycle topDone = emb.doneCycle + botPrime + topPrime;
+        bottomUnitFree_ = topDone;
+        topUnitFree_ = topDone;
+        out.done = topDone;
+        out.issueEnd = topDone;
+    }
+
+    if (functional && outputs) {
+        for (std::size_t s = 0; s < samples.size(); ++s) {
+            const float ctr =
+                plan.decomposed
+                    ? decomposedForward(model_, samples[s].dense,
+                                        emb.pooled[s])
+                    : model_.inferenceWithPooled(samples[s].dense,
+                                                 emb.pooled[s]);
+            outputs->push_back(ctr);
+        }
+    }
+    return out;
+}
+
+InferenceOutcome
+RmSsd::infer(std::span<const model::Sample> samples)
+{
+    RMSSD_ASSERT(!samples.empty(), "empty inference request");
+    const MlpPlan &plan = searchResult_.plan;
+    const Cycle t0 = deviceNow_;
+
+    // Host sends control parameters over MMIO (posted writes) and the
+    // indices + dense inputs via DMA (RM_send_inputs).
+    const Cycle paramsDone =
+        mmio_.write(t0, static_cast<std::uint32_t>(nvme::RmReg::NumLookups),
+                    config_.lookupsPerTable);
+    mmio_.poke(static_cast<std::uint32_t>(nvme::RmReg::BatchSize),
+               samples.size());
+    const std::uint64_t indexBytes =
+        samples.size() * config_.lookupsPerSample() * sizeof(std::uint32_t);
+    const std::uint64_t denseBytes =
+        samples.size() * config_.denseInputDim() * sizeof(float);
+    const Cycle inputsReady =
+        dma_.transfer(paramsDone, indexBytes + denseBytes);
+    hostBytesWritten_.inc(indexBytes + denseBytes);
+
+    InferenceOutcome outcome;
+    std::vector<float> *outPtr =
+        options_.functional ? &outcome.outputs : nullptr;
+
+    // Partition into micro-batches streaming through the engines.
+    const std::size_t mbSize =
+        std::min<std::size_t>(plan.microBatch, samples.size());
+    Cycle issueChain = inputsReady;
+    Cycle lastDone = inputsReady;
+    for (std::size_t pos = 0; pos < samples.size(); pos += mbSize) {
+        const std::size_t n = std::min(mbSize, samples.size() - pos);
+        const MicroBatchDone mb =
+            runMicroBatch(issueChain, samples.subspan(pos, n), outPtr);
+        issueChain = std::max(issueChain, mb.issueEnd);
+        lastDone = std::max(lastDone, mb.done);
+    }
+
+    // Results: the host polls the status register; small results ride
+    // the 64-byte MMIO read, larger ones take a DMA transfer.
+    const std::uint64_t resultBytesPerSample =
+        options_.variant == EngineVariant::EmbeddingOnly
+            ? static_cast<std::uint64_t>(config_.numTables) *
+                  config_.embDim * sizeof(float)
+            : sizeof(float);
+    const std::uint64_t resultBytes =
+        resultBytesPerSample * samples.size();
+    mmio_.poke(static_cast<std::uint32_t>(nvme::RmReg::ResultStatus), 1);
+    Cycle end = mmio_.read(lastDone,
+                           static_cast<std::uint32_t>(
+                               nvme::RmReg::ResultStatus))
+                    .done;
+    if (resultBytes > nvme::MmioManager::kDataWidthBytes) {
+        end = dma_.transfer(end, resultBytes);
+        hostBytesRead_.inc(resultBytes);
+    } else {
+        hostBytesRead_.inc(nvme::MmioManager::kDataWidthBytes);
+    }
+
+    outcome.latency = cyclesToNanos(end - t0);
+    outcome.completionCycle = end;
+    inferences_.inc(samples.size());
+
+    // System-level pipeline (Section IV-D): the host double-buffers —
+    // it pre-sends the next request's inputs during the current
+    // request's compute and only blocks when two requests are still
+    // in flight, so the host clock advances to the later of this
+    // request's input transfer and the completion of the request two
+    // back. Synchronous hosts (presend off) block on this request's
+    // own completion.
+    if (options_.presend)
+        deviceNow_ = std::max(inputsReady, secondLastCompletion_);
+    else
+        deviceNow_ = end;
+    secondLastCompletion_ = lastCompletion_;
+    lastCompletion_ = end;
+    return outcome;
+}
+
+double
+RmSsd::steadyStateQps(std::uint32_t batchSize,
+                      std::uint32_t measureBatches)
+{
+    RMSSD_ASSERT(batchSize > 0, "zero batch size");
+    resetTiming();
+
+    // Build a deterministic request stream.
+    const std::uint32_t mbSize = std::min<std::uint32_t>(
+        batchSize, searchResult_.plan.microBatch);
+    const std::uint32_t requests = std::max<std::uint32_t>(
+        1, (measureBatches * mbSize + batchSize - 1) / batchSize);
+
+    std::vector<model::Sample> batch(batchSize);
+    const Cycle start = deviceNow_;
+    Cycle lastCompletion = start;
+    std::uint64_t totalSamples = 0;
+    for (std::uint32_t r = 0; r < requests; ++r) {
+        for (std::uint32_t s = 0; s < batchSize; ++s)
+            batch[s] = model_.makeSample(r * 131071ULL + s);
+        const InferenceOutcome out = infer(batch);
+        lastCompletion = std::max(lastCompletion, out.completionCycle);
+        totalSamples += batchSize;
+    }
+    const double seconds =
+        nanosToSeconds(cyclesToNanos(lastCompletion - start));
+    return static_cast<double>(totalSamples) / seconds;
+}
+
+void
+RmSsd::registerStats(StatsRegistry &registry,
+                     const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".inferences", &inferences_);
+    registry.addCounter(prefix + ".host.bytesRead", &hostBytesRead_);
+    registry.addCounter(prefix + ".host.bytesWritten",
+                        &hostBytesWritten_);
+    registry.addCounter(prefix + ".emb.lookups",
+                        &embeddingEngine_->lookups());
+    registry.addCounter(prefix + ".emb.lookupBytes",
+                        &embeddingEngine_->lookupBytes());
+    registry.addCounter(prefix + ".ftl.blockRequests",
+                        &ftl_->blockRequests());
+    registry.addCounter(prefix + ".ftl.evRequests",
+                        &ftl_->evRequests());
+    registry.addCounter(prefix + ".dma.transfers", &dma_.transfers());
+    registry.addCounter(prefix + ".dma.bytes", &dma_.bytesMoved());
+    registry.addCounter(prefix + ".mmio.reads", &mmio_.hostReads());
+    registry.addCounter(prefix + ".mmio.writes", &mmio_.hostWrites());
+    for (std::uint32_t c = 0; c < options_.geometry.numChannels; ++c) {
+        const std::string ch = prefix + ".flash.ch" + std::to_string(c);
+        registry.addCounter(ch + ".pageReads",
+                            &flash_->fmc(c).pageReads());
+        registry.addCounter(ch + ".vectorReads",
+                            &flash_->fmc(c).vectorReads());
+        registry.addCounter(ch + ".busBytes",
+                            &flash_->fmc(c).busBytes());
+        registry.addCounter(ch + ".pagePrograms",
+                            &flash_->fmc(c).pagePrograms());
+        registry.addCounter(ch + ".blockErases",
+                            &flash_->fmc(c).blockErases());
+    }
+}
+
+void
+RmSsd::advanceHostClock(Nanos hostNanos)
+{
+    deviceNow_ += nanosToCycles(hostNanos);
+}
+
+void
+RmSsd::resetTiming()
+{
+    flash_->resetTiming();
+    dma_.resetTiming();
+    deviceNow_ = 0;
+    lastCompletion_ = 0;
+    secondLastCompletion_ = 0;
+    bottomUnitFree_ = 0;
+    topUnitFree_ = 0;
+}
+
+} // namespace rmssd::engine

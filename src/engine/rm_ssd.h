@@ -1,0 +1,200 @@
+/**
+ * @file
+ * RM-SSD: the complete in-storage recommendation inference device
+ * (Fig. 5) — flash array + FTL + NVMe/MMIO/DMA front-ends + Embedding
+ * Lookup Engine + MLP Acceleration Engine + system-level micro-batch
+ * pipelining (Section IV-D).
+ *
+ * The device is simultaneously timed (micro-batches stream through the
+ * engines with real flash contention) and functional (with loaded
+ * tables, outputs equal the reference DLRM inference).
+ */
+
+#ifndef RMSSD_ENGINE_RM_SSD_H
+#define RMSSD_ENGINE_RM_SSD_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engine/embedding_engine.h"
+#include "engine/ev_translator.h"
+#include "engine/kernel_search.h"
+#include "engine/mlp_engine.h"
+#include "flash/flash_array.h"
+#include "ftl/ftl.h"
+#include "model/dlrm.h"
+#include "nvme/dma.h"
+#include "nvme/mmio.h"
+#include "nvme/nvme.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rmssd::engine {
+
+/** How the MLP engine is configured. */
+enum class EngineVariant : std::uint8_t
+{
+    /** Full RM-SSD: decomposition + composition + kernel search. */
+    Searched,
+    /** Default kernels (16x16), decomposition + composition kept. */
+    DefaultKernels,
+    /** MLP-naive: 16x16 kernels, no decomposition, no composition. */
+    Naive,
+    /** Embedding Lookup Engine only; MLP stays on the host. */
+    EmbeddingOnly,
+};
+
+/** Device construction options. */
+struct RmSsdOptions
+{
+    flash::Geometry geometry = flash::tableIIGeometry();
+    flash::NandTiming timing = flash::tableIITiming();
+    SearchConfig search = {};
+    EngineVariant variant = EngineVariant::Searched;
+    /**
+     * System-level pipeline (Section IV-D): the host pre-sends the
+     * next request's inputs during the current request's compute, so
+     * back-to-back infer() calls overlap one-deep. Disable for
+     * synchronous hosts that block on results (e.g. EMB-VectorSum's
+     * host-side MLP).
+     */
+    bool presend = true;
+    /** Load real table bytes into flash (small tables only). */
+    bool functional = false;
+    /** Split table allocations to exercise multi-extent translation. */
+    std::uint64_t maxExtentSectors = 0;
+};
+
+/** Host-visible outcome of one inference request. */
+struct InferenceOutcome
+{
+    Nanos latency = 0;        //!< request arrival to results readable
+    Cycle completionCycle = 0; //!< absolute device cycle of completion
+    /**
+     * Per-sample results (functional only): one CTR value per sample,
+     * or the pooled embedding (numTables*dim floats per sample) for
+     * the EmbeddingOnly variant.
+     */
+    std::vector<float> outputs;
+};
+
+/** The RM-SSD device. */
+class RmSsd
+{
+  public:
+    RmSsd(const model::ModelConfig &config, const RmSsdOptions &options);
+
+    /** Allocate, register and (optionally) load all embedding tables. */
+    void loadTables();
+
+    /**
+     * Like loadTables(), but the table bytes are programmed through
+     * the timed flash write path (RM_create_table's block-I/O flow).
+     * @return the cycle the last program completes — the table
+     *         provisioning time
+     */
+    Cycle loadTablesTimed();
+
+    /**
+     * Register one table at an externally chosen layout (the runtime
+     * API's RM_open_table path). Data is written when the device is
+     * functional. Inference unlocks once all tables are registered.
+     */
+    void registerTable(std::uint32_t tableId,
+                       const ftl::ExtentList &extents);
+
+    /**
+     * Run one inference request of arbitrary batch size. Large
+     * batches partition into micro-batches that stream through the
+     * engines (Section IV-D's system-level pipeline).
+     */
+    InferenceOutcome infer(std::span<const model::Sample> samples);
+
+    /**
+     * Steady-state throughput in queries (samples) per second for a
+     * continuous stream of requests of @p batchSize.
+     * @param measureBatches micro-batch count in the measured window
+     */
+    double steadyStateQps(std::uint32_t batchSize,
+                          std::uint32_t measureBatches = 32);
+
+    const MlpPlan &plan() const { return searchResult_.plan; }
+    const SearchResult &searchResult() const { return searchResult_; }
+    const model::DlrmModel &model() const { return model_; }
+    flash::FlashArray &flash() { return *flash_; }
+    const flash::FlashArray &flash() const { return *flash_; }
+    ftl::Ftl &ftl() { return *ftl_; }
+    nvme::NvmeController &nvme() { return *nvme_; }
+    EmbeddingEngine &embeddingEngine() { return *embeddingEngine_; }
+
+    /** Host bytes read from the device per inference accounting. */
+    const Counter &hostBytesRead() const { return hostBytesRead_; }
+    /** Host bytes written to the device (indices + dense inputs). */
+    const Counter &hostBytesWritten() const { return hostBytesWritten_; }
+    const Counter &inferences() const { return inferences_; }
+
+    /** Current device clock (advances across infer calls). */
+    Cycle deviceNow() const { return deviceNow_; }
+
+    /** Completion cycle of the most recent request. */
+    Cycle lastCompletion() const { return lastCompletion_; }
+
+    /**
+     * Account host-side work between requests (e.g. the host MLP of
+     * the EMB-VectorSum configuration): the next request cannot be
+     * issued before the host finishes.
+     */
+    void advanceHostClock(Nanos hostNanos);
+
+    /** Idle the device: clears all timing state (not the counters). */
+    void resetTiming();
+
+    /**
+     * Register every device counter under @p prefix (gem5-style
+     * stats dump support).
+     */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix = "rmssd") const;
+
+  private:
+    /** Timing of one micro-batch's MLP stages given its read time. */
+    struct MicroBatchDone
+    {
+        Cycle done = 0;
+        Cycle issueEnd = 0;
+    };
+    MicroBatchDone runMicroBatch(Cycle inputsReady,
+                                 std::span<const model::Sample> samples,
+                                 std::vector<float> *outputs);
+
+    model::ModelConfig config_;
+    RmSsdOptions options_;
+    model::DlrmModel model_;
+
+    std::unique_ptr<flash::FlashArray> flash_;
+    std::unique_ptr<ftl::Ftl> ftl_;
+    std::unique_ptr<nvme::NvmeController> nvme_;
+    nvme::MmioManager mmio_;
+    nvme::DmaEngine dma_;
+    std::unique_ptr<EvTranslator> translator_;
+    std::unique_ptr<EmbeddingEngine> embeddingEngine_;
+
+    SearchResult searchResult_;
+    bool tablesLoaded_ = false;
+
+    Cycle deviceNow_ = 0;
+    Cycle lastCompletion_ = 0;
+    Cycle secondLastCompletion_ = 0;
+    Cycle bottomUnitFree_ = 0;
+    Cycle topUnitFree_ = 0;
+
+    Counter hostBytesRead_;
+    Counter hostBytesWritten_;
+    Counter inferences_;
+};
+
+} // namespace rmssd::engine
+
+#endif // RMSSD_ENGINE_RM_SSD_H

@@ -1,0 +1,75 @@
+#include "flash/backing_store.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace rmssd::flash {
+
+BackingStore::BackingStore(std::uint32_t pageSizeBytes)
+    : pageSize_(pageSizeBytes)
+{
+    RMSSD_ASSERT(pageSizeBytes > 0, "zero page size");
+}
+
+void
+BackingStore::writePage(std::uint64_t ppn,
+                        std::span<const std::uint8_t> data)
+{
+    RMSSD_ASSERT(data.size() == pageSize_, "write is not page sized");
+    pages_[ppn].assign(data.begin(), data.end());
+}
+
+void
+BackingStore::writePartial(std::uint64_t ppn, std::uint32_t offset,
+                           std::span<const std::uint8_t> data)
+{
+    RMSSD_ASSERT(offset + data.size() <= pageSize_,
+                 "partial write crosses page boundary");
+    auto it = pages_.find(ppn);
+    if (it == pages_.end()) {
+        // Materialize the page with its filler content first so the
+        // untouched region keeps reading back the same bytes.
+        std::vector<std::uint8_t> page(pageSize_);
+        for (std::uint32_t i = 0; i < pageSize_; ++i)
+            page[i] = fillerByte(ppn, i);
+        it = pages_.emplace(ppn, std::move(page)).first;
+    }
+    std::copy(data.begin(), data.end(), it->second.begin() + offset);
+}
+
+void
+BackingStore::read(std::uint64_t ppn, std::uint32_t offset,
+                   std::span<std::uint8_t> out) const
+{
+    RMSSD_ASSERT(offset + out.size() <= pageSize_,
+                 "read crosses page boundary");
+    auto it = pages_.find(ppn);
+    if (it != pages_.end()) {
+        std::copy_n(it->second.begin() + offset, out.size(), out.begin());
+        return;
+    }
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = fillerByte(ppn, offset + static_cast<std::uint32_t>(i));
+}
+
+bool
+BackingStore::isWritten(std::uint64_t ppn) const
+{
+    return pages_.contains(ppn);
+}
+
+void
+BackingStore::erasePage(std::uint64_t ppn)
+{
+    pages_.erase(ppn);
+}
+
+std::uint8_t
+BackingStore::fillerByte(std::uint64_t ppn, std::uint32_t off)
+{
+    return static_cast<std::uint8_t>(hashCombine(ppn, off) & 0xff);
+}
+
+} // namespace rmssd::flash

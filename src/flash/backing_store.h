@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sparse functional backing store for flash page content.
+ *
+ * Only pages that have actually been programmed consume memory; reads
+ * of never-written pages return deterministic hash-derived bytes so
+ * every read is well defined. Small embedding tables (tests, examples)
+ * are physically written and round-trip byte-exactly; the 30 GB
+ * benchmark tables run in timing-only mode and never materialize data.
+ */
+
+#ifndef RMSSD_FLASH_BACKING_STORE_H
+#define RMSSD_FLASH_BACKING_STORE_H
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace rmssd::flash {
+
+/** Sparse page-content map keyed by physical page number. */
+class BackingStore
+{
+  public:
+    explicit BackingStore(std::uint32_t pageSizeBytes);
+
+    /** Overwrite a full page. @p data must be exactly one page. */
+    void writePage(std::uint64_t ppn, std::span<const std::uint8_t> data);
+
+    /** Overwrite part of a page starting at @p offset. */
+    void writePartial(std::uint64_t ppn, std::uint32_t offset,
+                      std::span<const std::uint8_t> data);
+
+    /**
+     * Read @p out.size() bytes from @p offset within page @p ppn.
+     * Unwritten pages yield deterministic filler bytes.
+     */
+    void read(std::uint64_t ppn, std::uint32_t offset,
+              std::span<std::uint8_t> out) const;
+
+    /** Whether a page has ever been written. */
+    bool isWritten(std::uint64_t ppn) const;
+
+    /** Drop a page's content (block erase path). */
+    void erasePage(std::uint64_t ppn);
+
+    /** Number of pages currently materialized. */
+    std::size_t materializedPages() const { return pages_.size(); }
+
+    std::uint32_t pageSizeBytes() const { return pageSize_; }
+
+  private:
+    /** Deterministic filler byte for unwritten storage. */
+    static std::uint8_t fillerByte(std::uint64_t ppn, std::uint32_t off);
+
+    std::uint32_t pageSize_;
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+};
+
+} // namespace rmssd::flash
+
+#endif // RMSSD_FLASH_BACKING_STORE_H

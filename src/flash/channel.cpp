@@ -1,0 +1,23 @@
+#include "flash/channel.h"
+
+#include <algorithm>
+
+namespace rmssd::flash {
+
+Cycle
+ChannelBus::transfer(Cycle ready, Cycle duration)
+{
+    const Cycle start = std::max(ready, nextFree_);
+    nextFree_ = start + duration;
+    busy_ += duration;
+    return nextFree_;
+}
+
+void
+ChannelBus::reset()
+{
+    nextFree_ = 0;
+    busy_ = 0;
+}
+
+} // namespace rmssd::flash

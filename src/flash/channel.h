@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared per-channel data bus.
+ *
+ * All dies on a channel share one in/out bus ("though flash arrays have
+ * a deep hierarchy of storage, all in/out data share one bus for each
+ * channel", Section IV-B2). Transfers serialize on this resource.
+ */
+
+#ifndef RMSSD_FLASH_CHANNEL_H
+#define RMSSD_FLASH_CHANNEL_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace rmssd::flash {
+
+/** One channel's bus occupancy timeline. */
+class ChannelBus
+{
+  public:
+    /**
+     * Transfer for @p duration cycles starting no earlier than
+     * @p ready (data available in the page buffer) and no earlier than
+     * the end of the previous bus transfer.
+     * @return the completion cycle.
+     */
+    Cycle transfer(Cycle ready, Cycle duration);
+
+    Cycle nextFree() const { return nextFree_; }
+
+    /** Total bus-busy cycles (bandwidth utilization stat). */
+    Cycle busyCycles() const { return busy_; }
+
+    void reset();
+
+  private:
+    Cycle nextFree_ = 0;
+    Cycle busy_ = 0;
+};
+
+} // namespace rmssd::flash
+
+#endif // RMSSD_FLASH_CHANNEL_H

@@ -1,0 +1,23 @@
+#include "flash/die.h"
+
+#include <algorithm>
+
+namespace rmssd::flash {
+
+Cycle
+FlashDie::acquire(Cycle earliest, Cycle duration)
+{
+    const Cycle start = std::max(earliest, nextFree_);
+    nextFree_ = start + duration;
+    busy_ += duration;
+    return nextFree_;
+}
+
+void
+FlashDie::reset()
+{
+    nextFree_ = 0;
+    busy_ = 0;
+}
+
+} // namespace rmssd::flash

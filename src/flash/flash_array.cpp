@@ -1,0 +1,181 @@
+#include "flash/flash_array.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace rmssd::flash {
+
+FlashArray::FlashArray(const Geometry &geometry, const NandTiming &timing)
+    : geometry_(geometry), timing_(timing), store_(geometry.pageSizeBytes)
+{
+    geometry_.validate();
+    if (timing_.pageSizeBytes != geometry_.pageSizeBytes)
+        fatal("NAND timing page size differs from geometry page size");
+    fmcs_.reserve(geometry_.numChannels);
+    for (std::uint32_t c = 0; c < geometry_.numChannels; ++c) {
+        fmcs_.push_back(
+            std::make_unique<Fmc>(geometry_.diesPerChannel, timing_));
+    }
+}
+
+ReadTiming
+FlashArray::readPage(Cycle issue, std::uint64_t ppn,
+                     std::span<std::uint8_t> out)
+{
+    const Pba pba = geometry_.decompose(ppn);
+    const ReadTiming t = fmcs_[pba.channel]->readPage(issue, pba.die);
+    if (!out.empty()) {
+        RMSSD_ASSERT(out.size() == geometry_.pageSizeBytes,
+                     "page read buffer is not page sized");
+        store_.read(ppn, 0, out);
+    }
+    return t;
+}
+
+ReadTiming
+FlashArray::readVector(Cycle issue, std::uint64_t ppn,
+                       std::uint32_t colOffset, std::uint32_t bytes,
+                       std::span<std::uint8_t> out)
+{
+    const Pba pba = geometry_.decompose(ppn);
+    if (!out.empty()) {
+        RMSSD_ASSERT(out.size() == bytes, "vector read size mismatch");
+    }
+    RMSSD_ASSERT(colOffset + bytes <= geometry_.pageSizeBytes,
+                 "vector read crosses page boundary");
+    const ReadTiming t =
+        fmcs_[pba.channel]->readVector(issue, pba.die, bytes);
+    if (!out.empty())
+        store_.read(ppn, colOffset, out);
+    return t;
+}
+
+Cycle
+FlashArray::programPage(Cycle issue, std::uint64_t ppn,
+                        std::span<const std::uint8_t> data)
+{
+    const Pba pba = geometry_.decompose(ppn);
+    const Cycle done = fmcs_[pba.channel]->programPage(issue, pba.die);
+    // An empty span programs timing-only (bulk provisioning sweeps
+    // would otherwise materialize the full device in host memory).
+    if (!data.empty())
+        store_.writePage(ppn, data);
+    return done;
+}
+
+void
+FlashArray::writePageFunctional(std::uint64_t ppn,
+                                std::span<const std::uint8_t> data)
+{
+    store_.writePage(ppn, data);
+}
+
+void
+FlashArray::writePartialFunctional(std::uint64_t ppn,
+                                   std::uint32_t offset,
+                                   std::span<const std::uint8_t> data)
+{
+    store_.writePartial(ppn, offset, data);
+}
+
+std::uint64_t
+FlashArray::blockKey(const Pba &pba) const
+{
+    // Collapse the page dimension: same key for every page of a block.
+    Pba block = pba;
+    block.page = 0;
+    return geometry_.flatten(block);
+}
+
+Cycle
+FlashArray::eraseBlockContaining(Cycle issue, std::uint64_t ppn)
+{
+    const Pba pba = geometry_.decompose(ppn);
+    const Cycle done = fmcs_[pba.channel]->eraseBlock(issue, pba.die);
+    ++blockWear_[blockKey(pba)];
+    // Functionally wipe every page of the block.
+    Pba page = pba;
+    for (std::uint32_t p = 0; p < geometry_.pagesPerBlock; ++p) {
+        page.page = p;
+        store_.erasePage(geometry_.flatten(page));
+    }
+    return done;
+}
+
+std::uint32_t
+FlashArray::blockWear(std::uint64_t ppn) const
+{
+    const auto it = blockWear_.find(blockKey(geometry_.decompose(ppn)));
+    return it == blockWear_.end() ? 0 : it->second;
+}
+
+std::uint32_t
+FlashArray::maxBlockWear() const
+{
+    std::uint32_t wear = 0;
+    for (const auto &[key, count] : blockWear_)
+        wear = std::max(wear, count);
+    return wear;
+}
+
+std::uint64_t
+FlashArray::totalPageReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &fmc : fmcs_)
+        n += fmc->pageReads().value();
+    return n;
+}
+
+std::uint64_t
+FlashArray::totalVectorReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &fmc : fmcs_)
+        n += fmc->vectorReads().value();
+    return n;
+}
+
+std::uint64_t
+FlashArray::totalBusBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &fmc : fmcs_)
+        n += fmc->busBytes().value();
+    return n;
+}
+
+std::uint64_t
+FlashArray::totalPagePrograms() const
+{
+    std::uint64_t n = 0;
+    for (const auto &fmc : fmcs_)
+        n += fmc->pagePrograms().value();
+    return n;
+}
+
+std::uint64_t
+FlashArray::totalBlockErases() const
+{
+    std::uint64_t n = 0;
+    for (const auto &fmc : fmcs_)
+        n += fmc->blockErases().value();
+    return n;
+}
+
+void
+FlashArray::resetTiming()
+{
+    for (auto &fmc : fmcs_)
+        fmc->resetTiming();
+}
+
+void
+FlashArray::resetAll()
+{
+    for (auto &fmc : fmcs_)
+        fmc->resetAll();
+}
+
+} // namespace rmssd::flash

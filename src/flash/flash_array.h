@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The full flash array: geometry + per-channel FMCs + functional
+ * backing store. This is the device substrate everything above (FTL,
+ * NVMe block path, embedding lookup engine) reads from.
+ *
+ * Reads are both timed (die flush + channel bus contention) and
+ * functional (bytes come from the sparse backing store). Passing an
+ * empty output span skips the data copy for timing-only simulations.
+ */
+
+#ifndef RMSSD_FLASH_FLASH_ARRAY_H
+#define RMSSD_FLASH_FLASH_ARRAY_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/backing_store.h"
+#include "flash/fmc.h"
+#include "flash/geometry.h"
+#include "flash/timing.h"
+#include "sim/types.h"
+
+namespace rmssd::flash {
+
+/** Complete multi-channel flash device. */
+class FlashArray
+{
+  public:
+    FlashArray(const Geometry &geometry, const NandTiming &timing);
+
+    const Geometry &geometry() const { return geometry_; }
+    const NandTiming &timing() const { return timing_; }
+
+    /**
+     * Timed + functional whole-page read.
+     * @param issue cycle the request reaches the FMC
+     * @param ppn flat physical page number
+     * @param out page-sized destination, or empty for timing-only
+     * @return read timing (flushDone, done)
+     */
+    ReadTiming readPage(Cycle issue, std::uint64_t ppn,
+                        std::span<std::uint8_t> out);
+
+    /**
+     * Timed + functional vector-grained read of @p out.size() bytes
+     * (or @p bytes when @p out is empty) at column @p colOffset.
+     */
+    ReadTiming readVector(Cycle issue, std::uint64_t ppn,
+                          std::uint32_t colOffset, std::uint32_t bytes,
+                          std::span<std::uint8_t> out);
+
+    /** Timed + functional page program (used when loading tables). */
+    Cycle programPage(Cycle issue, std::uint64_t ppn,
+                      std::span<const std::uint8_t> data);
+
+    /**
+     * Timed + functional block erase: the whole block containing
+     * @p ppn is wiped and its wear count incremented.
+     * @return completion cycle
+     */
+    Cycle eraseBlockContaining(Cycle issue, std::uint64_t ppn);
+
+    /** Erase count of the block containing @p ppn. */
+    std::uint32_t blockWear(std::uint64_t ppn) const;
+
+    /** Highest erase count across all blocks (endurance headline). */
+    std::uint32_t maxBlockWear() const;
+
+    /** Functional-only page write (bulk table loading, no timing). */
+    void writePageFunctional(std::uint64_t ppn,
+                             std::span<const std::uint8_t> data);
+
+    /** Functional-only sub-page write. */
+    void writePartialFunctional(std::uint64_t ppn, std::uint32_t offset,
+                                std::span<const std::uint8_t> data);
+
+    BackingStore &store() { return store_; }
+    const BackingStore &store() const { return store_; }
+
+    Fmc &fmc(std::uint32_t channel) { return *fmcs_[channel]; }
+    const Fmc &fmc(std::uint32_t channel) const { return *fmcs_[channel]; }
+
+    /** Aggregate counters across channels. */
+    std::uint64_t totalPageReads() const;
+    std::uint64_t totalVectorReads() const;
+    std::uint64_t totalBusBytes() const;
+    std::uint64_t totalPagePrograms() const;
+    std::uint64_t totalBlockErases() const;
+
+    /** Forget all timing state (counters preserved). */
+    void resetTiming();
+
+    /** Reset timing and counters. */
+    void resetAll();
+
+  private:
+    /** Key identifying a block across the whole array. */
+    std::uint64_t blockKey(const Pba &pba) const;
+
+    Geometry geometry_;
+    NandTiming timing_;
+    BackingStore store_;
+    std::vector<std::unique_ptr<Fmc>> fmcs_;
+    std::unordered_map<std::uint64_t, std::uint32_t> blockWear_;
+};
+
+} // namespace rmssd::flash
+
+#endif // RMSSD_FLASH_FLASH_ARRAY_H

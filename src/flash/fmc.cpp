@@ -1,0 +1,84 @@
+#include "flash/fmc.h"
+
+#include "sim/log.h"
+
+namespace rmssd::flash {
+
+Fmc::Fmc(std::uint32_t numDies, const NandTiming &timing)
+    : timing_(timing), dies_(numDies)
+{
+    RMSSD_ASSERT(numDies > 0, "channel with no dies");
+}
+
+ReadTiming
+Fmc::readPage(Cycle issue, std::uint32_t die)
+{
+    RMSSD_ASSERT(die < dies_.size(), "die index out of range");
+    ReadTiming t;
+    t.flushDone = dies_[die].acquire(issue, timing_.flushCycles());
+    t.done = bus_.transfer(
+        t.flushDone, timing_.transferCycles(timing_.pageSizeBytes));
+    pageReads_.inc();
+    busBytes_.inc(timing_.pageSizeBytes);
+    return t;
+}
+
+ReadTiming
+Fmc::readVector(Cycle issue, std::uint32_t die, std::uint32_t bytes)
+{
+    RMSSD_ASSERT(die < dies_.size(), "die index out of range");
+    ReadTiming t;
+    t.flushDone = dies_[die].acquire(issue, timing_.flushCycles());
+    t.done = bus_.transfer(t.flushDone, timing_.transferCycles(bytes));
+    vectorReads_.inc();
+    busBytes_.inc(bytes);
+    return t;
+}
+
+Cycle
+Fmc::programPage(Cycle issue, std::uint32_t die)
+{
+    RMSSD_ASSERT(die < dies_.size(), "die index out of range");
+    // Data first crosses the bus into the die buffer, then programs.
+    const Cycle busDone = bus_.transfer(
+        issue, timing_.transferCycles(timing_.pageSizeBytes));
+    busBytes_.inc(timing_.pageSizeBytes);
+    pagePrograms_.inc();
+    return dies_[die].acquire(busDone, timing_.pageProgramCycles);
+}
+
+Cycle
+Fmc::eraseBlock(Cycle issue, std::uint32_t die)
+{
+    RMSSD_ASSERT(die < dies_.size(), "die index out of range");
+    blockErases_.inc();
+    return dies_[die].acquire(issue, timing_.blockEraseCycles);
+}
+
+Cycle
+Fmc::dieBusyCycles(std::uint32_t die) const
+{
+    RMSSD_ASSERT(die < dies_.size(), "die index out of range");
+    return dies_[die].busyCycles();
+}
+
+void
+Fmc::resetTiming()
+{
+    for (auto &die : dies_)
+        die.reset();
+    bus_.reset();
+}
+
+void
+Fmc::resetAll()
+{
+    resetTiming();
+    pageReads_.reset();
+    vectorReads_.reset();
+    busBytes_.reset();
+    pagePrograms_.reset();
+    blockErases_.reset();
+}
+
+} // namespace rmssd::flash

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Flash memory controller for one channel.
+ *
+ * Serves two request flavours:
+ *  - page reads: flush the page to the die buffer, then stream the
+ *    whole page over the channel bus (conventional FMC behaviour);
+ *  - vector reads: flush the page, then stream only EVsize bytes from
+ *    the column offset (the EV-FMC of Section IV-B2).
+ *
+ * The remaining bytes of a vector-read page are dropped, exploiting the
+ * poor spatial locality of embedding lookups (Section III-B2).
+ */
+
+#ifndef RMSSD_FLASH_FMC_H
+#define RMSSD_FLASH_FMC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/channel.h"
+#include "flash/die.h"
+#include "flash/timing.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rmssd::flash {
+
+/** Timing outcome of one flash read. */
+struct ReadTiming
+{
+    /** Cycle the page was ready in the die's page buffer. */
+    Cycle flushDone = 0;
+    /** Cycle the requested bytes finished crossing the channel bus. */
+    Cycle done = 0;
+};
+
+/** Per-channel controller owning the channel's dies and bus. */
+class Fmc
+{
+  public:
+    Fmc(std::uint32_t numDies, const NandTiming &timing);
+
+    /** Read a whole page from die @p die, issued at @p issue. */
+    ReadTiming readPage(Cycle issue, std::uint32_t die);
+
+    /** Read @p bytes from die @p die at some column offset. */
+    ReadTiming readVector(Cycle issue, std::uint32_t die,
+                          std::uint32_t bytes);
+
+    /** Program a page on die @p die (table-loading path). */
+    Cycle programPage(Cycle issue, std::uint32_t die);
+
+    /** Erase a block on die @p die. */
+    Cycle eraseBlock(Cycle issue, std::uint32_t die);
+
+    std::uint32_t numDies() const
+    {
+        return static_cast<std::uint32_t>(dies_.size());
+    }
+
+    const Counter &pageReads() const { return pageReads_; }
+    const Counter &vectorReads() const { return vectorReads_; }
+    const Counter &busBytes() const { return busBytes_; }
+    const Counter &pagePrograms() const { return pagePrograms_; }
+    const Counter &blockErases() const { return blockErases_; }
+    Cycle busBusyCycles() const { return bus_.busyCycles(); }
+    Cycle dieBusyCycles(std::uint32_t die) const;
+
+    /** Forget all timing state; counters are kept. */
+    void resetTiming();
+
+    /** Reset counters as well. */
+    void resetAll();
+
+  private:
+    NandTiming timing_;
+    std::vector<FlashDie> dies_;
+    ChannelBus bus_;
+
+    Counter pageReads_;
+    Counter vectorReads_;
+    Counter busBytes_;
+    Counter pagePrograms_;
+    Counter blockErases_;
+};
+
+} // namespace rmssd::flash
+
+#endif // RMSSD_FLASH_FMC_H

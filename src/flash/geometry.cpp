@@ -1,0 +1,81 @@
+#include "flash/geometry.h"
+
+#include "sim/log.h"
+
+namespace rmssd::flash {
+
+std::uint64_t
+Geometry::pagesPerDie() const
+{
+    return static_cast<std::uint64_t>(planesPerDie) * blocksPerPlane *
+           pagesPerBlock;
+}
+
+std::uint64_t
+Geometry::totalPages() const
+{
+    return pagesPerDie() * numChannels * diesPerChannel;
+}
+
+std::uint64_t
+Geometry::capacityBytes() const
+{
+    return totalPages() * pageSizeBytes;
+}
+
+std::uint32_t
+Geometry::sectorsPerPage() const
+{
+    return pageSizeBytes / sectorSizeBytes;
+}
+
+Pba
+Geometry::decompose(std::uint64_t ppn) const
+{
+    RMSSD_ASSERT(ppn < totalPages(), "ppn out of range");
+    Pba pba;
+    pba.channel = static_cast<std::uint32_t>(ppn % numChannels);
+    ppn /= numChannels;
+    pba.die = static_cast<std::uint32_t>(ppn % diesPerChannel);
+    ppn /= diesPerChannel;
+    pba.plane = static_cast<std::uint32_t>(ppn % planesPerDie);
+    ppn /= planesPerDie;
+    pba.page = static_cast<std::uint32_t>(ppn % pagesPerBlock);
+    ppn /= pagesPerBlock;
+    pba.block = static_cast<std::uint32_t>(ppn);
+    return pba;
+}
+
+std::uint64_t
+Geometry::flatten(const Pba &pba) const
+{
+    std::uint64_t ppn = pba.block;
+    ppn = ppn * pagesPerBlock + pba.page;
+    ppn = ppn * planesPerDie + pba.plane;
+    ppn = ppn * diesPerChannel + pba.die;
+    ppn = ppn * numChannels + pba.channel;
+    return ppn;
+}
+
+void
+Geometry::validate() const
+{
+    if (numChannels == 0 || diesPerChannel == 0 || planesPerDie == 0 ||
+        blocksPerPlane == 0 || pagesPerBlock == 0) {
+        fatal("flash geometry has a zero dimension");
+    }
+    if (pageSizeBytes == 0 || sectorSizeBytes == 0 ||
+        pageSizeBytes % sectorSizeBytes != 0) {
+        fatal("flash page size %u not a multiple of sector size %u",
+              pageSizeBytes, sectorSizeBytes);
+    }
+}
+
+Geometry
+tableIIGeometry()
+{
+    // 4 ch x 4 dies x 1 plane x 1024 blocks x 512 pages x 4 KB = 32 GB.
+    return Geometry{};
+}
+
+} // namespace rmssd::flash

@@ -1,0 +1,44 @@
+#include "flash/timing.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace rmssd::flash {
+
+Cycle
+NandTiming::flushCycles() const
+{
+    return static_cast<Cycle>(
+        std::llround(flushFraction * static_cast<double>(pageReadCycles)));
+}
+
+Cycle
+NandTiming::transferCycles(std::uint32_t bytes) const
+{
+    RMSSD_ASSERT(bytes <= pageSizeBytes, "transfer larger than a page");
+    // Integer ceil-division off the exact flush cycle count; a
+    // floating-point (1 - flushFraction) would round 0.3 up.
+    const Cycle fullTransfer = pageReadCycles - flushCycles();
+    return (fullTransfer * bytes + pageSizeBytes - 1) / pageSizeBytes;
+}
+
+Cycle
+NandTiming::pageReadTotalCycles() const
+{
+    return flushCycles() + transferCycles(pageSizeBytes);
+}
+
+Cycle
+NandTiming::vectorReadTotalCycles(std::uint32_t bytes) const
+{
+    return flushCycles() + transferCycles(bytes);
+}
+
+NandTiming
+tableIITiming()
+{
+    return NandTiming{};
+}
+
+} // namespace rmssd::flash

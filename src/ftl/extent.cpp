@@ -1,0 +1,82 @@
+#include "ftl/extent.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace rmssd::ftl {
+
+ExtentList::ExtentList(std::vector<Extent> extents)
+{
+    for (const auto &e : extents)
+        append(e);
+}
+
+void
+ExtentList::append(const Extent &extent)
+{
+    RMSSD_ASSERT(extent.sectorCount > 0, "empty extent");
+    extents_.push_back(extent);
+    totalSectors_ += extent.sectorCount;
+}
+
+std::uint64_t
+ExtentList::totalBytes(std::uint32_t sectorSize) const
+{
+    return totalSectors_ * sectorSize;
+}
+
+ExtentList::Location
+ExtentList::locateByte(std::uint64_t byteOffset,
+                       std::uint32_t sectorSize) const
+{
+    std::uint64_t sectorOffset = byteOffset / sectorSize;
+    for (std::uint32_t i = 0; i < extents_.size(); ++i) {
+        const Extent &e = extents_[i];
+        if (sectorOffset < e.sectorCount) {
+            return Location{
+                i, e.startLba + sectorOffset,
+                static_cast<std::uint32_t>(byteOffset % sectorSize)};
+        }
+        sectorOffset -= e.sectorCount;
+    }
+    fatal("byte offset %llu beyond end of file",
+          static_cast<unsigned long long>(byteOffset));
+}
+
+ExtentAllocator::ExtentAllocator(std::uint64_t totalSectors,
+                                 std::uint64_t maxFragmentSectors)
+    : totalSectors_(totalSectors), maxFragmentSectors_(maxFragmentSectors)
+{
+}
+
+ExtentList
+ExtentAllocator::allocate(std::uint64_t sectors,
+                          std::uint32_t sectorsPerPage)
+{
+    RMSSD_ASSERT(sectors > 0, "zero-length allocation");
+    // Round the request up to whole pages so embedding vectors never
+    // straddle a flash page boundary.
+    const std::uint64_t rounded =
+        (sectors + sectorsPerPage - 1) / sectorsPerPage * sectorsPerPage;
+    if (nextLba_ + rounded > totalSectors_)
+        fatal("device logical space exhausted");
+
+    ExtentList list;
+    std::uint64_t remaining = rounded;
+    while (remaining > 0) {
+        std::uint64_t chunk = remaining;
+        if (maxFragmentSectors_ > 0)
+            chunk = std::min(chunk, maxFragmentSectors_);
+        // Fragments stay page aligned.
+        chunk = std::max<std::uint64_t>(
+            chunk / sectorsPerPage * sectorsPerPage, sectorsPerPage);
+        chunk = std::min(chunk, remaining);
+        list.append(Extent{nextLba_, chunk});
+        nextLba_ += chunk;
+        remaining -= chunk;
+    }
+    return list;
+}
+
+} // namespace rmssd::ftl

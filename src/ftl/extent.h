@@ -1,0 +1,90 @@
+/**
+ * @file
+ * File extents: contiguous LBA ranges backing an embedding table.
+ *
+ * After RM_create_table the host retrieves the table file's extents
+ * and pushes (start LBA, length) pairs to the device, where the EV
+ * Translator keeps per-extent index ranges (Fig. 6). The extent
+ * allocator here stands in for the host file system's block allocator.
+ */
+
+#ifndef RMSSD_FTL_EXTENT_H
+#define RMSSD_FTL_EXTENT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rmssd::ftl {
+
+/** One contiguous run of logical sectors. */
+struct Extent
+{
+    std::uint64_t startLba = 0;
+    std::uint64_t sectorCount = 0;
+
+    bool operator==(const Extent &) const = default;
+};
+
+/** Ordered extents of one file plus offset-location helpers. */
+class ExtentList
+{
+  public:
+    ExtentList() = default;
+    explicit ExtentList(std::vector<Extent> extents);
+
+    void append(const Extent &extent);
+
+    const std::vector<Extent> &extents() const { return extents_; }
+    std::uint64_t totalSectors() const { return totalSectors_; }
+    std::uint64_t totalBytes(std::uint32_t sectorSize) const;
+    bool empty() const { return extents_.empty(); }
+
+    /** Result of locating a byte offset within the file. */
+    struct Location
+    {
+        std::uint32_t extentIndex = 0;
+        std::uint64_t lba = 0;          //!< sector holding the byte
+        std::uint32_t byteInSector = 0; //!< offset inside that sector
+    };
+
+    /**
+     * Map a logical byte offset of the file to its LBA. @p sectorSize
+     * is the LBA granularity. Calls fatal() past end of file.
+     */
+    Location locateByte(std::uint64_t byteOffset,
+                        std::uint32_t sectorSize) const;
+
+  private:
+    std::vector<Extent> extents_;
+    std::uint64_t totalSectors_ = 0;
+};
+
+/**
+ * Sequential-fit extent allocator over the device's logical space.
+ * @p maxFragmentSectors > 0 splits allocations into multiple extents
+ * of at most that size, exercising the multi-extent translator path.
+ */
+class ExtentAllocator
+{
+  public:
+    ExtentAllocator(std::uint64_t totalSectors,
+                    std::uint64_t maxFragmentSectors = 0);
+
+    /**
+     * Allocate @p sectors sectors, page-aligned to @p sectorsPerPage.
+     * @return the extents of the new file.
+     */
+    ExtentList allocate(std::uint64_t sectors,
+                        std::uint32_t sectorsPerPage);
+
+    std::uint64_t usedSectors() const { return nextLba_; }
+
+  private:
+    std::uint64_t totalSectors_;
+    std::uint64_t maxFragmentSectors_;
+    std::uint64_t nextLba_ = 0;
+};
+
+} // namespace rmssd::ftl
+
+#endif // RMSSD_FTL_EXTENT_H

@@ -1,0 +1,143 @@
+#include "ftl/ftl.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace rmssd::ftl {
+
+Ftl::Ftl(flash::FlashArray &array, std::unique_ptr<Mapping> mapping)
+    : array_(array), mapping_(std::move(mapping))
+{
+    RMSSD_ASSERT(mapping_ != nullptr, "FTL without a mapping");
+}
+
+Ftl
+Ftl::makeLinear(flash::FlashArray &array)
+{
+    return Ftl(array, std::make_unique<LinearMapping>(
+                          array.geometry().totalPages()));
+}
+
+std::uint32_t
+Ftl::sectorsPerPage() const
+{
+    return array_.geometry().sectorsPerPage();
+}
+
+std::uint32_t
+Ftl::sectorSize() const
+{
+    return array_.geometry().sectorSizeBytes;
+}
+
+std::uint32_t
+Ftl::pageSize() const
+{
+    return array_.geometry().pageSizeBytes;
+}
+
+Ftl::PhysLoc
+Ftl::translate(std::uint64_t lba, std::uint32_t byteInSector) const
+{
+    const std::uint32_t spp = sectorsPerPage();
+    const std::uint64_t lpn = lba / spp;
+    const std::uint32_t sectorInPage =
+        static_cast<std::uint32_t>(lba % spp);
+    return PhysLoc{mapping_->translate(lpn),
+                   sectorInPage * sectorSize() + byteInSector};
+}
+
+Cycle
+Ftl::readSectors(Cycle issue, std::uint64_t lba, std::uint32_t sectors,
+                 std::span<std::uint8_t> out)
+{
+    RMSSD_ASSERT(sectors > 0, "zero-sector read");
+    recordPath(RequestPath::BlockIo);
+
+    const std::uint32_t spp = sectorsPerPage();
+    const std::uint32_t secSize = sectorSize();
+    if (!out.empty()) {
+        RMSSD_ASSERT(out.size() ==
+                         static_cast<std::size_t>(sectors) * secSize,
+                     "block read buffer size mismatch");
+    }
+
+    // Page-granular device: every touched page is read in full.
+    Cycle done = issue;
+    std::uint64_t sector = lba;
+    std::uint32_t remaining = sectors;
+    std::size_t outPos = 0;
+    std::vector<std::uint8_t> pageBuf;
+    while (remaining > 0) {
+        const std::uint64_t lpn = sector / spp;
+        const std::uint32_t first = static_cast<std::uint32_t>(
+            sector % spp);
+        const std::uint32_t inPage = std::min(remaining, spp - first);
+
+        const std::uint64_t ppn = mapping_->translate(lpn);
+        const Cycle reqIssue = issue + kTranslateCycles;
+        if (out.empty()) {
+            done = std::max(
+                done, array_.readPage(reqIssue, ppn, {}).done);
+        } else {
+            pageBuf.resize(pageSize());
+            done = std::max(
+                done, array_.readPage(reqIssue, ppn, pageBuf).done);
+            std::copy_n(pageBuf.begin() + first * secSize,
+                        static_cast<std::size_t>(inPage) * secSize,
+                        out.begin() + outPos);
+            outPos += static_cast<std::size_t>(inPage) * secSize;
+        }
+        sector += inPage;
+        remaining -= inPage;
+    }
+    return done;
+}
+
+Cycle
+Ftl::readBytes(Cycle issue, std::uint64_t lba, std::uint32_t byteInSector,
+               std::uint32_t bytes, std::span<std::uint8_t> out)
+{
+    recordPath(RequestPath::Embedding);
+    const PhysLoc loc = translate(lba, byteInSector);
+    RMSSD_ASSERT(loc.pageByteOffset + bytes <= pageSize(),
+                 "EV read crosses flash page boundary");
+    return array_
+        .readVector(issue + kTranslateCycles, loc.ppn,
+                    loc.pageByteOffset, bytes, out)
+        .done;
+}
+
+void
+Ftl::writeBytesFunctional(std::uint64_t lba, std::uint32_t byteInSector,
+                          std::span<const std::uint8_t> data)
+{
+    std::uint64_t byteAddr =
+        lba * sectorSize() + byteInSector;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const std::uint64_t lpn = byteAddr / pageSize();
+        const std::uint32_t inPageOff =
+            static_cast<std::uint32_t>(byteAddr % pageSize());
+        const std::size_t chunk =
+            std::min<std::size_t>(data.size() - pos,
+                                  pageSize() - inPageOff);
+        const std::uint64_t ppn = mapping_->assignForWrite(lpn);
+        array_.writePartialFunctional(
+            ppn, inPageOff, data.subspan(pos, chunk));
+        byteAddr += chunk;
+        pos += chunk;
+    }
+}
+
+void
+Ftl::recordPath(RequestPath path)
+{
+    if (path == RequestPath::BlockIo)
+        blockRequests_.inc();
+    else
+        evRequests_.inc();
+}
+
+} // namespace rmssd::ftl

@@ -1,0 +1,53 @@
+#include "ftl/mapping.h"
+
+#include "sim/log.h"
+
+namespace rmssd::ftl {
+
+LinearMapping::LinearMapping(std::uint64_t totalPages)
+    : totalPages_(totalPages)
+{
+}
+
+std::uint64_t
+LinearMapping::translate(std::uint64_t lpn) const
+{
+    RMSSD_ASSERT(lpn < totalPages_, "lpn beyond device capacity");
+    return lpn;
+}
+
+std::uint64_t
+LinearMapping::assignForWrite(std::uint64_t lpn)
+{
+    return translate(lpn);
+}
+
+PageTableMapping::PageTableMapping(std::uint64_t totalPages)
+    : totalPages_(totalPages)
+{
+}
+
+std::uint64_t
+PageTableMapping::translate(std::uint64_t lpn) const
+{
+    auto it = map_.find(lpn);
+    if (it != map_.end())
+        return it->second;
+    // Deterministic fallback for never-written pages: mirror the
+    // linear layout from the top of the physical space.
+    return totalPages_ - 1 - (lpn % totalPages_);
+}
+
+std::uint64_t
+PageTableMapping::assignForWrite(std::uint64_t lpn)
+{
+    auto it = map_.find(lpn);
+    if (it != map_.end())
+        return it->second;
+    RMSSD_ASSERT(nextPhys_ < totalPages_, "physical space exhausted");
+    const std::uint64_t ppn = nextPhys_++;
+    map_.emplace(lpn, ppn);
+    return ppn;
+}
+
+} // namespace rmssd::ftl

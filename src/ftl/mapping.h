@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Logical-to-physical mapping strategies for the FTL.
+ *
+ * The paper's prototype uses a linear mapping (Section V-A); a
+ * page-table mapping is provided as well for generality and to test
+ * that nothing above the FTL depends on the linear layout.
+ */
+
+#ifndef RMSSD_FTL_MAPPING_H
+#define RMSSD_FTL_MAPPING_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace rmssd::ftl {
+
+/** Maps logical page numbers to physical page numbers. */
+class Mapping
+{
+  public:
+    virtual ~Mapping() = default;
+
+    /** Translate a logical page number. */
+    virtual std::uint64_t translate(std::uint64_t lpn) const = 0;
+
+    /** Record a write: may reassign the physical page. */
+    virtual std::uint64_t assignForWrite(std::uint64_t lpn) = 0;
+};
+
+/**
+ * Identity mapping over a fixed number of pages, as used by the
+ * paper's emulated SSD. Because the geometry interleaves consecutive
+ * physical pages across channels/dies, a linear map already stripes
+ * sequential logical data over all channels.
+ */
+class LinearMapping : public Mapping
+{
+  public:
+    explicit LinearMapping(std::uint64_t totalPages);
+
+    std::uint64_t translate(std::uint64_t lpn) const override;
+    std::uint64_t assignForWrite(std::uint64_t lpn) override;
+
+  private:
+    std::uint64_t totalPages_;
+};
+
+/**
+ * Demand-allocated page-table mapping: logical pages get physical
+ * pages in first-write order. Unwritten logical pages translate to a
+ * deterministic fallback so reads are always defined.
+ */
+class PageTableMapping : public Mapping
+{
+  public:
+    explicit PageTableMapping(std::uint64_t totalPages);
+
+    std::uint64_t translate(std::uint64_t lpn) const override;
+    std::uint64_t assignForWrite(std::uint64_t lpn) override;
+
+    std::uint64_t allocatedPages() const { return nextPhys_; }
+
+  private:
+    std::uint64_t totalPages_;
+    std::uint64_t nextPhys_ = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> map_;
+};
+
+} // namespace rmssd::ftl
+
+#endif // RMSSD_FTL_MAPPING_H

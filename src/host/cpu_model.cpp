@@ -1,0 +1,49 @@
+#include "host/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace rmssd::host {
+
+CpuModel::CpuModel(const CpuCosts &costs) : costs_(costs)
+{
+    RMSSD_ASSERT(costs_.gemmGflops > 0.0, "non-positive GEMM rate");
+}
+
+Nanos
+CpuModel::mlpNanos(const std::vector<FcShape> &layers,
+                   std::uint32_t batch) const
+{
+    double flops = 0.0;
+    for (const FcShape &l : layers) {
+        flops += 2.0 * static_cast<double>(l.inputs) *
+                 static_cast<double>(l.outputs);
+    }
+    flops *= static_cast<double>(batch);
+    const double effGflops =
+        std::min(costs_.maxGemmGflops,
+                 costs_.gemmGflops * static_cast<double>(batch));
+    return static_cast<Nanos>(std::llround(flops / effGflops));
+}
+
+Nanos
+CpuModel::slsNanos(std::uint64_t lookups, std::uint32_t evBytes) const
+{
+    const double perLookup =
+        static_cast<double>(costs_.slsFixedNanos) +
+        costs_.dramNanosPerByte * static_cast<double>(evBytes);
+    return static_cast<Nanos>(
+        std::llround(perLookup * static_cast<double>(lookups)));
+}
+
+Nanos
+CpuModel::concatNanos(std::uint64_t bytes) const
+{
+    return costs_.concatFixedNanos +
+           static_cast<Nanos>(std::llround(
+               costs_.dramNanosPerByte * static_cast<double>(bytes)));
+}
+
+} // namespace rmssd::host

@@ -1,0 +1,5 @@
+#include "host/io_stack.h"
+
+// Header-only cost structs; this TU anchors the module in the build.
+namespace rmssd::host {
+} // namespace rmssd::host

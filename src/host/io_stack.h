@@ -1,0 +1,43 @@
+/**
+ * @file
+ * File-system / VFS stack cost model for the naive SSD deployment.
+ *
+ * The paper's SSD-S baseline reads embedding vectors with lseek+read
+ * through the page cache. emb-fs in Fig. 2's breakdown is the kernel
+ * I/O-stack time; emb-ssd is the device time. This model charges a
+ * syscall entry cost, a cache-hit copy cost, and on a miss the full
+ * kernel block layer + readahead-disabled 4K fill.
+ */
+
+#ifndef RMSSD_HOST_IO_STACK_H
+#define RMSSD_HOST_IO_STACK_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace rmssd::host {
+
+/** Host-side I/O stack latencies in nanoseconds. */
+struct IoStackCosts
+{
+    /** Syscall entry/exit + VFS + page-cache lookup per read(). */
+    Nanos syscallNanos = 1200;
+    /** copy_to_user of one vector on a page-cache hit. */
+    Nanos hitCopyNanos = 300;
+    /** Block layer, request setup, interrupt, page install on miss. */
+    Nanos missKernelNanos = 14000;
+};
+
+/** Aggregated host-visible cost of one file read. */
+struct IoCost
+{
+    Nanos fsNanos = 0;  //!< kernel I/O stack share (emb-fs)
+    Nanos ssdNanos = 0; //!< device share (emb-ssd)
+
+    Nanos total() const { return fsNanos + ssdNanos; }
+};
+
+} // namespace rmssd::host
+
+#endif // RMSSD_HOST_IO_STACK_H

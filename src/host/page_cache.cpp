@@ -1,0 +1,66 @@
+#include "host/page_cache.h"
+
+namespace rmssd::host {
+
+PageCache::PageCache(std::uint64_t capacityPages) : capacity_(capacityPages)
+{
+}
+
+bool
+PageCache::access(const PageKey &key)
+{
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        hits_.inc();
+        return true;
+    }
+    misses_.inc();
+    insert(key);
+    return false;
+}
+
+bool
+PageCache::contains(const PageKey &key) const
+{
+    return map_.contains(key);
+}
+
+void
+PageCache::insert(const PageKey &key)
+{
+    if (capacity_ != 0 && map_.size() >= capacity_) {
+        const PageKey victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+        evictions_.inc();
+    }
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+}
+
+void
+PageCache::clear()
+{
+    lru_.clear();
+    map_.clear();
+}
+
+double
+PageCache::hitRatio() const
+{
+    const std::uint64_t total = hits_.value() + misses_.value();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_.value()) /
+                            static_cast<double>(total);
+}
+
+void
+PageCache::resetStats()
+{
+    hits_.reset();
+    misses_.reset();
+    evictions_.reset();
+}
+
+} // namespace rmssd::host

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Host page cache: an LRU over 4 KB file pages.
+ *
+ * SSD-S and SSD-M in the paper limit DRAM to 1/4 and 1/2 of the total
+ * embedding bytes; the page cache capacity is what turns that limit
+ * into the hit ratios behind Fig. 2 and the read amplification of
+ * Fig. 3.
+ */
+
+#ifndef RMSSD_HOST_PAGE_CACHE_H
+#define RMSSD_HOST_PAGE_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/stats.h"
+
+namespace rmssd::host {
+
+/** Identifies one cached page: (file id, page index within file). */
+struct PageKey
+{
+    std::uint32_t fileId = 0;
+    std::uint64_t pageIndex = 0;
+
+    bool operator==(const PageKey &) const = default;
+};
+
+struct PageKeyHash
+{
+    std::size_t
+    operator()(const PageKey &k) const
+    {
+        return static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(k.fileId) << 48) ^ k.pageIndex ^
+            (k.pageIndex >> 13) * 0x9e3779b97f4a7c15ULL);
+    }
+};
+
+/** LRU page cache (metadata only; page content lives in the device). */
+class PageCache
+{
+  public:
+    /** @param capacityPages 0 means unbounded (DRAM-only config). */
+    explicit PageCache(std::uint64_t capacityPages);
+
+    /**
+     * Look up a page; a hit refreshes recency, a miss inserts the page
+     * (evicting the LRU page when full).
+     * @return true on hit.
+     */
+    bool access(const PageKey &key);
+
+    /** Non-mutating membership probe. */
+    bool contains(const PageKey &key) const;
+
+    void clear();
+
+    std::uint64_t capacityPages() const { return capacity_; }
+    std::size_t residentPages() const { return map_.size(); }
+
+    const Counter &hits() const { return hits_; }
+    const Counter &misses() const { return misses_; }
+    const Counter &evictions() const { return evictions_; }
+
+    double hitRatio() const;
+
+    /** Reset the hit/miss/eviction counters only. */
+    void resetStats();
+
+  private:
+    void insert(const PageKey &key);
+
+    std::uint64_t capacity_;
+    std::list<PageKey> lru_; //!< front = most recent
+    std::unordered_map<PageKey, std::list<PageKey>::iterator,
+                       PageKeyHash>
+        map_;
+
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
+};
+
+} // namespace rmssd::host
+
+#endif // RMSSD_HOST_PAGE_CACHE_H

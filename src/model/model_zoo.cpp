@@ -1,0 +1,93 @@
+#include "model/model_zoo.h"
+
+#include "sim/log.h"
+
+namespace rmssd::model {
+
+ModelConfig
+rmc1()
+{
+    ModelConfig c;
+    c.name = "RMC1";
+    c.bottomWidths = {128, 64, 32};
+    c.topWidths = {256, 64, 1};
+    c.embDim = 32;
+    c.numTables = 8;
+    c.lookupsPerTable = 80;
+    c.withTotalEmbeddingGB(30.0);
+    return c;
+}
+
+ModelConfig
+rmc2()
+{
+    ModelConfig c;
+    c.name = "RMC2";
+    c.bottomWidths = {256, 128, 64};
+    c.topWidths = {128, 64, 1};
+    c.embDim = 64;
+    c.numTables = 32;
+    c.lookupsPerTable = 120;
+    c.withTotalEmbeddingGB(30.0);
+    return c;
+}
+
+ModelConfig
+rmc3()
+{
+    ModelConfig c;
+    c.name = "RMC3";
+    c.bottomWidths = {2560, 1024, 256, 32};
+    c.topWidths = {512, 256, 1};
+    c.embDim = 32;
+    c.numTables = 10;
+    c.lookupsPerTable = 20;
+    c.withTotalEmbeddingGB(30.0);
+    return c;
+}
+
+ModelConfig
+ncf()
+{
+    ModelConfig c;
+    c.name = "NCF";
+    c.bottomWidths = {512, 256, 128};
+    c.topWidths = {256, 128, 1};
+    c.embDim = 64;
+    c.numTables = 4;
+    c.lookupsPerTable = 1;
+    c.withTotalEmbeddingGB(30.0);
+    return c;
+}
+
+ModelConfig
+wnd()
+{
+    ModelConfig c;
+    c.name = "WnD";
+    c.bottomWidths = {1024, 512, 256};
+    c.topWidths = {512, 256, 1};
+    c.embDim = 32;
+    c.numTables = 26;
+    c.lookupsPerTable = 1;
+    c.withTotalEmbeddingGB(30.0);
+    return c;
+}
+
+std::vector<ModelConfig>
+allModels()
+{
+    return {rmc1(), rmc2(), rmc3(), ncf(), wnd()};
+}
+
+ModelConfig
+modelByName(const std::string &name)
+{
+    for (ModelConfig &c : allModels()) {
+        if (c.name == name)
+            return c;
+    }
+    fatal("unknown model '%s'", name.c_str());
+}
+
+} // namespace rmssd::model

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Model zoo: the DLRM configurations of Table III (RMC1, RMC2, RMC3)
+ * plus the extreme MLP-dominated models of Section VI-C (NCF, WnD).
+ *
+ * RMC widths/dims/tables/lookups are exactly Table III; dense input is
+ * 13 (Criteo convention), which also reproduces the paper's reported
+ * MLP sizes (0.39 / 1.23 / 12.23 MB within a few percent). NCF and
+ * WnD are not fully specified in the paper; we use representative
+ * shapes with one lookup per table (the property the paper calls out)
+ * and document them here.
+ */
+
+#ifndef RMSSD_MODEL_MODEL_ZOO_H
+#define RMSSD_MODEL_MODEL_ZOO_H
+
+#include "model/dlrm.h"
+
+namespace rmssd::model {
+
+/** DLRM-RMC1: embedding-dominated (Table III). */
+ModelConfig rmc1();
+
+/** DLRM-RMC2: heavily embedding-dominated (Table III). */
+ModelConfig rmc2();
+
+/** DLRM-RMC3: MLP-dominated (Table III). */
+ModelConfig rmc3();
+
+/** Neural Collaborative Filtering: one lookup per table, big MLP. */
+ModelConfig ncf();
+
+/** Wide & Deep: one lookup per table, biggest MLP share. */
+ModelConfig wnd();
+
+/** All five models in paper order. */
+std::vector<ModelConfig> allModels();
+
+/** Look up a model by name ("RMC1", ... ). Fatal on unknown name. */
+ModelConfig modelByName(const std::string &name);
+
+} // namespace rmssd::model
+
+#endif // RMSSD_MODEL_MODEL_ZOO_H

@@ -1,0 +1,89 @@
+#include "model/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace rmssd::model {
+
+Matrix::Matrix(std::uint32_t rows, std::uint32_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0.0f)
+{
+}
+
+Matrix
+Matrix::random(std::uint32_t rows, std::uint32_t cols,
+               std::uint64_t seed, float scale)
+{
+    Matrix m(rows, cols);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            const std::uint64_t h =
+                hashCombine(seed, (static_cast<std::uint64_t>(r) << 32) | c);
+            m.at(r, c) = hashToUnitFloat(h) * scale;
+        }
+    }
+    return m;
+}
+
+float &
+Matrix::at(std::uint32_t r, std::uint32_t c)
+{
+    RMSSD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+float
+Matrix::at(std::uint32_t r, std::uint32_t c) const
+{
+    RMSSD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+Vector
+Matrix::multiply(const Vector &x) const
+{
+    RMSSD_ASSERT(x.size() == cols_, "matvec dimension mismatch");
+    Vector y(rows_, 0.0f);
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const float *row = &data_[static_cast<std::size_t>(r) * cols_];
+        for (std::uint32_t c = 0; c < cols_; ++c)
+            acc += static_cast<double>(row[c]) * x[c];
+        y[r] = static_cast<float>(acc);
+    }
+    return y;
+}
+
+void
+accumulate(Vector &acc, const Vector &v)
+{
+    RMSSD_ASSERT(acc.size() == v.size(), "accumulate size mismatch");
+    for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] += v[i];
+}
+
+Vector
+concat(const Vector &a, const Vector &b)
+{
+    Vector out;
+    out.reserve(a.size() + b.size());
+    out.insert(out.end(), a.begin(), a.end());
+    out.insert(out.end(), b.begin(), b.end());
+    return out;
+}
+
+float
+maxAbsDiff(const Vector &a, const Vector &b)
+{
+    RMSSD_ASSERT(a.size() == b.size(), "maxAbsDiff size mismatch");
+    float m = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(a[i] - b[i]));
+    return m;
+}
+
+} // namespace rmssd::model

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal dense tensor support: float vectors and row-major matrices
+ * with deterministic hash-based initialization, enough to run DLRM
+ * inference functionally (the simulator's gold results).
+ */
+
+#ifndef RMSSD_MODEL_TENSOR_H
+#define RMSSD_MODEL_TENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rmssd::model {
+
+using Vector = std::vector<float>;
+
+/** Row-major matrix of floats. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::uint32_t rows, std::uint32_t cols);
+
+    /** Deterministic pseudo-random matrix derived from @p seed. */
+    static Matrix random(std::uint32_t rows, std::uint32_t cols,
+                         std::uint64_t seed, float scale = 0.1f);
+
+    std::uint32_t rows() const { return rows_; }
+    std::uint32_t cols() const { return cols_; }
+
+    float &at(std::uint32_t r, std::uint32_t c);
+    float at(std::uint32_t r, std::uint32_t c) const;
+
+    /** y = this * x  (rows x cols) * (cols) -> (rows). */
+    Vector multiply(const Vector &x) const;
+
+    const std::vector<float> &data() const { return data_; }
+
+  private:
+    std::uint32_t rows_ = 0;
+    std::uint32_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** Element-wise vector sum: acc += v. Sizes must match. */
+void accumulate(Vector &acc, const Vector &v);
+
+/** Concatenate b onto the end of a copy of a. */
+Vector concat(const Vector &a, const Vector &b);
+
+/** Max absolute element-wise difference (test tolerance checks). */
+float maxAbsDiff(const Vector &a, const Vector &b);
+
+} // namespace rmssd::model
+
+#endif // RMSSD_MODEL_TENSOR_H

@@ -1,0 +1,32 @@
+#include "nvme/dma.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace rmssd::nvme {
+
+DmaEngine::DmaEngine(const DmaConfig &config) : config_(config)
+{
+    RMSSD_ASSERT(config_.bytesPerCycle > 0, "zero DMA bandwidth");
+}
+
+Cycle
+DmaEngine::transfer(Cycle issue, std::uint64_t bytes)
+{
+    const Cycle start = std::max(issue, nextFree_);
+    const Cycle done = start + transferCycles(bytes);
+    nextFree_ = done;
+    transfers_.inc();
+    bytesMoved_.inc(bytes);
+    return done;
+}
+
+Cycle
+DmaEngine::transferCycles(std::uint64_t bytes) const
+{
+    return config_.setupCycles +
+           (bytes + config_.bytesPerCycle - 1) / config_.bytesPerCycle;
+}
+
+} // namespace rmssd::nvme

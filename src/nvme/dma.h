@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DMA engine for bulk host<->device transfers (lookup indices, dense
+ * MLP inputs, inference results).
+ *
+ * Modelled as a shared bandwidth resource: setup latency per transfer
+ * plus a per-byte cost at PCIe-class bandwidth. Back-to-back transfers
+ * serialize, which is what lets the system-level pipeline hide the
+ * parameter-sending overhead of the *next* micro-batch under the
+ * current one's compute (Section IV-D).
+ */
+
+#ifndef RMSSD_NVME_DMA_H
+#define RMSSD_NVME_DMA_H
+
+#include <cstdint>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rmssd::nvme {
+
+/** DMA engine configuration. */
+struct DmaConfig
+{
+    /** Descriptor setup + doorbell per transfer (~1 us). */
+    Cycle setupCycles = 200;
+    /** Payload bytes per device cycle (16 B/cycle = 3.2 GB/s). */
+    std::uint32_t bytesPerCycle = 16;
+};
+
+/** Shared DMA channel. */
+class DmaEngine
+{
+  public:
+    explicit DmaEngine(const DmaConfig &config = {});
+
+    /**
+     * Transfer @p bytes starting no earlier than @p issue; transfers
+     * serialize on the engine. @return completion cycle.
+     */
+    Cycle transfer(Cycle issue, std::uint64_t bytes);
+
+    /** Cycles a transfer of @p bytes takes in isolation. */
+    Cycle transferCycles(std::uint64_t bytes) const;
+
+    const Counter &transfers() const { return transfers_; }
+    const Counter &bytesMoved() const { return bytesMoved_; }
+
+    void resetTiming() { nextFree_ = 0; }
+
+  private:
+    DmaConfig config_;
+    Cycle nextFree_ = 0;
+
+    Counter transfers_;
+    Counter bytesMoved_;
+};
+
+} // namespace rmssd::nvme
+
+#endif // RMSSD_NVME_DMA_H

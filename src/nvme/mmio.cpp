@@ -1,0 +1,34 @@
+#include "nvme/mmio.h"
+
+namespace rmssd::nvme {
+
+Cycle
+MmioManager::write(Cycle issue, std::uint32_t reg, std::uint64_t value)
+{
+    regs_[reg] = value;
+    hostWrites_.inc();
+    return issue + kWriteCycles;
+}
+
+MmioManager::ReadResult
+MmioManager::read(Cycle issue, std::uint32_t reg)
+{
+    hostReads_.inc();
+    hostBytesRead_.inc(kDataWidthBytes);
+    return ReadResult{issue + kReadCycles, peek(reg)};
+}
+
+std::uint64_t
+MmioManager::peek(std::uint32_t reg) const
+{
+    auto it = regs_.find(reg);
+    return it == regs_.end() ? 0 : it->second;
+}
+
+void
+MmioManager::poke(std::uint32_t reg, std::uint64_t value)
+{
+    regs_[reg] = value;
+}
+
+} // namespace rmssd::nvme

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MMIO manager and RM Registers (Fig. 5).
+ *
+ * The host exchanges small control parameters (lookup counts, result
+ * status) through memory-mapped registers with ~1 us round trips,
+ * bypassing the whole block I/O stack — the paper's fix for the I/O
+ * semantic gap. Register reads return 64-byte lines; that data width
+ * is what makes RM-SSD's per-inference host traffic 64 bytes
+ * (Table IV).
+ */
+
+#ifndef RMSSD_NVME_MMIO_H
+#define RMSSD_NVME_MMIO_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rmssd::nvme {
+
+/** Well-known RM register indices. */
+enum class RmReg : std::uint32_t
+{
+    NumLookups = 0,      //!< lookups per table for the pending batch
+    NumTables = 1,       //!< number of embedding tables
+    BatchSize = 2,       //!< micro-batch size of the pending request
+    ResultStatus = 3,    //!< 0 = busy, 1 = ready
+    TableMetadataBase = 16, //!< extent metadata is written from here up
+};
+
+/** MMIO register file with PCIe round-trip costs. */
+class MmioManager
+{
+  public:
+    /** PCIe posted write latency (~0.5 us). */
+    static constexpr Cycle kWriteCycles = 100;
+    /** PCIe non-posted read round trip (~1 us). */
+    static constexpr Cycle kReadCycles = 200;
+    /** Bytes moved per MMIO read (one cache line). */
+    static constexpr std::uint32_t kDataWidthBytes = 64;
+
+    /** Host-side register write; returns completion cycle. */
+    Cycle write(Cycle issue, std::uint32_t reg, std::uint64_t value);
+
+    /** Host-side register read; returns {completion cycle, value}. */
+    struct ReadResult
+    {
+        Cycle done;
+        std::uint64_t value;
+    };
+    ReadResult read(Cycle issue, std::uint32_t reg);
+
+    /** Device-side access without host PCIe cost. */
+    std::uint64_t peek(std::uint32_t reg) const;
+    void poke(std::uint32_t reg, std::uint64_t value);
+
+    const Counter &hostReads() const { return hostReads_; }
+    const Counter &hostWrites() const { return hostWrites_; }
+    const Counter &hostBytesRead() const { return hostBytesRead_; }
+
+  private:
+    std::unordered_map<std::uint32_t, std::uint64_t> regs_;
+
+    Counter hostReads_;
+    Counter hostWrites_;
+    Counter hostBytesRead_;
+};
+
+} // namespace rmssd::nvme
+
+#endif // RMSSD_NVME_MMIO_H

@@ -1,0 +1,51 @@
+#include "nvme/nvme.h"
+
+#include "sim/log.h"
+
+namespace rmssd::nvme {
+
+NvmeController::NvmeController(ftl::Ftl &ftl, const NvmeConfig &config)
+    : ftl_(ftl), config_(config)
+{
+}
+
+Cycle
+NvmeController::readBlocks(Cycle issue, std::uint64_t lba,
+                           std::uint32_t sectors,
+                           std::span<std::uint8_t> out)
+{
+    readCommands_.inc();
+    hostBytesRead_.inc(static_cast<std::uint64_t>(sectors) *
+                       ftl_.sectorSize());
+    const Cycle flashDone =
+        ftl_.readSectors(issue + config_.submissionCycles, lba, sectors,
+                         out);
+    return flashDone + config_.completionCycles;
+}
+
+void
+NvmeController::writeBlocksFunctional(std::uint64_t lba,
+                                      std::span<const std::uint8_t> data)
+{
+    RMSSD_ASSERT(data.size() % ftl_.sectorSize() == 0,
+                 "block write is not sector aligned");
+    ftl_.writeBytesFunctional(lba, 0, data);
+}
+
+Cycle
+NvmeController::randomReadLatencyCycles() const
+{
+    return config_.submissionCycles + ftl::Ftl::kTranslateCycles +
+           ftl_.array().timing().pageReadTotalCycles() +
+           config_.completionCycles;
+}
+
+double
+NvmeController::randomReadIops() const
+{
+    const double seconds =
+        nanosToSeconds(cyclesToNanos(randomReadLatencyCycles()));
+    return 1.0 / seconds;
+}
+
+} // namespace rmssd::nvme

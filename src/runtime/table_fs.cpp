@@ -1,0 +1,50 @@
+#include "runtime/table_fs.h"
+
+#include "sim/log.h"
+
+namespace rmssd::runtime {
+
+TableFs::TableFs(std::uint64_t totalSectors, std::uint32_t sectorSize,
+                 std::uint32_t sectorsPerPage,
+                 std::uint64_t maxFragmentSectors)
+    : sectorSize_(sectorSize),
+      allocator_(totalSectors, maxFragmentSectors),
+      sectorsPerPage_(sectorsPerPage)
+{
+}
+
+const TableFile &
+TableFs::create(std::uint32_t tableId, const std::string &path,
+                std::uint64_t bytes, std::uint32_t uid)
+{
+    if (files_.contains(path))
+        fatal("table file '%s' already exists", path.c_str());
+    TableFile file;
+    file.tableId = tableId;
+    file.path = path;
+    file.ownerUid = uid;
+    file.bytes = bytes;
+    const std::uint64_t sectors =
+        (bytes + sectorSize_ - 1) / sectorSize_;
+    file.extents = allocator_.allocate(sectors, sectorsPerPage_);
+    return files_.emplace(path, std::move(file)).first->second;
+}
+
+const TableFile *
+TableFs::open(const std::string &path, std::uint32_t uid) const
+{
+    auto it = files_.find(path);
+    if (it == files_.end())
+        return nullptr;
+    if (it->second.ownerUid != uid)
+        return nullptr; // unauthorized
+    return &it->second;
+}
+
+bool
+TableFs::exists(const std::string &path) const
+{
+    return files_.contains(path);
+}
+
+} // namespace rmssd::runtime

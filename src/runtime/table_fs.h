@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal embedding-table file system: the host-side bookkeeping the
+ * paper's RM_create_table / RM_open_table flow relies on — per-table
+ * extents from a block allocator, ownership, and access checks
+ * (Section IV-D's security notes).
+ */
+
+#ifndef RMSSD_RUNTIME_TABLE_FS_H
+#define RMSSD_RUNTIME_TABLE_FS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ftl/extent.h"
+
+namespace rmssd::runtime {
+
+/** A table file's persisted metadata. */
+struct TableFile
+{
+    std::uint32_t tableId = 0;
+    std::string path;
+    std::uint32_t ownerUid = 0;
+    std::uint64_t bytes = 0;
+    ftl::ExtentList extents;
+};
+
+/** Host-side table-file registry over the device's logical space. */
+class TableFs
+{
+  public:
+    TableFs(std::uint64_t totalSectors, std::uint32_t sectorSize,
+            std::uint32_t sectorsPerPage,
+            std::uint64_t maxFragmentSectors = 0);
+
+    /**
+     * Create a table file (RM_create_table): allocates extents and
+     * records ownership. Fatal if the path already exists.
+     */
+    const TableFile &create(std::uint32_t tableId,
+                            const std::string &path,
+                            std::uint64_t bytes, std::uint32_t uid);
+
+    /**
+     * Open a table file (RM_open_table's host half): returns the
+     * metadata after an owner check.
+     * @return nullptr when the file is missing or @p uid is not the
+     *         owner
+     */
+    const TableFile *open(const std::string &path,
+                          std::uint32_t uid) const;
+
+    bool exists(const std::string &path) const;
+
+  private:
+    std::uint32_t sectorSize_;
+    ftl::ExtentAllocator allocator_;
+    std::uint32_t sectorsPerPage_;
+    std::map<std::string, TableFile> files_;
+};
+
+} // namespace rmssd::runtime
+
+#endif // RMSSD_RUNTIME_TABLE_FS_H

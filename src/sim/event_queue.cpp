@@ -1,0 +1,57 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace rmssd {
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    RMSSD_ASSERT(when >= now_, "scheduling into the past");
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Cycle delay, Callback cb)
+{
+    schedule(now_ + delay, std::move(cb));
+}
+
+Cycle
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // Copy out before pop: the callback may schedule more events.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+    }
+    return now_;
+}
+
+Cycle
+EventQueue::runUntil(Cycle limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+    }
+    if (now_ < limit && heap_.empty())
+        now_ = limit;
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    now_ = 0;
+    nextSeq_ = 0;
+}
+
+} // namespace rmssd

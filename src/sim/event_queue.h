@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A classic calendar of (cycle, sequence, callback) entries. Events
+ * scheduled for the same cycle fire in insertion order, which keeps the
+ * simulation deterministic. The flash substrate (die busy periods,
+ * channel-bus arbitration) runs on this queue; higher-level engines use
+ * the paper's closed-form pipeline equations and only interact with the
+ * queue through request completion times.
+ */
+
+#ifndef RMSSD_SIM_EVENT_QUEUE_H
+#define RMSSD_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace rmssd {
+
+/** Deterministic discrete-event queue clocked in device cycles. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated cycle. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Schedule @p cb to fire at absolute cycle @p when.
+     * @pre when >= now()
+     */
+    void schedule(Cycle when, Callback cb);
+
+    /** Schedule @p cb to fire @p delay cycles from now. */
+    void scheduleAfter(Cycle delay, Callback cb);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Run until the queue drains. Returns the final cycle. */
+    Cycle run();
+
+    /**
+     * Run until the queue drains or @p limit is reached; events at
+     * exactly @p limit still fire. Returns the final cycle.
+     */
+    Cycle runUntil(Cycle limit);
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+} // namespace rmssd
+
+#endif // RMSSD_SIM_EVENT_QUEUE_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible simulations.
+ *
+ * A SplitMix64 generator plus stateless hashing helpers. The stateless
+ * hashes are how 30 GB of embedding-table content is synthesized without
+ * storing it: the value of dimension d of row r of table t is a pure
+ * function of (t, r, d).
+ */
+
+#ifndef RMSSD_SIM_RNG_H
+#define RMSSD_SIM_RNG_H
+
+#include <cstdint>
+
+namespace rmssd {
+
+/** Mix a 64-bit value through the SplitMix64 finalizer. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into one hash. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6)));
+}
+
+/** Deterministic PRNG (SplitMix64 sequence). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Deterministic float in [-1, 1) derived from a hash; used for
+ * synthetic embedding values and MLP weights.
+ */
+constexpr float
+hashToUnitFloat(std::uint64_t h)
+{
+    // 24 mantissa-ish bits -> [0, 1) -> [-1, 1)
+    const double u =
+        static_cast<double>((h >> 40) & 0xffffff) / 16777216.0;
+    return static_cast<float>(2.0 * u - 1.0);
+}
+
+} // namespace rmssd
+
+#endif // RMSSD_SIM_RNG_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lightweight statistics package (counters, scalars, histograms).
+ *
+ * Components own Counter/Scalar/Histogram members and register them
+ * with a StatsRegistry so drivers and benches can dump everything by
+ * name. Inspired by gem5's stats package but intentionally minimal.
+ */
+
+#ifndef RMSSD_SIM_STATS_H
+#define RMSSD_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rmssd {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max over a stream of samples. */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Named stats registry; values are registered by pointer. */
+class StatsRegistry
+{
+  public:
+    void addCounter(const std::string &name, const Counter *c);
+    void addDistribution(const std::string &name, const Distribution *d);
+
+    /** Dump all registered stats as "name value" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Look up a registered counter's value; 0 if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Distribution *> distributions_;
+};
+
+} // namespace rmssd
+
+#endif // RMSSD_SIM_STATS_H

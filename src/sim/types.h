@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental simulation types and clock constants.
+ *
+ * The whole device side of the simulator is clocked at the FPGA clock
+ * from the paper's prototype (200 MHz, i.e. 5 ns per cycle, Section V).
+ * All device latencies are therefore expressed in cycles; host-side
+ * costs are expressed in nanoseconds and converted at the boundary.
+ */
+
+#ifndef RMSSD_SIM_TYPES_H
+#define RMSSD_SIM_TYPES_H
+
+#include <cstdint>
+
+namespace rmssd {
+
+/** Device clock cycle count (200 MHz FPGA clock). */
+using Cycle = std::uint64_t;
+
+/** Wall-clock time in nanoseconds. */
+using Nanos = std::uint64_t;
+
+/** FPGA clock frequency used by the paper's prototype (Section V). */
+inline constexpr std::uint64_t kFpgaClockHz = 200'000'000;
+
+/** Nanoseconds per FPGA cycle: 5 ns at 200 MHz. */
+inline constexpr std::uint64_t kNanosPerCycle =
+    1'000'000'000 / kFpgaClockHz;
+
+/** Convert device cycles to nanoseconds. */
+constexpr Nanos
+cyclesToNanos(Cycle cycles)
+{
+    return cycles * kNanosPerCycle;
+}
+
+/** Convert nanoseconds to device cycles, rounding up. */
+constexpr Cycle
+nanosToCycles(Nanos ns)
+{
+    return (ns + kNanosPerCycle - 1) / kNanosPerCycle;
+}
+
+/** Convert nanoseconds to seconds as a double (for reporting). */
+constexpr double
+nanosToSeconds(Nanos ns)
+{
+    return static_cast<double>(ns) * 1e-9;
+}
+
+} // namespace rmssd
+
+#endif // RMSSD_SIM_TYPES_H

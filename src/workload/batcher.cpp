@@ -1,0 +1,85 @@
+#include "workload/batcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace rmssd::workload {
+
+BatcherResult
+simulateBatchedServing(engine::RmSsd &device, TraceGenerator &gen,
+                       const BatcherConfig &config)
+{
+    RMSSD_ASSERT(config.maxBatch >= 1, "batch cap must be positive");
+    RMSSD_ASSERT(config.arrivalQps > 0.0, "non-positive arrival rate");
+    device.resetTiming();
+
+    Rng rng(config.seed);
+    const double meanGapNanos = 1e9 / config.arrivalQps;
+
+    // Pre-draw every arrival time (Poisson process).
+    std::vector<Nanos> arrivals(config.numQueries);
+    double t = 0.0;
+    for (auto &a : arrivals) {
+        const double u = std::max(rng.nextDouble(), 1e-12);
+        t += -meanGapNanos * std::log(u);
+        a = static_cast<Nanos>(t);
+    }
+
+    LatencyRecorder latencies;
+    BatcherResult result;
+    result.offeredQps = config.arrivalQps;
+
+    Cycle lastCompletion = 0;
+    std::size_t next = 0;
+    std::uint64_t batchedQueries = 0;
+    while (next < arrivals.size()) {
+        // The window opens at the first query's arrival (or when the
+        // server frees up, whichever is later) and closes at the
+        // size cap or the flush timeout.
+        const Nanos windowOpen = arrivals[next];
+        const Nanos deadline = windowOpen + config.flushTimeout;
+        std::size_t end = next;
+        while (end < arrivals.size() &&
+               end - next < config.maxBatch &&
+               arrivals[end] <= deadline) {
+            ++end;
+        }
+        const std::size_t batchSize = end - next;
+        // Dispatch when the batch fills or the timeout expires.
+        const Nanos dispatch =
+            batchSize == config.maxBatch ? arrivals[end - 1] : deadline;
+
+        if (device.deviceNow() < nanosToCycles(dispatch)) {
+            device.advanceHostClock(
+                cyclesToNanos(nanosToCycles(dispatch) -
+                              device.deviceNow()));
+        }
+        const auto batch =
+            gen.nextBatch(static_cast<std::uint32_t>(batchSize));
+        const engine::InferenceOutcome out = device.infer(batch);
+        const Nanos completion = cyclesToNanos(out.completionCycle);
+        for (std::size_t q = next; q < end; ++q)
+            latencies.add(completion - arrivals[q]);
+        lastCompletion =
+            std::max(lastCompletion, out.completionCycle);
+        batchedQueries += batchSize;
+        ++result.dispatches;
+        next = end;
+    }
+
+    result.achievedQps =
+        static_cast<double>(batchedQueries) /
+        nanosToSeconds(cyclesToNanos(lastCompletion));
+    result.meanBatchSize = static_cast<double>(batchedQueries) /
+                           static_cast<double>(result.dispatches);
+    result.meanLatency = latencies.mean();
+    result.p95 = latencies.percentile(95.0);
+    result.p99 = latencies.percentile(99.0);
+    return result;
+}
+
+} // namespace rmssd::workload

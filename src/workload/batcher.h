@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Query batcher: individual queries arrive (Poisson); the server
+ * accumulates them into request batches up to a size cap or a flush
+ * timeout, then dispatches to the RM-SSD. This is the standard
+ * serving-side batching loop (DeepRecSys-style) the paper's
+ * system-level pipeline slots under: "if large batch inferences come,
+ * they should be partitioned into several small batches" — here we
+ * model where those batches come from.
+ */
+
+#ifndef RMSSD_WORKLOAD_BATCHER_H
+#define RMSSD_WORKLOAD_BATCHER_H
+
+#include <cstdint>
+
+#include "engine/rm_ssd.h"
+#include "workload/serving.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd::workload {
+
+/** Batching policy knobs. */
+struct BatcherConfig
+{
+    double arrivalQps = 2000.0;   //!< per-query arrival rate
+    std::uint32_t maxBatch = 16;  //!< dispatch at this many queries
+    Nanos flushTimeout = 500'000; //!< ...or this long after the first
+    std::uint32_t numQueries = 2000;
+    std::uint64_t seed = 0xba7c4ULL;
+};
+
+/** Outcome of a batched-serving experiment. */
+struct BatcherResult
+{
+    double offeredQps = 0.0;
+    double achievedQps = 0.0;     //!< queries per second completed
+    double meanBatchSize = 0.0;   //!< realized batch-size average
+    std::uint64_t dispatches = 0; //!< request batches sent
+    Nanos meanLatency = 0;        //!< per-QUERY (includes batching wait)
+    Nanos p95 = 0;
+    Nanos p99 = 0;
+};
+
+/**
+ * Simulate the batching server in front of @p device: queries arrive
+ * per Poisson, wait in the batching window, and complete when their
+ * request's results are readable. Per-query latency includes the
+ * batching delay — the throughput/latency trade batching makes.
+ */
+BatcherResult simulateBatchedServing(engine::RmSsd &device,
+                                     TraceGenerator &gen,
+                                     const BatcherConfig &config);
+
+} // namespace rmssd::workload
+
+#endif // RMSSD_WORKLOAD_BATCHER_H

@@ -1,0 +1,48 @@
+#include "workload/driver.h"
+
+namespace rmssd::workload {
+
+Nanos
+Breakdown::total() const
+{
+    return topMlp + botMlp + concat + embOp + embFs + embSsd + other;
+}
+
+Breakdown &
+Breakdown::operator+=(const Breakdown &o)
+{
+    topMlp += o.topMlp;
+    botMlp += o.botMlp;
+    concat += o.concat;
+    embOp += o.embOp;
+    embFs += o.embFs;
+    embSsd += o.embSsd;
+    other += o.other;
+    return *this;
+}
+
+double
+RunResult::qps() const
+{
+    if (totalNanos == 0)
+        return 0.0;
+    return static_cast<double>(samples) /
+           nanosToSeconds(totalNanos);
+}
+
+Nanos
+RunResult::latencyPerBatch() const
+{
+    return batches == 0 ? 0 : totalNanos / batches;
+}
+
+double
+RunResult::readAmplification() const
+{
+    if (idealTrafficBytes == 0)
+        return 0.0;
+    return static_cast<double>(hostTrafficBytes) /
+           static_cast<double>(idealTrafficBytes);
+}
+
+} // namespace rmssd::workload

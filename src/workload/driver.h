@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Measurement types shared by the benchmark harness: the Fig. 2 time
+ * breakdown categories and the per-run result record (throughput,
+ * latency, I/O traffic, read amplification).
+ */
+
+#ifndef RMSSD_WORKLOAD_DRIVER_H
+#define RMSSD_WORKLOAD_DRIVER_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace rmssd::workload {
+
+/** Fig. 2's execution-time breakdown categories. */
+struct Breakdown
+{
+    Nanos topMlp = 0;  //!< top MLP layers
+    Nanos botMlp = 0;  //!< bottom MLP layers
+    Nanos concat = 0;  //!< feature interaction
+    Nanos embOp = 0;   //!< userspace SLS operator
+    Nanos embFs = 0;   //!< kernel I/O stack (page cache, VFS)
+    Nanos embSsd = 0;  //!< device time (driver and below)
+    Nanos other = 0;   //!< framework/dispatch overhead ("others")
+
+    Nanos total() const;
+    Breakdown &operator+=(const Breakdown &o);
+};
+
+/** Outcome of running one system on one workload configuration. */
+struct RunResult
+{
+    std::string system;
+    std::uint64_t batches = 0;
+    std::uint64_t samples = 0;
+    Nanos totalNanos = 0;
+    Breakdown breakdown;
+    /** Bytes moved from device to host during the measured run. */
+    std::uint64_t hostTrafficBytes = 0;
+    /** Ideal byte-addressable traffic: lookups * EVsize. */
+    std::uint64_t idealTrafficBytes = 0;
+
+    /** Samples per second of simulated time. */
+    double qps() const;
+    /** Mean latency of one request batch. */
+    Nanos latencyPerBatch() const;
+    /** hostTraffic / ideal (Fig. 3's amplification; 1.0 = ideal). */
+    double readAmplification() const;
+};
+
+} // namespace rmssd::workload
+
+#endif // RMSSD_WORKLOAD_DRIVER_H

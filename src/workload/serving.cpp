@@ -1,0 +1,100 @@
+#include "workload/serving.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace rmssd::workload {
+
+void
+LatencyRecorder::add(Nanos latency)
+{
+    samples_.push_back(latency);
+    sorted_ = false;
+}
+
+Nanos
+LatencyRecorder::mean() const
+{
+    if (samples_.empty())
+        return 0;
+    unsigned long long sum = 0;
+    for (const Nanos s : samples_)
+        sum += s;
+    return sum / samples_.size();
+}
+
+Nanos
+LatencyRecorder::max() const
+{
+    if (samples_.empty())
+        return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+Nanos
+LatencyRecorder::percentile(double p) const
+{
+    RMSSD_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (samples_.empty())
+        return 0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double rank =
+        p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(std::llround(rank));
+    return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+ServingResult
+simulateServing(engine::RmSsd &device, TraceGenerator &gen,
+                const ServingConfig &config)
+{
+    RMSSD_ASSERT(config.arrivalQps > 0.0, "non-positive arrival rate");
+    device.resetTiming();
+
+    Rng rng(config.seed);
+    const double meanGapNanos = 1e9 / config.arrivalQps;
+
+    LatencyRecorder latencies;
+    double arrivalNanos = 0.0;
+    Cycle lastCompletion = 0;
+    for (std::uint32_t r = 0; r < config.numRequests; ++r) {
+        // Exponential inter-arrival gap (Poisson process).
+        const double u = std::max(rng.nextDouble(), 1e-12);
+        arrivalNanos += -meanGapNanos * std::log(u);
+        const Cycle arrival =
+            nanosToCycles(static_cast<Nanos>(arrivalNanos));
+
+        // The device cannot start before the request arrives; when it
+        // is backed up, the request queues (FIFO) and its latency
+        // includes the waiting time.
+        if (device.deviceNow() < arrival) {
+            device.advanceHostClock(
+                cyclesToNanos(arrival - device.deviceNow()));
+        }
+        const auto batch = gen.nextBatch(config.batchSize);
+        const engine::InferenceOutcome out = device.infer(batch);
+        latencies.add(cyclesToNanos(out.completionCycle - arrival));
+        lastCompletion = std::max(lastCompletion, out.completionCycle);
+    }
+
+    ServingResult result;
+    result.offeredQps = config.arrivalQps;
+    result.requests = config.numRequests;
+    const double seconds = nanosToSeconds(cyclesToNanos(lastCompletion));
+    result.achievedQps =
+        seconds > 0.0 ? config.numRequests / seconds : 0.0;
+    result.meanLatency = latencies.mean();
+    result.p50 = latencies.percentile(50.0);
+    result.p95 = latencies.percentile(95.0);
+    result.p99 = latencies.percentile(99.0);
+    result.maxLatency = latencies.max();
+    return result;
+}
+
+} // namespace rmssd::workload

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Online-serving simulation: Poisson request arrivals against an
+ * RM-SSD device, with tail-latency statistics — the service-level
+ * agreement context that motivates the paper ("to meet the strict
+ * service level agreement requirements of recommendation systems").
+ */
+
+#ifndef RMSSD_WORKLOAD_SERVING_H
+#define RMSSD_WORKLOAD_SERVING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/rm_ssd.h"
+#include "sim/types.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd::workload {
+
+/** Latency sample collector with percentile queries. */
+class LatencyRecorder
+{
+  public:
+    void add(Nanos latency);
+
+    std::size_t count() const { return samples_.size(); }
+    Nanos mean() const;
+    Nanos max() const;
+    /** p in [0, 100]; e.g. percentile(99.0) is the p99 latency. */
+    Nanos percentile(double p) const;
+
+  private:
+    mutable std::vector<Nanos> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Configuration of one serving experiment. */
+struct ServingConfig
+{
+    double arrivalQps = 1000.0;  //!< offered load (requests/s)
+    std::uint32_t batchSize = 1; //!< samples per request
+    std::uint32_t numRequests = 200;
+    std::uint64_t seed = 0x5e12e5ULL;
+};
+
+/** Outcome of a serving experiment. */
+struct ServingResult
+{
+    double offeredQps = 0.0;  //!< requested arrival rate (requests/s)
+    double achievedQps = 0.0; //!< completed requests/s of sim time
+    Nanos meanLatency = 0;
+    Nanos p50 = 0;
+    Nanos p95 = 0;
+    Nanos p99 = 0;
+    Nanos maxLatency = 0;
+    std::uint64_t requests = 0;
+};
+
+/**
+ * Drive @p device with Poisson arrivals from @p gen. Requests queue
+ * FIFO; each request's latency spans its arrival to its results
+ * being readable on the host.
+ */
+ServingResult simulateServing(engine::RmSsd &device,
+                              TraceGenerator &gen,
+                              const ServingConfig &config);
+
+} // namespace rmssd::workload
+
+#endif // RMSSD_WORKLOAD_SERVING_H

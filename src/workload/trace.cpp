@@ -1,0 +1,26 @@
+#include "workload/trace.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace rmssd::workload {
+
+TraceConfig
+localityK(double k)
+{
+    TraceConfig cfg;
+    if (k == 0.0)
+        cfg.hotAccessFraction = 0.80;
+    else if (k == 0.3)
+        cfg.hotAccessFraction = 0.65;
+    else if (k == 1.0)
+        cfg.hotAccessFraction = 0.45;
+    else if (k == 2.0)
+        cfg.hotAccessFraction = 0.30;
+    else
+        fatal("unsupported locality K = %f (use 0, 0.3, 1, 2)", k);
+    return cfg;
+}
+
+} // namespace rmssd::workload

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Trace configuration: the locality-mixture model behind the paper's
+ * synthetic Criteo-like inputs (Section III-B, Fig. 4, Fig. 14).
+ *
+ * Each lookup goes to a small "hot" row set with probability
+ * hotAccessFraction (Zipf-skewed within the set) and uniformly over
+ * the whole table otherwise — reproducing the paper's observation
+ * that a tiny index fraction absorbs most accesses while the tail is
+ * near-random. Fig. 14's K knob maps to hot-access fractions
+ * 80/65/45/30 % for K = 0/0.3/1/2.
+ */
+
+#ifndef RMSSD_WORKLOAD_TRACE_H
+#define RMSSD_WORKLOAD_TRACE_H
+
+#include <cstdint>
+
+namespace rmssd::workload {
+
+/** Locality profile of a synthetic input trace. */
+struct TraceConfig
+{
+    /** Probability a lookup targets the hot set. */
+    double hotAccessFraction = 0.65;
+    /** Rows per table in the hot set (Fig. 4: ~10K hot indices). */
+    std::uint64_t hotRowsPerTable = 10000;
+    /** Zipf-ish skew exponent inside the hot set. */
+    double hotSkew = 2.0;
+    std::uint64_t seed = 0x7ace5eedULL;
+};
+
+/**
+ * The paper's locality knob (Fig. 14): K in {0, 0.3, 1, 2} maps to
+ * hot-access fractions {0.80, 0.65, 0.45, 0.30}. Fatal on other K.
+ */
+TraceConfig localityK(double k);
+
+} // namespace rmssd::workload
+
+#endif // RMSSD_WORKLOAD_TRACE_H

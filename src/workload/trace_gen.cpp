@@ -1,0 +1,120 @@
+#include "workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "sim/log.h"
+
+namespace rmssd::workload {
+
+TraceGenerator::TraceGenerator(const model::ModelConfig &config,
+                               const TraceConfig &trace)
+    : config_(config), trace_(trace), rng_(trace.seed)
+{
+    RMSSD_ASSERT(trace_.hotRowsPerTable > 0, "empty hot set");
+    hotSets_.resize(config_.numTables);
+    for (std::uint32_t t = 0; t < config_.numTables; ++t) {
+        hotSets_[t].reserve(trace_.hotRowsPerTable);
+        for (std::uint64_t r = 0; r < trace_.hotRowsPerTable; ++r)
+            hotSets_[t].insert(hotRow(t, r));
+    }
+}
+
+std::uint64_t
+TraceGenerator::hotRow(std::uint32_t table, std::uint64_t rank) const
+{
+    // Scatter the hot set across the table deterministically so hot
+    // rows land on distinct flash/cache pages.
+    const std::uint64_t h =
+        hashCombine(hashCombine(trace_.seed, table), rank);
+    return h % config_.rowsPerTable;
+}
+
+bool
+TraceGenerator::isHotRow(std::uint32_t table, std::uint64_t row) const
+{
+    RMSSD_ASSERT(table < hotSets_.size(), "table out of range");
+    return hotSets_[table].contains(row);
+}
+
+std::uint64_t
+TraceGenerator::drawIndex(std::uint32_t table)
+{
+    if (rng_.nextDouble() < trace_.hotAccessFraction) {
+        // Zipf-skewed rank inside the hot set.
+        const double u = rng_.nextDouble();
+        const std::uint64_t rank = static_cast<std::uint64_t>(
+            std::pow(u, trace_.hotSkew) *
+            static_cast<double>(trace_.hotRowsPerTable));
+        return hotRow(table,
+                      std::min(rank, trace_.hotRowsPerTable - 1));
+    }
+    return rng_.nextBounded(config_.rowsPerTable);
+}
+
+model::Sample
+TraceGenerator::next()
+{
+    model::Sample s;
+    s.dense.resize(config_.denseInputDim());
+    for (auto &v : s.dense)
+        v = static_cast<float>(rng_.nextDouble());
+    s.indices.resize(config_.numTables);
+    for (std::uint32_t t = 0; t < config_.numTables; ++t) {
+        s.indices[t].resize(config_.lookupsPerTable);
+        for (auto &idx : s.indices[t])
+            idx = drawIndex(t);
+    }
+    return s;
+}
+
+std::vector<model::Sample>
+TraceGenerator::nextBatch(std::uint32_t n)
+{
+    std::vector<model::Sample> batch;
+    batch.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        batch.push_back(next());
+    return batch;
+}
+
+void
+TraceGenerator::reset()
+{
+    rng_ = Rng(trace_.seed);
+}
+
+TraceGenerator::HistogramSummary
+TraceGenerator::histogram(std::uint64_t lookups, std::uint32_t topN)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> counts;
+    counts.reserve(lookups / 2);
+    for (std::uint64_t i = 0; i < lookups; ++i)
+        ++counts[drawIndex(0)];
+
+    HistogramSummary summary;
+    summary.totalLookups = lookups;
+    summary.uniqueIndices = counts.size();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> byCount;
+    byCount.reserve(counts.size());
+    for (const auto &[idx, n] : counts) {
+        if (n == 1)
+            ++summary.onceAccessed;
+        byCount.emplace_back(n, idx);
+    }
+    std::sort(byCount.begin(), byCount.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    std::uint64_t topLookups = 0;
+    for (std::uint32_t i = 0; i < topN && i < byCount.size(); ++i) {
+        summary.top.push_back(byCount[i]);
+        topLookups += byCount[i].first;
+    }
+    summary.topShare = lookups == 0
+                           ? 0.0
+                           : static_cast<double>(topLookups) /
+                                 static_cast<double>(lookups);
+    return summary;
+}
+
+} // namespace rmssd::workload

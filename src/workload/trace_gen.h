@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synthetic trace generator: deterministic streams of inference
+ * samples following a TraceConfig locality profile, plus the access
+ * histogram used to reproduce Fig. 4.
+ */
+
+#ifndef RMSSD_WORKLOAD_TRACE_GEN_H
+#define RMSSD_WORKLOAD_TRACE_GEN_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "model/dlrm.h"
+#include "sim/rng.h"
+#include "workload/trace.h"
+
+namespace rmssd::workload {
+
+/** Deterministic sample stream for one model + locality profile. */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const model::ModelConfig &config,
+                   const TraceConfig &trace);
+
+    /** Next sample in the stream. */
+    model::Sample next();
+
+    /** Next @p n samples as a request batch. */
+    std::vector<model::Sample> nextBatch(std::uint32_t n);
+
+    /** Restart the stream from its seed. */
+    void reset();
+
+    /** The hot-set row for hot rank @p rank of table @p table. */
+    std::uint64_t hotRow(std::uint32_t table, std::uint64_t rank) const;
+
+    /** Whether a row belongs to the hot set (RecSSD cache oracle). */
+    bool isHotRow(std::uint32_t table, std::uint64_t row) const;
+
+    const TraceConfig &traceConfig() const { return trace_; }
+    const model::ModelConfig &modelConfig() const { return config_; }
+
+    /** Fig. 4 style summary of a generated index stream. */
+    struct HistogramSummary
+    {
+        std::uint64_t totalLookups = 0;
+        std::uint64_t uniqueIndices = 0;
+        std::uint64_t onceAccessed = 0; //!< indices touched exactly once
+        /** (occurrence count, index) of the top-N hottest indices. */
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> top;
+        double topShare = 0.0; //!< lookup share of the top-N indices
+    };
+
+    /** Generate @p lookups lookups into table 0 and summarize. */
+    HistogramSummary histogram(std::uint64_t lookups,
+                               std::uint32_t topN = 10);
+
+  private:
+    std::uint64_t drawIndex(std::uint32_t table);
+
+    model::ModelConfig config_;
+    TraceConfig trace_;
+    Rng rng_;
+    /** Per-table hot-row membership (precomputed at construction). */
+    std::vector<std::unordered_set<std::uint64_t>> hotSets_;
+};
+
+} // namespace rmssd::workload
+
+#endif // RMSSD_WORKLOAD_TRACE_GEN_H

@@ -1,0 +1,85 @@
+#include "workload/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/log.h"
+
+namespace rmssd::workload {
+
+namespace {
+
+constexpr const char *kMagic = "rmssd-trace-v1";
+
+} // namespace
+
+void
+saveTrace(std::ostream &os, const model::ModelConfig &config,
+          std::span<const model::Sample> samples)
+{
+    os << kMagic << " " << config.name << " " << config.numTables
+       << " " << config.lookupsPerTable << " "
+       << config.denseInputDim() << " " << samples.size() << "\n";
+    // Dense features round-trip exactly through hex float format.
+    os << std::hexfloat;
+    for (const model::Sample &s : samples) {
+        RMSSD_ASSERT(s.dense.size() == config.denseInputDim(),
+                     "sample dense width mismatch");
+        RMSSD_ASSERT(s.indices.size() == config.numTables,
+                     "sample table count mismatch");
+        for (const float v : s.dense)
+            os << v << " ";
+        for (const auto &table : s.indices) {
+            RMSSD_ASSERT(table.size() == config.lookupsPerTable,
+                         "sample lookup count mismatch");
+            for (const std::uint64_t idx : table)
+                os << idx << " ";
+        }
+        os << "\n";
+    }
+}
+
+std::vector<model::Sample>
+loadTrace(std::istream &is, const model::ModelConfig &config)
+{
+    std::string magic;
+    std::string name;
+    std::uint32_t tables = 0;
+    std::uint32_t lookups = 0;
+    std::uint32_t denseDim = 0;
+    std::size_t count = 0;
+    is >> magic >> name >> tables >> lookups >> denseDim >> count;
+    if (!is || magic != kMagic)
+        fatal("not an rmssd trace file");
+    if (tables != config.numTables ||
+        lookups != config.lookupsPerTable ||
+        denseDim != config.denseInputDim()) {
+        fatal("trace was recorded for %s (%u tables, %u lookups, "
+              "dense %u); cannot replay against %s",
+              name.c_str(), tables, lookups, denseDim,
+              config.name.c_str());
+    }
+
+    std::vector<model::Sample> samples(count);
+    for (model::Sample &s : samples) {
+        s.dense.resize(denseDim);
+        for (float &v : s.dense) {
+            std::string token;
+            is >> token;
+            v = std::strtof(token.c_str(), nullptr);
+        }
+        s.indices.assign(tables, {});
+        for (auto &table : s.indices) {
+            table.resize(lookups);
+            for (std::uint64_t &idx : table)
+                is >> idx;
+        }
+        if (!is)
+            fatal("trace file truncated");
+    }
+    return samples;
+}
+
+} // namespace rmssd::workload

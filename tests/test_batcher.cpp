@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the query batcher: window semantics (size cap vs flush
+ * timeout), latency accounting, and the batching throughput/latency
+ * trade on an MLP-dominated model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/rm_ssd.h"
+#include "model/model_zoo.h"
+#include "workload/batcher.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd::workload {
+namespace {
+
+class BatcherFixture : public ::testing::Test
+{
+  protected:
+    BatcherFixture()
+    {
+        config_ = model::rmc3();
+        config_.withRowsPerTable(100000);
+        device_ = std::make_unique<engine::RmSsd>(
+            config_, engine::RmSsdOptions{});
+        device_->loadTables();
+        gen_ = std::make_unique<TraceGenerator>(config_,
+                                                localityK(0.3));
+    }
+
+    model::ModelConfig config_;
+    std::unique_ptr<engine::RmSsd> device_;
+    std::unique_ptr<TraceGenerator> gen_;
+};
+
+TEST_F(BatcherFixture, HighLoadFillsBatches)
+{
+    BatcherConfig bc;
+    bc.arrivalQps = 50000.0; // queries pile up fast
+    bc.maxBatch = 8;
+    bc.flushTimeout = 1'000'000;
+    bc.numQueries = 400;
+    const BatcherResult r =
+        simulateBatchedServing(*device_, *gen_, bc);
+    // Nearly every dispatch hits the size cap.
+    EXPECT_GT(r.meanBatchSize, 7.0);
+    EXPECT_LE(r.meanBatchSize, 8.0);
+}
+
+TEST_F(BatcherFixture, LowLoadFlushesOnTimeout)
+{
+    BatcherConfig bc;
+    bc.arrivalQps = 200.0; // sparse arrivals
+    bc.maxBatch = 8;
+    bc.flushTimeout = 100'000; // 100 us << 5 ms inter-arrival
+    bc.numQueries = 100;
+    const BatcherResult r =
+        simulateBatchedServing(*device_, *gen_, bc);
+    EXPECT_LT(r.meanBatchSize, 2.0);
+    // Every query waits at least... no: the first query of a window
+    // waits the full timeout; latency must include it.
+    EXPECT_GE(r.meanLatency, bc.flushTimeout);
+}
+
+TEST_F(BatcherFixture, BatchingRaisesThroughputOnMlpDominated)
+{
+    // RMC3's MLP engine amortizes micro-batches; a batching window
+    // that fills 8-slots must complete queries faster than batch-1
+    // dispatching at the same offered load.
+    BatcherConfig solo;
+    solo.arrivalQps = 2500.0;
+    solo.maxBatch = 1;
+    solo.flushTimeout = 1;
+    solo.numQueries = 300;
+    const BatcherResult rSolo =
+        simulateBatchedServing(*device_, *gen_, solo);
+
+    BatcherConfig batched = solo;
+    batched.maxBatch = 8;
+    batched.flushTimeout = 2'000'000;
+    const BatcherResult rBatched =
+        simulateBatchedServing(*device_, *gen_, batched);
+
+    // Batch-1 dispatching cannot keep up (device saturates ~700 QPS
+    // at batch 1); the batcher absorbs the same load.
+    EXPECT_GT(rBatched.achievedQps, rSolo.achievedQps * 1.5);
+    EXPECT_LT(rBatched.p99, rSolo.p99);
+}
+
+TEST_F(BatcherFixture, AllQueriesAccountedFor)
+{
+    BatcherConfig bc;
+    bc.arrivalQps = 3000.0;
+    bc.maxBatch = 4;
+    bc.numQueries = 101; // deliberately not a multiple of the cap
+    const BatcherResult r =
+        simulateBatchedServing(*device_, *gen_, bc);
+    EXPECT_NEAR(r.meanBatchSize * static_cast<double>(r.dispatches),
+                101.0, 0.5);
+}
+
+TEST_F(BatcherFixture, DeterministicForSeed)
+{
+    BatcherConfig bc;
+    bc.arrivalQps = 3000.0;
+    bc.numQueries = 100;
+    gen_->reset();
+    const BatcherResult a = simulateBatchedServing(*device_, *gen_, bc);
+    gen_->reset();
+    const BatcherResult b = simulateBatchedServing(*device_, *gen_, bc);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+}
+
+} // namespace
+} // namespace rmssd::workload

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the Embedding Lookup Engine: functional pooling equality
+ * against the reference SLS, channel striping, and timing behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "engine/embedding_engine.h"
+#include "engine/ev_sum.h"
+#include "engine/rm_ssd.h"
+#include "model/model_zoo.h"
+#include "model/tensor.h"
+
+namespace rmssd::engine {
+namespace {
+
+/** Small functional device used by most tests here. */
+RmSsdOptions
+functionalOptions()
+{
+    RmSsdOptions opt;
+    opt.functional = true;
+    return opt;
+}
+
+model::ModelConfig
+tinyConfig()
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(512);
+    cfg.lookupsPerTable = 8;
+    return cfg;
+}
+
+TEST(EvSum, AccumulateBytesAddsFloats)
+{
+    std::vector<float> acc{1.0f, 2.0f};
+    const float vals[2] = {0.5f, -1.0f};
+    std::vector<std::uint8_t> raw(sizeof(vals));
+    std::memcpy(raw.data(), vals, sizeof(vals));
+    EvSum::accumulateBytes(raw, acc);
+    EXPECT_FLOAT_EQ(acc[0], 1.5f);
+    EXPECT_FLOAT_EQ(acc[1], 1.0f);
+}
+
+TEST(EmbeddingEngine, PooledResultMatchesReference)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsd dev(cfg, functionalOptions());
+    dev.loadTables();
+
+    const model::Sample s = dev.model().makeSample(3);
+    const EmbeddingResult res =
+        dev.embeddingEngine().run(0, std::span(&s, 1), true);
+    ASSERT_EQ(res.pooled.size(), 1u);
+
+    const model::Vector ref =
+        dev.model().embedding().pooledReference(s.indices);
+    EXPECT_LT(model::maxAbsDiff(res.pooled[0], ref), 1e-4f);
+}
+
+TEST(EmbeddingEngine, PoolingIsOrderInvariant)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsd dev(cfg, functionalOptions());
+    dev.loadTables();
+
+    model::Sample s = dev.model().makeSample(5);
+    const EmbeddingResult a =
+        dev.embeddingEngine().run(0, std::span(&s, 1), true);
+    for (auto &idx : s.indices)
+        std::reverse(idx.begin(), idx.end());
+    const EmbeddingResult b =
+        dev.embeddingEngine().run(a.doneCycle, std::span(&s, 1), true);
+    EXPECT_LT(model::maxAbsDiff(a.pooled[0], b.pooled[0]), 1e-4f);
+}
+
+TEST(EmbeddingEngine, TimingCoversAtLeastOneVectorRead)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsd dev(cfg, functionalOptions());
+    dev.loadTables();
+
+    const model::Sample s = dev.model().makeSample(1);
+    const EmbeddingResult res =
+        dev.embeddingEngine().run(0, std::span(&s, 1), false);
+    EXPECT_GE(res.elapsed(),
+              dev.flash().timing().vectorReadTotalCycles(
+                  cfg.vectorBytes()));
+    EXPECT_GT(res.issueEndCycle, 0u);
+    EXPECT_LE(res.issueEndCycle, res.doneCycle);
+}
+
+TEST(EmbeddingEngine, LookupsStripeOverChannels)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsd dev(cfg, functionalOptions());
+    dev.loadTables();
+
+    const model::Sample s = dev.model().makeSample(2);
+    dev.embeddingEngine().run(0, std::span(&s, 1), false);
+    // 8 tables x 8 lookups = 64 reads over 4 channels; with random
+    // rows every channel must see traffic.
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        EXPECT_GT(dev.flash().fmc(c).vectorReads().value(), 0u)
+            << "channel " << c;
+    }
+    EXPECT_EQ(dev.embeddingEngine().lookups().value(), 64u);
+    EXPECT_EQ(dev.embeddingEngine().lookupBytes().value(),
+              64u * cfg.vectorBytes());
+}
+
+TEST(EmbeddingEngine, BatchTimeScalesRoughlyLinearly)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsd dev(cfg, functionalOptions());
+    dev.loadTables();
+
+    std::vector<model::Sample> one{dev.model().makeSample(1)};
+    std::vector<model::Sample> four;
+    for (int i = 0; i < 4; ++i)
+        four.push_back(dev.model().makeSample(10 + i));
+
+    dev.flash().resetTiming();
+    const Cycle t1 = dev.embeddingEngine()
+                         .run(0, std::span(one), false)
+                         .elapsed();
+    dev.flash().resetTiming();
+    const Cycle t4 = dev.embeddingEngine()
+                         .run(0, std::span(four), false)
+                         .elapsed();
+    EXPECT_GT(t4, 2 * t1);
+    EXPECT_LT(t4, 8 * t1);
+}
+
+class SteadyStateRate : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SteadyStateRate, AnalyticFormulaTracksSimulation)
+{
+    // bEV check: a long uniform stream approaches the analytic
+    // steady-state cycles-per-read within 25%.
+    const std::uint32_t evBytes = GetParam();
+    model::ModelConfig cfg = model::rmc1();
+    cfg.embDim = evBytes / 4;
+    cfg.withRowsPerTable(4096);
+    cfg.lookupsPerTable = 64;
+    cfg.numTables = 4;
+
+    RmSsdOptions opt; // timing only
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+
+    std::vector<model::Sample> batch;
+    for (int i = 0; i < 8; ++i)
+        batch.push_back(dev.model().makeSample(i));
+    const EmbeddingResult res =
+        dev.embeddingEngine().run(0, std::span(batch), false);
+    const double simPerRead =
+        static_cast<double>(res.elapsed()) /
+        static_cast<double>(dev.embeddingEngine().lookups().value());
+    const double analytic = EmbeddingEngine::steadyStateCyclesPerRead(
+        dev.flash().geometry(), dev.flash().timing(), evBytes);
+    EXPECT_NEAR(simPerRead, analytic, analytic * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepEvSizes, SteadyStateRate,
+                         ::testing::Values(128u, 256u, 512u));
+
+} // namespace
+} // namespace rmssd::engine

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit + property tests for the EV Translator (Fig. 6): index-to-LBA
+ * translation over single- and multi-extent tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/ev_translator.h"
+#include "ftl/extent.h"
+#include "sim/rng.h"
+
+namespace rmssd::engine {
+namespace {
+
+constexpr std::uint32_t kSectorSize = 512;
+
+TEST(EvTranslator, SingleExtentLinearLayout)
+{
+    EvTranslator tr(kSectorSize);
+    ftl::ExtentList extents;
+    extents.append(ftl::Extent{1000, 64}); // 32 KB = 256 x 128 B
+    tr.registerTable(0, extents, 128, 256);
+
+    const EvReadRequest r0 = tr.translate(0, 0);
+    EXPECT_EQ(r0.lba, 1000u);
+    EXPECT_EQ(r0.byteInSector, 0u);
+    EXPECT_EQ(r0.bytes, 128u);
+
+    // Index 5 -> byte 640 -> sector 1, offset 128.
+    const EvReadRequest r5 = tr.translate(0, 5);
+    EXPECT_EQ(r5.lba, 1001u);
+    EXPECT_EQ(r5.byteInSector, 128u);
+}
+
+TEST(EvTranslator, MultiExtentBoundaries)
+{
+    EvTranslator tr(kSectorSize);
+    ftl::ExtentList extents;
+    extents.append(ftl::Extent{0, 8});    // vectors 0..31 (128 B each)
+    extents.append(ftl::Extent{1000, 8}); // vectors 32..63
+    tr.registerTable(0, extents, 128, 64);
+
+    EXPECT_EQ(tr.translate(0, 31).lba, 7u);
+    EXPECT_EQ(tr.translate(0, 31).byteInSector, 384u);
+    EXPECT_EQ(tr.translate(0, 32).lba, 1000u);
+    EXPECT_EQ(tr.translate(0, 32).byteInSector, 0u);
+    EXPECT_EQ(tr.translate(0, 63).lba, 1007u);
+}
+
+class TranslatorProperty : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(TranslatorProperty, MatchesFlatFileOffsetForRandomExtents)
+{
+    // Property: translation through extent index ranges equals the
+    // naive flat-file computation for arbitrary fragmentations.
+    const std::uint32_t evBytes = GetParam();
+    Rng rng(GetParam());
+    EvTranslator tr(kSectorSize);
+    ftl::ExtentList extents;
+    std::uint64_t next = 0;
+    for (int e = 0; e < 6; ++e) {
+        // Page-aligned extents of random page counts.
+        const std::uint64_t sectors = 8 * (1 + rng.nextBounded(20));
+        extents.append(ftl::Extent{next, sectors});
+        next += sectors + 8 * (1 + rng.nextBounded(5));
+    }
+    const std::uint64_t rows =
+        extents.totalSectors() * kSectorSize / evBytes;
+    tr.registerTable(0, extents, evBytes, rows);
+
+    for (int probe = 0; probe < 200; ++probe) {
+        const std::uint64_t idx = rng.nextBounded(rows);
+        const EvReadRequest req = tr.translate(0, idx);
+        const auto loc =
+            extents.locateByte(idx * evBytes, kSectorSize);
+        EXPECT_EQ(req.lba, loc.lba);
+        EXPECT_EQ(req.byteInSector, loc.byteInSector);
+        EXPECT_EQ(req.bytes, evBytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepEvSizes, TranslatorProperty,
+                         ::testing::Values(64u, 128u, 256u, 512u));
+
+TEST(EvTranslator, MultipleTables)
+{
+    EvTranslator tr(kSectorSize);
+    ftl::ExtentList a;
+    a.append(ftl::Extent{0, 8});
+    ftl::ExtentList b;
+    b.append(ftl::Extent{100, 8});
+    tr.registerTable(0, a, 128, 32);
+    tr.registerTable(1, b, 256, 16);
+    EXPECT_EQ(tr.numTables(), 2u);
+    EXPECT_EQ(tr.vectorBytes(0), 128u);
+    EXPECT_EQ(tr.vectorBytes(1), 256u);
+    EXPECT_EQ(tr.translate(1, 0).lba, 100u);
+}
+
+TEST(EvTranslator, MetadataScanIsWidestTable)
+{
+    EvTranslator tr(kSectorSize);
+    ftl::ExtentList one;
+    one.append(ftl::Extent{0, 8});
+    ftl::ExtentList three;
+    three.append(ftl::Extent{100, 8});
+    three.append(ftl::Extent{200, 8});
+    three.append(ftl::Extent{300, 8});
+    tr.registerTable(0, one, 128, 32);
+    tr.registerTable(1, three, 128, 96);
+    EXPECT_EQ(tr.metadataScanCycles(), 3u);
+}
+
+TEST(EvTranslator, UnregisteredTableIsFatal)
+{
+    EvTranslator tr(kSectorSize);
+    EXPECT_EXIT(tr.translate(5, 0), ::testing::ExitedWithCode(1),
+                "not registered");
+}
+
+TEST(EvTranslator, OutOfRangeIndexDies)
+{
+    EvTranslator tr(kSectorSize);
+    ftl::ExtentList extents;
+    extents.append(ftl::Extent{0, 8});
+    tr.registerTable(0, extents, 128, 32);
+    EXPECT_DEATH(tr.translate(0, 32), "out of range");
+}
+
+TEST(EvTranslator, UndersizedExtentsAreFatal)
+{
+    EvTranslator tr(kSectorSize);
+    ftl::ExtentList extents;
+    extents.append(ftl::Extent{0, 8}); // room for 32 vectors only
+    EXPECT_EXIT(tr.registerTable(0, extents, 128, 100),
+                ::testing::ExitedWithCode(1), "extents cover");
+}
+
+} // namespace
+} // namespace rmssd::engine

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit + property tests for the flash substrate: geometry, Table II
+ * timing formulas, backing store, die/bus contention, and the
+ * vector-grained read path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "flash/backing_store.h"
+#include "flash/channel.h"
+#include "flash/die.h"
+#include "flash/flash_array.h"
+#include "flash/fmc.h"
+#include "flash/geometry.h"
+#include "flash/timing.h"
+#include "sim/rng.h"
+
+namespace rmssd::flash {
+namespace {
+
+TEST(Geometry, TableIICapacityIs32GB)
+{
+    const Geometry g = tableIIGeometry();
+    EXPECT_EQ(g.numChannels, 4u);
+    EXPECT_EQ(g.pageSizeBytes, 4096u);
+    EXPECT_EQ(g.capacityBytes(), 32ull << 30);
+    EXPECT_EQ(g.sectorsPerPage(), 8u);
+}
+
+TEST(Geometry, ConsecutivePagesStripeAcrossChannels)
+{
+    const Geometry g = tableIIGeometry();
+    for (std::uint64_t ppn = 0; ppn < 64; ++ppn) {
+        EXPECT_EQ(g.decompose(ppn).channel, ppn % g.numChannels);
+    }
+    // After all channels, the die advances.
+    EXPECT_EQ(g.decompose(g.numChannels).die, 1u);
+}
+
+class GeometryRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeometryRoundTrip, DecomposeFlattenIsIdentity)
+{
+    const Geometry g = tableIIGeometry();
+    const std::uint64_t ppn = GetParam() % g.totalPages();
+    EXPECT_EQ(g.flatten(g.decompose(ppn)), ppn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepPpns, GeometryRoundTrip,
+    ::testing::Values(0ull, 1ull, 17ull, 4095ull, 65536ull, 999999ull,
+                      123456789ull, 7777777777ull, 8388607ull));
+
+TEST(Geometry, ValidateRejectsBadPageSize)
+{
+    Geometry g = tableIIGeometry();
+    g.sectorSizeBytes = 513;
+    EXPECT_EXIT(g.validate(), ::testing::ExitedWithCode(1), "multiple");
+}
+
+TEST(NandTiming, TableIIPageRead)
+{
+    const NandTiming t = tableIITiming();
+    // Cpage = 4000 cycles = 20 us.
+    EXPECT_EQ(t.pageReadTotalCycles(), 4000u);
+    EXPECT_EQ(t.flushCycles(), 2800u);
+    EXPECT_EQ(t.transferCycles(4096), 1200u);
+}
+
+class CevFormula : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CevFormula, MatchesTableII)
+{
+    // Table II: CEV = 0.293 * EVsize + 2800 cycles.
+    const NandTiming t = tableIITiming();
+    const std::uint32_t evSize = GetParam();
+    const Cycle expect =
+        static_cast<Cycle>(std::ceil(0.3 * 4000.0 * evSize / 4096.0)) +
+        2800;
+    EXPECT_EQ(t.vectorReadTotalCycles(evSize), expect);
+    // And the approximate closed form from the paper.
+    EXPECT_NEAR(static_cast<double>(t.vectorReadTotalCycles(evSize)),
+                0.293 * evSize + 2800.0, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepEvSizes, CevFormula,
+                         ::testing::Values(64u, 128u, 256u, 512u, 1024u,
+                                           2048u, 4096u));
+
+TEST(BackingStore, PageRoundTrip)
+{
+    BackingStore store(4096);
+    std::vector<std::uint8_t> page(4096);
+    std::iota(page.begin(), page.end(), 0);
+    store.writePage(42, page);
+    std::vector<std::uint8_t> out(4096);
+    store.read(42, 0, out);
+    EXPECT_EQ(out, page);
+    EXPECT_TRUE(store.isWritten(42));
+    EXPECT_FALSE(store.isWritten(43));
+}
+
+TEST(BackingStore, UnwrittenReadsAreDeterministic)
+{
+    BackingStore a(4096);
+    BackingStore b(4096);
+    std::vector<std::uint8_t> x(64), y(64);
+    a.read(7, 100, x);
+    b.read(7, 100, y);
+    EXPECT_EQ(x, y);
+}
+
+TEST(BackingStore, PartialWritePreservesFiller)
+{
+    BackingStore store(4096);
+    std::vector<std::uint8_t> before(4096);
+    store.read(9, 0, before);
+
+    const std::vector<std::uint8_t> patch(16, 0xAB);
+    store.writePartial(9, 128, patch);
+
+    std::vector<std::uint8_t> after(4096);
+    store.read(9, 0, after);
+    for (std::uint32_t i = 0; i < 4096; ++i) {
+        if (i >= 128 && i < 144)
+            EXPECT_EQ(after[i], 0xAB);
+        else
+            EXPECT_EQ(after[i], before[i]) << "offset " << i;
+    }
+}
+
+TEST(FlashDie, OperationsSerialize)
+{
+    FlashDie die;
+    EXPECT_EQ(die.acquire(0, 100), 100u);
+    // Second op issued at cycle 10 must wait for the first.
+    EXPECT_EQ(die.acquire(10, 100), 200u);
+    // An op issued after idle starts immediately.
+    EXPECT_EQ(die.acquire(500, 100), 600u);
+    EXPECT_EQ(die.busyCycles(), 300u);
+}
+
+TEST(ChannelBus, TransfersSerialize)
+{
+    ChannelBus bus;
+    EXPECT_EQ(bus.transfer(0, 50), 50u);
+    EXPECT_EQ(bus.transfer(0, 50), 100u);
+    EXPECT_EQ(bus.transfer(1000, 50), 1050u);
+}
+
+TEST(Fmc, PageReadUsesFlushPlusFullTransfer)
+{
+    const NandTiming t = tableIITiming();
+    Fmc fmc(4, t);
+    const ReadTiming r = fmc.readPage(0, 0);
+    EXPECT_EQ(r.flushDone, t.flushCycles());
+    EXPECT_EQ(r.done, t.flushCycles() + t.transferCycles(4096));
+    EXPECT_EQ(fmc.pageReads().value(), 1u);
+    EXPECT_EQ(fmc.busBytes().value(), 4096u);
+}
+
+TEST(Fmc, VectorReadTransfersOnlyEvBytes)
+{
+    const NandTiming t = tableIITiming();
+    Fmc fmc(4, t);
+    const ReadTiming r = fmc.readVector(0, 0, 128);
+    EXPECT_EQ(r.done, t.vectorReadTotalCycles(128));
+    EXPECT_EQ(fmc.busBytes().value(), 128u);
+}
+
+TEST(Fmc, FlushesOverlapAcrossDiesButBusSerializes)
+{
+    const NandTiming t = tableIITiming();
+    Fmc fmc(4, t);
+    // Two vector reads on different dies issued together: flushes
+    // overlap; transfers serialize on the shared bus.
+    const ReadTiming a = fmc.readVector(0, 0, 128);
+    const ReadTiming b = fmc.readVector(0, 1, 128);
+    EXPECT_EQ(a.flushDone, b.flushDone);
+    EXPECT_EQ(b.done, a.done + t.transferCycles(128));
+}
+
+TEST(Fmc, SameDieReadsSerializeOnFlush)
+{
+    const NandTiming t = tableIITiming();
+    Fmc fmc(4, t);
+    fmc.readVector(0, 0, 128);
+    const ReadTiming b = fmc.readVector(0, 0, 128);
+    EXPECT_EQ(b.flushDone, 2 * t.flushCycles());
+}
+
+TEST(FlashArray, VectorReadEqualsPageSlice)
+{
+    // Property: for random pages/offsets, a vector-grained read must
+    // return exactly the same bytes as the slice of a page read.
+    FlashArray array(tableIIGeometry(), tableIITiming());
+    Rng rng(2024);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::uint64_t ppn = rng.nextBounded(1 << 20);
+        std::vector<std::uint8_t> page(4096);
+        for (auto &b : page)
+            b = static_cast<std::uint8_t>(rng.next());
+        array.writePageFunctional(ppn, page);
+
+        const std::uint32_t evBytes = 128;
+        const std::uint32_t offset =
+            static_cast<std::uint32_t>(rng.nextBounded(4096 / evBytes)) *
+            evBytes;
+        std::vector<std::uint8_t> vec(evBytes);
+        array.readVector(0, ppn, offset, evBytes, vec);
+        for (std::uint32_t i = 0; i < evBytes; ++i)
+            EXPECT_EQ(vec[i], page[offset + i]);
+    }
+}
+
+TEST(FlashArray, StripedReadsLandOnAllChannels)
+{
+    FlashArray array(tableIIGeometry(), tableIITiming());
+    for (std::uint64_t ppn = 0; ppn < 16; ++ppn)
+        array.readVector(0, ppn, 0, 128, {});
+    for (std::uint32_t c = 0; c < 4; ++c)
+        EXPECT_EQ(array.fmc(c).vectorReads().value(), 4u);
+    EXPECT_EQ(array.totalVectorReads(), 16u);
+    EXPECT_EQ(array.totalBusBytes(), 16u * 128u);
+}
+
+TEST(FlashArray, BulkVectorReadsBeatBulkPageReads)
+{
+    // Section IV-B2: vector-grained reads raise bulk throughput, not
+    // just single-read latency.
+    FlashArray pages(tableIIGeometry(), tableIITiming());
+    FlashArray vectors(tableIIGeometry(), tableIITiming());
+    Cycle pageDone = 0;
+    Cycle vecDone = 0;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        pageDone = std::max(pageDone, pages.readPage(0, i, {}).done);
+        vecDone =
+            std::max(vecDone, vectors.readVector(0, i, 0, 128, {}).done);
+    }
+    EXPECT_LT(vecDone, pageDone);
+}
+
+TEST(FlashArray, ProgramThenReadRoundTrips)
+{
+    FlashArray array(tableIIGeometry(), tableIITiming());
+    std::vector<std::uint8_t> page(4096, 0x5A);
+    const Cycle done = array.programPage(0, 99, page);
+    EXPECT_GT(done, 0u);
+    std::vector<std::uint8_t> out(4096);
+    array.readPage(done, 99, out);
+    EXPECT_EQ(out, page);
+}
+
+TEST(FlashArray, ResetTimingKeepsData)
+{
+    FlashArray array(tableIIGeometry(), tableIITiming());
+    std::vector<std::uint8_t> page(4096, 0x11);
+    array.writePageFunctional(3, page);
+    array.readPage(0, 3, {});
+    array.resetTiming();
+    std::vector<std::uint8_t> out(4096);
+    const ReadTiming r = array.readPage(0, 3, out);
+    EXPECT_EQ(r.done, tableIITiming().pageReadTotalCycles());
+    EXPECT_EQ(out, page);
+}
+
+} // namespace
+} // namespace rmssd::flash

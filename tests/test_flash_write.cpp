@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the flash write/erase path: program timing, block erase
+ * semantics, wear accounting, and RM-SSD's timed table provisioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/rm_ssd.h"
+#include "flash/flash_array.h"
+#include "model/model_zoo.h"
+
+namespace rmssd::flash {
+namespace {
+
+TEST(FlashWrite, ProgramChargesBusThenCellArray)
+{
+    const NandTiming t = tableIITiming();
+    FlashArray array(tableIIGeometry(), tableIITiming());
+    std::vector<std::uint8_t> page(4096, 0xAA);
+    const Cycle done = array.programPage(0, 0, page);
+    EXPECT_EQ(done, t.transferCycles(4096) + t.pageProgramCycles);
+    EXPECT_EQ(array.totalPagePrograms(), 1u);
+}
+
+TEST(FlashWrite, EmptySpanProgramsTimingOnly)
+{
+    FlashArray array(tableIIGeometry(), tableIITiming());
+    array.programPage(0, 5, {});
+    EXPECT_FALSE(array.store().isWritten(5));
+    EXPECT_EQ(array.totalPagePrograms(), 1u);
+}
+
+TEST(FlashWrite, ProgramsToOneDieSerialize)
+{
+    const NandTiming t = tableIITiming();
+    FlashArray array(tableIIGeometry(), tableIITiming());
+    // ppn 0 and ppn = numChannels*diesPerChannel land on the same
+    // channel 0 / die 0.
+    const std::uint64_t samePpn = 4ull * 4ull;
+    const Cycle a = array.programPage(0, 0, {});
+    const Cycle b = array.programPage(0, samePpn, {});
+    EXPECT_GE(b, a + t.pageProgramCycles);
+}
+
+TEST(FlashErase, WipesEveryPageOfTheBlock)
+{
+    const Geometry g = tableIIGeometry();
+    FlashArray array(g, tableIITiming());
+    // Two pages of the same block (page dimension stride).
+    Pba pba = g.decompose(0);
+    pba.page = 0;
+    const std::uint64_t p0 = g.flatten(pba);
+    pba.page = 7;
+    const std::uint64_t p7 = g.flatten(pba);
+
+    std::vector<std::uint8_t> data(4096, 0x5A);
+    array.writePageFunctional(p0, data);
+    array.writePageFunctional(p7, data);
+
+    const Cycle done = array.eraseBlockContaining(0, p0);
+    EXPECT_EQ(done, array.timing().blockEraseCycles);
+    EXPECT_FALSE(array.store().isWritten(p0));
+    EXPECT_FALSE(array.store().isWritten(p7));
+    EXPECT_EQ(array.totalBlockErases(), 1u);
+}
+
+TEST(FlashErase, WearTracksPerBlock)
+{
+    const Geometry g = tableIIGeometry();
+    FlashArray array(g, tableIITiming());
+    Pba pba = g.decompose(0);
+
+    // Erase block 0 twice, block 1 once.
+    const std::uint64_t inBlock0 = g.flatten(pba);
+    pba.block = 1;
+    const std::uint64_t inBlock1 = g.flatten(pba);
+
+    array.eraseBlockContaining(0, inBlock0);
+    array.eraseBlockContaining(0, inBlock0);
+    array.eraseBlockContaining(0, inBlock1);
+
+    EXPECT_EQ(array.blockWear(inBlock0), 2u);
+    EXPECT_EQ(array.blockWear(inBlock1), 1u);
+    EXPECT_EQ(array.maxBlockWear(), 2u);
+
+    // Pages of the same block share the wear count.
+    Pba sibling = g.decompose(inBlock0);
+    sibling.page = 3;
+    EXPECT_EQ(array.blockWear(g.flatten(sibling)), 2u);
+}
+
+TEST(FlashErase, EraseThenProgramRestoresData)
+{
+    FlashArray array(tableIIGeometry(), tableIITiming());
+    std::vector<std::uint8_t> data(4096, 0x11);
+    array.programPage(0, 9, data);
+    array.eraseBlockContaining(0, 9);
+    std::vector<std::uint8_t> fresh(4096, 0x22);
+    array.programPage(0, 9, fresh);
+    std::vector<std::uint8_t> out(4096);
+    array.readPage(0, 9, out);
+    EXPECT_EQ(out, fresh);
+}
+
+} // namespace
+} // namespace rmssd::flash
+
+namespace rmssd::engine {
+namespace {
+
+TEST(TimedLoad, ProvisioningIsTimedAndFunctional)
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(512);
+    cfg.lookupsPerTable = 4;
+
+    RmSsdOptions opt;
+    opt.functional = true;
+    RmSsd dev(cfg, opt);
+    const Cycle done = dev.loadTablesTimed();
+
+    // 8 tables x 512 rows x 128 B = 512 KB = 128 pages programmed.
+    EXPECT_EQ(dev.flash().totalPagePrograms(), 128u);
+    // Loading takes at least one bus transfer + program per die chain
+    // (programs overlap across 16 dies).
+    EXPECT_GE(done,
+              dev.flash().timing().pageProgramCycles * 128 / 16);
+
+    // The freshly provisioned device serves correct inferences.
+    std::vector<model::Sample> batch{dev.model().makeSample(5)};
+    const auto out = dev.infer(batch);
+    EXPECT_NEAR(out.outputs[0],
+                dev.model().referenceInference(batch[0]), 1e-4f);
+}
+
+TEST(TimedLoad, TimingOnlyLoadDoesNotMaterializePages)
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(4096);
+
+    RmSsdOptions opt; // not functional
+    RmSsd dev(cfg, opt);
+    dev.loadTablesTimed();
+    EXPECT_EQ(dev.flash().store().materializedPages(), 0u);
+    EXPECT_GT(dev.flash().totalPagePrograms(), 0u);
+}
+
+TEST(DeviceStats, RegistryCollectsCounters)
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(512);
+    cfg.lookupsPerTable = 4;
+
+    RmSsdOptions opt;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+    std::vector<model::Sample> batch{dev.model().makeSample(0)};
+    dev.infer(batch);
+
+    StatsRegistry registry;
+    dev.registerStats(registry, "dev");
+    EXPECT_EQ(registry.counterValue("dev.inferences"), 1u);
+    EXPECT_EQ(registry.counterValue("dev.emb.lookups"),
+              cfg.lookupsPerSample());
+    // All channels are registered; their reads sum to the lookups.
+    std::uint64_t channelReads = 0;
+    for (int c = 0; c < 4; ++c) {
+        channelReads += registry.counterValue(
+            "dev.flash.ch" + std::to_string(c) + ".vectorReads");
+    }
+    EXPECT_EQ(channelReads, cfg.lookupsPerSample());
+
+    std::ostringstream os;
+    registry.dump(os);
+    EXPECT_NE(os.str().find("dev.dma.bytes"), std::string::npos);
+}
+
+} // namespace
+} // namespace rmssd::engine

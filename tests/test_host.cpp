@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the host substrate: LRU page cache, CPU cost model,
+ * and the lseek+read file reader of the naive SSD deployment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flash/flash_array.h"
+#include "ftl/extent.h"
+#include "ftl/ftl.h"
+#include "host/cpu_model.h"
+#include "host/host_system.h"
+#include "host/page_cache.h"
+#include "nvme/nvme.h"
+
+namespace rmssd::host {
+namespace {
+
+TEST(PageCache, HitAfterInsert)
+{
+    PageCache cache(4);
+    EXPECT_FALSE(cache.access({0, 1}));
+    EXPECT_TRUE(cache.access({0, 1}));
+    EXPECT_EQ(cache.hits().value(), 1u);
+    EXPECT_EQ(cache.misses().value(), 1u);
+    EXPECT_DOUBLE_EQ(cache.hitRatio(), 0.5);
+}
+
+TEST(PageCache, EvictsLeastRecentlyUsed)
+{
+    PageCache cache(2);
+    cache.access({0, 1});
+    cache.access({0, 2});
+    cache.access({0, 1}); // refresh 1; LRU is now 2
+    cache.access({0, 3}); // evicts 2
+    EXPECT_TRUE(cache.contains({0, 1}));
+    EXPECT_FALSE(cache.contains({0, 2}));
+    EXPECT_TRUE(cache.contains({0, 3}));
+    EXPECT_EQ(cache.evictions().value(), 1u);
+}
+
+TEST(PageCache, ZeroCapacityMeansUnbounded)
+{
+    PageCache cache(0);
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        cache.access({0, i});
+    EXPECT_EQ(cache.residentPages(), 10000u);
+    EXPECT_EQ(cache.evictions().value(), 0u);
+}
+
+TEST(PageCache, DistinguishesFiles)
+{
+    PageCache cache(8);
+    cache.access({0, 5});
+    EXPECT_FALSE(cache.access({1, 5}));
+}
+
+TEST(CpuModel, MlpCostScalesWithFlopsAndBatch)
+{
+    CpuModel cpu;
+    const std::vector<FcShape> layers{{128, 64}, {64, 32}};
+    // 2 * (128*64 + 64*32) flops at the configured base GFLOP/s.
+    const Nanos one = cpu.mlpNanos(layers, 1);
+    const double flops = 2.0 * (128 * 64 + 64 * 32);
+    EXPECT_NEAR(static_cast<double>(one),
+                flops / cpu.costs().gemmGflops, 1.0);
+    // Small batches are throughput-free: the effective GEMM rate
+    // grows linearly with batch until the batched ceiling.
+    const Nanos four = cpu.mlpNanos(layers, 4);
+    EXPECT_EQ(four, one);
+    // Past the ceiling the cost grows linearly again.
+    const std::uint32_t knee = static_cast<std::uint32_t>(
+        cpu.costs().maxGemmGflops / cpu.costs().gemmGflops);
+    const Nanos atKnee = cpu.mlpNanos(layers, knee);
+    const Nanos doubleKnee = cpu.mlpNanos(layers, 2 * knee);
+    EXPECT_NEAR(static_cast<double>(doubleKnee),
+                2.0 * static_cast<double>(atKnee), 2.0);
+}
+
+TEST(CpuModel, SlsCostPerLookup)
+{
+    CpuModel cpu;
+    const Nanos n = cpu.slsNanos(100, 128);
+    const double perLookup = cpu.costs().slsFixedNanos +
+                             cpu.costs().dramNanosPerByte * 128.0;
+    EXPECT_NEAR(static_cast<double>(n), 100.0 * perLookup, 1.0);
+}
+
+class ReaderFixture : public ::testing::Test
+{
+  protected:
+    ReaderFixture()
+        : array_(flash::tableIIGeometry(), flash::tableIITiming()),
+          ftl_(ftl::Ftl::makeLinear(array_)), nvme_(ftl_)
+    {
+        extents_.append(ftl::Extent{0, 1024}); // 128 pages
+    }
+
+    flash::FlashArray array_;
+    ftl::Ftl ftl_;
+    nvme::NvmeController nvme_;
+    ftl::ExtentList extents_;
+};
+
+TEST_F(ReaderFixture, MissPaysDeviceAndKernelCosts)
+{
+    HostFileReader reader(nvme_, 16);
+    const IoCost cost = reader.readVector(0, extents_, 0, 128, 0, {});
+    EXPECT_GT(cost.ssdNanos, 0u);
+    EXPECT_GE(cost.fsNanos, reader.cache().capacityPages() ? 1u : 0u);
+    EXPECT_EQ(reader.deviceBytes().value(), 4096u);
+    EXPECT_EQ(reader.requestedBytes().value(), 128u);
+}
+
+TEST_F(ReaderFixture, HitIsCheapAndTrafficFree)
+{
+    HostFileReader reader(nvme_, 16);
+    reader.readVector(0, extents_, 0, 128, 0, {});
+    const IoCost hit = reader.readVector(0, extents_, 0, 128, 0, {});
+    EXPECT_EQ(hit.ssdNanos, 0u);
+    EXPECT_EQ(reader.deviceBytes().value(), 4096u); // unchanged
+    // A different vector on the same page also hits.
+    const IoCost samePage =
+        reader.readVector(0, extents_, 256, 128, 0, {});
+    EXPECT_EQ(samePage.ssdNanos, 0u);
+}
+
+TEST_F(ReaderFixture, ReadAmplificationIsPageOverVector)
+{
+    HostFileReader reader(nvme_, 1); // tiny cache: all misses
+    // Touch 32 distinct pages.
+    for (std::uint64_t i = 0; i < 32; ++i)
+        reader.readVector(0, extents_, i * 4096, 128, 0, {});
+    const double amp =
+        static_cast<double>(reader.deviceBytes().value()) /
+        static_cast<double>(reader.requestedBytes().value());
+    EXPECT_DOUBLE_EQ(amp, 32.0); // 4096 / 128
+}
+
+TEST_F(ReaderFixture, FunctionalReadMatchesDeviceBytes)
+{
+    std::vector<std::uint8_t> page(4096);
+    for (std::size_t i = 0; i < page.size(); ++i)
+        page[i] = static_cast<std::uint8_t>(i * 3);
+    nvme_.writeBlocksFunctional(0, page);
+
+    HostFileReader reader(nvme_, 16);
+    std::vector<std::uint8_t> out(128);
+    reader.readVector(0, extents_, 256, 128, 0, out); // miss path
+    for (int i = 0; i < 128; ++i)
+        EXPECT_EQ(out[i], page[256 + i]);
+
+    std::vector<std::uint8_t> out2(128);
+    reader.readVector(0, extents_, 256, 128, 0, out2); // hit path
+    EXPECT_EQ(out2, out);
+}
+
+} // namespace
+} // namespace rmssd::host

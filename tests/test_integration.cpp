@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Cross-module integration tests: every execution path (reference,
+ * decomposed FPGA plan, naive plan, embedding-only + host MLP, and
+ * the runtime API) must agree functionally, and the headline
+ * performance relations of the paper must hold end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/registry.h"
+#include "engine/mlp_engine.h"
+#include "engine/rm_ssd.h"
+#include "model/model_zoo.h"
+#include "model/tensor.h"
+#include "runtime/rm_api.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd {
+namespace {
+
+model::ModelConfig
+tinyConfig(const char *base = "RMC1")
+{
+    model::ModelConfig cfg = model::modelByName(base);
+    cfg.withRowsPerTable(512);
+    cfg.lookupsPerTable = std::min(cfg.lookupsPerTable, 6u);
+    return cfg;
+}
+
+class AllPathsAgree : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllPathsAgree, EveryExecutionPathMatchesReference)
+{
+    const model::ModelConfig cfg = tinyConfig(GetParam());
+
+    engine::RmSsdOptions functional;
+    functional.functional = true;
+
+    engine::RmSsd searched(cfg, functional);
+    searched.loadTables();
+    engine::RmSsdOptions naiveOpt = functional;
+    naiveOpt.variant = engine::EngineVariant::Naive;
+    engine::RmSsd naive(cfg, naiveOpt);
+    naive.loadTables();
+    engine::RmSsdOptions embOpt = functional;
+    embOpt.variant = engine::EngineVariant::EmbeddingOnly;
+    engine::RmSsd embOnly(cfg, embOpt);
+    embOnly.loadTables();
+
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const model::Sample s = searched.model().makeSample(seed);
+        const float ref = searched.model().referenceInference(s);
+        const std::span<const model::Sample> span(&s, 1);
+
+        EXPECT_NEAR(searched.infer(span).outputs[0], ref, 1e-4f);
+        EXPECT_NEAR(naive.infer(span).outputs[0], ref, 1e-4f);
+
+        // Embedding-only + host-side MLP equals the reference too.
+        const auto pooledOut = embOnly.infer(span);
+        const model::Vector pooled(pooledOut.outputs.begin(),
+                                   pooledOut.outputs.end());
+        EXPECT_NEAR(
+            embOnly.model().inferenceWithPooled(s.dense, pooled), ref,
+            1e-4f);
+        EXPECT_NEAR(engine::decomposedForward(embOnly.model(), s.dense,
+                                              pooled),
+                    ref, 1e-4f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllPathsAgree,
+                         ::testing::Values("RMC1", "RMC3", "NCF"));
+
+TEST(Integration, RuntimeApiMatchesDirectDeviceUse)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    engine::RmSsdOptions opt;
+    opt.functional = true;
+
+    runtime::RmRuntime rt(cfg, opt, 1);
+    for (std::uint32_t t = 0; t < cfg.numTables; ++t) {
+        const std::string path = "/t" + std::to_string(t);
+        ASSERT_EQ(rt.RM_create_table(t, path), 0);
+        ASSERT_GE(rt.RM_open_table(t, path), 0);
+    }
+
+    engine::RmSsd direct(cfg, opt);
+    direct.loadTables();
+
+    const model::Sample s = direct.model().makeSample(123);
+    std::vector<std::uint64_t> sparse;
+    std::vector<float> dense(s.dense);
+    for (const auto &table : s.indices)
+        sparse.insert(sparse.end(), table.begin(), table.end());
+
+    ASSERT_TRUE(rt.RM_send_inputs(0, cfg.lookupsPerTable, sparse, dense));
+    const float apiOut = rt.RM_read_outputs()[0];
+    const float directOut =
+        direct.infer(std::span(&s, 1)).outputs[0];
+    EXPECT_NEAR(apiOut, directOut, 1e-5f);
+}
+
+TEST(Integration, FragmentedAndContiguousLayoutsAgree)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    engine::RmSsdOptions contiguous;
+    contiguous.functional = true;
+    engine::RmSsdOptions fragmented = contiguous;
+    fragmented.maxExtentSectors = 32;
+
+    engine::RmSsd a(cfg, contiguous);
+    a.loadTables();
+    engine::RmSsd b(cfg, fragmented);
+    b.loadTables();
+
+    const model::Sample s = a.model().makeSample(55);
+    const std::span<const model::Sample> span(&s, 1);
+    EXPECT_NEAR(a.infer(span).outputs[0], b.infer(span).outputs[0],
+                1e-6f);
+}
+
+TEST(Integration, NaiveEngineIsNoFasterThanSearched)
+{
+    // On an MLP-dominated model the searched+pipelined engine must
+    // beat the naive mapping in steady-state throughput (Fig. 12c).
+    model::ModelConfig cfg = model::rmc3();
+    cfg.withRowsPerTable(4096);
+
+    engine::RmSsdOptions opt;
+    engine::RmSsd searched(cfg, opt);
+    searched.loadTables();
+    engine::RmSsdOptions naiveOpt;
+    naiveOpt.variant = engine::EngineVariant::Naive;
+    engine::RmSsd naive(cfg, naiveOpt);
+    naive.loadTables();
+
+    const double qSearched = searched.steadyStateQps(8, 8);
+    const double qNaive = naive.steadyStateQps(8, 8);
+    EXPECT_GT(qSearched, qNaive);
+}
+
+TEST(Integration, EmbeddingDominatedThroughputFlatInBatch)
+{
+    // Fig. 12a/b: embedding-dominated models plateau immediately.
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(100000);
+
+    engine::RmSsdOptions opt;
+    engine::RmSsd dev(cfg, opt);
+    dev.loadTables();
+    const double q1 = dev.steadyStateQps(1, 8);
+    const double q16 = dev.steadyStateQps(16, 8);
+    EXPECT_NEAR(q16 / q1, 1.0, 0.25);
+}
+
+TEST(Integration, MlpDominatedThroughputGrowsWithBatch)
+{
+    // Fig. 12c: RMC3 grows roughly linearly through small batches.
+    model::ModelConfig cfg = model::rmc3();
+    cfg.withRowsPerTable(100000);
+
+    engine::RmSsdOptions opt;
+    engine::RmSsd dev(cfg, opt);
+    dev.loadTables();
+    const double q1 = dev.steadyStateQps(1, 8);
+    const double q4 = dev.steadyStateQps(4, 8);
+    EXPECT_GT(q4, 3.0 * q1);
+    // And it plateaus once embedding-bound.
+    const double q8 = dev.steadyStateQps(8, 8);
+    const double q32 = dev.steadyStateQps(32, 8);
+    EXPECT_NEAR(q32 / q8, 1.0, 0.30);
+}
+
+TEST(Integration, FullRmssdBeatsAllSsdBaselines)
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(100000);
+    cfg.lookupsPerTable = 16;
+    workload::TraceConfig tc = workload::localityK(0.3);
+    tc.hotRowsPerTable = 500;
+
+    double best = 0.0;
+    double rmSsdQps = 0.0;
+    for (const std::string &name :
+         {std::string("SSD-S"), std::string("EMB-MMIO"),
+          std::string("RecSSD"), std::string("RM-SSD")}) {
+        auto sys = baseline::makeSystem(name, cfg);
+        workload::TraceGenerator gen(cfg, tc);
+        const double qps = sys->run(gen, 4, 6, 4).qps();
+        if (name == "RM-SSD")
+            rmSsdQps = qps;
+        else
+            best = std::max(best, qps);
+    }
+    EXPECT_GT(rmSsdQps, best);
+}
+
+} // namespace
+} // namespace rmssd

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the FPGA resource model: usage arithmetic, device
+ * catalogs (Table VI), per-layer accounting, and BRAM math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/resource_model.h"
+
+namespace rmssd::engine {
+namespace {
+
+TEST(ResourceUsage, Addition)
+{
+    ResourceUsage a{100, 200, 3.5, 4};
+    const ResourceUsage b{1, 2, 0.5, 1};
+    const ResourceUsage c = a + b;
+    EXPECT_EQ(c.lut, 101u);
+    EXPECT_EQ(c.ff, 202u);
+    EXPECT_DOUBLE_EQ(c.bram, 4.0);
+    EXPECT_EQ(c.dsp, 5u);
+    a += b;
+    EXPECT_EQ(a.lut, 101u);
+}
+
+TEST(FpgaDevice, CatalogMatchesTableVI)
+{
+    const FpgaDevice big = xcvu9p();
+    EXPECT_EQ(big.lut, 1181768u);
+    EXPECT_EQ(big.ff, 2363536u);
+    EXPECT_DOUBLE_EQ(big.bram, 2160.0);
+    EXPECT_EQ(big.dsp, 6840u);
+
+    const FpgaDevice small = xc7a200t();
+    EXPECT_EQ(small.lut, 215360u);
+    EXPECT_EQ(small.dsp, 740u);
+}
+
+TEST(FpgaDevice, FitsChecksEveryDimension)
+{
+    const FpgaDevice dev{"toy", 100, 100, 10.0, 10};
+    EXPECT_TRUE(dev.fits({100, 100, 10.0, 10}));
+    EXPECT_FALSE(dev.fits({101, 0, 0.0, 0}));
+    EXPECT_FALSE(dev.fits({0, 101, 0.0, 0}));
+    EXPECT_FALSE(dev.fits({0, 0, 10.5, 0}));
+    EXPECT_FALSE(dev.fits({0, 0, 0.0, 11}));
+}
+
+TEST(ResourceModel, IiReuseDividesPeCount)
+{
+    // Section IV-C1: kr*kc lanes share kr*kc/II physical fmul/fadd.
+    const ResourceModel rm;
+    EngineLayer small;
+    small.shape = {64, 64};
+    small.kernel = {4, 2}; // 8 lanes / II 8 -> 1 PE
+    EngineLayer big = small;
+    big.kernel = {16, 16}; // 256 lanes / II 8 -> 32 PEs
+
+    const ResourceUsage u1 = rm.layerResources(small, 8);
+    const ResourceUsage u32 = rm.layerResources(big, 8);
+    const auto &c = rm.costs();
+    EXPECT_EQ(u1.dsp, c.fmulDsp + c.faddDsp);
+    EXPECT_EQ(u32.dsp, 32 * (c.fmulDsp + c.faddDsp));
+    EXPECT_EQ(u32.lut - c.layerLut,
+              32 * (u1.lut - c.layerLut));
+}
+
+TEST(ResourceModel, DramLayerHoldsNoWeightBram)
+{
+    const ResourceModel rm;
+    EngineLayer onChip;
+    onChip.shape = {1024, 1024}; // 4 MB of weights
+    onChip.kernel = {4, 2};
+    EngineLayer offChip = onChip;
+    offChip.weightsInDram = true;
+
+    const ResourceUsage a = rm.layerResources(onChip, 8);
+    const ResourceUsage b = rm.layerResources(offChip, 8);
+    EXPECT_GT(a.bram, 500.0); // ~4 MB of BRAM36
+    EXPECT_LT(b.bram, 20.0);  // only stripe double-buffers
+    EXPECT_EQ(a.dsp, b.dsp);  // compute unchanged
+}
+
+TEST(ResourceModel, EngineTotalIsLayersPlusOverhead)
+{
+    const ResourceModel rm;
+    EngineLayer l;
+    l.shape = {64, 64};
+    l.kernel = {4, 2};
+    const ResourceUsage one = rm.layerResources(l, 8);
+    const ResourceUsage engine = rm.engineResources({l, l}, 8);
+    const auto &c = rm.costs();
+    EXPECT_EQ(engine.lut, 2 * one.lut + c.engineLut);
+    EXPECT_EQ(engine.dsp, 2 * one.dsp + c.engineDsp);
+    EXPECT_DOUBLE_EQ(engine.bram, 2 * one.bram + c.engineBram);
+}
+
+TEST(ResourceModel, WeightBramRoundsUpInHalves)
+{
+    const ResourceModel rm;
+    // One byte still needs half a BRAM (a BRAM18).
+    EXPECT_DOUBLE_EQ(rm.weightBram(1), 0.5);
+    EXPECT_DOUBLE_EQ(rm.weightBram(4608), 1.0);
+    EXPECT_DOUBLE_EQ(rm.weightBram(4609), 1.5);
+}
+
+TEST(ResourceModel, MinimumOnePePerLayer)
+{
+    const ResourceModel rm;
+    EngineLayer l;
+    l.shape = {64, 1};
+    l.kernel = {4, 1}; // 4 lanes < II -> still one physical PE
+    const ResourceUsage u = rm.layerResources(l, 8);
+    const auto &c = rm.costs();
+    EXPECT_EQ(u.dsp, c.fmulDsp + c.faddDsp);
+}
+
+} // namespace
+} // namespace rmssd::engine

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Property tests for the kernel search over randomized model shapes:
+ * the searched plan always satisfies the Eq. 3/4 structure, hits the
+ * Eq. 2 targets whenever the maximal-kernel probe says they are
+ * reachable, and on small models the greedy result is at most a
+ * small constant factor above the exhaustive optimum in kernel area.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/embedding_engine.h"
+#include "engine/kernel_search.h"
+#include "model/model_zoo.h"
+#include "sim/rng.h"
+
+namespace rmssd::engine {
+namespace {
+
+/** Random pow2-dimensioned DLRM-shaped config. */
+model::ModelConfig
+randomConfig(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::uint32_t widths[] = {32, 64, 128, 256, 512};
+    auto pick = [&] { return widths[rng.nextBounded(5)]; };
+
+    model::ModelConfig cfg;
+    cfg.name = "rand" + std::to_string(seed);
+    const std::uint32_t bottomLayers =
+        2 + static_cast<std::uint32_t>(rng.nextBounded(3));
+    cfg.bottomWidths.clear();
+    for (std::uint32_t i = 0; i <= bottomLayers; ++i)
+        cfg.bottomWidths.push_back(pick());
+    cfg.topWidths = {pick(), pick(), 1};
+    cfg.embDim = 16u << rng.nextBounded(3); // 16/32/64
+    cfg.numTables = 2u << rng.nextBounded(4);
+    cfg.lookupsPerTable =
+        1 + static_cast<std::uint32_t>(rng.nextBounded(100));
+    cfg.rowsPerTable = 1 << 20;
+    return cfg;
+}
+
+double
+rcpvFor(const model::ModelConfig &cfg)
+{
+    return EmbeddingEngine::steadyStateCyclesPerRead(
+        flash::tableIIGeometry(), flash::tableIITiming(),
+        cfg.vectorBytes());
+}
+
+class RandomModelSearch : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomModelSearch, PlanIsStructurallyValid)
+{
+    const model::ModelConfig cfg = randomConfig(GetParam());
+    const SearchResult res = KernelSearch().search(cfg, rcpvFor(cfg));
+
+    EXPECT_TRUE(
+        KernelSearch::satisfiesChainConstraints(res.plan, res.plan.ii))
+        << cfg.name;
+    if (res.feasible) {
+        EXPECT_LE(res.timing.botPrime, res.timing.embPrime) << cfg.name;
+        EXPECT_LE(res.timing.topPrime, res.timing.embPrime) << cfg.name;
+    }
+    EXPECT_GE(res.plan.microBatch, 1u);
+    EXPECT_LE(res.plan.microBatch, res.plan.ii);
+    // Kernels stay inside the search bounds.
+    for (const EngineLayer &l : res.plan.allLayers()) {
+        EXPECT_LE(l.kernel.kr, 16u) << cfg.name << " " << l.label;
+        EXPECT_LE(l.kernel.kc, 16u) << cfg.name << " " << l.label;
+        EXPECT_GE(l.kernel.kr, 1u);
+        EXPECT_GE(l.kernel.kc, 1u);
+    }
+    // The plan still fits the search device.
+    EXPECT_TRUE(xcvu9p().fits(res.resources)) << cfg.name;
+}
+
+TEST_P(RandomModelSearch, FeasibleWheneverMaxKernelsAre)
+{
+    // If the Eq. 2 targets hold at maximal kernels and the chosen
+    // micro-batch, the greedy growth must find a feasible plan too.
+    const model::ModelConfig cfg = randomConfig(GetParam() + 1000);
+    const double rcpv = rcpvFor(cfg);
+    const KernelSearch ks;
+    const SearchResult res = ks.search(cfg, rcpv);
+
+    MlpPlan maxPlan = makePlan(cfg, KernelConfig{16, 16}, true, true);
+    std::vector<std::string> notes;
+    ks.placeWeights(maxPlan, notes);
+    maxPlan.microBatch = res.plan.microBatch;
+    const MlpTiming maxTiming = planTiming(
+        maxPlan, ks.embReadCycles(cfg, rcpv, maxPlan.microBatch));
+    const bool maxFeasible =
+        maxTiming.botPrime <= maxTiming.embPrime &&
+        maxTiming.topPrime <= maxTiming.embPrime;
+    if (maxFeasible)
+        EXPECT_TRUE(res.feasible) << cfg.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomModelSearch,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+/**
+ * Exhaustive optimality reference on a tiny 2-layer model: enumerate
+ * every pow2 kernel assignment satisfying the constraints and
+ * compare total kernel area against the greedy search.
+ */
+TEST(SearchOptimality, GreedyWithinFactorOfExhaustiveOnTinyModel)
+{
+    model::ModelConfig cfg;
+    cfg.name = "tiny";
+    cfg.bottomWidths = {64, 32};
+    cfg.topWidths = {64, 1};
+    cfg.embDim = 16;
+    cfg.numTables = 4;
+    cfg.lookupsPerTable = 40;
+    cfg.rowsPerTable = 1 << 16;
+
+    const double rcpv = rcpvFor(cfg);
+    const KernelSearch ks;
+    const SearchResult greedy = ks.search(cfg, rcpv);
+    ASSERT_TRUE(greedy.feasible);
+
+    // Enumerate: layers are Lb0(64,32), Lb(32,64), Le(64,64),
+    // Lt1(64,1). Kernel dims in {1,2,4,8,16} clamped to shape.
+    const std::vector<std::uint32_t> dims{1, 2, 4, 8, 16};
+    MlpPlan plan = makePlan(cfg, KernelConfig{16, 16}, true, true);
+    plan.microBatch = greedy.plan.microBatch;
+    const Cycle embRead =
+        ks.embReadCycles(cfg, rcpv, plan.microBatch);
+
+    std::uint64_t bestArea = ~0ull;
+    auto &lb0 = plan.bottom[0];
+    auto &lb = plan.bottom[1];
+    auto &le = plan.embeddingSplit;
+    auto &lt1 = plan.top[0];
+    for (const auto kr0 : dims) {
+        for (const auto kc0 : dims) {
+            for (const auto krB : dims) {
+                for (const auto kcB : dims) {
+                    for (const auto krT : dims) {
+                        for (const auto kcT : dims) {
+                            lb0.kernel = clampKernel({kr0, kc0},
+                                                     lb0.shape);
+                            lb.kernel = clampKernel({krB, kcB},
+                                                    lb.shape);
+                            le.kernel = lb.kernel; // kce = kcb
+                            le.kernel =
+                                clampKernel(le.kernel, le.shape);
+                            lt1.kernel = clampKernel({krT, kcT},
+                                                     lt1.shape);
+                            if (!KernelSearch::
+                                    satisfiesChainConstraints(
+                                        plan, plan.ii))
+                                continue;
+                            const MlpTiming t =
+                                planTiming(plan, embRead);
+                            if (t.botPrime > t.embPrime ||
+                                t.topPrime > t.embPrime)
+                                continue;
+                            std::uint64_t area = 0;
+                            for (const auto &l : plan.allLayers())
+                                area += l.kernel.product();
+                            bestArea = std::min(bestArea, area);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ASSERT_NE(bestArea, ~0ull) << "no feasible assignment exists";
+
+    std::uint64_t greedyArea = 0;
+    for (const auto &l : greedy.plan.allLayers())
+        greedyArea += l.kernel.product();
+    // The greedy floor-and-grow result stays within 2x of optimal.
+    EXPECT_LE(greedyArea, 2 * bestArea);
+    EXPECT_GE(greedyArea, bestArea); // sanity: can't beat exhaustive
+}
+
+} // namespace
+} // namespace rmssd::engine

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the online-serving simulation: latency recorder
+ * percentiles, Poisson arrival behaviour, and the queueing knee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/rm_ssd.h"
+#include "model/model_zoo.h"
+#include "workload/serving.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd::workload {
+namespace {
+
+TEST(LatencyRecorder, PercentilesOnKnownData)
+{
+    LatencyRecorder rec;
+    for (Nanos v = 1; v <= 100; ++v)
+        rec.add(v);
+    EXPECT_EQ(rec.count(), 100u);
+    EXPECT_EQ(rec.mean(), 50u); // (1+...+100)/100 = 50.5 -> 50
+    EXPECT_EQ(rec.percentile(0.0), 1u);
+    EXPECT_EQ(rec.percentile(100.0), 100u);
+    EXPECT_NEAR(static_cast<double>(rec.percentile(50.0)), 50.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(rec.percentile(99.0)), 99.0, 1.0);
+    EXPECT_EQ(rec.max(), 100u);
+}
+
+TEST(LatencyRecorder, InterleavedAddAndQuery)
+{
+    LatencyRecorder rec;
+    rec.add(10);
+    EXPECT_EQ(rec.percentile(50.0), 10u);
+    rec.add(20);
+    rec.add(30);
+    EXPECT_EQ(rec.percentile(100.0), 30u);
+    EXPECT_EQ(rec.percentile(0.0), 10u);
+}
+
+TEST(LatencyRecorder, EmptyIsZero)
+{
+    LatencyRecorder rec;
+    EXPECT_EQ(rec.mean(), 0u);
+    EXPECT_EQ(rec.max(), 0u);
+    EXPECT_EQ(rec.percentile(99.0), 0u);
+}
+
+class ServingFixture : public ::testing::Test
+{
+  protected:
+    ServingFixture()
+        : config_(model::rmc1()
+                      .withRowsPerTable(100000))
+    {
+        config_.lookupsPerTable = 16;
+        device_ = std::make_unique<engine::RmSsd>(
+            config_, engine::RmSsdOptions{});
+        device_->loadTables();
+        gen_ = std::make_unique<TraceGenerator>(config_,
+                                                localityK(0.3));
+    }
+
+    model::ModelConfig config_;
+    std::unique_ptr<engine::RmSsd> device_;
+    std::unique_ptr<TraceGenerator> gen_;
+};
+
+TEST_F(ServingFixture, LowLoadLatencyNearServiceTime)
+{
+    // Far below saturation, queueing is negligible: p50 is close to
+    // the idle single-request latency.
+    device_->resetTiming();
+    const Nanos idle =
+        device_->infer(gen_->nextBatch(1)).latency;
+
+    ServingConfig sc;
+    sc.arrivalQps = 50.0; // ~3% of saturation
+    sc.batchSize = 1;
+    sc.numRequests = 100;
+    const ServingResult r = simulateServing(*device_, *gen_, sc);
+    EXPECT_LT(r.p50, idle * 2);
+    EXPECT_GE(r.p50, idle / 2);
+}
+
+TEST_F(ServingFixture, TailGrowsWithLoad)
+{
+    const double peak = device_->steadyStateQps(1, 8);
+
+    ServingConfig low;
+    low.arrivalQps = 0.3 * peak;
+    low.numRequests = 150;
+    const ServingResult rLow = simulateServing(*device_, *gen_, low);
+
+    ServingConfig high = low;
+    high.arrivalQps = 0.95 * peak;
+    const ServingResult rHigh = simulateServing(*device_, *gen_, high);
+
+    EXPECT_GT(rHigh.p99, rLow.p99);
+    EXPECT_GE(rHigh.achievedQps, rLow.achievedQps);
+}
+
+TEST_F(ServingFixture, PercentilesAreOrdered)
+{
+    ServingConfig sc;
+    sc.arrivalQps = 400.0;
+    sc.numRequests = 120;
+    const ServingResult r = simulateServing(*device_, *gen_, sc);
+    EXPECT_LE(r.p50, r.p95);
+    EXPECT_LE(r.p95, r.p99);
+    EXPECT_LE(r.p99, r.maxLatency);
+    EXPECT_EQ(r.requests, 120u);
+}
+
+TEST_F(ServingFixture, DeterministicForSameSeed)
+{
+    ServingConfig sc;
+    sc.arrivalQps = 300.0;
+    sc.numRequests = 60;
+    gen_->reset();
+    const ServingResult a = simulateServing(*device_, *gen_, sc);
+    gen_->reset();
+    const ServingResult b = simulateServing(*device_, *gen_, sc);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+}
+
+} // namespace
+} // namespace rmssd::workload

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the simulation core: event queue ordering, stats,
+ * deterministic RNG, and time conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rmssd {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_EQ(eq.run(), 30u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleAfter(4, [&] { ++fired; });
+    });
+    EXPECT_EQ(eq.run(), 5u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(15), 10u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    // Events exactly at the limit still fire.
+    EXPECT_EQ(eq.runUntil(20), 20u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.runUntil(100), 100u);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.reset();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastDies)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "scheduling into the past");
+}
+
+TEST(Stats, CounterAccumulates)
+{
+    Counter c;
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(9.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Stats, RegistryDumpsByName)
+{
+    Counter c;
+    c.inc(7);
+    StatsRegistry reg;
+    reg.addCounter("flash.reads", &c);
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("flash.reads 7"), std::string::npos);
+    EXPECT_EQ(reg.counterValue("flash.reads"), 7u);
+    EXPECT_EQ(reg.counterValue("missing"), 0u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(37), 37u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, HashToUnitFloatRange)
+{
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        const float v = hashToUnitFloat(splitmix64(i));
+        EXPECT_GE(v, -1.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Time, CycleNanosConversionsMatchFpgaClock)
+{
+    // 200 MHz -> 5 ns per cycle (Section V).
+    EXPECT_EQ(kNanosPerCycle, 5u);
+    EXPECT_EQ(cyclesToNanos(4000), 20000u); // Tpage = 20 us
+    EXPECT_EQ(nanosToCycles(20000), 4000u);
+    EXPECT_EQ(nanosToCycles(20001), 4001u); // rounds up
+    EXPECT_DOUBLE_EQ(nanosToSeconds(1'000'000'000ull), 1.0);
+}
+
+} // namespace
+} // namespace rmssd

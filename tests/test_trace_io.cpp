@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for trace persistence: bit-exact round trips and header
+ * validation against the wrong model shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/model_zoo.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace rmssd::workload {
+namespace {
+
+model::ModelConfig
+smallConfig()
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(50000);
+    cfg.lookupsPerTable = 6;
+    return cfg;
+}
+
+TEST(TraceIo, RoundTripIsBitExact)
+{
+    const model::ModelConfig cfg = smallConfig();
+    TraceGenerator gen(cfg, localityK(0.3));
+    const std::vector<model::Sample> original = gen.nextBatch(16);
+
+    std::stringstream buffer;
+    saveTrace(buffer, cfg, original);
+    const std::vector<model::Sample> replayed =
+        loadTrace(buffer, cfg);
+
+    ASSERT_EQ(replayed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(replayed[i].indices, original[i].indices)
+            << "sample " << i;
+        ASSERT_EQ(replayed[i].dense.size(), original[i].dense.size());
+        for (std::size_t d = 0; d < original[i].dense.size(); ++d) {
+            // Hex-float serialization preserves every bit.
+            EXPECT_EQ(replayed[i].dense[d], original[i].dense[d])
+                << "sample " << i << " dim " << d;
+        }
+    }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    const model::ModelConfig cfg = smallConfig();
+    std::stringstream buffer;
+    saveTrace(buffer, cfg, {});
+    EXPECT_TRUE(loadTrace(buffer, cfg).empty());
+}
+
+TEST(TraceIo, RejectsWrongMagic)
+{
+    std::stringstream buffer("not-a-trace RMC1 8 6 128 0\n");
+    EXPECT_EXIT(loadTrace(buffer, smallConfig()),
+                ::testing::ExitedWithCode(1), "not an rmssd trace");
+}
+
+TEST(TraceIo, RejectsShapeMismatch)
+{
+    const model::ModelConfig cfg = smallConfig();
+    TraceGenerator gen(cfg, localityK(0.3));
+    std::stringstream buffer;
+    const auto samples = gen.nextBatch(2);
+    saveTrace(buffer, cfg, samples);
+
+    model::ModelConfig other = cfg;
+    other.lookupsPerTable = 7;
+    EXPECT_EXIT(loadTrace(buffer, other),
+                ::testing::ExitedWithCode(1), "cannot replay");
+}
+
+TEST(TraceIo, RejectsTruncatedFile)
+{
+    const model::ModelConfig cfg = smallConfig();
+    TraceGenerator gen(cfg, localityK(0.3));
+    std::stringstream buffer;
+    const auto samples = gen.nextBatch(4);
+    saveTrace(buffer, cfg, samples);
+
+    std::string text = buffer.str();
+    text.resize(text.size() / 2); // chop mid-sample
+    std::stringstream truncated(text);
+    EXPECT_EXIT(loadTrace(truncated, cfg),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(TraceIo, ReplayedTraceDrivesIdenticalSimulation)
+{
+    // A replayed trace must produce the same inference results as
+    // the in-memory one (the point of persisting traces).
+    const model::ModelConfig cfg = []() {
+        model::ModelConfig c = model::rmc1();
+        c.withRowsPerTable(512);
+        c.lookupsPerTable = 4;
+        return c;
+    }();
+    const model::DlrmModel reference(cfg);
+
+    TraceGenerator gen(cfg, localityK(0.3));
+    const auto original = gen.nextBatch(4);
+    std::stringstream buffer;
+    saveTrace(buffer, cfg, original);
+    const auto replayed = loadTrace(buffer, cfg);
+
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(reference.referenceInference(original[i]),
+                  reference.referenceInference(replayed[i]));
+    }
+}
+
+} // namespace
+} // namespace rmssd::workload

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the workload module: locality profiles, trace generator
+ * determinism and statistics, and run-result arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "workload/driver.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd::workload {
+namespace {
+
+model::ModelConfig
+smallConfig()
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(200000);
+    return cfg;
+}
+
+TEST(TraceConfig, LocalityKnobMatchesFig14)
+{
+    EXPECT_DOUBLE_EQ(localityK(0.0).hotAccessFraction, 0.80);
+    EXPECT_DOUBLE_EQ(localityK(0.3).hotAccessFraction, 0.65);
+    EXPECT_DOUBLE_EQ(localityK(1.0).hotAccessFraction, 0.45);
+    EXPECT_DOUBLE_EQ(localityK(2.0).hotAccessFraction, 0.30);
+    EXPECT_EXIT(localityK(5.0), ::testing::ExitedWithCode(1),
+                "unsupported locality");
+}
+
+TEST(TraceGenerator, DeterministicStreams)
+{
+    const model::ModelConfig cfg = smallConfig();
+    TraceGenerator a(cfg, localityK(0.3));
+    TraceGenerator b(cfg, localityK(0.3));
+    for (int i = 0; i < 5; ++i) {
+        const model::Sample sa = a.next();
+        const model::Sample sb = b.next();
+        EXPECT_EQ(sa.indices, sb.indices);
+        EXPECT_EQ(sa.dense, sb.dense);
+    }
+}
+
+TEST(TraceGenerator, ResetRestartsTheStream)
+{
+    const model::ModelConfig cfg = smallConfig();
+    TraceGenerator gen(cfg, localityK(0.3));
+    const model::Sample first = gen.next();
+    gen.next();
+    gen.reset();
+    EXPECT_EQ(gen.next().indices, first.indices);
+}
+
+TEST(TraceGenerator, IndicesAreInRange)
+{
+    const model::ModelConfig cfg = smallConfig();
+    TraceGenerator gen(cfg, localityK(0.0));
+    for (int i = 0; i < 10; ++i) {
+        const model::Sample s = gen.next();
+        ASSERT_EQ(s.indices.size(), cfg.numTables);
+        for (const auto &table : s.indices) {
+            ASSERT_EQ(table.size(), cfg.lookupsPerTable);
+            for (const std::uint64_t idx : table)
+                EXPECT_LT(idx, cfg.rowsPerTable);
+        }
+    }
+}
+
+class HotFractionTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(HotFractionTest, EmpiricalHotShareMatchesConfig)
+{
+    const model::ModelConfig cfg = smallConfig();
+    const TraceConfig tc = localityK(GetParam());
+    TraceGenerator gen(cfg, tc);
+
+    std::uint64_t hot = 0;
+    std::uint64_t total = 0;
+    for (int i = 0; i < 20; ++i) {
+        const model::Sample s = gen.next();
+        for (std::uint32_t t = 0; t < cfg.numTables; ++t) {
+            for (const std::uint64_t idx : s.indices[t]) {
+                ++total;
+                if (gen.isHotRow(t, idx))
+                    ++hot;
+            }
+        }
+    }
+    const double share =
+        static_cast<double>(hot) / static_cast<double>(total);
+    // Uniform draws can also land in the hot set, so the empirical
+    // share is slightly above the configured fraction.
+    EXPECT_NEAR(share, tc.hotAccessFraction, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepK, HotFractionTest,
+                         ::testing::Values(0.0, 0.3, 1.0, 2.0));
+
+TEST(TraceGenerator, HistogramIsSkewed)
+{
+    const model::ModelConfig cfg = smallConfig();
+    TraceGenerator gen(cfg, localityK(0.3));
+    const auto h = gen.histogram(200000, 10);
+    EXPECT_EQ(h.totalLookups, 200000u);
+    EXPECT_GT(h.uniqueIndices, 1000u);
+    ASSERT_EQ(h.top.size(), 10u);
+    // Top indices absorb far more than uniform share.
+    EXPECT_GT(h.topShare, 0.01);
+    // Counts are sorted descending.
+    for (std::size_t i = 1; i < h.top.size(); ++i)
+        EXPECT_LE(h.top[i].first, h.top[i - 1].first);
+    // A large one-hit-wonder tail, like Fig. 4.
+    EXPECT_GT(h.onceAccessed, h.uniqueIndices / 2);
+}
+
+TEST(RunResult, QpsAndAmplificationMath)
+{
+    RunResult r;
+    r.samples = 1000;
+    r.batches = 10;
+    r.totalNanos = 2'000'000'000; // 2 s
+    r.hostTrafficBytes = 4096;
+    r.idealTrafficBytes = 128;
+    EXPECT_DOUBLE_EQ(r.qps(), 500.0);
+    EXPECT_EQ(r.latencyPerBatch(), 200'000'000u);
+    EXPECT_DOUBLE_EQ(r.readAmplification(), 32.0);
+}
+
+TEST(Breakdown, TotalsAndAccumulation)
+{
+    Breakdown a;
+    a.topMlp = 1;
+    a.botMlp = 2;
+    a.concat = 3;
+    a.embOp = 4;
+    a.embFs = 5;
+    a.embSsd = 6;
+    a.other = 7;
+    EXPECT_EQ(a.total(), 28u);
+    Breakdown b;
+    b += a;
+    b += a;
+    EXPECT_EQ(b.total(), 56u);
+}
+
+} // namespace
+} // namespace rmssd::workload
