@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flash.dir/ablation_flash.cpp.o"
+  "CMakeFiles/ablation_flash.dir/ablation_flash.cpp.o.d"
+  "CMakeFiles/ablation_flash.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_flash.dir/bench_common.cpp.o.d"
+  "ablation_flash"
+  "ablation_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_naive_ssd.dir/bench_common.cpp.o"
+  "CMakeFiles/fig02_naive_ssd.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig02_naive_ssd.dir/fig02_naive_ssd.cpp.o"
+  "CMakeFiles/fig02_naive_ssd.dir/fig02_naive_ssd.cpp.o.d"
+  "fig02_naive_ssd"
+  "fig02_naive_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_naive_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

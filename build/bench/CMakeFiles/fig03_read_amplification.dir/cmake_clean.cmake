@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_read_amplification.dir/bench_common.cpp.o"
+  "CMakeFiles/fig03_read_amplification.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig03_read_amplification.dir/fig03_read_amplification.cpp.o"
+  "CMakeFiles/fig03_read_amplification.dir/fig03_read_amplification.cpp.o.d"
+  "fig03_read_amplification"
+  "fig03_read_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_read_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_access_pattern.dir/bench_common.cpp.o"
+  "CMakeFiles/fig04_access_pattern.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig04_access_pattern.dir/fig04_access_pattern.cpp.o"
+  "CMakeFiles/fig04_access_pattern.dir/fig04_access_pattern.cpp.o.d"
+  "fig04_access_pattern"
+  "fig04_access_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_access_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sls_operator.dir/bench_common.cpp.o"
+  "CMakeFiles/fig10_sls_operator.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig10_sls_operator.dir/fig10_sls_operator.cpp.o"
+  "CMakeFiles/fig10_sls_operator.dir/fig10_sls_operator.cpp.o.d"
+  "fig10_sls_operator"
+  "fig10_sls_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sls_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

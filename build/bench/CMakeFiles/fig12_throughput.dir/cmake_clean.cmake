@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_throughput.dir/bench_common.cpp.o"
+  "CMakeFiles/fig12_throughput.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig12_throughput.dir/fig12_throughput.cpp.o"
+  "CMakeFiles/fig12_throughput.dir/fig12_throughput.cpp.o.d"
+  "fig12_throughput"
+  "fig12_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_locality.dir/bench_common.cpp.o"
+  "CMakeFiles/fig14_locality.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig14_locality.dir/fig14_locality.cpp.o"
+  "CMakeFiles/fig14_locality.dir/fig14_locality.cpp.o.d"
+  "fig14_locality"
+  "fig14_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

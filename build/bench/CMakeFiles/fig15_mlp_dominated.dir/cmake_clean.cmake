@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_mlp_dominated.dir/bench_common.cpp.o"
+  "CMakeFiles/fig15_mlp_dominated.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig15_mlp_dominated.dir/fig15_mlp_dominated.cpp.o"
+  "CMakeFiles/fig15_mlp_dominated.dir/fig15_mlp_dominated.cpp.o.d"
+  "fig15_mlp_dominated"
+  "fig15_mlp_dominated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_mlp_dominated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_ssd_settings.dir/bench_common.cpp.o"
+  "CMakeFiles/table02_ssd_settings.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table02_ssd_settings.dir/table02_ssd_settings.cpp.o"
+  "CMakeFiles/table02_ssd_settings.dir/table02_ssd_settings.cpp.o.d"
+  "table02_ssd_settings"
+  "table02_ssd_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_ssd_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_io_traffic.dir/bench_common.cpp.o"
+  "CMakeFiles/table04_io_traffic.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table04_io_traffic.dir/table04_io_traffic.cpp.o"
+  "CMakeFiles/table04_io_traffic.dir/table04_io_traffic.cpp.o.d"
+  "table04_io_traffic"
+  "table04_io_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_io_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_kernel_search.dir/bench_common.cpp.o"
+  "CMakeFiles/table05_kernel_search.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table05_kernel_search.dir/table05_kernel_search.cpp.o"
+  "CMakeFiles/table05_kernel_search.dir/table05_kernel_search.cpp.o.d"
+  "table05_kernel_search"
+  "table05_kernel_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_kernel_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_resources.dir/bench_common.cpp.o"
+  "CMakeFiles/table06_resources.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table06_resources.dir/table06_resources.cpp.o"
+  "CMakeFiles/table06_resources.dir/table06_resources.cpp.o.d"
+  "table06_resources"
+  "table06_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_dominated_serving.dir/embedding_dominated_serving.cpp.o"
+  "CMakeFiles/embedding_dominated_serving.dir/embedding_dominated_serving.cpp.o.d"
+  "embedding_dominated_serving"
+  "embedding_dominated_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_dominated_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_search_tool.dir/kernel_search_tool.cpp.o"
+  "CMakeFiles/kernel_search_tool.dir/kernel_search_tool.cpp.o.d"
+  "kernel_search_tool"
+  "kernel_search_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_search_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_dominated_ncf.dir/mlp_dominated_ncf.cpp.o"
+  "CMakeFiles/mlp_dominated_ncf.dir/mlp_dominated_ncf.cpp.o.d"
+  "mlp_dominated_ncf"
+  "mlp_dominated_ncf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_dominated_ncf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

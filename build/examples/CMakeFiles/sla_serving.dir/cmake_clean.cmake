@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_serving.dir/sla_serving.cpp.o"
+  "CMakeFiles/sla_serving.dir/sla_serving.cpp.o.d"
+  "sla_serving"
+  "sla_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

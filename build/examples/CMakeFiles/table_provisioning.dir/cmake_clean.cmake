@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_provisioning.dir/table_provisioning.cpp.o"
+  "CMakeFiles/table_provisioning.dir/table_provisioning.cpp.o.d"
+  "table_provisioning"
+  "table_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dram_system.cpp" "src/CMakeFiles/rmssd.dir/baseline/dram_system.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/baseline/dram_system.cpp.o.d"
+  "/root/repo/src/baseline/emb_mmio_system.cpp" "src/CMakeFiles/rmssd.dir/baseline/emb_mmio_system.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/baseline/emb_mmio_system.cpp.o.d"
+  "/root/repo/src/baseline/emb_pagesum_system.cpp" "src/CMakeFiles/rmssd.dir/baseline/emb_pagesum_system.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/baseline/emb_pagesum_system.cpp.o.d"
+  "/root/repo/src/baseline/emb_vectorsum_system.cpp" "src/CMakeFiles/rmssd.dir/baseline/emb_vectorsum_system.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/baseline/emb_vectorsum_system.cpp.o.d"
+  "/root/repo/src/baseline/recssd_system.cpp" "src/CMakeFiles/rmssd.dir/baseline/recssd_system.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/baseline/recssd_system.cpp.o.d"
+  "/root/repo/src/baseline/registry.cpp" "src/CMakeFiles/rmssd.dir/baseline/registry.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/baseline/registry.cpp.o.d"
+  "/root/repo/src/baseline/rm_ssd_system.cpp" "src/CMakeFiles/rmssd.dir/baseline/rm_ssd_system.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/baseline/rm_ssd_system.cpp.o.d"
+  "/root/repo/src/baseline/ssd_naive_system.cpp" "src/CMakeFiles/rmssd.dir/baseline/ssd_naive_system.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/baseline/ssd_naive_system.cpp.o.d"
+  "/root/repo/src/baseline/system.cpp" "src/CMakeFiles/rmssd.dir/baseline/system.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/baseline/system.cpp.o.d"
+  "/root/repo/src/engine/embedding_engine.cpp" "src/CMakeFiles/rmssd.dir/engine/embedding_engine.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/engine/embedding_engine.cpp.o.d"
+  "/root/repo/src/engine/energy_model.cpp" "src/CMakeFiles/rmssd.dir/engine/energy_model.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/engine/energy_model.cpp.o.d"
+  "/root/repo/src/engine/ev_sum.cpp" "src/CMakeFiles/rmssd.dir/engine/ev_sum.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/engine/ev_sum.cpp.o.d"
+  "/root/repo/src/engine/ev_translator.cpp" "src/CMakeFiles/rmssd.dir/engine/ev_translator.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/engine/ev_translator.cpp.o.d"
+  "/root/repo/src/engine/fc_kernel.cpp" "src/CMakeFiles/rmssd.dir/engine/fc_kernel.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/engine/fc_kernel.cpp.o.d"
+  "/root/repo/src/engine/kernel_search.cpp" "src/CMakeFiles/rmssd.dir/engine/kernel_search.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/engine/kernel_search.cpp.o.d"
+  "/root/repo/src/engine/mlp_engine.cpp" "src/CMakeFiles/rmssd.dir/engine/mlp_engine.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/engine/mlp_engine.cpp.o.d"
+  "/root/repo/src/engine/resource_model.cpp" "src/CMakeFiles/rmssd.dir/engine/resource_model.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/engine/resource_model.cpp.o.d"
+  "/root/repo/src/engine/rm_ssd.cpp" "src/CMakeFiles/rmssd.dir/engine/rm_ssd.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/engine/rm_ssd.cpp.o.d"
+  "/root/repo/src/flash/backing_store.cpp" "src/CMakeFiles/rmssd.dir/flash/backing_store.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/flash/backing_store.cpp.o.d"
+  "/root/repo/src/flash/channel.cpp" "src/CMakeFiles/rmssd.dir/flash/channel.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/flash/channel.cpp.o.d"
+  "/root/repo/src/flash/die.cpp" "src/CMakeFiles/rmssd.dir/flash/die.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/flash/die.cpp.o.d"
+  "/root/repo/src/flash/flash_array.cpp" "src/CMakeFiles/rmssd.dir/flash/flash_array.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/flash/flash_array.cpp.o.d"
+  "/root/repo/src/flash/fmc.cpp" "src/CMakeFiles/rmssd.dir/flash/fmc.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/flash/fmc.cpp.o.d"
+  "/root/repo/src/flash/geometry.cpp" "src/CMakeFiles/rmssd.dir/flash/geometry.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/flash/geometry.cpp.o.d"
+  "/root/repo/src/flash/timing.cpp" "src/CMakeFiles/rmssd.dir/flash/timing.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/flash/timing.cpp.o.d"
+  "/root/repo/src/ftl/extent.cpp" "src/CMakeFiles/rmssd.dir/ftl/extent.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/ftl/extent.cpp.o.d"
+  "/root/repo/src/ftl/ftl.cpp" "src/CMakeFiles/rmssd.dir/ftl/ftl.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/ftl/ftl.cpp.o.d"
+  "/root/repo/src/ftl/mapping.cpp" "src/CMakeFiles/rmssd.dir/ftl/mapping.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/ftl/mapping.cpp.o.d"
+  "/root/repo/src/host/cpu_model.cpp" "src/CMakeFiles/rmssd.dir/host/cpu_model.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/host/cpu_model.cpp.o.d"
+  "/root/repo/src/host/host_system.cpp" "src/CMakeFiles/rmssd.dir/host/host_system.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/host/host_system.cpp.o.d"
+  "/root/repo/src/host/io_stack.cpp" "src/CMakeFiles/rmssd.dir/host/io_stack.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/host/io_stack.cpp.o.d"
+  "/root/repo/src/host/page_cache.cpp" "src/CMakeFiles/rmssd.dir/host/page_cache.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/host/page_cache.cpp.o.d"
+  "/root/repo/src/model/dlrm.cpp" "src/CMakeFiles/rmssd.dir/model/dlrm.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/model/dlrm.cpp.o.d"
+  "/root/repo/src/model/embedding.cpp" "src/CMakeFiles/rmssd.dir/model/embedding.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/model/embedding.cpp.o.d"
+  "/root/repo/src/model/mlp.cpp" "src/CMakeFiles/rmssd.dir/model/mlp.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/model/mlp.cpp.o.d"
+  "/root/repo/src/model/model_zoo.cpp" "src/CMakeFiles/rmssd.dir/model/model_zoo.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/model/model_zoo.cpp.o.d"
+  "/root/repo/src/model/tensor.cpp" "src/CMakeFiles/rmssd.dir/model/tensor.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/model/tensor.cpp.o.d"
+  "/root/repo/src/nvme/dma.cpp" "src/CMakeFiles/rmssd.dir/nvme/dma.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/nvme/dma.cpp.o.d"
+  "/root/repo/src/nvme/mmio.cpp" "src/CMakeFiles/rmssd.dir/nvme/mmio.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/nvme/mmio.cpp.o.d"
+  "/root/repo/src/nvme/nvme.cpp" "src/CMakeFiles/rmssd.dir/nvme/nvme.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/nvme/nvme.cpp.o.d"
+  "/root/repo/src/runtime/rm_api.cpp" "src/CMakeFiles/rmssd.dir/runtime/rm_api.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/runtime/rm_api.cpp.o.d"
+  "/root/repo/src/runtime/rm_capi.cpp" "src/CMakeFiles/rmssd.dir/runtime/rm_capi.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/runtime/rm_capi.cpp.o.d"
+  "/root/repo/src/runtime/table_fs.cpp" "src/CMakeFiles/rmssd.dir/runtime/table_fs.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/runtime/table_fs.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/rmssd.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/rmssd.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/rmssd.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/workload/batcher.cpp" "src/CMakeFiles/rmssd.dir/workload/batcher.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/workload/batcher.cpp.o.d"
+  "/root/repo/src/workload/driver.cpp" "src/CMakeFiles/rmssd.dir/workload/driver.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/workload/driver.cpp.o.d"
+  "/root/repo/src/workload/serving.cpp" "src/CMakeFiles/rmssd.dir/workload/serving.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/workload/serving.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/rmssd.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/CMakeFiles/rmssd.dir/workload/trace_gen.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/workload/trace_gen.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/CMakeFiles/rmssd.dir/workload/trace_io.cpp.o" "gcc" "src/CMakeFiles/rmssd.dir/workload/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ev_translator.dir/test_ev_translator.cpp.o"
+  "CMakeFiles/test_ev_translator.dir/test_ev_translator.cpp.o.d"
+  "test_ev_translator"
+  "test_ev_translator.pdb"
+  "test_ev_translator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ev_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flash_write.dir/test_flash_write.cpp.o"
+  "CMakeFiles/test_flash_write.dir/test_flash_write.cpp.o.d"
+  "test_flash_write"
+  "test_flash_write.pdb"
+  "test_flash_write[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flash_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_search.dir/test_kernel_search.cpp.o"
+  "CMakeFiles/test_kernel_search.dir/test_kernel_search.cpp.o.d"
+  "test_kernel_search"
+  "test_kernel_search.pdb"
+  "test_kernel_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlp_engine.dir/test_mlp_engine.cpp.o"
+  "CMakeFiles/test_mlp_engine.dir/test_mlp_engine.cpp.o.d"
+  "test_mlp_engine"
+  "test_mlp_engine.pdb"
+  "test_mlp_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

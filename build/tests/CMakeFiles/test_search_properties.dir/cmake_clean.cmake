@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_properties.dir/test_search_properties.cpp.o"
+  "CMakeFiles/test_search_properties.dir/test_search_properties.cpp.o.d"
+  "test_search_properties"
+  "test_search_properties.pdb"
+  "test_search_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

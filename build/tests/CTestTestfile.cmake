@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_flash[1]_include.cmake")
+include("/root/repo/build/tests/test_ftl[1]_include.cmake")
+include("/root/repo/build/tests/test_nvme[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_ev_translator[1]_include.cmake")
+include("/root/repo/build/tests/test_embedding_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_mlp_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_search[1]_include.cmake")
+include("/root/repo/build/tests/test_resource_model[1]_include.cmake")
+include("/root/repo/build/tests/test_rm_ssd[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_serving[1]_include.cmake")
+include("/root/repo/build/tests/test_capi[1]_include.cmake")
+include("/root/repo/build/tests/test_flash_write[1]_include.cmake")
+include("/root/repo/build/tests/test_search_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_batcher[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
