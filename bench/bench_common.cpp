@@ -4,14 +4,58 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "sim/log.h"
 
 namespace rmssd::bench {
 
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 TextTable::TextTable(std::vector<std::string> header)
 {
     rows_.push_back(std::move(header));
+}
+
+void
+TextTable::setCaption(std::string caption)
+{
+    caption_ = std::move(caption);
 }
 
 void
@@ -46,6 +90,73 @@ TextTable::print() const
             std::printf("%s\n", rule.c_str());
         }
     }
+    JsonReport::instance().addTable(caption_, rows_);
+}
+
+JsonReport &
+JsonReport::instance()
+{
+    static JsonReport report;
+    return report;
+}
+
+void
+JsonReport::setSection(const std::string &section)
+{
+    section_ = section;
+}
+
+void
+JsonReport::addTable(const std::string &caption,
+                     const std::vector<std::vector<std::string>> &rows)
+{
+    if (rows.empty())
+        return;
+    Table t;
+    t.section = section_;
+    t.caption = caption;
+    t.columns = rows.front();
+    t.rows.assign(rows.begin() + 1, rows.end());
+    tables_.push_back(std::move(t));
+}
+
+void
+JsonReport::write(const std::string &figureId) const
+{
+    const std::string path = "BENCH_" + figureId + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    os << "{\n  \"figure\": \"" << jsonEscape(figureId)
+       << "\",\n  \"tables\": [\n";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const Table &tab = tables_[t];
+        os << "    {\n      \"section\": \"" << jsonEscape(tab.section)
+           << "\",\n      \"caption\": \"" << jsonEscape(tab.caption)
+           << "\",\n      \"columns\": [";
+        for (std::size_t c = 0; c < tab.columns.size(); ++c) {
+            os << (c ? ", " : "") << '"' << jsonEscape(tab.columns[c])
+               << '"';
+        }
+        os << "],\n      \"rows\": [\n";
+        for (std::size_t r = 0; r < tab.rows.size(); ++r) {
+            os << "        {";
+            const auto &row = tab.rows[r];
+            for (std::size_t c = 0;
+                 c < row.size() && c < tab.columns.size(); ++c) {
+                os << (c ? ", " : "") << '"'
+                   << jsonEscape(tab.columns[c]) << "\": \""
+                   << jsonEscape(row[c]) << '"';
+            }
+            os << '}' << (r + 1 < tab.rows.size() ? "," : "") << '\n';
+        }
+        os << "      ]\n    }"
+           << (t + 1 < tables_.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+    std::printf("[bench] wrote %s\n", path.c_str());
 }
 
 void
@@ -56,6 +167,7 @@ banner(const std::string &title, const std::string &subtitle)
     if (!subtitle.empty())
         std::printf("%s\n", subtitle.c_str());
     std::printf("==============================================\n\n");
+    JsonReport::instance().setSection(title);
 }
 
 std::string
@@ -95,6 +207,16 @@ defaultTrace()
 int
 runMicrobenchmarks(int argc, char **argv)
 {
+    // Flush the machine-readable dump before google-benchmark runs.
+    const JsonReport &report = JsonReport::instance();
+    if (!report.empty() && argc > 0) {
+        std::string figure = argv[0];
+        const std::size_t slash = figure.find_last_of('/');
+        if (slash != std::string::npos)
+            figure = figure.substr(slash + 1);
+        report.write(figure);
+    }
+
     setInformEnabled(false);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

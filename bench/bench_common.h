@@ -1,8 +1,8 @@
 /**
  * @file
  * Shared helpers for the per-figure benchmark binaries: aligned table
- * printing, standard workload parameters, and the google-benchmark
- * tail run.
+ * printing, standard workload parameters, machine-readable JSON result
+ * dumps, and the google-benchmark tail run.
  */
 
 #ifndef RMSSD_BENCH_COMMON_H
@@ -18,20 +18,62 @@
 
 namespace rmssd::bench {
 
-/** Column-aligned plain-text table. */
+/**
+ * Column-aligned plain-text table. Every printed table is also
+ * recorded in the process-wide JsonReport so the figure's rows land in
+ * BENCH_<figure>.json (see runMicrobenchmarks).
+ */
 class TextTable
 {
   public:
     explicit TextTable(std::vector<std::string> header);
 
+    /** Label this table in the JSON dump (e.g. the model name). */
+    void setCaption(std::string caption);
+
     void addRow(std::vector<std::string> cells);
     void print() const;
 
   private:
+    std::string caption_;
     std::vector<std::vector<std::string>> rows_;
 };
 
-/** Print a figure/table banner. */
+/**
+ * Process-wide collector of everything the figure printed, flushed as
+ * BENCH_<figure>.json by runMicrobenchmarks so the perf trajectory is
+ * trackable across PRs. banner() sets the current section; each
+ * TextTable::print() appends one table with the rows keyed by the
+ * column headers.
+ */
+class JsonReport
+{
+  public:
+    static JsonReport &instance();
+
+    void setSection(const std::string &section);
+    void addTable(const std::string &caption,
+                  const std::vector<std::vector<std::string>> &rows);
+
+    bool empty() const { return tables_.empty(); }
+
+    /** Write BENCH_<figureId>.json in the working directory. */
+    void write(const std::string &figureId) const;
+
+  private:
+    struct Table
+    {
+        std::string section;
+        std::string caption;
+        std::vector<std::string> columns;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    std::string section_;
+    std::vector<Table> tables_;
+};
+
+/** Print a figure/table banner (also sets the JsonReport section). */
 void banner(const std::string &title, const std::string &subtitle);
 
 /** Format helpers. */
@@ -51,7 +93,8 @@ workload::TraceConfig defaultTrace();
 
 /**
  * Hand control to google-benchmark for the cases the binary
- * registered (run after printing the paper tables).
+ * registered (run after printing the paper tables). Also flushes the
+ * JsonReport to BENCH_<basename(argv[0])>.json.
  */
 int runMicrobenchmarks(int argc, char **argv);
 

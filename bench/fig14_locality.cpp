@@ -3,6 +3,12 @@
  * Fig. 14 — Throughput vs input-trace locality: RM-SSD stays flat
  * while RecSSD's host-cache advantage evaporates as the hot-access
  * fraction drops (K = 0 / 0.3 / 1 / 2 -> 80/65/45/30 % hit ratio).
+ *
+ * Extension beyond the paper: the RM-SSD+cache column adds the
+ * device-side EV cache + intra-batch coalescing, sized to cover the
+ * trace's hot set. Its QPS now *rises* with locality (hot fraction)
+ * instead of staying flat — the device exploits the same skew RecSSD's
+ * host cache does, without the host round-trip.
  */
 
 #include <benchmark/benchmark.h>
@@ -10,6 +16,7 @@
 #include <cstdio>
 
 #include "baseline/registry.h"
+#include "baseline/rm_ssd_system.h"
 #include "bench_common.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
@@ -17,6 +24,21 @@
 namespace {
 
 using namespace rmssd;
+
+/** EV cache sized to hold the trace's whole per-table hot set. */
+engine::EvCacheConfig
+cacheForTrace(const model::ModelConfig &cfg,
+              const workload::TraceConfig &tc)
+{
+    engine::EvCacheConfig cc;
+    cc.enabled = true;
+    cc.capacityBytes = tc.hotRowsPerTable * cfg.numTables *
+                       cfg.vectorBytes();
+    const std::uint64_t rowsPerTable =
+        cc.capacityBytes / cfg.vectorBytes() / cfg.numTables;
+    cc.expectedHitRatio = workload::expectedHitRatio(tc, rowsPerTable);
+    return cc;
+}
 
 void
 runFigure()
@@ -29,8 +51,10 @@ runFigure()
     for (const char *modelName : {"RMC1", "RMC2", "RMC3"}) {
         const model::ModelConfig cfg = model::modelByName(modelName);
         std::printf("--- %s ---\n", modelName);
-        bench::TextTable table(
-            {"K", "hit ratio", "RecSSD QPS", "RM-SSD QPS"});
+        bench::TextTable table({"K", "hit ratio", "RecSSD QPS",
+                                "RM-SSD QPS", "RM-SSD+cache QPS",
+                                "cache speedup"});
+        table.setCaption(modelName);
         for (const double k : ks) {
             const workload::TraceConfig tc = workload::localityK(k);
 
@@ -42,16 +66,25 @@ runFigure()
             workload::TraceGenerator genM(cfg, tc);
             const double qRm = rmssd->run(genM, 4, 6, 1).qps();
 
+            // The EV cache is cold at construction; a longer window
+            // lets it warm to its steady-state hit ratio.
+            baseline::RmSsdSystem cached(cfg, cacheForTrace(cfg, tc));
+            workload::TraceGenerator genC(cfg, tc);
+            const double qCache = cached.run(genC, 4, 32, 8).qps();
+
             table.addRow({bench::fmt(k, 1),
                           bench::fmt(tc.hotAccessFraction * 100.0, 0) +
                               "%",
-                          bench::fmt(qRec, 0), bench::fmt(qRm, 0)});
+                          bench::fmt(qRec, 0), bench::fmt(qRm, 0),
+                          bench::fmt(qCache, 0),
+                          bench::fmt(qCache / qRm, 2) + "x"});
         }
         table.print();
         std::printf("\n");
     }
     std::printf("Expected shape: RecSSD degrades as K grows; RM-SSD "
-                "is locality-insensitive (flat).\n");
+                "is locality-insensitive (flat); RM-SSD+cache rises "
+                "with the hot-access fraction.\n");
 }
 
 void
@@ -66,6 +99,20 @@ BM_RecssdColdTrace(benchmark::State &state)
     }
 }
 BENCHMARK(BM_RecssdColdTrace);
+
+void
+BM_RmssdCacheHotTrace(benchmark::State &state)
+{
+    const model::ModelConfig cfg = model::rmc1();
+    const workload::TraceConfig tc = workload::localityK(0.0);
+    baseline::RmSsdSystem sys(cfg, cacheForTrace(cfg, tc));
+    workload::TraceGenerator gen(cfg, tc);
+    sys.run(gen, 4, 8, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.run(gen, 4, 1, 0).totalNanos);
+    }
+}
+BENCHMARK(BM_RmssdCacheHotTrace);
 
 } // namespace
 

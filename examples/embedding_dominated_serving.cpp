@@ -33,7 +33,8 @@ main()
     std::printf("%-14s %12s %14s %16s\n", "system", "QPS",
                 "latency(ms)", "host MB/1K inf");
     for (const char *name :
-         {"SSD-S", "SSD-M", "EMB-VectorSum", "RecSSD", "RM-SSD"}) {
+         {"SSD-S", "SSD-M", "EMB-VectorSum", "RecSSD", "RM-SSD",
+          "RM-SSD+cache"}) {
         auto system = baseline::makeSystem(name, config);
         workload::TraceGenerator gen(config, trace);
         const workload::RunResult r = system->run(

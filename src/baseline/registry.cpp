@@ -34,6 +34,9 @@ makeSystem(const std::string &name, const model::ModelConfig &config)
     if (name == "RM-SSD")
         return std::make_unique<RmSsdSystem>(
             config, engine::EngineVariant::Searched);
+    if (name == "RM-SSD+cache")
+        return std::make_unique<RmSsdSystem>(config,
+                                             engine::EvCacheConfig{});
     fatal("unknown system '%s'", name.c_str());
 }
 
@@ -42,7 +45,8 @@ allSystemNames()
 {
     return {"DRAM",          "SSD-S",        "SSD-M",
             "EMB-MMIO",      "EMB-PageSum",  "EMB-VectorSum",
-            "RecSSD",        "RM-SSD-Naive", "RM-SSD"};
+            "RecSSD",        "RM-SSD-Naive", "RM-SSD",
+            "RM-SSD+cache"};
 }
 
 } // namespace rmssd::baseline

@@ -16,7 +16,9 @@ namespace rmssd::baseline {
 
 /**
  * Create a system by name: "DRAM", "SSD-S", "SSD-M", "EMB-MMIO",
- * "EMB-PageSum", "EMB-VectorSum", "RecSSD", "RM-SSD-Naive", "RM-SSD".
+ * "EMB-PageSum", "EMB-VectorSum", "RecSSD", "RM-SSD-Naive", "RM-SSD",
+ * "RM-SSD+cache" (RM-SSD with the device-side EV cache + intra-batch
+ * coalescing enabled at default cache settings).
  * Fatal on unknown names.
  */
 std::unique_ptr<InferenceSystem>

@@ -17,6 +17,19 @@ RmSsdSystem::RmSsdSystem(const model::ModelConfig &config,
     device_->loadTables();
 }
 
+RmSsdSystem::RmSsdSystem(const model::ModelConfig &config,
+                         const engine::EvCacheConfig &evCache)
+    : InferenceSystem("RM-SSD+cache"), config_(config)
+{
+    engine::RmSsdOptions options;
+    options.variant = engine::EngineVariant::Searched;
+    options.evCache = evCache;
+    options.evCache.enabled = true;
+    options.coalesceIndices = true;
+    device_ = std::make_unique<engine::RmSsd>(config, options);
+    device_->loadTables();
+}
+
 Nanos
 RmSsdSystem::measureLatency(workload::TraceGenerator &gen,
                             std::uint32_t batchSize,

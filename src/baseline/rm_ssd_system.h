@@ -23,6 +23,13 @@ class RmSsdSystem : public InferenceSystem
                 engine::EngineVariant variant =
                     engine::EngineVariant::Searched);
 
+    /**
+     * RM-SSD+cache: the searched engine with the device-side EV cache
+     * and intra-batch index coalescing enabled.
+     */
+    RmSsdSystem(const model::ModelConfig &config,
+                const engine::EvCacheConfig &evCache);
+
     workload::RunResult run(workload::TraceGenerator &gen,
                             std::uint32_t batchSize,
                             std::uint32_t numBatches,

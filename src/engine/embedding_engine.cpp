@@ -1,14 +1,28 @@
 #include "engine/embedding_engine.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "engine/ev_sum.h"
 #include "sim/log.h"
 
 namespace rmssd::engine {
 
-EmbeddingEngine::EmbeddingEngine(EvTranslator &translator, ftl::Ftl &ftl)
-    : translator_(translator), ftl_(ftl)
+namespace {
+
+/** Coalescing key: (table, index) packed like EvCache's line tags. */
+std::uint64_t
+lookupKey(std::uint32_t tableId, std::uint64_t index)
+{
+    return (static_cast<std::uint64_t>(tableId) << 48) | index;
+}
+
+} // namespace
+
+EmbeddingEngine::EmbeddingEngine(EvTranslator &translator, ftl::Ftl &ftl,
+                                 EvCache *cache, bool coalesce)
+    : translator_(translator), ftl_(ftl), cache_(cache),
+      coalesce_(coalesce)
 {
 }
 
@@ -23,6 +37,17 @@ EmbeddingEngine::run(Cycle start, std::span<const model::Sample> samples,
     // translation pipeline issues one read per cycle.
     Cycle issue = start + translator_.metadataScanCycles() +
                   EvTranslator::kPipelineFillCycles;
+
+    // Coalescing state: completion cycle (and bytes, when functional)
+    // of every unique (table, index) already served this micro-batch.
+    struct Slot
+    {
+        Cycle done = 0;
+        std::vector<std::uint8_t> data;
+    };
+    std::unordered_map<std::uint64_t, Slot> seen;
+    if (coalesce_)
+        seen.reserve(samples.size() * 8);
 
     Cycle lastDone = issue;
     std::vector<std::uint8_t> buf;
@@ -39,21 +64,58 @@ EmbeddingEngine::run(Cycle start, std::span<const model::Sample> samples,
 
             Cycle tableDone = issue;
             for (const std::uint64_t index : sample.indices[t]) {
-                const EvReadRequest req =
-                    translator_.translate(tableId, index);
-                std::span<std::uint8_t> out;
-                if (functional) {
-                    buf.resize(req.bytes);
-                    out = buf;
+                const std::uint64_t key = lookupKey(tableId, index);
+                std::span<const std::uint8_t> bytes;
+                Cycle done;
+
+                const auto it =
+                    coalesce_ ? seen.find(key) : seen.end();
+                if (it != seen.end()) {
+                    // Duplicate within the batch: the vector was read
+                    // once already; fanning it into this sample's EV
+                    // Sum costs no flash or cache access.
+                    done = std::max(issue, it->second.done);
+                    bytes = it->second.data;
+                    coalesced_.inc();
+                } else if (cache_ &&
+                           cache_->lookup(tableId, index,
+                                          functional ? &buf : nullptr)) {
+                    done = issue + cache_->hitCycles();
+                    bytes = buf;
+                } else {
+                    const EvReadRequest req =
+                        translator_.translate(tableId, index);
+                    std::span<std::uint8_t> out;
+                    if (functional) {
+                        buf.resize(req.bytes);
+                        out = buf;
+                    }
+                    done = ftl_.readBytes(issue, req.lba,
+                                          req.byteInSector, req.bytes,
+                                          out);
+                    bytes = buf;
+                    flashReads_.inc();
+                    lookupBytes_.inc(req.bytes);
+                    if (cache_) {
+                        cache_->fill(
+                            tableId, index,
+                            functional
+                                ? std::span<const std::uint8_t>(buf)
+                                : std::span<const std::uint8_t>());
+                    }
                 }
-                const Cycle done =
-                    ftl_.readBytes(issue, req.lba, req.byteInSector,
-                                   req.bytes, out);
+                if (coalesce_ && it == seen.end()) {
+                    Slot slot;
+                    slot.done = done;
+                    if (functional)
+                        slot.data.assign(bytes.begin(), bytes.end());
+                    seen.emplace(key, std::move(slot));
+                }
+
                 tableDone = std::max(tableDone, done);
                 if (functional)
-                    EvSum::accumulateBytes(buf, acc);
+                    EvSum::accumulateBytes(bytes, acc);
                 lookups_.inc();
-                lookupBytes_.inc(req.bytes);
                 issue += EvTranslator::kCyclesPerIndex;
             }
             // fadd pipeline drains after the table's last vector.
@@ -87,6 +149,22 @@ EmbeddingEngine::steadyStateCyclesPerRead(
         static_cast<double>(timing.transferCycles(evBytes));
     return std::max(flushShare, busShare) /
            static_cast<double>(geometry.numChannels);
+}
+
+double
+EmbeddingEngine::effectiveCyclesPerRead(
+    const flash::Geometry &geometry, const flash::NandTiming &timing,
+    std::uint32_t evBytes, double hitRatio)
+{
+    const double base =
+        steadyStateCyclesPerRead(geometry, timing, evBytes);
+    const double missFraction =
+        std::clamp(1.0 - hitRatio, 0.0, 1.0);
+    // Hits stream out of the cache at the translator's issue rate, so
+    // the device never sustains more than one read per index cycle.
+    return std::max(
+        static_cast<double>(EvTranslator::kCyclesPerIndex),
+        missFraction * base);
 }
 
 } // namespace rmssd::engine

@@ -5,6 +5,15 @@
  * and EV Sum pools returned vectors; stage two (flash channel):
  * EV-FMCs fetch exactly EVsize bytes per lookup, striped across all
  * channels and dies.
+ *
+ * Two optional reuse mechanisms sit between the stages (both off by
+ * default, keeping the paper-faithful locality-insensitive device):
+ *  - intra-batch coalescing: duplicate (table, index) pairs of one
+ *    micro-batch are folded so each unique vector is read once and
+ *    fanned out to the EV Sum of every sample referencing it;
+ *  - a device-side EV cache (EvCache): unique lookups probe a small
+ *    set-associative SRAM cache before the EV-FMC, paying a short hit
+ *    latency instead of the full CEV flash read.
  */
 
 #ifndef RMSSD_ENGINE_EMBEDDING_ENGINE_H
@@ -14,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/ev_cache.h"
 #include "engine/ev_translator.h"
 #include "ftl/ftl.h"
 #include "model/dlrm.h"
@@ -39,7 +49,14 @@ struct EmbeddingResult
 class EmbeddingEngine
 {
   public:
-    EmbeddingEngine(EvTranslator &translator, ftl::Ftl &ftl);
+    /**
+     * @param cache optional device-side EV cache probed by unique
+     *        lookups (nullptr = no cache, the paper's device)
+     * @param coalesce fold duplicate (table, index) pairs of a
+     *        micro-batch into one flash/cache access
+     */
+    EmbeddingEngine(EvTranslator &translator, ftl::Ftl &ftl,
+                    EvCache *cache = nullptr, bool coalesce = false);
 
     /**
      * Look up and pool all indices of @p samples.
@@ -59,17 +76,42 @@ class EmbeddingEngine
         const flash::Geometry &geometry,
         const flash::NandTiming &timing, std::uint32_t evBytes);
 
+    /**
+     * Cache-aware variant: with a fraction @p hitRatio of lookups
+     * served by the EV cache, only the misses occupy flash, so the
+     * sustained device-wide cycles per read shrink to
+     * (1 - hitRatio) * bEV, floored at the translator's one-index-per-
+     * cycle issue rate. Feeds the kernel search so the MLP kernels are
+     * sized against the cache-accelerated T_emb.
+     */
+    static double effectiveCyclesPerRead(
+        const flash::Geometry &geometry,
+        const flash::NandTiming &timing, std::uint32_t evBytes,
+        double hitRatio);
+
     const Counter &lookups() const { return lookups_; }
     const Counter &lookupBytes() const { return lookupBytes_; }
+    /** Lookups that went all the way to flash (misses). */
+    const Counter &flashReads() const { return flashReads_; }
+    /** Lookups folded by intra-batch coalescing. */
+    const Counter &coalescedLookups() const { return coalesced_; }
 
     EvTranslator &translator() { return translator_; }
+    /** The device-side EV cache; nullptr when disabled. */
+    EvCache *cache() { return cache_; }
+    const EvCache *cache() const { return cache_; }
+    bool coalesces() const { return coalesce_; }
 
   private:
     EvTranslator &translator_;
     ftl::Ftl &ftl_;
+    EvCache *cache_;
+    bool coalesce_;
 
     Counter lookups_;
     Counter lookupBytes_;
+    Counter flashReads_;
+    Counter coalesced_;
 };
 
 } // namespace rmssd::engine

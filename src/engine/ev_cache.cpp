@@ -1,0 +1,137 @@
+#include "engine/ev_cache.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace rmssd::engine {
+
+namespace {
+
+/** splitmix64 finalizer: spreads (table, index) keys over the sets. */
+std::uint64_t
+mixKey(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+EvCache::EvCache(const EvCacheConfig &config, std::uint32_t lineBytes)
+    : lineBytes_(lineBytes), ways_(config.ways),
+      hitCycles_(config.hitCycles)
+{
+    RMSSD_ASSERT(lineBytes_ > 0, "zero EV cache line size");
+    RMSSD_ASSERT(ways_ > 0, "zero EV cache associativity");
+    const std::uint64_t lines =
+        std::max<std::uint64_t>(1, config.capacityBytes / lineBytes_);
+    ways_ = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(ways_, lines));
+    const std::uint64_t numSets = std::max<std::uint64_t>(
+        1, lines / ways_);
+    sets_.resize(numSets);
+    for (auto &set : sets_)
+        set.resize(ways_);
+}
+
+std::uint64_t
+EvCache::makeKey(std::uint32_t tableId, std::uint64_t index)
+{
+    RMSSD_ASSERT(index < (1ULL << 48), "embedding index exceeds key space");
+    return (static_cast<std::uint64_t>(tableId) << 48) | index;
+}
+
+std::size_t
+EvCache::setIndex(std::uint64_t key) const
+{
+    return static_cast<std::size_t>(mixKey(key) % sets_.size());
+}
+
+bool
+EvCache::lookup(std::uint32_t tableId, std::uint64_t index,
+                std::vector<std::uint8_t> *out)
+{
+    const std::uint64_t key = makeKey(tableId, index);
+    auto &set = sets_[setIndex(key)];
+    for (Line &line : set) {
+        if (line.valid && line.key == key) {
+            // A functional caller needs the bytes; a line installed by
+            // a timing-only run has none, so it cannot serve the hit.
+            if (out && line.data.empty())
+                break;
+            line.lastUse = ++tick_;
+            hits_.inc();
+            if (out)
+                *out = line.data;
+            return true;
+        }
+    }
+    misses_.inc();
+    return false;
+}
+
+void
+EvCache::fill(std::uint32_t tableId, std::uint64_t index,
+              std::span<const std::uint8_t> data)
+{
+    const std::uint64_t key = makeKey(tableId, index);
+    auto &set = sets_[setIndex(key)];
+
+    Line *victim = nullptr;
+    for (Line &line : set) {
+        if (line.valid && line.key == key) {
+            victim = &line; // refresh an existing line
+            break;
+        }
+        if (!line.valid && !victim)
+            victim = &line;
+    }
+    if (!victim) {
+        victim = &*std::min_element(
+            set.begin(), set.end(), [](const Line &a, const Line &b) {
+                return a.lastUse < b.lastUse;
+            });
+        evictions_.inc();
+    }
+
+    victim->valid = true;
+    victim->key = key;
+    victim->lastUse = ++tick_;
+    victim->data.assign(data.begin(), data.end());
+    fills_.inc();
+}
+
+bool
+EvCache::contains(std::uint32_t tableId, std::uint64_t index) const
+{
+    const std::uint64_t key = makeKey(tableId, index);
+    const auto &set = sets_[setIndex(key)];
+    return std::any_of(set.begin(), set.end(), [&](const Line &line) {
+        return line.valid && line.key == key;
+    });
+}
+
+void
+EvCache::invalidate()
+{
+    for (auto &set : sets_) {
+        for (Line &line : set) {
+            line.valid = false;
+            line.data.clear();
+        }
+    }
+}
+
+double
+EvCache::hitRatio() const
+{
+    const std::uint64_t probes = hits_.value() + misses_.value();
+    return probes ? static_cast<double>(hits_.value()) /
+                        static_cast<double>(probes)
+                  : 0.0;
+}
+
+} // namespace rmssd::engine

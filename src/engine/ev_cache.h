@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Device-side embedding-vector cache: a set-associative, LRU-evicting
+ * SRAM/BRAM cache of whole embedding vectors keyed by (table, index),
+ * sitting between the EV Translator and the EV-FMC read path.
+ *
+ * The paper's RM-SSD is locality-insensitive (Fig. 14) because every
+ * lookup pays the full CEV flash read; production traces are heavily
+ * Zipfian, so a small on-device cache turns that flat curve into one
+ * that rises with locality. A hit costs a short SRAM access instead of
+ * the CEV vector read and, crucially, does not occupy a flash die or
+ * channel bus; a miss fills the line, evicting the set's LRU entry.
+ *
+ * The cache is off by default so the paper-faithful baselines are
+ * unchanged; RM-SSD+cache enables it (plus intra-batch coalescing in
+ * the EmbeddingEngine, which sits in front of the cache and folds
+ * duplicate indices of one micro-batch into a single probe).
+ */
+
+#ifndef RMSSD_ENGINE_EV_CACHE_H
+#define RMSSD_ENGINE_EV_CACHE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rmssd::engine {
+
+/** EV cache knobs (RmSsdOptions::evCache). */
+struct EvCacheConfig
+{
+    /** Master switch; off reproduces the paper-faithful device. */
+    bool enabled = false;
+    /** Total data capacity (device SRAM/BRAM budget). */
+    std::uint64_t capacityBytes = 4ull << 20;
+    /** Set associativity. */
+    std::uint32_t ways = 8;
+    /** Latency of a hit (SRAM read + mux back into the EV Sum path). */
+    Cycle hitCycles = 4;
+    /**
+     * Hit ratio assumed by the kernel search when sizing the MLP
+     * kernels against the cache-accelerated T_emb (see
+     * EmbeddingEngine::effectiveCyclesPerRead). The measured ratio is
+     * workload-dependent; workload::expectedHitRatio() estimates it
+     * from a TraceConfig.
+     */
+    double expectedHitRatio = 0.5;
+};
+
+/** Set-associative LRU cache of embedding vectors. */
+class EvCache
+{
+  public:
+    /**
+     * @param lineBytes size of one cached vector (EVsize); capacity
+     *        and associativity come from @p config
+     */
+    EvCache(const EvCacheConfig &config, std::uint32_t lineBytes);
+
+    /**
+     * Probe for (table, index). On a hit the line becomes
+     * most-recently-used and the bytes are copied into @p out when it
+     * is non-null. A non-null @p out demands data: a line installed by
+     * a timing-only run carries none and reports a miss (the caller
+     * re-reads flash and the fill refreshes the line with real bytes).
+     * @return true on hit
+     */
+    bool lookup(std::uint32_t tableId, std::uint64_t index,
+                std::vector<std::uint8_t> *out);
+
+    /**
+     * Install (table, index) after a miss was served from flash.
+     * @p data may be empty for timing-only runs. Evicts the set's LRU
+     * line when the set is full.
+     */
+    void fill(std::uint32_t tableId, std::uint64_t index,
+              std::span<const std::uint8_t> data);
+
+    /** Probe without touching LRU state (tests/debug). */
+    bool contains(std::uint32_t tableId, std::uint64_t index) const;
+
+    /** Drop all lines; counters are kept. */
+    void invalidate();
+
+    std::uint32_t numSets() const
+    {
+        return static_cast<std::uint32_t>(sets_.size());
+    }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+    Cycle hitCycles() const { return hitCycles_; }
+
+    const Counter &hits() const { return hits_; }
+    const Counter &misses() const { return misses_; }
+    const Counter &fills() const { return fills_; }
+    const Counter &evictions() const { return evictions_; }
+
+    /** Measured hit ratio so far (0 when never probed). */
+    double hitRatio() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+        std::vector<std::uint8_t> data;
+    };
+
+    static std::uint64_t makeKey(std::uint32_t tableId,
+                                 std::uint64_t index);
+    std::size_t setIndex(std::uint64_t key) const;
+
+    std::uint32_t lineBytes_;
+    std::uint32_t ways_;
+    Cycle hitCycles_;
+    std::uint64_t tick_ = 0; //!< monotonic LRU clock
+    std::vector<std::vector<Line>> sets_;
+
+    Counter hits_;
+    Counter misses_;
+    Counter fills_;
+    Counter evictions_;
+};
+
+} // namespace rmssd::engine
+
+#endif // RMSSD_ENGINE_EV_CACHE_H

@@ -17,15 +17,30 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
       nvme_(std::make_unique<nvme::NvmeController>(*ftl_)),
       translator_(std::make_unique<EvTranslator>(
           options.geometry.sectorSizeBytes)),
-      embeddingEngine_(
-          std::make_unique<EmbeddingEngine>(*translator_, *ftl_))
+      evCache_(options.evCache.enabled
+                   ? std::make_unique<EvCache>(options.evCache,
+                                               config.vectorBytes())
+                   : nullptr),
+      embeddingEngine_(std::make_unique<EmbeddingEngine>(
+          *translator_, *ftl_, evCache_.get(),
+          options.coalesceIndices))
 {
     if (config_.embeddingBytes() > options_.geometry.capacityBytes())
         fatal("embedding tables (%.1f GB) exceed device capacity",
               static_cast<double>(config_.embeddingBytes()) / 1e9);
 
-    const double rcpv = EmbeddingEngine::steadyStateCyclesPerRead(
-        options_.geometry, options_.timing, config_.vectorBytes());
+    // The kernel search balances the MLP against T_emb; with the EV
+    // cache on, the expected hit ratio shrinks the effective per-read
+    // cost, so the search picks faster (larger) MLP kernels to match.
+    const double rcpv =
+        options_.evCache.enabled
+            ? EmbeddingEngine::effectiveCyclesPerRead(
+                  options_.geometry, options_.timing,
+                  config_.vectorBytes(),
+                  options_.evCache.expectedHitRatio)
+            : EmbeddingEngine::steadyStateCyclesPerRead(
+                  options_.geometry, options_.timing,
+                  config_.vectorBytes());
     const KernelSearch search(options_.search);
 
     switch (options_.variant) {
@@ -378,6 +393,20 @@ RmSsd::registerStats(StatsRegistry &registry,
                         &embeddingEngine_->lookups());
     registry.addCounter(prefix + ".emb.lookupBytes",
                         &embeddingEngine_->lookupBytes());
+    registry.addCounter(prefix + ".emb.flashReads",
+                        &embeddingEngine_->flashReads());
+    registry.addCounter(prefix + ".emb.coalesced",
+                        &embeddingEngine_->coalescedLookups());
+    if (evCache_) {
+        registry.addCounter(prefix + ".emb.cache.hits",
+                            &evCache_->hits());
+        registry.addCounter(prefix + ".emb.cache.misses",
+                            &evCache_->misses());
+        registry.addCounter(prefix + ".emb.cache.fills",
+                            &evCache_->fills());
+        registry.addCounter(prefix + ".emb.cache.evictions",
+                            &evCache_->evictions());
+    }
     registry.addCounter(prefix + ".ftl.blockRequests",
                         &ftl_->blockRequests());
     registry.addCounter(prefix + ".ftl.evRequests",

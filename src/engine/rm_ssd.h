@@ -65,6 +65,16 @@ struct RmSsdOptions
     bool functional = false;
     /** Split table allocations to exercise multi-extent translation. */
     std::uint64_t maxExtentSectors = 0;
+    /**
+     * Device-side EV cache in front of the EV-FMC read path. Off by
+     * default: the paper-faithful RM-SSD has no reuse path and is
+     * locality-insensitive (Fig. 14). When enabled, the kernel search
+     * sizes the MLP against the cache-accelerated T_emb using
+     * evCache.expectedHitRatio.
+     */
+    EvCacheConfig evCache = {};
+    /** Fold duplicate (table, index) pairs within a micro-batch. */
+    bool coalesceIndices = false;
 };
 
 /** Host-visible outcome of one inference request. */
@@ -128,6 +138,9 @@ class RmSsd
     ftl::Ftl &ftl() { return *ftl_; }
     nvme::NvmeController &nvme() { return *nvme_; }
     EmbeddingEngine &embeddingEngine() { return *embeddingEngine_; }
+    /** Device-side EV cache; nullptr when the option is off. */
+    EvCache *evCache() { return evCache_.get(); }
+    const EvCache *evCache() const { return evCache_.get(); }
 
     /** Host bytes read from the device per inference accounting. */
     const Counter &hostBytesRead() const { return hostBytesRead_; }
@@ -179,6 +192,7 @@ class RmSsd
     nvme::MmioManager mmio_;
     nvme::DmaEngine dma_;
     std::unique_ptr<EvTranslator> translator_;
+    std::unique_ptr<EvCache> evCache_;
     std::unique_ptr<EmbeddingEngine> embeddingEngine_;
 
     SearchResult searchResult_;

@@ -23,4 +23,17 @@ localityK(double k)
     return cfg;
 }
 
+double
+expectedHitRatio(const TraceConfig &trace,
+                 std::uint64_t cachedRowsPerTable)
+{
+    if (cachedRowsPerTable == 0 || trace.hotRowsPerTable == 0)
+        return 0.0;
+    const double coverage = std::min(
+        1.0, static_cast<double>(cachedRowsPerTable) /
+                 static_cast<double>(trace.hotRowsPerTable));
+    return trace.hotAccessFraction *
+           std::pow(coverage, 1.0 / trace.hotSkew);
+}
+
 } // namespace rmssd::workload

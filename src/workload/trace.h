@@ -36,6 +36,18 @@ struct TraceConfig
  */
 TraceConfig localityK(double k);
 
+/**
+ * Analytic steady-state hit ratio of a device-side EV cache holding
+ * the @p cachedRowsPerTable most popular hot rows of each table.
+ *
+ * The generator draws a hot rank as floor(u^hotSkew * hotRows), so
+ * P(rank < c) = (c / hotRows)^(1 / hotSkew); cold-tail accesses are
+ * spread over the whole table and are assumed never to hit. Used to
+ * seed EvCacheConfig::expectedHitRatio for the kernel search.
+ */
+double expectedHitRatio(const TraceConfig &trace,
+                        std::uint64_t cachedRowsPerTable);
+
 } // namespace rmssd::workload
 
 #endif // RMSSD_WORKLOAD_TRACE_H

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Tests for the device-side EV cache and intra-batch index
+ * coalescing: LRU eviction mechanics, functional equivalence of the
+ * reuse path (pooled outputs bit-identical with cache/coalescing on
+ * vs. off), hit-ratio against the localityK trace generator, and the
+ * cache-aware steady-state read-rate model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/embedding_engine.h"
+#include "engine/ev_cache.h"
+#include "engine/rm_ssd.h"
+#include "model/model_zoo.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd::engine {
+namespace {
+
+model::ModelConfig
+tinyConfig()
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(512);
+    cfg.lookupsPerTable = 8;
+    return cfg;
+}
+
+/** A one-set cache of @p ways lines (direct LRU observation). */
+EvCache
+oneSetCache(std::uint32_t ways, std::uint32_t lineBytes = 16)
+{
+    EvCacheConfig cc;
+    cc.enabled = true;
+    cc.capacityBytes = static_cast<std::uint64_t>(ways) * lineBytes;
+    cc.ways = ways;
+    return EvCache(cc, lineBytes);
+}
+
+TEST(EvCache, GeometryFromConfig)
+{
+    EvCacheConfig cc;
+    cc.capacityBytes = 1024;
+    cc.ways = 4;
+    const EvCache cache(cc, 32); // 32 lines -> 8 sets x 4 ways
+    EXPECT_EQ(cache.numSets(), 8u);
+    EXPECT_EQ(cache.ways(), 4u);
+    EXPECT_EQ(cache.lineBytes(), 32u);
+}
+
+TEST(EvCache, LruEvictsOldestLine)
+{
+    EvCache cache = oneSetCache(2);
+    cache.fill(0, 1, {});
+    cache.fill(0, 2, {});
+    EXPECT_TRUE(cache.contains(0, 1));
+    EXPECT_TRUE(cache.contains(0, 2));
+
+    // Touch index 1 so index 2 becomes LRU, then overflow the set.
+    EXPECT_TRUE(cache.lookup(0, 1, nullptr));
+    cache.fill(0, 3, {});
+    EXPECT_TRUE(cache.contains(0, 1));
+    EXPECT_FALSE(cache.contains(0, 2));
+    EXPECT_TRUE(cache.contains(0, 3));
+    EXPECT_EQ(cache.evictions().value(), 1u);
+}
+
+TEST(EvCache, RefillRefreshesInsteadOfEvicting)
+{
+    EvCache cache = oneSetCache(2);
+    cache.fill(0, 1, {});
+    cache.fill(0, 2, {});
+    cache.fill(0, 1, {}); // refresh, not a new line
+    EXPECT_TRUE(cache.contains(0, 2));
+    EXPECT_EQ(cache.evictions().value(), 0u);
+
+    cache.fill(0, 3, {}); // now 2 is LRU
+    EXPECT_FALSE(cache.contains(0, 2));
+    EXPECT_TRUE(cache.contains(0, 1));
+}
+
+TEST(EvCache, TablesDoNotAlias)
+{
+    EvCache cache = oneSetCache(4);
+    cache.fill(1, 7, {});
+    EXPECT_TRUE(cache.contains(1, 7));
+    EXPECT_FALSE(cache.contains(2, 7));
+    EXPECT_FALSE(cache.lookup(2, 7, nullptr));
+}
+
+TEST(EvCache, FunctionalLookupRequiresData)
+{
+    EvCache cache = oneSetCache(2);
+    cache.fill(0, 1, {}); // timing-only line, no bytes
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(cache.lookup(0, 1, &out)) << "dataless line must miss "
+                                              "a functional probe";
+    const std::vector<std::uint8_t> bytes{1, 2, 3, 4};
+    cache.fill(0, 1, bytes);
+    EXPECT_TRUE(cache.lookup(0, 1, &out));
+    EXPECT_EQ(out, bytes);
+}
+
+TEST(EvCache, InvalidateDropsLinesKeepsCounters)
+{
+    EvCache cache = oneSetCache(2);
+    cache.fill(0, 1, {});
+    EXPECT_TRUE(cache.lookup(0, 1, nullptr));
+    cache.invalidate();
+    EXPECT_FALSE(cache.contains(0, 1));
+    EXPECT_EQ(cache.hits().value(), 1u);
+}
+
+TEST(EffectiveCyclesPerRead, ShrinksWithHitRatioAndFloors)
+{
+    const flash::Geometry g = flash::tableIIGeometry();
+    const flash::NandTiming t = flash::tableIITiming();
+    const double base =
+        EmbeddingEngine::steadyStateCyclesPerRead(g, t, 128);
+    EXPECT_DOUBLE_EQ(
+        EmbeddingEngine::effectiveCyclesPerRead(g, t, 128, 0.0), base);
+    const double half =
+        EmbeddingEngine::effectiveCyclesPerRead(g, t, 128, 0.5);
+    EXPECT_DOUBLE_EQ(half, base * 0.5);
+    // A perfect cache is still bounded by the translator issue rate.
+    EXPECT_DOUBLE_EQ(
+        EmbeddingEngine::effectiveCyclesPerRead(g, t, 128, 1.0),
+        static_cast<double>(EvTranslator::kCyclesPerIndex));
+}
+
+/** Device options with the reuse path fully on (functional). */
+RmSsdOptions
+cachedOptions()
+{
+    RmSsdOptions opt;
+    opt.functional = true;
+    opt.evCache.enabled = true;
+    opt.coalesceIndices = true;
+    return opt;
+}
+
+TEST(EvCacheEquivalence, PooledOutputsBitIdenticalOnVsOff)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions plainOpt;
+    plainOpt.functional = true;
+    RmSsd plain(cfg, plainOpt);
+    plain.loadTables();
+    RmSsd cached(cfg, cachedOptions());
+    cached.loadTables();
+
+    std::vector<model::Sample> batch;
+    for (int i = 0; i < 6; ++i)
+        batch.push_back(plain.model().makeSample(100 + i));
+    // Force heavy duplication: every sample hits the same few rows.
+    for (auto &idx : batch[1].indices)
+        idx = batch[0].indices[0];
+
+    const EmbeddingResult a =
+        plain.embeddingEngine().run(0, std::span(batch), true);
+    // Two passes over the cached device: the second runs hot.
+    const EmbeddingResult b =
+        cached.embeddingEngine().run(0, std::span(batch), true);
+    const EmbeddingResult c =
+        cached.embeddingEngine().run(0, std::span(batch), true);
+
+    ASSERT_EQ(a.pooled.size(), b.pooled.size());
+    for (std::size_t s = 0; s < a.pooled.size(); ++s) {
+        ASSERT_EQ(a.pooled[s].size(), b.pooled[s].size());
+        for (std::size_t d = 0; d < a.pooled[s].size(); ++d) {
+            EXPECT_EQ(a.pooled[s][d], b.pooled[s][d])
+                << "sample " << s << " dim " << d;
+            EXPECT_EQ(a.pooled[s][d], c.pooled[s][d])
+                << "warm sample " << s << " dim " << d;
+        }
+    }
+    EXPECT_GT(cached.evCache()->hits().value(), 0u)
+        << "second pass should hit";
+    EXPECT_GT(cached.embeddingEngine().coalescedLookups().value(), 0u);
+}
+
+TEST(EvCacheEquivalence, EndToEndInferenceMatchesPlainDevice)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions plainOpt;
+    plainOpt.functional = true;
+    RmSsd plain(cfg, plainOpt);
+    plain.loadTables();
+    RmSsd cached(cfg, cachedOptions());
+    cached.loadTables();
+
+    std::vector<model::Sample> batch;
+    for (int i = 0; i < 4; ++i)
+        batch.push_back(plain.model().makeSample(7 + i));
+
+    const auto outA = plain.infer(batch).outputs;
+    const auto outB = cached.infer(batch).outputs;
+    ASSERT_EQ(outA.size(), outB.size());
+    for (std::size_t i = 0; i < outA.size(); ++i)
+        EXPECT_EQ(outA[i], outB[i]) << "sample " << i;
+}
+
+TEST(EvCacheTiming, WarmBatchFinishesEarlier)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions opt;
+    opt.evCache.enabled = true;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+
+    std::vector<model::Sample> batch;
+    for (int i = 0; i < 4; ++i)
+        batch.push_back(dev.model().makeSample(50 + i));
+
+    const Cycle cold =
+        dev.embeddingEngine().run(0, std::span(batch), false).elapsed();
+    dev.flash().resetTiming();
+    const Cycle warm =
+        dev.embeddingEngine().run(0, std::span(batch), false).elapsed();
+    EXPECT_LT(warm, cold);
+    EXPECT_EQ(dev.evCache()->misses().value(),
+              dev.evCache()->fills().value());
+}
+
+TEST(Coalescing, DuplicateIndicesReadFlashOnce)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions opt;
+    opt.coalesceIndices = true;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+
+    model::Sample s = dev.model().makeSample(9);
+    // All lookups of table 0 reference one row.
+    const auto row = s.indices[0][0];
+    std::fill(s.indices[0].begin(), s.indices[0].end(), row);
+
+    dev.embeddingEngine().run(0, std::span(&s, 1), false);
+    const std::uint64_t lookups = cfg.lookupsPerSample();
+    EXPECT_EQ(dev.embeddingEngine().lookups().value(), lookups);
+    // At least the 7 duplicates of table 0 must coalesce; random draws
+    // in other tables may add more.
+    EXPECT_GE(dev.embeddingEngine().coalescedLookups().value(), 7u);
+    EXPECT_EQ(dev.embeddingEngine().flashReads().value() +
+                  dev.embeddingEngine().coalescedLookups().value(),
+              lookups);
+    EXPECT_EQ(dev.embeddingEngine().lookupBytes().value(),
+              dev.embeddingEngine().flashReads().value() *
+                  cfg.vectorBytes());
+}
+
+TEST(Coalescing, NeverSlowerThanPlainEngine)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions plainOpt;
+    RmSsd plain(cfg, plainOpt);
+    plain.loadTables();
+    RmSsdOptions coalOpt;
+    coalOpt.coalesceIndices = true;
+    RmSsd coal(cfg, coalOpt);
+    coal.loadTables();
+
+    std::vector<model::Sample> batch;
+    for (int i = 0; i < 4; ++i)
+        batch.push_back(plain.model().makeSample(i));
+    for (auto &idx : batch[2].indices)
+        idx = batch[3].indices[0];
+
+    const Cycle tPlain =
+        plain.embeddingEngine().run(0, std::span(batch), false).elapsed();
+    const Cycle tCoal =
+        coal.embeddingEngine().run(0, std::span(batch), false).elapsed();
+    EXPECT_LE(tCoal, tPlain);
+}
+
+TEST(EvCacheHitRatio, TracksLocalityKTraceEstimate)
+{
+    // Hot-set-sized cache against the K = 0 trace (80 % hot): the
+    // measured hit ratio converges toward workload::expectedHitRatio.
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(200000);
+    cfg.lookupsPerTable = 40;
+    cfg.numTables = 4;
+
+    workload::TraceConfig tc = workload::localityK(0.0);
+    tc.hotRowsPerTable = 2000;
+
+    RmSsdOptions opt;
+    opt.evCache.enabled = true;
+    // Oversize 4x: the estimate assumes the hot set stays resident,
+    // so leave headroom for cold-tail pollution and set conflicts.
+    opt.evCache.capacityBytes = 4 * tc.hotRowsPerTable *
+                                cfg.numTables * cfg.vectorBytes();
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+
+    workload::TraceGenerator gen(cfg, tc);
+    // Warm the cache, then measure.
+    for (int b = 0; b < 30; ++b) {
+        const auto batch = gen.nextBatch(8);
+        dev.embeddingEngine().run(0, std::span(batch), false);
+    }
+    const std::uint64_t hits0 = dev.evCache()->hits().value();
+    const std::uint64_t misses0 = dev.evCache()->misses().value();
+    for (int b = 0; b < 30; ++b) {
+        const auto batch = gen.nextBatch(8);
+        dev.embeddingEngine().run(0, std::span(batch), false);
+    }
+    const double measured =
+        static_cast<double>(dev.evCache()->hits().value() - hits0) /
+        static_cast<double>(dev.evCache()->hits().value() - hits0 +
+                            dev.evCache()->misses().value() - misses0);
+
+    const double expected = workload::expectedHitRatio(
+        tc, opt.evCache.capacityBytes / cfg.vectorBytes() /
+                cfg.numTables);
+    EXPECT_DOUBLE_EQ(expected, 0.80);
+    EXPECT_NEAR(measured, expected, 0.12);
+    EXPECT_GT(measured, 0.5);
+}
+
+TEST(ExpectedHitRatio, PartialCoverageFollowsPowerLaw)
+{
+    workload::TraceConfig tc;
+    tc.hotAccessFraction = 0.8;
+    tc.hotRowsPerTable = 10000;
+    tc.hotSkew = 2.0;
+    // Covering a quarter of the hot set captures sqrt(1/4) = half of
+    // the hot draws.
+    EXPECT_NEAR(workload::expectedHitRatio(tc, 2500), 0.4, 1e-9);
+    EXPECT_DOUBLE_EQ(workload::expectedHitRatio(tc, 0), 0.0);
+    EXPECT_DOUBLE_EQ(workload::expectedHitRatio(tc, 20000), 0.8);
+}
+
+TEST(RmSsdCache, SearchAdaptsToExpectedHitRatio)
+{
+    // With the cache on, the kernel search sees a smaller T_emb and
+    // must still produce a feasible (or at worst MLP-bound) plan; the
+    // embedding read estimate should shrink accordingly.
+    const model::ModelConfig cfg = model::rmc1();
+    RmSsdOptions plain;
+    RmSsd dev(cfg, plain);
+
+    RmSsdOptions cachedOpt;
+    cachedOpt.evCache.enabled = true;
+    cachedOpt.evCache.expectedHitRatio = 0.8;
+    RmSsd cached(cfg, cachedOpt);
+
+    const double perReadPlain =
+        static_cast<double>(dev.searchResult().embReadCycles) /
+        dev.searchResult().plan.microBatch;
+    const double perReadCached =
+        static_cast<double>(cached.searchResult().embReadCycles) /
+        cached.searchResult().plan.microBatch;
+    EXPECT_LT(perReadCached, perReadPlain);
+}
+
+} // namespace
+} // namespace rmssd::engine
