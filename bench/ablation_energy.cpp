@@ -41,8 +41,8 @@ runAblation()
             dev.loadTables();
             const double qps = dev.steadyStateQps(4, 16);
             const std::uint64_t samples = dev.inferences().value();
-            const Nanos elapsed = static_cast<Nanos>(
-                1e9 * static_cast<double>(samples) / qps);
+            const Nanos elapsed{static_cast<std::uint64_t>(
+                1e9 * static_cast<double>(samples) / qps)};
             const engine::EnergyReport r =
                 energy.rmSsdWindow(dev, elapsed, samples);
             const double scale = 1e3 / static_cast<double>(samples);
@@ -64,7 +64,7 @@ runAblation()
                 run.hostTrafficBytes / 4096; // misses fill 4 KB pages
             const engine::EnergyReport r = energy.hostWindow(
                 cfg, run.totalNanos, run.totalNanos, run.samples,
-                run.hostTrafficBytes, pageReads);
+                Bytes{run.hostTrafficBytes}, pageReads);
             const double scale =
                 1e3 / static_cast<double>(run.samples);
             table.addRow({modelName, system,
@@ -93,7 +93,7 @@ BM_EnergyAccounting(benchmark::State &state)
     const engine::EnergyModel energy;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            energy.rmSsdWindow(dev, 1'000'000, 100).total());
+            energy.rmSsdWindow(dev, Nanos{1'000'000}, 100).total());
     }
 }
 BENCHMARK(BM_EnergyAccounting);

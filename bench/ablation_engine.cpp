@@ -51,7 +51,7 @@ runAblation()
         const double rcpv =
             engine::EmbeddingEngine::steadyStateCyclesPerRead(
                 flash::tableIIGeometry(), flash::tableIITiming(),
-                cfg.vectorBytes());
+                Bytes{cfg.vectorBytes()});
 
         std::printf("--- %s ---\n", cfg.name.c_str());
         bench::TextTable table({"variant", "Nbatch", "interval (cyc)",
@@ -79,9 +79,9 @@ runAblation()
                 static_cast<double>(plan.microBatch) /
                 nanosToSeconds(cyclesToNanos(t.pipelineInterval));
             table.addRow({v.name, std::to_string(plan.microBatch),
-                          std::to_string(t.pipelineInterval),
+                          std::to_string(t.pipelineInterval.raw()),
                           bench::fmt(qps, 0),
-                          std::to_string(t.latency),
+                          std::to_string(t.latency.raw()),
                           std::to_string(res.dsp),
                           std::to_string(res.lut)});
         }
@@ -104,7 +104,7 @@ BM_PlanTiming(benchmark::State &state)
         engine::makePlan(cfg, engine::KernelConfig{16, 16}, true, true);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            engine::planTiming(plan, 100000).pipelineInterval);
+            engine::planTiming(plan, Cycle{100000}).pipelineInterval);
     }
 }
 BENCHMARK(BM_PlanTiming);

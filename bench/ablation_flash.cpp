@@ -45,7 +45,8 @@ runGeometrySweep()
 
             const double rcpv =
                 engine::EmbeddingEngine::steadyStateCyclesPerRead(
-                    geom, flash::tableIITiming(), cfg.vectorBytes());
+                    geom, flash::tableIITiming(),
+                    Bytes{cfg.vectorBytes()});
             table.addRow({std::to_string(channels),
                           std::to_string(dies), bench::fmt(rcpv, 1),
                           bench::fmt(dev.steadyStateQps(4, 8), 0),
@@ -78,11 +79,13 @@ runEvSizeSweep()
         dev.loadTables();
         const double rcpv =
             engine::EmbeddingEngine::steadyStateCyclesPerRead(
-                flash::tableIIGeometry(), timing, cfg.vectorBytes());
+                flash::tableIIGeometry(), timing,
+                Bytes{cfg.vectorBytes()});
         table.addRow(
             {std::to_string(dim), std::to_string(cfg.vectorBytes()),
              std::to_string(
-                 timing.vectorReadTotalCycles(cfg.vectorBytes())),
+                 timing.vectorReadTotalCycles(Bytes{cfg.vectorBytes()})
+                     .raw()),
              bench::fmt(rcpv, 1),
              bench::fmt(dev.steadyStateQps(4, 8), 0)});
     }
@@ -101,7 +104,7 @@ BM_SteadyStateCyclesPerRead(benchmark::State &state)
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             engine::EmbeddingEngine::steadyStateCyclesPerRead(
-                geom, timing, 128));
+                geom, timing, Bytes{128}));
     }
 }
 BENCHMARK(BM_SteadyStateCyclesPerRead);

@@ -47,9 +47,11 @@ runFigure()
                 time.addRow({std::to_string(batch), system,
                              bench::fmtTimesPer1k(r.latencyPerBatch())});
                 const double total =
-                    static_cast<double>(r.breakdown.total());
+                    static_cast<double>(r.breakdown.total().raw());
                 auto pct = [&](Nanos v) {
-                    return bench::fmt(100.0 * v / total, 1);
+                    return bench::fmt(
+                        100.0 * static_cast<double>(v.raw()) / total,
+                        1);
                 };
                 parts.addRow({std::to_string(batch), system,
                               pct(r.breakdown.topMlp),

@@ -32,10 +32,10 @@ cacheForTrace(const model::ModelConfig &cfg,
 {
     engine::EvCacheConfig cc;
     cc.enabled = true;
-    cc.capacityBytes = tc.hotRowsPerTable * cfg.numTables *
-                       cfg.vectorBytes();
+    cc.capacityBytes = Bytes{tc.hotRowsPerTable * cfg.numTables *
+                             cfg.vectorBytes()};
     const std::uint64_t rowsPerTable =
-        cc.capacityBytes / cfg.vectorBytes() / cfg.numTables;
+        cc.capacityBytes.raw() / cfg.vectorBytes() / cfg.numTables;
     cc.expectedHitRatio = workload::expectedHitRatio(tc, rowsPerTable);
     return cc;
 }

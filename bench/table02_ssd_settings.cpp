@@ -38,18 +38,22 @@ runTable()
                   bench::fmt(nvme.randomReadIops() / 1000.0, 1) +
                       "K IOPS"});
     table.addRow({"Latency Tpage", "20 us",
-                  bench::fmt(cyclesToNanos(t.pageReadTotalCycles()) /
+                  bench::fmt(static_cast<double>(
+                                 cyclesToNanos(t.pageReadTotalCycles())
+                                     .raw()) /
                                  1000.0,
                              1) +
                       " us"});
     table.addRow({"Page read delay Cpage", "4000 cycles",
-                  std::to_string(t.pageReadTotalCycles()) + " cycles"});
+                  std::to_string(t.pageReadTotalCycles().raw()) + " cycles"});
     table.addRow(
         {"EV read delay CEV(128B)", "0.293*128+2800 = 2838",
-         std::to_string(t.vectorReadTotalCycles(128)) + " cycles"});
+         std::to_string(t.vectorReadTotalCycles(Bytes{128}).raw()) +
+             " cycles"});
     table.addRow(
         {"EV read delay CEV(256B)", "0.293*256+2800 = 2875",
-         std::to_string(t.vectorReadTotalCycles(256)) + " cycles"});
+         std::to_string(t.vectorReadTotalCycles(Bytes{256}).raw()) +
+             " cycles"});
     table.print();
 }
 
@@ -59,9 +63,12 @@ BM_VectorReadTiming(benchmark::State &state)
     flash::FlashArray array(flash::tableIIGeometry(),
                             flash::tableIITiming());
     std::uint64_t ppn = 0;
-    Cycle now = 0;
+    Cycle now{};
     for (auto _ : state) {
-        now = array.readVector(now, ppn++ % 100000, 0, 128, {}).done;
+        now = array
+                  .readVector(now, PageId{ppn++ % 100000}, Bytes{},
+                              Bytes{128}, {})
+                  .done;
         benchmark::DoNotOptimize(now);
     }
 }

@@ -40,7 +40,7 @@ runTable()
         const double rcpv =
             engine::EmbeddingEngine::steadyStateCyclesPerRead(
                 flash::tableIIGeometry(), flash::tableIITiming(),
-                cfg.vectorBytes());
+                Bytes{cfg.vectorBytes()});
         const auto res = engine::KernelSearch().search(cfg, rcpv);
 
         std::string layers;
@@ -70,16 +70,16 @@ runTable()
         const double rcpv =
             engine::EmbeddingEngine::steadyStateCyclesPerRead(
                 flash::tableIIGeometry(), flash::tableIITiming(),
-                cfg.vectorBytes());
+                Bytes{cfg.vectorBytes()});
         const auto res = engine::KernelSearch().search(cfg, rcpv);
         const double qps =
             static_cast<double>(res.plan.microBatch) /
             nanosToSeconds(cyclesToNanos(res.timing.pipelineInterval));
         timing.addRow({cfg.name,
-                       std::to_string(res.timing.embPrime),
-                       std::to_string(res.timing.botPrime),
-                       std::to_string(res.timing.topPrime),
-                       std::to_string(res.timing.pipelineInterval),
+                       std::to_string(res.timing.embPrime.raw()),
+                       std::to_string(res.timing.botPrime.raw()),
+                       std::to_string(res.timing.topPrime.raw()),
+                       std::to_string(res.timing.pipelineInterval.raw()),
                        bench::fmt(qps, 0)});
     }
     timing.print();
@@ -92,7 +92,7 @@ BM_KernelSearch(benchmark::State &state)
     const double rcpv =
         engine::EmbeddingEngine::steadyStateCyclesPerRead(
             flash::tableIIGeometry(), flash::tableIITiming(),
-            cfg.vectorBytes());
+            Bytes{cfg.vectorBytes()});
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             engine::KernelSearch().search(cfg, rcpv).feasible);

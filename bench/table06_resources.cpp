@@ -27,7 +27,7 @@ rcpvFor(const model::ModelConfig &cfg)
 {
     return engine::EmbeddingEngine::steadyStateCyclesPerRead(
         flash::tableIIGeometry(), flash::tableIITiming(),
-        cfg.vectorBytes());
+        Bytes{cfg.vectorBytes()});
 }
 
 ResourceUsage
@@ -48,14 +48,6 @@ variantResources(const model::ModelConfig &cfg, const char *variant,
         cfg, engine::KernelConfig{16, 16}, remapped, remapped);
     ks.placeWeights(plan, notes);
     return rm.engineResources(plan.allLayers(), plan.ii);
-}
-
-std::string
-usageStr(const ResourceUsage &u)
-{
-    return std::to_string(u.lut) + " / " + std::to_string(u.ff) +
-           " / " + bench::fmt(u.bram, 1) + " / " +
-           std::to_string(u.dsp);
 }
 
 void

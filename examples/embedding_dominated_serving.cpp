@@ -44,7 +44,8 @@ main()
             static_cast<double>(r.hostTrafficBytes) / r.batches *
             1000.0 / 1e6;
         std::printf("%-14s %12.0f %14.2f %16.1f\n", name, r.qps(),
-                    r.latencyPerBatch() / 1e6, mbPer1k);
+                    static_cast<double>(r.latencyPerBatch().raw()) / 1e6,
+                    mbPer1k);
     }
 
     std::printf("\nTakeaway: vector-grained in-storage pooling plus "

@@ -32,7 +32,7 @@ main(int argc, char **argv)
     const double rcpv =
         engine::EmbeddingEngine::steadyStateCyclesPerRead(
             flash::tableIIGeometry(), flash::tableIITiming(),
-            config.vectorBytes());
+            Bytes{config.vectorBytes()});
     const engine::SearchResult res =
         engine::KernelSearch(sc).search(config, rcpv);
 
@@ -49,7 +49,7 @@ main(int argc, char **argv)
                     l.kernel.kr, l.kernel.kc,
                     l.weightsInDram ? "DRAM" : "BRAM",
                     static_cast<unsigned long long>(
-                        engine::fcLayerCycles(l, res.plan.ii)));
+                        engine::fcLayerCycles(l, res.plan.ii).raw()));
     }
 
     std::printf("\nRule decisions:\n");
@@ -62,11 +62,14 @@ main(int argc, char **argv)
                              : "NOT met (MLP-bound)");
     std::printf("Temb' = %llu  Tbot' = %llu  Ttop' = %llu  "
                 "interval = %llu cycles\n",
-                static_cast<unsigned long long>(res.timing.embPrime),
-                static_cast<unsigned long long>(res.timing.botPrime),
-                static_cast<unsigned long long>(res.timing.topPrime),
                 static_cast<unsigned long long>(
-                    res.timing.pipelineInterval));
+                    res.timing.embPrime.raw()),
+                static_cast<unsigned long long>(
+                    res.timing.botPrime.raw()),
+                static_cast<unsigned long long>(
+                    res.timing.topPrime.raw()),
+                static_cast<unsigned long long>(
+                    res.timing.pipelineInterval.raw()));
     const double qps =
         static_cast<double>(res.plan.microBatch) /
         nanosToSeconds(cyclesToNanos(res.timing.pipelineInterval));

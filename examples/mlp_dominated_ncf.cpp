@@ -88,7 +88,9 @@ main()
         const std::vector<float> out = rt.RM_read_outputs();
         std::printf("request %zu: %zu CTRs, first = %.6f, "
                     "latency = %.1f us\n",
-                    r, out.size(), out[0], rt.lastLatency() / 1000.0);
+                    r, out.size(), out[0],
+                    static_cast<double>(rt.lastLatency().raw()) /
+                        1000.0);
     }
 
     // --- Why offload MLP-dominated models? --------------------------

@@ -49,7 +49,8 @@ main()
 
     std::printf("batch of %zu inferences finished in %.1f us "
                 "(simulated)\n",
-                batch.size(), out.latency / 1000.0);
+                batch.size(),
+                static_cast<double>(out.latency.raw()) / 1000.0);
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const float ref = device.model().referenceInference(batch[i]);
         std::printf("  sample %zu: CTR = %.6f  (host reference "

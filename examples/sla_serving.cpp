@@ -52,8 +52,11 @@ main(int argc, char **argv)
         std::printf("%-10s %12.0f %10.1f %10.1f %10.1f %10.1f\n",
                     (std::to_string(static_cast<int>(util * 100)) + "%")
                         .c_str(),
-                    r.offeredQps, r.p50 / 1e3, r.p95 / 1e3,
-                    r.p99 / 1e3, r.meanLatency / 1e3);
+                    r.offeredQps,
+                    static_cast<double>(r.p50.raw()) / 1e3,
+                    static_cast<double>(r.p95.raw()) / 1e3,
+                    static_cast<double>(r.p99.raw()) / 1e3,
+                    static_cast<double>(r.meanLatency.raw()) / 1e3);
     }
     std::printf(
         "\nReading: RM-SSD sustains the offered load with flat p50 "

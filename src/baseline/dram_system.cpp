@@ -23,8 +23,9 @@ DramSystem::run(workload::TraceGenerator &gen, std::uint32_t batchSize,
         gen.nextBatch(batchSize);
         workload::Breakdown bd;
         // SLS pooling straight from DRAM.
-        bd.embOp += batchSize * cpu_.slsNanos(config_.lookupsPerSample(),
-                                              config_.vectorBytes());
+        bd.embOp += batchSize *
+                    cpu_.slsNanos(config_.lookupsPerSample(),
+                                  Bytes{config_.vectorBytes()});
         if (slsOnly_) {
             bd.other += cpu_.frameworkNanos();
         } else {

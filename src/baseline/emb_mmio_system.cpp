@@ -33,14 +33,14 @@ EmbMmioSystem::run(workload::TraceGenerator &gen,
             for (std::uint32_t t = 0; t < config_.numTables; ++t) {
                 for (const std::uint64_t row : sample.indices[t]) {
                     // Whole page containing the vector, QD1.
-                    const std::uint64_t pageByte =
+                    const Bytes pageByte{
                         row * static_cast<std::uint64_t>(evBytes) /
-                        pageSize * pageSize;
+                        pageSize * pageSize};
                     const auto loc = ssd_.tableExtents(t).locateByte(
-                        pageByte, sectorSize);
+                        pageByte, Bytes{sectorSize});
                     const Cycle issue = nanosToCycles(hostNow_);
                     const Cycle done = ssd_.nvme().readBlocks(
-                        issue, loc.lba, sectorsPerPage, {});
+                        issue, loc.lba, Sectors{sectorsPerPage}, {});
                     const Nanos device = cyclesToNanos(done - issue);
                     bd.embSsd += device;
                     bd.embOp += kMmioPageCopyNanos;
@@ -49,7 +49,8 @@ EmbMmioSystem::run(workload::TraceGenerator &gen,
                 }
             }
             const Nanos sls =
-                cpu_.slsNanos(config_.lookupsPerSample(), evBytes);
+                cpu_.slsNanos(config_.lookupsPerSample(),
+                              Bytes{evBytes});
             bd.embOp += sls;
             hostNow_ += sls;
         }

@@ -27,12 +27,12 @@ class EmbMmioSystem : public InferenceSystem
 
   private:
     /** Userspace copy cost of one 4 KB page pulled over MMIO. */
-    static constexpr Nanos kMmioPageCopyNanos = 2000;
+    static constexpr Nanos kMmioPageCopyNanos{2000};
 
     model::ModelConfig config_;
     host::CpuModel cpu_;
     SimulatedSsd ssd_;
-    Nanos hostNow_ = 0;
+    Nanos hostNow_;
 };
 
 } // namespace rmssd::baseline

@@ -34,11 +34,11 @@ PageGrainPooler::poolBatch(Cycle start,
                 if (cached && cached(t, row))
                     continue;
                 // Whole page through the conventional FMC path.
-                const std::uint64_t pageByte =
+                const Bytes pageByte{
                     row * static_cast<std::uint64_t>(evBytes) /
-                    pageSize * pageSize;
+                    pageSize * pageSize};
                 const auto loc = ssd_.tableExtents(t).locateByte(
-                    pageByte, sectorSize);
+                    pageByte, Bytes{sectorSize});
                 const auto phys = ssd_.ftl().translate(loc.lba);
                 const Cycle done =
                     ssd_.flash()
@@ -88,10 +88,11 @@ EmbPageSumSystem::run(workload::TraceGenerator &gen,
         const std::uint64_t indexBytes =
             static_cast<std::uint64_t>(batchSize) *
             config_.lookupsPerSample() * sizeof(std::uint32_t);
-        const Cycle inputsReady = dma_.transfer(deviceNow_, indexBytes);
+        const Cycle inputsReady =
+            dma_.transfer(deviceNow_, Bytes{indexBytes});
         const Cycle poolDone = pooler_.poolBatch(inputsReady, batch, {});
         const Cycle end =
-            dma_.transfer(poolDone, pooledBytes * batchSize);
+            dma_.transfer(poolDone, Bytes{pooledBytes * batchSize});
         bd.embSsd += cyclesToNanos(end - deviceNow_);
         deviceNow_ = end;
         result.hostTrafficBytes += pooledBytes * batchSize;

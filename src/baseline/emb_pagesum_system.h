@@ -33,7 +33,7 @@ class PageGrainPooler
      */
     explicit PageGrainPooler(SimulatedSsd &ssd,
                              const model::ModelConfig &config,
-                             Cycle perReadOverheadCycles = 0);
+                             Cycle perReadOverheadCycles = Cycle{});
 
     /** Lookup filter: true = served by the host cache, skip flash. */
     using HostCached =
@@ -75,7 +75,7 @@ class EmbPageSumSystem : public InferenceSystem
     SimulatedSsd ssd_;
     PageGrainPooler pooler_;
     nvme::DmaEngine dma_;
-    Cycle deviceNow_ = 0;
+    Cycle deviceNow_;
 };
 
 } // namespace rmssd::baseline

@@ -110,11 +110,12 @@ RecssdSystem::run(workload::TraceGenerator &gen,
         const std::uint64_t indexBytes =
             static_cast<std::uint64_t>(batchSize) *
             config_.lookupsPerSample() * sizeof(std::uint32_t);
-        const Cycle inputsReady = dma_.transfer(deviceNow_, indexBytes);
+        const Cycle inputsReady =
+            dma_.transfer(deviceNow_, Bytes{indexBytes});
         const Cycle poolDone =
             pooler_.poolBatch(inputsReady, batch, cached);
         const Cycle end =
-            dma_.transfer(poolDone, pooledBytes * batchSize);
+            dma_.transfer(poolDone, Bytes{pooledBytes * batchSize});
         bd.embSsd += cyclesToNanos(end - deviceNow_);
         deviceNow_ = end;
         result.hostTrafficBytes += pooledBytes * batchSize;

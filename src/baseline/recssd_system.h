@@ -59,7 +59,7 @@ class RecssdSystem : public InferenceSystem
 
   private:
     /** Host-side merge cost of one cached vector into the pool. */
-    static constexpr Nanos kMergePerVectorNanos = 60;
+    static constexpr Nanos kMergePerVectorNanos{60};
     /**
      * Per-page firmware handling on the device (command parsing,
      * FTL interaction, page-aligned result buffering) — the OpenSSD
@@ -69,7 +69,7 @@ class RecssdSystem : public InferenceSystem
      * device page lookup, and the paper notes vector extraction and
      * summing take about half the total lookup time on the ARM path.
      */
-    static constexpr Cycle kFirmwarePerPageCycles = 1000;
+    static constexpr Cycle kFirmwarePerPageCycles{1000};
 
     model::ModelConfig config_;
     host::CpuModel cpu_;
@@ -77,7 +77,7 @@ class RecssdSystem : public InferenceSystem
     PageGrainPooler pooler_;
     HostVectorCache cache_;
     nvme::DmaEngine dma_;
-    Cycle deviceNow_ = 0;
+    Cycle deviceNow_;
 };
 
 } // namespace rmssd::baseline

@@ -35,7 +35,7 @@ RmSsdSystem::measureLatency(workload::TraceGenerator &gen,
                             std::uint32_t batchSize,
                             std::uint32_t requests)
 {
-    Nanos sum = 0;
+    Nanos sum;
     for (std::uint32_t r = 0; r < requests; ++r) {
         device_->resetTiming();
         sum += device_->infer(gen.nextBatch(batchSize)).latency;
@@ -63,7 +63,7 @@ RmSsdSystem::run(workload::TraceGenerator &gen, std::uint32_t batchSize,
     const std::uint64_t trafficBefore = device_->hostBytesRead().value();
 
     Cycle lastCompletion = start;
-    Nanos latencySum = 0;
+    Nanos latencySum;
     for (std::uint32_t b = 0; b < numBatches; ++b) {
         const auto out = device_->infer(gen.nextBatch(batchSize));
         lastCompletion = std::max(lastCompletion, out.completionCycle);

@@ -30,8 +30,8 @@ SsdNaiveSystem::serveBatch(const std::vector<model::Sample> &batch,
             for (const std::uint64_t row : sample.indices[t]) {
                 const host::IoCost cost = reader_->readVector(
                     t, ssd_.tableExtents(t),
-                    row * static_cast<std::uint64_t>(evBytes), evBytes,
-                    hostNow_, {});
+                    Bytes{row * static_cast<std::uint64_t>(evBytes)},
+                    Bytes{evBytes}, hostNow_, {});
                 hostNow_ += cost.total();
                 bd.embFs += cost.fsNanos;
                 bd.embSsd += cost.ssdNanos;
@@ -39,7 +39,7 @@ SsdNaiveSystem::serveBatch(const std::vector<model::Sample> &batch,
         }
         // Userspace SLS accumulation over the fetched vectors.
         const Nanos sls =
-            cpu_.slsNanos(config_.lookupsPerSample(), evBytes);
+            cpu_.slsNanos(config_.lookupsPerSample(), Bytes{evBytes});
         bd.embOp += sls;
         hostNow_ += sls;
     }

@@ -44,7 +44,7 @@ class SsdNaiveSystem : public InferenceSystem
     host::CpuModel cpu_;
     SimulatedSsd ssd_;
     std::unique_ptr<host::HostFileReader> reader_;
-    Nanos hostNow_ = 0;
+    Nanos hostNow_;
 };
 
 } // namespace rmssd::baseline

@@ -20,14 +20,14 @@ SimulatedSsd::layoutTables(const model::ModelConfig &config)
     const std::uint32_t sectorSize =
         flash_.geometry().sectorSizeBytes;
     ftl::ExtentAllocator allocator(
-        flash_.geometry().capacityBytes() / sectorSize);
+        Sectors{flash_.geometry().capacityBytes() / sectorSize});
     extents_.clear();
     const std::uint64_t tableBytes =
         config.rowsPerTable *
         static_cast<std::uint64_t>(config.vectorBytes());
     for (std::uint32_t t = 0; t < config.numTables; ++t) {
-        const std::uint64_t sectors =
-            (tableBytes + sectorSize - 1) / sectorSize;
+        const Sectors sectors{(tableBytes + sectorSize - 1) /
+                              sectorSize};
         extents_.push_back(allocator.allocate(
             sectors, flash_.geometry().sectorsPerPage()));
     }
@@ -58,8 +58,8 @@ addHostMlpCosts(const host::CpuModel &cpu,
     const Nanos top =
         cpu.mlpNanos(toFcShapes(config.topShapes()), batchSize);
     const Nanos cat = cpu.concatNanos(
-        static_cast<std::uint64_t>(batchSize) * config.topInputDim() *
-        sizeof(float));
+        Bytes{static_cast<std::uint64_t>(batchSize) *
+              config.topInputDim() * sizeof(float)});
     const Nanos fw = cpu.frameworkNanos();
 
     breakdown.botMlp += bot;

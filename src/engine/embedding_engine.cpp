@@ -12,9 +12,10 @@ namespace {
 
 /** Coalescing key: (table, index) packed like EvCache's line tags. */
 std::uint64_t
-lookupKey(std::uint32_t tableId, std::uint64_t index)
+lookupKey(TableId tableId, EvIndex index)
 {
-    return (static_cast<std::uint64_t>(tableId) << 48) | index;
+    return (static_cast<std::uint64_t>(tableId.raw()) << 48) |
+           index.raw();
 }
 
 } // namespace
@@ -42,7 +43,7 @@ EmbeddingEngine::run(Cycle start, std::span<const model::Sample> samples,
     // of every unique (table, index) already served this micro-batch.
     struct Slot
     {
-        Cycle done = 0;
+        Cycle done;
         std::vector<std::uint8_t> data;
     };
     std::unordered_map<std::uint64_t, Slot> seen;
@@ -55,15 +56,15 @@ EmbeddingEngine::run(Cycle start, std::span<const model::Sample> samples,
         const model::Sample &sample = samples[s];
         model::Vector pooledSample;
         for (std::size_t t = 0; t < sample.indices.size(); ++t) {
-            const std::uint32_t tableId = static_cast<std::uint32_t>(t);
-            const std::uint32_t evBytes =
-                translator_.vectorBytes(tableId);
-            const std::uint32_t dim =
-                evBytes / static_cast<std::uint32_t>(sizeof(float));
+            const TableId tableId{static_cast<std::uint32_t>(t)};
+            const Bytes evBytes = translator_.vectorBytes(tableId);
+            const std::uint32_t dim = static_cast<std::uint32_t>(
+                evBytes.raw() / sizeof(float));
             std::vector<float> acc(functional ? dim : 0, 0.0f);
 
             Cycle tableDone = issue;
-            for (const std::uint64_t index : sample.indices[t]) {
+            for (const std::uint64_t rawIndex : sample.indices[t]) {
+                const EvIndex index{rawIndex};
                 const std::uint64_t key = lookupKey(tableId, index);
                 std::span<const std::uint8_t> bytes;
                 Cycle done;
@@ -87,7 +88,7 @@ EmbeddingEngine::run(Cycle start, std::span<const model::Sample> samples,
                         translator_.translate(tableId, index);
                     std::span<std::uint8_t> out;
                     if (functional) {
-                        buf.resize(req.bytes);
+                        buf.resize(req.bytes.raw());
                         out = buf;
                     }
                     done = ftl_.readBytes(issue, req.lba,
@@ -95,7 +96,7 @@ EmbeddingEngine::run(Cycle start, std::span<const model::Sample> samples,
                                           out);
                     bytes = buf;
                     flashReads_.inc();
-                    lookupBytes_.inc(req.bytes);
+                    lookupBytes_.inc(req.bytes.raw());
                     if (cache_) {
                         cache_->fill(
                             tableId, index,
@@ -136,17 +137,17 @@ EmbeddingEngine::run(Cycle start, std::span<const model::Sample> samples,
 double
 EmbeddingEngine::steadyStateCyclesPerRead(
     const flash::Geometry &geometry, const flash::NandTiming &timing,
-    std::uint32_t evBytes)
+    Bytes evBytes)
 {
     // Per channel, a vector read occupies its die for the flush and
     // the shared bus for the transfer; with D dies the flushes
     // overlap, so the channel sustains one read per
     // max(flush/D, transfer) cycles. Channels run in parallel.
     const double flushShare =
-        static_cast<double>(timing.flushCycles()) /
+        static_cast<double>(timing.flushCycles().raw()) /
         static_cast<double>(geometry.diesPerChannel);
     const double busShare =
-        static_cast<double>(timing.transferCycles(evBytes));
+        static_cast<double>(timing.transferCycles(evBytes).raw());
     return std::max(flushShare, busShare) /
            static_cast<double>(geometry.numChannels);
 }
@@ -154,7 +155,7 @@ EmbeddingEngine::steadyStateCyclesPerRead(
 double
 EmbeddingEngine::effectiveCyclesPerRead(
     const flash::Geometry &geometry, const flash::NandTiming &timing,
-    std::uint32_t evBytes, double hitRatio)
+    Bytes evBytes, double hitRatio)
 {
     const double base =
         steadyStateCyclesPerRead(geometry, timing, evBytes);
@@ -163,7 +164,7 @@ EmbeddingEngine::effectiveCyclesPerRead(
     // Hits stream out of the cache at the translator's issue rate, so
     // the device never sustains more than one read per index cycle.
     return std::max(
-        static_cast<double>(EvTranslator::kCyclesPerIndex),
+        static_cast<double>(EvTranslator::kCyclesPerIndex.raw()),
         missFraction * base);
 }
 

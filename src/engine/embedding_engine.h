@@ -35,10 +35,10 @@ namespace rmssd::engine {
 /** Outcome of one micro-batch of embedding lookups. */
 struct EmbeddingResult
 {
-    Cycle startCycle = 0;
-    Cycle doneCycle = 0;
+    Cycle startCycle;
+    Cycle doneCycle;
     /** Cycle the translator finished issuing this batch's reads. */
-    Cycle issueEndCycle = 0;
+    Cycle issueEndCycle;
     /** Per-sample pooled vectors (numTables*dim); empty if timing-only. */
     std::vector<model::Vector> pooled;
 
@@ -74,7 +74,7 @@ class EmbeddingEngine
      */
     static double steadyStateCyclesPerRead(
         const flash::Geometry &geometry,
-        const flash::NandTiming &timing, std::uint32_t evBytes);
+        const flash::NandTiming &timing, Bytes evBytes);
 
     /**
      * Cache-aware variant: with a fraction @p hitRatio of lookups
@@ -86,7 +86,7 @@ class EmbeddingEngine
      */
     static double effectiveCyclesPerRead(
         const flash::Geometry &geometry,
-        const flash::NandTiming &timing, std::uint32_t evBytes,
+        const flash::NandTiming &timing, Bytes evBytes,
         double hitRatio);
 
     const Counter &lookups() const { return lookups_; }

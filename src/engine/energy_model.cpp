@@ -38,18 +38,20 @@ EnergyModel::rmSsdWindow(const RmSsd &device, Nanos elapsed,
     const std::uint64_t flushes =
         flash.totalPageReads() + flash.totalVectorReads() +
         flash.totalPagePrograms();
-    r.flashJ = flushes * costs_.flashFlushNanojoules * kNano +
-               flash.totalBusBytes() * costs_.busPicojoulesPerByte *
-                   kPico;
+    r.flashJ = static_cast<double>(flushes) *
+                   costs_.flashFlushNanojoules * kNano +
+               static_cast<double>(flash.totalBusBytes()) *
+                   costs_.busPicojoulesPerByte * kPico;
 
     // Compute: the MLP engine's MACs plus pooling adds.
     r.computeJ = static_cast<double>(inferences) *
-                 macsPerSample(d.model().config()) *
+                 static_cast<double>(
+                     macsPerSample(d.model().config())) *
                  costs_.fpgaMacPicojoules * kPico;
 
     // Host transfers: indices/dense down, results up.
-    r.transferJ = (d.hostBytesRead().value() +
-                   d.hostBytesWritten().value()) *
+    r.transferJ = static_cast<double>(d.hostBytesRead().value() +
+                                      d.hostBytesWritten().value()) *
                   costs_.pciePicojoulesPerByte * kPico;
 
     // Static: SSD + its FPGA for the whole window; the host idles.
@@ -62,21 +64,24 @@ EnergyModel::rmSsdWindow(const RmSsd &device, Nanos elapsed,
 EnergyReport
 EnergyModel::hostWindow(const model::ModelConfig &config, Nanos elapsed,
                         Nanos hostBusy, std::uint64_t inferences,
-                        std::uint64_t deviceBytes,
+                        Bytes deviceBytes,
                         std::uint64_t pageReads) const
 {
     EnergyReport r;
-    r.flashJ = pageReads * costs_.flashFlushNanojoules * kNano +
-               deviceBytes * costs_.busPicojoulesPerByte * kPico;
+    r.flashJ = static_cast<double>(pageReads) *
+                   costs_.flashFlushNanojoules * kNano +
+               static_cast<double>(deviceBytes.raw()) *
+                   costs_.busPicojoulesPerByte * kPico;
     r.computeJ = static_cast<double>(inferences) *
-                 macsPerSample(config) * costs_.cpuMacPicojoules *
-                 kPico;
+                 static_cast<double>(macsPerSample(config)) *
+                 costs_.cpuMacPicojoules * kPico;
     // Embedding bytes stream through host DRAM once.
     r.computeJ += static_cast<double>(inferences) *
-                  config.lookupsPerSample() * config.vectorBytes() *
+                  static_cast<double>(config.lookupsPerSample() *
+                                      config.vectorBytes()) *
                   costs_.dramPicojoulesPerByte * kPico;
-    r.transferJ =
-        deviceBytes * costs_.pciePicojoulesPerByte * kPico;
+    r.transferJ = static_cast<double>(deviceBytes.raw()) *
+                  costs_.pciePicojoulesPerByte * kPico;
     r.staticJ = costs_.ssdStaticWatts * nanosToSeconds(elapsed);
     r.hostJ = costs_.hostCpuWatts * nanosToSeconds(hostBusy);
     return r;

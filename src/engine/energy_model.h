@@ -91,7 +91,7 @@ class EnergyModel
     EnergyReport hostWindow(const model::ModelConfig &config,
                             Nanos elapsed, Nanos hostBusy,
                             std::uint64_t inferences,
-                            std::uint64_t deviceBytes,
+                            Bytes deviceBytes,
                             std::uint64_t pageReads) const;
 
   private:

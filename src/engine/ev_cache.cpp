@@ -20,14 +20,14 @@ mixKey(std::uint64_t x)
 
 } // namespace
 
-EvCache::EvCache(const EvCacheConfig &config, std::uint32_t lineBytes)
+EvCache::EvCache(const EvCacheConfig &config, Bytes lineBytes)
     : lineBytes_(lineBytes), ways_(config.ways),
       hitCycles_(config.hitCycles)
 {
-    RMSSD_ASSERT(lineBytes_ > 0, "zero EV cache line size");
+    RMSSD_ASSERT(lineBytes_ > Bytes{}, "zero EV cache line size");
     RMSSD_ASSERT(ways_ > 0, "zero EV cache associativity");
-    const std::uint64_t lines =
-        std::max<std::uint64_t>(1, config.capacityBytes / lineBytes_);
+    const std::uint64_t lines = std::max<std::uint64_t>(
+        1, config.capacityBytes / lineBytes_);
     ways_ = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(ways_, lines));
     const std::uint64_t numSets = std::max<std::uint64_t>(
@@ -38,10 +38,12 @@ EvCache::EvCache(const EvCacheConfig &config, std::uint32_t lineBytes)
 }
 
 std::uint64_t
-EvCache::makeKey(std::uint32_t tableId, std::uint64_t index)
+EvCache::makeKey(TableId tableId, EvIndex index)
 {
-    RMSSD_ASSERT(index < (1ULL << 48), "embedding index exceeds key space");
-    return (static_cast<std::uint64_t>(tableId) << 48) | index;
+    RMSSD_ASSERT(index.raw() < (1ULL << 48),
+                 "embedding index exceeds key space");
+    return (static_cast<std::uint64_t>(tableId.raw()) << 48) |
+           index.raw();
 }
 
 std::size_t
@@ -51,7 +53,7 @@ EvCache::setIndex(std::uint64_t key) const
 }
 
 bool
-EvCache::lookup(std::uint32_t tableId, std::uint64_t index,
+EvCache::lookup(TableId tableId, EvIndex index,
                 std::vector<std::uint8_t> *out)
 {
     const std::uint64_t key = makeKey(tableId, index);
@@ -74,7 +76,7 @@ EvCache::lookup(std::uint32_t tableId, std::uint64_t index,
 }
 
 void
-EvCache::fill(std::uint32_t tableId, std::uint64_t index,
+EvCache::fill(TableId tableId, EvIndex index,
               std::span<const std::uint8_t> data)
 {
     const std::uint64_t key = makeKey(tableId, index);
@@ -105,7 +107,7 @@ EvCache::fill(std::uint32_t tableId, std::uint64_t index,
 }
 
 bool
-EvCache::contains(std::uint32_t tableId, std::uint64_t index) const
+EvCache::contains(TableId tableId, EvIndex index) const
 {
     const std::uint64_t key = makeKey(tableId, index);
     const auto &set = sets_[setIndex(key)];

@@ -35,11 +35,11 @@ struct EvCacheConfig
     /** Master switch; off reproduces the paper-faithful device. */
     bool enabled = false;
     /** Total data capacity (device SRAM/BRAM budget). */
-    std::uint64_t capacityBytes = 4ull << 20;
+    Bytes capacityBytes{4ull << 20};
     /** Set associativity. */
     std::uint32_t ways = 8;
     /** Latency of a hit (SRAM read + mux back into the EV Sum path). */
-    Cycle hitCycles = 4;
+    Cycle hitCycles{4};
     /**
      * Hit ratio assumed by the kernel search when sizing the MLP
      * kernels against the cache-accelerated T_emb (see
@@ -58,7 +58,7 @@ class EvCache
      * @param lineBytes size of one cached vector (EVsize); capacity
      *        and associativity come from @p config
      */
-    EvCache(const EvCacheConfig &config, std::uint32_t lineBytes);
+    EvCache(const EvCacheConfig &config, Bytes lineBytes);
 
     /**
      * Probe for (table, index). On a hit the line becomes
@@ -68,7 +68,7 @@ class EvCache
      * re-reads flash and the fill refreshes the line with real bytes).
      * @return true on hit
      */
-    bool lookup(std::uint32_t tableId, std::uint64_t index,
+    bool lookup(TableId tableId, EvIndex index,
                 std::vector<std::uint8_t> *out);
 
     /**
@@ -76,11 +76,11 @@ class EvCache
      * @p data may be empty for timing-only runs. Evicts the set's LRU
      * line when the set is full.
      */
-    void fill(std::uint32_t tableId, std::uint64_t index,
+    void fill(TableId tableId, EvIndex index,
               std::span<const std::uint8_t> data);
 
     /** Probe without touching LRU state (tests/debug). */
-    bool contains(std::uint32_t tableId, std::uint64_t index) const;
+    bool contains(TableId tableId, EvIndex index) const;
 
     /** Drop all lines; counters are kept. */
     void invalidate();
@@ -90,7 +90,7 @@ class EvCache
         return static_cast<std::uint32_t>(sets_.size());
     }
     std::uint32_t ways() const { return ways_; }
-    std::uint32_t lineBytes() const { return lineBytes_; }
+    Bytes lineBytes() const { return lineBytes_; }
     Cycle hitCycles() const { return hitCycles_; }
 
     const Counter &hits() const { return hits_; }
@@ -110,11 +110,10 @@ class EvCache
         std::vector<std::uint8_t> data;
     };
 
-    static std::uint64_t makeKey(std::uint32_t tableId,
-                                 std::uint64_t index);
+    static std::uint64_t makeKey(TableId tableId, EvIndex index);
     std::size_t setIndex(std::uint64_t key) const;
 
-    std::uint32_t lineBytes_;
+    Bytes lineBytes_;
     std::uint32_t ways_;
     Cycle hitCycles_;
     std::uint64_t tick_ = 0; //!< monotonic LRU clock

@@ -25,7 +25,7 @@ class EvSum
 {
   public:
     /** Drain latency of the fadd pipeline after the last vector. */
-    static constexpr Cycle kDrainCycles = 8;
+    static constexpr Cycle kDrainCycles{8};
 
     /** Reinterpret @p raw as fp32 and add element-wise into @p acc. */
     static void accumulateBytes(std::span<const std::uint8_t> raw,

@@ -6,45 +6,47 @@
 
 namespace rmssd::engine {
 
-EvTranslator::EvTranslator(std::uint32_t sectorSizeBytes)
-    : sectorSize_(sectorSizeBytes)
+EvTranslator::EvTranslator(Bytes sectorSize)
+    : sectorSize_(sectorSize)
 {
-    RMSSD_ASSERT(sectorSize_ > 0, "zero sector size");
+    RMSSD_ASSERT(sectorSize_ > Bytes{}, "zero sector size");
 }
 
 void
-EvTranslator::registerTable(std::uint32_t tableId,
+EvTranslator::registerTable(TableId tableId,
                             const ftl::ExtentList &extents,
-                            std::uint32_t evBytes, std::uint64_t numRows)
+                            Bytes evBytes, std::uint64_t numRows)
 {
-    RMSSD_ASSERT(evBytes > 0, "zero EV size");
-    if (tableId >= tables_.size())
-        tables_.resize(tableId + 1);
+    RMSSD_ASSERT(evBytes > Bytes{}, "zero EV size");
+    if (tableId.raw() >= tables_.size())
+        tables_.resize(tableId.raw() + 1);
 
     TableMeta meta;
     meta.evBytes = evBytes;
     meta.numRows = numRows;
     std::uint64_t nextIndex = 0;
     for (const ftl::Extent &e : extents.extents()) {
-        const std::uint64_t extentBytes = e.sectorCount * sectorSize_;
-        RMSSD_ASSERT(extentBytes % evBytes == 0,
+        const Bytes extentBytes{e.sectorCount.raw() * sectorSize_.raw()};
+        RMSSD_ASSERT(extentBytes.raw() % evBytes.raw() == 0,
                      "extent does not hold whole vectors");
         const std::uint64_t vectors = extentBytes / evBytes;
-        meta.ranges.push_back(
-            ExtentRange{nextIndex, nextIndex + vectors, e.startLba});
+        meta.ranges.push_back(ExtentRange{EvIndex{nextIndex},
+                                          EvIndex{nextIndex + vectors},
+                                          e.startLba});
         nextIndex += vectors;
     }
     if (nextIndex < numRows)
         fatal("table %u extents cover %llu rows but table has %llu",
-              tableId, static_cast<unsigned long long>(nextIndex),
+              tableId.raw(), static_cast<unsigned long long>(nextIndex),
               static_cast<unsigned long long>(numRows));
-    tables_[tableId] = std::move(meta);
+    tables_[tableId.raw()] = std::move(meta);
 }
 
 bool
-EvTranslator::hasTable(std::uint32_t tableId) const
+EvTranslator::hasTable(TableId tableId) const
 {
-    return tableId < tables_.size() && tables_[tableId].evBytes != 0;
+    return tableId.raw() < tables_.size() &&
+           tables_[tableId.raw()].evBytes != Bytes{};
 }
 
 std::uint32_t
@@ -52,44 +54,45 @@ EvTranslator::numTables() const
 {
     std::uint32_t n = 0;
     for (const auto &t : tables_) {
-        if (t.evBytes != 0)
+        if (t.evBytes != Bytes{})
             ++n;
     }
     return n;
 }
 
 const EvTranslator::TableMeta &
-EvTranslator::meta(std::uint32_t tableId) const
+EvTranslator::meta(TableId tableId) const
 {
     if (!hasTable(tableId))
-        fatal("embedding table %u is not registered", tableId);
-    return tables_[tableId];
+        fatal("embedding table %u is not registered", tableId.raw());
+    return tables_[tableId.raw()];
 }
 
 EvReadRequest
-EvTranslator::translate(std::uint32_t tableId, std::uint64_t index) const
+EvTranslator::translate(TableId tableId, EvIndex index) const
 {
     const TableMeta &m = meta(tableId);
-    RMSSD_ASSERT(index < m.numRows, "embedding index out of range");
+    RMSSD_ASSERT(index.raw() < m.numRows,
+                 "embedding index out of range");
 
     // Step 3: find the covering extent. The hardware checks all index
     // ranges in parallel; ranges are sorted, so binary search gives
     // the same answer.
     const auto it = std::upper_bound(
         m.ranges.begin(), m.ranges.end(), index,
-        [](std::uint64_t idx, const ExtentRange &r) {
+        [](EvIndex idx, const ExtentRange &r) {
             return idx < r.lastIndex;
         });
     RMSSD_ASSERT(it != m.ranges.end() && index >= it->firstIndex,
                  "no extent covers the index");
 
     // Steps 4-5: start LBA plus the index offset within the extent.
-    const std::uint64_t byteOffset =
-        (index - it->firstIndex) * static_cast<std::uint64_t>(m.evBytes);
+    const Bytes byteOffset{(index - it->firstIndex).raw() *
+                           m.evBytes.raw()};
     EvReadRequest req;
-    req.lba = it->startLba + byteOffset / sectorSize_;
-    req.byteInSector =
-        static_cast<std::uint32_t>(byteOffset % sectorSize_);
+    req.lba = it->startLba + Sectors{byteOffset.raw() /
+                                     sectorSize_.raw()};
+    req.byteInSector = byteOffset % sectorSize_.raw();
     req.bytes = m.evBytes;
     req.tableId = tableId;
     return req;
@@ -101,11 +104,11 @@ EvTranslator::metadataScanCycles() const
     std::uint64_t widest = 0;
     for (const auto &t : tables_)
         widest = std::max<std::uint64_t>(widest, t.ranges.size());
-    return widest;
+    return Cycle{widest};
 }
 
-std::uint32_t
-EvTranslator::vectorBytes(std::uint32_t tableId) const
+Bytes
+EvTranslator::vectorBytes(TableId tableId) const
 {
     return meta(tableId).evBytes;
 }

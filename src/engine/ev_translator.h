@@ -26,10 +26,10 @@ namespace rmssd::engine {
 /** A vector-grained flash read emitted by the translator. */
 struct EvReadRequest
 {
-    std::uint64_t lba = 0;
-    std::uint32_t byteInSector = 0;
-    std::uint32_t bytes = 0;
-    std::uint32_t tableId = 0;
+    Lba lba;
+    Bytes byteInSector;
+    Bytes bytes;
+    TableId tableId;
 };
 
 /** Device-side index-to-LBA translation unit. */
@@ -37,26 +37,24 @@ class EvTranslator
 {
   public:
     /** Pipelined issue rate: one translated index per cycle. */
-    static constexpr Cycle kCyclesPerIndex = 1;
+    static constexpr Cycle kCyclesPerIndex{1};
     /** Depth of the translation pipeline (steps 2-5 of Fig. 6). */
-    static constexpr Cycle kPipelineFillCycles = 8;
+    static constexpr Cycle kPipelineFillCycles{8};
 
-    explicit EvTranslator(std::uint32_t sectorSizeBytes);
+    explicit EvTranslator(Bytes sectorSize);
 
     /**
      * Install a table's metadata (RM_open_table path).
      * @param evBytes size of one embedding vector in bytes
      */
-    void registerTable(std::uint32_t tableId,
-                       const ftl::ExtentList &extents,
-                       std::uint32_t evBytes, std::uint64_t numRows);
+    void registerTable(TableId tableId, const ftl::ExtentList &extents,
+                       Bytes evBytes, std::uint64_t numRows);
 
-    bool hasTable(std::uint32_t tableId) const;
+    bool hasTable(TableId tableId) const;
     std::uint32_t numTables() const;
 
     /** Fig. 6 steps 2-5 for one index. Fatal on unknown table/index. */
-    EvReadRequest translate(std::uint32_t tableId,
-                            std::uint64_t index) const;
+    EvReadRequest translate(TableId tableId, EvIndex index) const;
 
     /**
      * Step 1: per-batch metadata scan cost — the widest table's
@@ -65,27 +63,27 @@ class EvTranslator
     Cycle metadataScanCycles() const;
 
     /** EVsize of a registered table. */
-    std::uint32_t vectorBytes(std::uint32_t tableId) const;
+    Bytes vectorBytes(TableId tableId) const;
 
   private:
     /** One extent's precomputed index range (Fig. 6's table rows). */
     struct ExtentRange
     {
-        std::uint64_t firstIndex = 0; //!< inclusive
-        std::uint64_t lastIndex = 0;  //!< exclusive
-        std::uint64_t startLba = 0;
+        EvIndex firstIndex; //!< inclusive
+        EvIndex lastIndex;  //!< exclusive
+        Lba startLba;
     };
 
     struct TableMeta
     {
-        std::uint32_t evBytes = 0;
+        Bytes evBytes;
         std::uint64_t numRows = 0;
         std::vector<ExtentRange> ranges;
     };
 
-    const TableMeta &meta(std::uint32_t tableId) const;
+    const TableMeta &meta(TableId tableId) const;
 
-    std::uint32_t sectorSize_;
+    Bytes sectorSize_;
     std::vector<TableMeta> tables_; //!< indexed by tableId
 };
 

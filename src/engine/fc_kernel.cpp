@@ -22,7 +22,7 @@ fcLayerCycles(const model::LayerShape &shape, const KernelConfig &kernel,
         (shape.inputs + kernel.kr - 1) / kernel.kr;
     const std::uint64_t colSteps =
         (shape.outputs + kernel.kc - 1) / kernel.kc;
-    return rowSteps * colSteps * ii;
+    return Cycle{rowSteps * colSteps * ii};
 }
 
 Cycle

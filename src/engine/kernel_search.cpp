@@ -53,7 +53,8 @@ KernelSearch::embReadCycles(const model::ModelConfig &model,
 {
     const double reads = static_cast<double>(model.lookupsPerSample()) *
                          microBatch;
-    return static_cast<Cycle>(std::ceil(reads * readCyclesPerVector));
+    return Cycle{static_cast<std::uint64_t>(
+        std::ceil(reads * readCyclesPerVector))};
 }
 
 void

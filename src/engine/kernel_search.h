@@ -55,7 +55,7 @@ struct SearchResult
     MlpPlan plan;            //!< kernels, DRAM flags, microBatch set
     MlpTiming timing;        //!< at the chosen micro-batch
     ResourceUsage resources; //!< engine total
-    Cycle embReadCycles = 0; //!< flash read time of one micro-batch
+    Cycle embReadCycles; //!< flash read time of one micro-batch
     bool feasible = false;   //!< Eq. 2 targets met
     std::vector<std::string> notes; //!< human-readable decisions
 };

@@ -120,7 +120,7 @@ composedCycles(const std::vector<EngineLayer> &layers, std::uint32_t ii)
 {
     // Eq. 1b/1c: adjacent layers pair up; each pair costs the max of
     // its two members, an odd tail layer costs itself.
-    Cycle total = 0;
+    Cycle total;
     for (std::size_t i = 0; i < layers.size(); i += 2) {
         Cycle pair = fcLayerCycles(layers[i], ii);
         if (i + 1 < layers.size()) {
@@ -134,7 +134,7 @@ composedCycles(const std::vector<EngineLayer> &layers, std::uint32_t ii)
 Cycle
 sequentialCycles(const std::vector<EngineLayer> &layers, std::uint32_t ii)
 {
-    Cycle total = 0;
+    Cycle total;
     for (const EngineLayer &layer : layers)
         total += fcLayerCycles(layer, ii);
     return total;

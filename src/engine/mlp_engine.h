@@ -60,13 +60,13 @@ MlpPlan makePlan(const model::ModelConfig &config,
 /** Timing of one micro-batch through the plan (Eq. 1a-1c). */
 struct MlpTiming
 {
-    Cycle embPrime = 0; //!< Eq. 1a: max(flash reads, Le)
-    Cycle botPrime = 0; //!< Eq. 1b
-    Cycle topPrime = 0; //!< Eq. 1c
+    Cycle embPrime; //!< Eq. 1a: max(flash reads, Le)
+    Cycle botPrime; //!< Eq. 1b
+    Cycle topPrime; //!< Eq. 1c
     /** Steady-state initiation interval of the inference pipeline. */
-    Cycle pipelineInterval = 0;
+    Cycle pipelineInterval;
     /** Fill latency of one micro-batch through all stages. */
-    Cycle latency = 0;
+    Cycle latency;
 };
 
 /**

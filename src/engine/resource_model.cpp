@@ -60,7 +60,7 @@ ResourceModel::layerResources(const EngineLayer &layer,
     u.dsp = pes * (costs_.fmulDsp + costs_.faddDsp);
     u.bram = costs_.layerBram;
     if (!layer.weightsInDram)
-        u.bram += weightBram(layer.weightBytes());
+        u.bram += weightBram(Bytes{layer.weightBytes()});
     // DRAM-fed layers double-buffer a kernel stripe on chip instead.
     else
         u.bram += 2.0 * std::ceil(k.kr * sizeof(float) / 32.0);
@@ -79,9 +79,9 @@ ResourceModel::engineResources(const std::vector<EngineLayer> &layers,
 }
 
 double
-ResourceModel::weightBram(std::uint64_t bytes) const
+ResourceModel::weightBram(Bytes bytes) const
 {
-    return std::ceil(2.0 * static_cast<double>(bytes) /
+    return std::ceil(2.0 * static_cast<double>(bytes.raw()) /
                      costs_.bytesPerBram) /
            2.0; // half-BRAM (BRAM18) granularity
 }

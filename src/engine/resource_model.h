@@ -102,7 +102,7 @@ class ResourceModel
                                   std::uint32_t ii) const;
 
     /** BRAM36 blocks to hold @p bytes of weights. */
-    double weightBram(std::uint64_t bytes) const;
+    double weightBram(Bytes bytes) const;
 
   private:
     ResourceCosts costs_;

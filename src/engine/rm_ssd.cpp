@@ -16,10 +16,10 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
                        options.geometry.totalPages()))),
       nvme_(std::make_unique<nvme::NvmeController>(*ftl_)),
       translator_(std::make_unique<EvTranslator>(
-          options.geometry.sectorSizeBytes)),
+          Bytes{options.geometry.sectorSizeBytes})),
       evCache_(options.evCache.enabled
-                   ? std::make_unique<EvCache>(options.evCache,
-                                               config.vectorBytes())
+                   ? std::make_unique<EvCache>(
+                         options.evCache, Bytes{config.vectorBytes()})
                    : nullptr),
       embeddingEngine_(std::make_unique<EmbeddingEngine>(
           *translator_, *ftl_, evCache_.get(),
@@ -36,11 +36,11 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
         options_.evCache.enabled
             ? EmbeddingEngine::effectiveCyclesPerRead(
                   options_.geometry, options_.timing,
-                  config_.vectorBytes(),
+                  Bytes{config_.vectorBytes()},
                   options_.evCache.expectedHitRatio)
             : EmbeddingEngine::steadyStateCyclesPerRead(
                   options_.geometry, options_.timing,
-                  config_.vectorBytes());
+                  Bytes{config_.vectorBytes()});
     const KernelSearch search(options_.search);
 
     switch (options_.variant) {
@@ -94,22 +94,22 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
 }
 
 void
-RmSsd::registerTable(std::uint32_t tableId,
+RmSsd::registerTable(TableId tableId,
                      const ftl::ExtentList &extents)
 {
-    RMSSD_ASSERT(tableId < config_.numTables, "table id out of range");
-    const auto &spec = model_.embedding().tables()[tableId];
-    translator_->registerTable(spec.tableId, extents,
-                               spec.vectorBytes(), spec.numRows);
+    RMSSD_ASSERT(tableId.raw() < config_.numTables,
+                 "table id out of range");
+    const auto &spec = model_.embedding().tables()[tableId.raw()];
+    translator_->registerTable(tableId, extents,
+                               Bytes{spec.vectorBytes()}, spec.numRows);
 
     if (options_.functional) {
-        const std::uint32_t sectorSize =
-            options_.geometry.sectorSizeBytes;
+        const Bytes sectorSize{options_.geometry.sectorSizeBytes};
         std::vector<std::uint8_t> row(spec.vectorBytes());
         for (std::uint64_t r = 0; r < spec.numRows; ++r) {
             spec.rowBytes(r, row);
-            const auto loc =
-                extents.locateByte(r * spec.vectorBytes(), sectorSize);
+            const auto loc = extents.locateByte(
+                Bytes{r * spec.vectorBytes()}, sectorSize);
             ftl_->writeBytesFunctional(loc.lba, loc.byteInSector, row);
         }
     }
@@ -121,13 +121,13 @@ RmSsd::loadTables()
 {
     const std::uint32_t sectorSize = options_.geometry.sectorSizeBytes;
     ftl::ExtentAllocator allocator(
-        options_.geometry.capacityBytes() / sectorSize,
+        Sectors{options_.geometry.capacityBytes() / sectorSize},
         options_.maxExtentSectors);
 
     for (const auto &spec : model_.embedding().tables()) {
-        const std::uint64_t sectors =
-            (spec.totalBytes() + sectorSize - 1) / sectorSize;
-        registerTable(spec.tableId,
+        const Sectors sectors{(spec.totalBytes() + sectorSize - 1) /
+                              sectorSize};
+        registerTable(TableId{spec.tableId},
                       allocator.allocate(
                           sectors, options_.geometry.sectorsPerPage()));
     }
@@ -139,18 +139,19 @@ RmSsd::loadTablesTimed()
     const std::uint32_t sectorSize = options_.geometry.sectorSizeBytes;
     const std::uint32_t pageSize = options_.geometry.pageSizeBytes;
     ftl::ExtentAllocator allocator(
-        options_.geometry.capacityBytes() / sectorSize,
+        Sectors{options_.geometry.capacityBytes() / sectorSize},
         options_.maxExtentSectors);
 
     Cycle done = deviceNow_;
     std::vector<std::uint8_t> pageBuf(pageSize);
     for (const auto &spec : model_.embedding().tables()) {
-        const std::uint64_t sectors =
-            (spec.totalBytes() + sectorSize - 1) / sectorSize;
+        const Sectors sectors{(spec.totalBytes() + sectorSize - 1) /
+                              sectorSize};
         const ftl::ExtentList extents = allocator.allocate(
             sectors, options_.geometry.sectorsPerPage());
-        translator_->registerTable(spec.tableId, extents,
-                                   spec.vectorBytes(), spec.numRows);
+        translator_->registerTable(TableId{spec.tableId}, extents,
+                                   Bytes{spec.vectorBytes()},
+                                   spec.numRows);
 
         // Program every page of the table through the timed write
         // path; pages stripe over channels/dies via the FTL layout.
@@ -158,7 +159,8 @@ RmSsd::loadTablesTimed()
         std::uint64_t row = 0;
         for (const ftl::Extent &e : extents.extents()) {
             const std::uint64_t pages =
-                e.sectorCount / options_.geometry.sectorsPerPage();
+                e.sectorCount.raw() /
+                options_.geometry.sectorsPerPage();
             for (std::uint64_t p = 0; p < pages && row < spec.numRows;
                  ++p) {
                 if (options_.functional) {
@@ -170,8 +172,9 @@ RmSsd::loadTablesTimed()
                                 .subspan(v * spec.vectorBytes(),
                                          spec.vectorBytes()));
                 }
-                const std::uint64_t lba =
-                    e.startLba + p * options_.geometry.sectorsPerPage();
+                const Lba lba =
+                    e.startLba +
+                    Sectors{p * options_.geometry.sectorsPerPage()};
                 const auto loc = ftl_->translate(lba);
                 done = std::max(
                     done,
@@ -291,7 +294,7 @@ RmSsd::infer(std::span<const model::Sample> samples)
     const std::uint64_t denseBytes =
         samples.size() * config_.denseInputDim() * sizeof(float);
     const Cycle inputsReady =
-        dma_.transfer(paramsDone, indexBytes + denseBytes);
+        dma_.transfer(paramsDone, Bytes{indexBytes + denseBytes});
     hostBytesWritten_.inc(indexBytes + denseBytes);
 
     InferenceOutcome outcome;
@@ -326,7 +329,7 @@ RmSsd::infer(std::span<const model::Sample> samples)
                                nvme::RmReg::ResultStatus))
                     .done;
     if (resultBytes > nvme::MmioManager::kDataWidthBytes) {
-        end = dma_.transfer(end, resultBytes);
+        end = dma_.transfer(end, Bytes{resultBytes});
         hostBytesRead_.inc(resultBytes);
     } else {
         hostBytesRead_.inc(nvme::MmioManager::kDataWidthBytes);
@@ -441,11 +444,11 @@ RmSsd::resetTiming()
 {
     flash_->resetTiming();
     dma_.resetTiming();
-    deviceNow_ = 0;
-    lastCompletion_ = 0;
-    secondLastCompletion_ = 0;
-    bottomUnitFree_ = 0;
-    topUnitFree_ = 0;
+    deviceNow_ = {};
+    lastCompletion_ = {};
+    secondLastCompletion_ = {};
+    bottomUnitFree_ = {};
+    topUnitFree_ = {};
 }
 
 } // namespace rmssd::engine

@@ -64,7 +64,7 @@ struct RmSsdOptions
     /** Load real table bytes into flash (small tables only). */
     bool functional = false;
     /** Split table allocations to exercise multi-extent translation. */
-    std::uint64_t maxExtentSectors = 0;
+    Sectors maxExtentSectors;
     /**
      * Device-side EV cache in front of the EV-FMC read path. Off by
      * default: the paper-faithful RM-SSD has no reuse path and is
@@ -80,8 +80,8 @@ struct RmSsdOptions
 /** Host-visible outcome of one inference request. */
 struct InferenceOutcome
 {
-    Nanos latency = 0;        //!< request arrival to results readable
-    Cycle completionCycle = 0; //!< absolute device cycle of completion
+    Nanos latency;        //!< request arrival to results readable
+    Cycle completionCycle; //!< absolute device cycle of completion
     /**
      * Per-sample results (functional only): one CTR value per sample,
      * or the pooled embedding (numTables*dim floats per sample) for
@@ -112,7 +112,7 @@ class RmSsd
      * API's RM_open_table path). Data is written when the device is
      * functional. Inference unlocks once all tables are registered.
      */
-    void registerTable(std::uint32_t tableId,
+    void registerTable(TableId tableId,
                        const ftl::ExtentList &extents);
 
     /**
@@ -175,8 +175,8 @@ class RmSsd
     /** Timing of one micro-batch's MLP stages given its read time. */
     struct MicroBatchDone
     {
-        Cycle done = 0;
-        Cycle issueEnd = 0;
+        Cycle done;
+        Cycle issueEnd;
     };
     MicroBatchDone runMicroBatch(Cycle inputsReady,
                                  std::span<const model::Sample> samples,
@@ -198,11 +198,11 @@ class RmSsd
     SearchResult searchResult_;
     bool tablesLoaded_ = false;
 
-    Cycle deviceNow_ = 0;
-    Cycle lastCompletion_ = 0;
-    Cycle secondLastCompletion_ = 0;
-    Cycle bottomUnitFree_ = 0;
-    Cycle topUnitFree_ = 0;
+    Cycle deviceNow_;
+    Cycle lastCompletion_;
+    Cycle secondLastCompletion_;
+    Cycle bottomUnitFree_;
+    Cycle topUnitFree_;
 
     Counter hostBytesRead_;
     Counter hostBytesWritten_;

@@ -14,7 +14,7 @@ BackingStore::BackingStore(std::uint32_t pageSizeBytes)
 }
 
 void
-BackingStore::writePage(std::uint64_t ppn,
+BackingStore::writePage(PageId ppn,
                         std::span<const std::uint8_t> data)
 {
     RMSSD_ASSERT(data.size() == pageSize_, "write is not page sized");
@@ -22,10 +22,10 @@ BackingStore::writePage(std::uint64_t ppn,
 }
 
 void
-BackingStore::writePartial(std::uint64_t ppn, std::uint32_t offset,
+BackingStore::writePartial(PageId ppn, Bytes offset,
                            std::span<const std::uint8_t> data)
 {
-    RMSSD_ASSERT(offset + data.size() <= pageSize_,
+    RMSSD_ASSERT(offset.raw() + data.size() <= pageSize_,
                  "partial write crosses page boundary");
     auto it = pages_.find(ppn);
     if (it == pages_.end()) {
@@ -36,40 +36,44 @@ BackingStore::writePartial(std::uint64_t ppn, std::uint32_t offset,
             page[i] = fillerByte(ppn, i);
         it = pages_.emplace(ppn, std::move(page)).first;
     }
-    std::copy(data.begin(), data.end(), it->second.begin() + offset);
+    std::copy(data.begin(), data.end(),
+              it->second.begin() +
+                  static_cast<std::ptrdiff_t>(offset.raw()));
 }
 
 void
-BackingStore::read(std::uint64_t ppn, std::uint32_t offset,
+BackingStore::read(PageId ppn, Bytes offset,
                    std::span<std::uint8_t> out) const
 {
-    RMSSD_ASSERT(offset + out.size() <= pageSize_,
+    RMSSD_ASSERT(offset.raw() + out.size() <= pageSize_,
                  "read crosses page boundary");
     auto it = pages_.find(ppn);
     if (it != pages_.end()) {
-        std::copy_n(it->second.begin() + offset, out.size(), out.begin());
+        std::copy_n(it->second.begin() +
+                        static_cast<std::ptrdiff_t>(offset.raw()),
+                    out.size(), out.begin());
         return;
     }
     for (std::size_t i = 0; i < out.size(); ++i)
-        out[i] = fillerByte(ppn, offset + static_cast<std::uint32_t>(i));
+        out[i] = fillerByte(ppn, offset.raw() + i);
 }
 
 bool
-BackingStore::isWritten(std::uint64_t ppn) const
+BackingStore::isWritten(PageId ppn) const
 {
     return pages_.contains(ppn);
 }
 
 void
-BackingStore::erasePage(std::uint64_t ppn)
+BackingStore::erasePage(PageId ppn)
 {
     pages_.erase(ppn);
 }
 
 std::uint8_t
-BackingStore::fillerByte(std::uint64_t ppn, std::uint32_t off)
+BackingStore::fillerByte(PageId ppn, std::uint64_t off)
 {
-    return static_cast<std::uint8_t>(hashCombine(ppn, off) & 0xff);
+    return static_cast<std::uint8_t>(hashCombine(ppn.raw(), off) & 0xff);
 }
 
 } // namespace rmssd::flash

@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/types.h"
+
 namespace rmssd::flash {
 
 /** Sparse page-content map keyed by physical page number. */
@@ -26,24 +28,24 @@ class BackingStore
     explicit BackingStore(std::uint32_t pageSizeBytes);
 
     /** Overwrite a full page. @p data must be exactly one page. */
-    void writePage(std::uint64_t ppn, std::span<const std::uint8_t> data);
+    void writePage(PageId ppn, std::span<const std::uint8_t> data);
 
     /** Overwrite part of a page starting at @p offset. */
-    void writePartial(std::uint64_t ppn, std::uint32_t offset,
+    void writePartial(PageId ppn, Bytes offset,
                       std::span<const std::uint8_t> data);
 
     /**
      * Read @p out.size() bytes from @p offset within page @p ppn.
      * Unwritten pages yield deterministic filler bytes.
      */
-    void read(std::uint64_t ppn, std::uint32_t offset,
+    void read(PageId ppn, Bytes offset,
               std::span<std::uint8_t> out) const;
 
     /** Whether a page has ever been written. */
-    bool isWritten(std::uint64_t ppn) const;
+    bool isWritten(PageId ppn) const;
 
     /** Drop a page's content (block erase path). */
-    void erasePage(std::uint64_t ppn);
+    void erasePage(PageId ppn);
 
     /** Number of pages currently materialized. */
     std::size_t materializedPages() const { return pages_.size(); }
@@ -52,10 +54,10 @@ class BackingStore
 
   private:
     /** Deterministic filler byte for unwritten storage. */
-    static std::uint8_t fillerByte(std::uint64_t ppn, std::uint32_t off);
+    static std::uint8_t fillerByte(PageId ppn, std::uint64_t off);
 
     std::uint32_t pageSize_;
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+    std::unordered_map<PageId, std::vector<std::uint8_t>> pages_;
 };
 
 } // namespace rmssd::flash

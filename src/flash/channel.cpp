@@ -16,8 +16,8 @@ ChannelBus::transfer(Cycle ready, Cycle duration)
 void
 ChannelBus::reset()
 {
-    nextFree_ = 0;
-    busy_ = 0;
+    nextFree_ = {};
+    busy_ = {};
 }
 
 } // namespace rmssd::flash

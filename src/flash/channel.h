@@ -36,8 +36,8 @@ class ChannelBus
     void reset();
 
   private:
-    Cycle nextFree_ = 0;
-    Cycle busy_ = 0;
+    Cycle nextFree_;
+    Cycle busy_;
 };
 
 } // namespace rmssd::flash

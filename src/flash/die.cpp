@@ -16,8 +16,8 @@ FlashDie::acquire(Cycle earliest, Cycle duration)
 void
 FlashDie::reset()
 {
-    nextFree_ = 0;
-    busy_ = 0;
+    nextFree_ = {};
+    busy_ = {};
 }
 
 } // namespace rmssd::flash

@@ -37,8 +37,8 @@ class FlashDie
     void reset();
 
   private:
-    Cycle nextFree_ = 0;
-    Cycle busy_ = 0;
+    Cycle nextFree_;
+    Cycle busy_;
 };
 
 } // namespace rmssd::flash

@@ -20,7 +20,7 @@ FlashArray::FlashArray(const Geometry &geometry, const NandTiming &timing)
 }
 
 ReadTiming
-FlashArray::readPage(Cycle issue, std::uint64_t ppn,
+FlashArray::readPage(Cycle issue, PageId ppn,
                      std::span<std::uint8_t> out)
 {
     const Pba pba = geometry_.decompose(ppn);
@@ -28,21 +28,21 @@ FlashArray::readPage(Cycle issue, std::uint64_t ppn,
     if (!out.empty()) {
         RMSSD_ASSERT(out.size() == geometry_.pageSizeBytes,
                      "page read buffer is not page sized");
-        store_.read(ppn, 0, out);
+        store_.read(ppn, Bytes{}, out);
     }
     return t;
 }
 
 ReadTiming
-FlashArray::readVector(Cycle issue, std::uint64_t ppn,
-                       std::uint32_t colOffset, std::uint32_t bytes,
-                       std::span<std::uint8_t> out)
+FlashArray::readVector(Cycle issue, PageId ppn, Bytes colOffset,
+                       Bytes bytes, std::span<std::uint8_t> out)
 {
     const Pba pba = geometry_.decompose(ppn);
     if (!out.empty()) {
-        RMSSD_ASSERT(out.size() == bytes, "vector read size mismatch");
+        RMSSD_ASSERT(out.size() == bytes.raw(),
+                     "vector read size mismatch");
     }
-    RMSSD_ASSERT(colOffset + bytes <= geometry_.pageSizeBytes,
+    RMSSD_ASSERT((colOffset + bytes).raw() <= geometry_.pageSizeBytes,
                  "vector read crosses page boundary");
     const ReadTiming t =
         fmcs_[pba.channel]->readVector(issue, pba.die, bytes);
@@ -52,7 +52,7 @@ FlashArray::readVector(Cycle issue, std::uint64_t ppn,
 }
 
 Cycle
-FlashArray::programPage(Cycle issue, std::uint64_t ppn,
+FlashArray::programPage(Cycle issue, PageId ppn,
                         std::span<const std::uint8_t> data)
 {
     const Pba pba = geometry_.decompose(ppn);
@@ -65,15 +65,14 @@ FlashArray::programPage(Cycle issue, std::uint64_t ppn,
 }
 
 void
-FlashArray::writePageFunctional(std::uint64_t ppn,
+FlashArray::writePageFunctional(PageId ppn,
                                 std::span<const std::uint8_t> data)
 {
     store_.writePage(ppn, data);
 }
 
 void
-FlashArray::writePartialFunctional(std::uint64_t ppn,
-                                   std::uint32_t offset,
+FlashArray::writePartialFunctional(PageId ppn, Bytes offset,
                                    std::span<const std::uint8_t> data)
 {
     store_.writePartial(ppn, offset, data);
@@ -85,11 +84,11 @@ FlashArray::blockKey(const Pba &pba) const
     // Collapse the page dimension: same key for every page of a block.
     Pba block = pba;
     block.page = 0;
-    return geometry_.flatten(block);
+    return geometry_.flatten(block).raw();
 }
 
 Cycle
-FlashArray::eraseBlockContaining(Cycle issue, std::uint64_t ppn)
+FlashArray::eraseBlockContaining(Cycle issue, PageId ppn)
 {
     const Pba pba = geometry_.decompose(ppn);
     const Cycle done = fmcs_[pba.channel]->eraseBlock(issue, pba.die);
@@ -104,7 +103,7 @@ FlashArray::eraseBlockContaining(Cycle issue, std::uint64_t ppn)
 }
 
 std::uint32_t
-FlashArray::blockWear(std::uint64_t ppn) const
+FlashArray::blockWear(PageId ppn) const
 {
     const auto it = blockWear_.find(blockKey(geometry_.decompose(ppn)));
     return it == blockWear_.end() ? 0 : it->second;

@@ -42,19 +42,18 @@ class FlashArray
      * @param out page-sized destination, or empty for timing-only
      * @return read timing (flushDone, done)
      */
-    ReadTiming readPage(Cycle issue, std::uint64_t ppn,
+    ReadTiming readPage(Cycle issue, PageId ppn,
                         std::span<std::uint8_t> out);
 
     /**
      * Timed + functional vector-grained read of @p out.size() bytes
      * (or @p bytes when @p out is empty) at column @p colOffset.
      */
-    ReadTiming readVector(Cycle issue, std::uint64_t ppn,
-                          std::uint32_t colOffset, std::uint32_t bytes,
-                          std::span<std::uint8_t> out);
+    ReadTiming readVector(Cycle issue, PageId ppn, Bytes colOffset,
+                          Bytes bytes, std::span<std::uint8_t> out);
 
     /** Timed + functional page program (used when loading tables). */
-    Cycle programPage(Cycle issue, std::uint64_t ppn,
+    Cycle programPage(Cycle issue, PageId ppn,
                       std::span<const std::uint8_t> data);
 
     /**
@@ -62,20 +61,20 @@ class FlashArray
      * @p ppn is wiped and its wear count incremented.
      * @return completion cycle
      */
-    Cycle eraseBlockContaining(Cycle issue, std::uint64_t ppn);
+    Cycle eraseBlockContaining(Cycle issue, PageId ppn);
 
     /** Erase count of the block containing @p ppn. */
-    std::uint32_t blockWear(std::uint64_t ppn) const;
+    std::uint32_t blockWear(PageId ppn) const;
 
     /** Highest erase count across all blocks (endurance headline). */
     std::uint32_t maxBlockWear() const;
 
     /** Functional-only page write (bulk table loading, no timing). */
-    void writePageFunctional(std::uint64_t ppn,
+    void writePageFunctional(PageId ppn,
                              std::span<const std::uint8_t> data);
 
     /** Functional-only sub-page write. */
-    void writePartialFunctional(std::uint64_t ppn, std::uint32_t offset,
+    void writePartialFunctional(PageId ppn, Bytes offset,
                                 std::span<const std::uint8_t> data);
 
     BackingStore &store() { return store_; }

@@ -17,21 +17,22 @@ Fmc::readPage(Cycle issue, std::uint32_t die)
     ReadTiming t;
     t.flushDone = dies_[die].acquire(issue, timing_.flushCycles());
     t.done = bus_.transfer(
-        t.flushDone, timing_.transferCycles(timing_.pageSizeBytes));
+        t.flushDone,
+        timing_.transferCycles(Bytes{timing_.pageSizeBytes}));
     pageReads_.inc();
     busBytes_.inc(timing_.pageSizeBytes);
     return t;
 }
 
 ReadTiming
-Fmc::readVector(Cycle issue, std::uint32_t die, std::uint32_t bytes)
+Fmc::readVector(Cycle issue, std::uint32_t die, Bytes bytes)
 {
     RMSSD_ASSERT(die < dies_.size(), "die index out of range");
     ReadTiming t;
     t.flushDone = dies_[die].acquire(issue, timing_.flushCycles());
     t.done = bus_.transfer(t.flushDone, timing_.transferCycles(bytes));
     vectorReads_.inc();
-    busBytes_.inc(bytes);
+    busBytes_.inc(bytes.raw());
     return t;
 }
 
@@ -41,7 +42,7 @@ Fmc::programPage(Cycle issue, std::uint32_t die)
     RMSSD_ASSERT(die < dies_.size(), "die index out of range");
     // Data first crosses the bus into the die buffer, then programs.
     const Cycle busDone = bus_.transfer(
-        issue, timing_.transferCycles(timing_.pageSizeBytes));
+        issue, timing_.transferCycles(Bytes{timing_.pageSizeBytes}));
     busBytes_.inc(timing_.pageSizeBytes);
     pagePrograms_.inc();
     return dies_[die].acquire(busDone, timing_.pageProgramCycles);

@@ -30,9 +30,9 @@ namespace rmssd::flash {
 struct ReadTiming
 {
     /** Cycle the page was ready in the die's page buffer. */
-    Cycle flushDone = 0;
+    Cycle flushDone;
     /** Cycle the requested bytes finished crossing the channel bus. */
-    Cycle done = 0;
+    Cycle done;
 };
 
 /** Per-channel controller owning the channel's dies and bus. */
@@ -45,8 +45,7 @@ class Fmc
     ReadTiming readPage(Cycle issue, std::uint32_t die);
 
     /** Read @p bytes from die @p die at some column offset. */
-    ReadTiming readVector(Cycle issue, std::uint32_t die,
-                          std::uint32_t bytes);
+    ReadTiming readVector(Cycle issue, std::uint32_t die, Bytes bytes);
 
     /** Program a page on die @p die (table-loading path). */
     Cycle programPage(Cycle issue, std::uint32_t die);

@@ -30,9 +30,10 @@ Geometry::sectorsPerPage() const
 }
 
 Pba
-Geometry::decompose(std::uint64_t ppn) const
+Geometry::decompose(PageId page) const
 {
-    RMSSD_ASSERT(ppn < totalPages(), "ppn out of range");
+    RMSSD_ASSERT(page.raw() < totalPages(), "ppn out of range");
+    std::uint64_t ppn = page.raw();
     Pba pba;
     pba.channel = static_cast<std::uint32_t>(ppn % numChannels);
     ppn /= numChannels;
@@ -46,7 +47,7 @@ Geometry::decompose(std::uint64_t ppn) const
     return pba;
 }
 
-std::uint64_t
+PageId
 Geometry::flatten(const Pba &pba) const
 {
     std::uint64_t ppn = pba.block;
@@ -54,7 +55,7 @@ Geometry::flatten(const Pba &pba) const
     ppn = ppn * planesPerDie + pba.plane;
     ppn = ppn * diesPerChannel + pba.die;
     ppn = ppn * numChannels + pba.channel;
-    return ppn;
+    return PageId{ppn};
 }
 
 void

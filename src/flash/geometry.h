@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "sim/types.h"
+
 namespace rmssd::flash {
 
 /** Physical page address decomposed along the flash hierarchy. */
@@ -57,10 +59,10 @@ struct Geometry
      * stripe across channels and dies — the paper's striping policy
      * for exploiting multi-level parallelism (Section IV-B2).
      */
-    Pba decompose(std::uint64_t ppn) const;
+    Pba decompose(PageId ppn) const;
 
     /** Inverse of decompose(). */
-    std::uint64_t flatten(const Pba &pba) const;
+    PageId flatten(const Pba &pba) const;
 
     /** Validate the configuration; calls fatal() on nonsense. */
     void validate() const;

@@ -9,28 +9,31 @@ namespace rmssd::flash {
 Cycle
 NandTiming::flushCycles() const
 {
-    return static_cast<Cycle>(
-        std::llround(flushFraction * static_cast<double>(pageReadCycles)));
+    return Cycle{
+        std::llround(flushFraction *
+                     static_cast<double>(pageReadCycles.raw()))};
 }
 
 Cycle
-NandTiming::transferCycles(std::uint32_t bytes) const
+NandTiming::transferCycles(Bytes bytes) const
 {
-    RMSSD_ASSERT(bytes <= pageSizeBytes, "transfer larger than a page");
+    RMSSD_ASSERT(bytes.raw() <= pageSizeBytes,
+                 "transfer larger than a page");
     // Integer ceil-division off the exact flush cycle count; a
     // floating-point (1 - flushFraction) would round 0.3 up.
     const Cycle fullTransfer = pageReadCycles - flushCycles();
-    return (fullTransfer * bytes + pageSizeBytes - 1) / pageSizeBytes;
+    return Cycle{(fullTransfer.raw() * bytes.raw() + pageSizeBytes - 1) /
+                 pageSizeBytes};
 }
 
 Cycle
 NandTiming::pageReadTotalCycles() const
 {
-    return flushCycles() + transferCycles(pageSizeBytes);
+    return flushCycles() + transferCycles(Bytes{pageSizeBytes});
 }
 
 Cycle
-NandTiming::vectorReadTotalCycles(std::uint32_t bytes) const
+NandTiming::vectorReadTotalCycles(Bytes bytes) const
 {
     return flushCycles() + transferCycles(bytes);
 }

@@ -27,7 +27,7 @@ namespace rmssd::flash {
 struct NandTiming
 {
     /** Full page read delay Cpage (Table II: 4000 cycles = 20 us). */
-    Cycle pageReadCycles = 4000;
+    Cycle pageReadCycles{4000};
 
     /** Fraction of Cpage spent flushing cell array to page buffer. */
     double flushFraction = 0.7;
@@ -36,16 +36,16 @@ struct NandTiming
     std::uint32_t pageSizeBytes = 4096;
 
     /** Program (write) delay; exercised by the table-load path. */
-    Cycle pageProgramCycles = 40000;
+    Cycle pageProgramCycles{40000};
 
     /** Block erase delay (~3 ms at 5 ns/cycle). */
-    Cycle blockEraseCycles = 600000;
+    Cycle blockEraseCycles{600000};
 
     /** Cycles to flush a page from the cell array to the page buffer. */
     Cycle flushCycles() const;
 
     /** Cycles to move @p bytes from the page buffer over the bus. */
-    Cycle transferCycles(std::uint32_t bytes) const;
+    Cycle transferCycles(Bytes bytes) const;
 
     /** End-to-end cycles for an uncontended full page read. */
     Cycle pageReadTotalCycles() const;
@@ -54,7 +54,7 @@ struct NandTiming
      * End-to-end cycles for an uncontended vector-grained read of
      * @p bytes — the paper's CEV formula.
      */
-    Cycle vectorReadTotalCycles(std::uint32_t bytes) const;
+    Cycle vectorReadTotalCycles(Bytes bytes) const;
 };
 
 /** Timing from Table II (Cpage = 4000 cycles, 4 KB pages). */

@@ -15,65 +15,63 @@ ExtentList::ExtentList(std::vector<Extent> extents)
 void
 ExtentList::append(const Extent &extent)
 {
-    RMSSD_ASSERT(extent.sectorCount > 0, "empty extent");
+    RMSSD_ASSERT(extent.sectorCount > Sectors{}, "empty extent");
     extents_.push_back(extent);
     totalSectors_ += extent.sectorCount;
 }
 
-std::uint64_t
-ExtentList::totalBytes(std::uint32_t sectorSize) const
+Bytes
+ExtentList::totalBytes(Bytes sectorSize) const
 {
-    return totalSectors_ * sectorSize;
+    return Bytes{totalSectors_.raw() * sectorSize.raw()};
 }
 
 ExtentList::Location
-ExtentList::locateByte(std::uint64_t byteOffset,
-                       std::uint32_t sectorSize) const
+ExtentList::locateByte(Bytes byteOffset, Bytes sectorSize) const
 {
-    std::uint64_t sectorOffset = byteOffset / sectorSize;
+    Sectors sectorOffset{byteOffset.raw() / sectorSize.raw()};
     for (std::uint32_t i = 0; i < extents_.size(); ++i) {
         const Extent &e = extents_[i];
         if (sectorOffset < e.sectorCount) {
-            return Location{
-                i, e.startLba + sectorOffset,
-                static_cast<std::uint32_t>(byteOffset % sectorSize)};
+            return Location{i, e.startLba + sectorOffset,
+                            byteOffset % sectorSize.raw()};
         }
         sectorOffset -= e.sectorCount;
     }
     fatal("byte offset %llu beyond end of file",
-          static_cast<unsigned long long>(byteOffset));
+          static_cast<unsigned long long>(byteOffset.raw()));
 }
 
-ExtentAllocator::ExtentAllocator(std::uint64_t totalSectors,
-                                 std::uint64_t maxFragmentSectors)
+ExtentAllocator::ExtentAllocator(Sectors totalSectors,
+                                 Sectors maxFragmentSectors)
     : totalSectors_(totalSectors), maxFragmentSectors_(maxFragmentSectors)
 {
 }
 
 ExtentList
-ExtentAllocator::allocate(std::uint64_t sectors,
-                          std::uint32_t sectorsPerPage)
+ExtentAllocator::allocate(Sectors sectors, std::uint32_t sectorsPerPage)
 {
-    RMSSD_ASSERT(sectors > 0, "zero-length allocation");
+    RMSSD_ASSERT(sectors > Sectors{}, "zero-length allocation");
     // Round the request up to whole pages so embedding vectors never
     // straddle a flash page boundary.
-    const std::uint64_t rounded =
-        (sectors + sectorsPerPage - 1) / sectorsPerPage * sectorsPerPage;
-    if (nextLba_ + rounded > totalSectors_)
+    const Sectors rounded{(sectors.raw() + sectorsPerPage - 1) /
+                          sectorsPerPage * sectorsPerPage};
+    if (nextLba_ + rounded > Lba{} + totalSectors_)
         fatal("device logical space exhausted");
 
     ExtentList list;
-    std::uint64_t remaining = rounded;
-    while (remaining > 0) {
-        std::uint64_t chunk = remaining;
-        if (maxFragmentSectors_ > 0)
+    Sectors remaining = rounded;
+    while (remaining > Sectors{}) {
+        Sectors chunk = remaining;
+        if (maxFragmentSectors_ > Sectors{})
             chunk = std::min(chunk, maxFragmentSectors_);
         // Fragments stay page aligned.
-        chunk = std::max<std::uint64_t>(
-            chunk / sectorsPerPage * sectorsPerPage, sectorsPerPage);
+        chunk = std::max(
+            Sectors{chunk.raw() / sectorsPerPage * sectorsPerPage},
+            Sectors{sectorsPerPage});
         chunk = std::min(chunk, remaining);
         list.append(Extent{nextLba_, chunk});
-        nextLba_ += chunk;
+        nextLba_ = nextLba_ + chunk;
         remaining -= chunk;
     }
     return list;

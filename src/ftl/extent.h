@@ -6,6 +6,11 @@
  * and pushes (start LBA, length) pairs to the device, where the EV
  * Translator keeps per-extent index ranges (Fig. 6). The extent
  * allocator here stands in for the host file system's block allocator.
+ *
+ * All positions and lengths are strongly typed (sim/strong_types.h):
+ * Lba is a sector position, Sectors a sector count, Bytes a byte
+ * offset or length — handing a byte offset to an LBA parameter does
+ * not compile.
  */
 
 #ifndef RMSSD_FTL_EXTENT_H
@@ -14,13 +19,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/types.h"
+
 namespace rmssd::ftl {
 
 /** One contiguous run of logical sectors. */
 struct Extent
 {
-    std::uint64_t startLba = 0;
-    std::uint64_t sectorCount = 0;
+    Lba startLba;
+    Sectors sectorCount;
 
     bool operator==(const Extent &) const = default;
 };
@@ -35,28 +42,27 @@ class ExtentList
     void append(const Extent &extent);
 
     const std::vector<Extent> &extents() const { return extents_; }
-    std::uint64_t totalSectors() const { return totalSectors_; }
-    std::uint64_t totalBytes(std::uint32_t sectorSize) const;
+    Sectors totalSectors() const { return totalSectors_; }
+    Bytes totalBytes(Bytes sectorSize) const;
     bool empty() const { return extents_.empty(); }
 
     /** Result of locating a byte offset within the file. */
     struct Location
     {
         std::uint32_t extentIndex = 0;
-        std::uint64_t lba = 0;          //!< sector holding the byte
-        std::uint32_t byteInSector = 0; //!< offset inside that sector
+        Lba lba;          //!< sector holding the byte
+        Bytes byteInSector; //!< offset inside that sector
     };
 
     /**
      * Map a logical byte offset of the file to its LBA. @p sectorSize
      * is the LBA granularity. Calls fatal() past end of file.
      */
-    Location locateByte(std::uint64_t byteOffset,
-                        std::uint32_t sectorSize) const;
+    Location locateByte(Bytes byteOffset, Bytes sectorSize) const;
 
   private:
     std::vector<Extent> extents_;
-    std::uint64_t totalSectors_ = 0;
+    Sectors totalSectors_;
 };
 
 /**
@@ -67,22 +73,21 @@ class ExtentList
 class ExtentAllocator
 {
   public:
-    ExtentAllocator(std::uint64_t totalSectors,
-                    std::uint64_t maxFragmentSectors = 0);
+    explicit ExtentAllocator(Sectors totalSectors,
+                             Sectors maxFragmentSectors = Sectors{});
 
     /**
      * Allocate @p sectors sectors, page-aligned to @p sectorsPerPage.
      * @return the extents of the new file.
      */
-    ExtentList allocate(std::uint64_t sectors,
-                        std::uint32_t sectorsPerPage);
+    ExtentList allocate(Sectors sectors, std::uint32_t sectorsPerPage);
 
-    std::uint64_t usedSectors() const { return nextLba_; }
+    Sectors usedSectors() const { return distance(Lba{}, nextLba_); }
 
   private:
-    std::uint64_t totalSectors_;
-    std::uint64_t maxFragmentSectors_;
-    std::uint64_t nextLba_ = 0;
+    Sectors totalSectors_;
+    Sectors maxFragmentSectors_;
+    Lba nextLba_;
 };
 
 } // namespace rmssd::ftl

@@ -38,44 +38,45 @@ Ftl::pageSize() const
 }
 
 Ftl::PhysLoc
-Ftl::translate(std::uint64_t lba, std::uint32_t byteInSector) const
+Ftl::translate(Lba lba, Bytes byteInSector) const
 {
     const std::uint32_t spp = sectorsPerPage();
-    const std::uint64_t lpn = lba / spp;
-    const std::uint32_t sectorInPage =
-        static_cast<std::uint32_t>(lba % spp);
+    const PageId lpn{lba.raw() / spp};
+    const std::uint64_t sectorInPage = lba.raw() % spp;
     return PhysLoc{mapping_->translate(lpn),
-                   sectorInPage * sectorSize() + byteInSector};
+                   Bytes{sectorInPage * sectorSize()} + byteInSector};
 }
 
 Cycle
-Ftl::readSectors(Cycle issue, std::uint64_t lba, std::uint32_t sectors,
+Ftl::readSectors(Cycle issue, Lba lba, Sectors sectors,
                  std::span<std::uint8_t> out)
 {
-    RMSSD_ASSERT(sectors > 0, "zero-sector read");
+    RMSSD_ASSERT(sectors > Sectors{}, "zero-sector read");
     recordPath(RequestPath::BlockIo);
 
     const std::uint32_t spp = sectorsPerPage();
     const std::uint32_t secSize = sectorSize();
     if (!out.empty()) {
         RMSSD_ASSERT(out.size() ==
-                         static_cast<std::size_t>(sectors) * secSize,
+                         static_cast<std::size_t>(sectors.raw()) *
+                             secSize,
                      "block read buffer size mismatch");
     }
 
     // Page-granular device: every touched page is read in full.
     Cycle done = issue;
-    std::uint64_t sector = lba;
-    std::uint32_t remaining = sectors;
+    Lba sector = lba;
+    std::uint64_t remaining = sectors.raw();
     std::size_t outPos = 0;
     std::vector<std::uint8_t> pageBuf;
     while (remaining > 0) {
-        const std::uint64_t lpn = sector / spp;
-        const std::uint32_t first = static_cast<std::uint32_t>(
-            sector % spp);
-        const std::uint32_t inPage = std::min(remaining, spp - first);
+        const PageId lpn{sector.raw() / spp};
+        const std::uint32_t first =
+            static_cast<std::uint32_t>(sector.raw() % spp);
+        const std::uint32_t inPage = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(remaining, spp - first));
 
-        const std::uint64_t ppn = mapping_->translate(lpn);
+        const PageId ppn = mapping_->translate(lpn);
         const Cycle reqIssue = issue + kTranslateCycles;
         if (out.empty()) {
             done = std::max(
@@ -84,24 +85,26 @@ Ftl::readSectors(Cycle issue, std::uint64_t lba, std::uint32_t sectors,
             pageBuf.resize(pageSize());
             done = std::max(
                 done, array_.readPage(reqIssue, ppn, pageBuf).done);
-            std::copy_n(pageBuf.begin() + first * secSize,
+            std::copy_n(pageBuf.begin() +
+                            static_cast<std::ptrdiff_t>(first * secSize),
                         static_cast<std::size_t>(inPage) * secSize,
-                        out.begin() + outPos);
+                        out.begin() +
+                            static_cast<std::ptrdiff_t>(outPos));
             outPos += static_cast<std::size_t>(inPage) * secSize;
         }
-        sector += inPage;
+        sector = sector + Sectors{inPage};
         remaining -= inPage;
     }
     return done;
 }
 
 Cycle
-Ftl::readBytes(Cycle issue, std::uint64_t lba, std::uint32_t byteInSector,
-               std::uint32_t bytes, std::span<std::uint8_t> out)
+Ftl::readBytes(Cycle issue, Lba lba, Bytes byteInSector, Bytes bytes,
+               std::span<std::uint8_t> out)
 {
     recordPath(RequestPath::Embedding);
     const PhysLoc loc = translate(lba, byteInSector);
-    RMSSD_ASSERT(loc.pageByteOffset + bytes <= pageSize(),
+    RMSSD_ASSERT((loc.pageByteOffset + bytes).raw() <= pageSize(),
                  "EV read crosses flash page boundary");
     return array_
         .readVector(issue + kTranslateCycles, loc.ppn,
@@ -110,23 +113,20 @@ Ftl::readBytes(Cycle issue, std::uint64_t lba, std::uint32_t byteInSector,
 }
 
 void
-Ftl::writeBytesFunctional(std::uint64_t lba, std::uint32_t byteInSector,
+Ftl::writeBytesFunctional(Lba lba, Bytes byteInSector,
                           std::span<const std::uint8_t> data)
 {
-    std::uint64_t byteAddr =
-        lba * sectorSize() + byteInSector;
+    Bytes byteAddr = Bytes{lba.raw() * sectorSize()} + byteInSector;
     std::size_t pos = 0;
     while (pos < data.size()) {
-        const std::uint64_t lpn = byteAddr / pageSize();
-        const std::uint32_t inPageOff =
-            static_cast<std::uint32_t>(byteAddr % pageSize());
-        const std::size_t chunk =
-            std::min<std::size_t>(data.size() - pos,
-                                  pageSize() - inPageOff);
-        const std::uint64_t ppn = mapping_->assignForWrite(lpn);
+        const PageId lpn{byteAddr.raw() / pageSize()};
+        const Bytes inPageOff = byteAddr % pageSize();
+        const std::size_t chunk = std::min<std::size_t>(
+            data.size() - pos, pageSize() - inPageOff.raw());
+        const PageId ppn = mapping_->assignForWrite(lpn);
         array_.writePartialFunctional(
             ppn, inPageOff, data.subspan(pos, chunk));
-        byteAddr += chunk;
+        byteAddr += Bytes{chunk};
         pos += chunk;
     }
 }

@@ -36,7 +36,7 @@ class Ftl
 {
   public:
     /** Cycles for one pipelined address translation. */
-    static constexpr Cycle kTranslateCycles = 4;
+    static constexpr Cycle kTranslateCycles{4};
 
     Ftl(flash::FlashArray &array, std::unique_ptr<Mapping> mapping);
 
@@ -50,33 +50,30 @@ class Ftl
     /** Physical location of a logical byte address. */
     struct PhysLoc
     {
-        std::uint64_t ppn = 0;
-        std::uint32_t pageByteOffset = 0;
+        PageId ppn;
+        Bytes pageByteOffset;
     };
 
     /** Translate (lba, intra-sector byte offset) to a physical page. */
-    PhysLoc translate(std::uint64_t lba, std::uint32_t byteInSector = 0)
-        const;
+    PhysLoc translate(Lba lba, Bytes byteInSector = Bytes{}) const;
 
     /**
      * Timed whole-page-aligned block read of @p sectors sectors from
      * @p lba. @p out receives the bytes (may be empty = timing only).
      * @return completion cycle of the last page.
      */
-    Cycle readSectors(Cycle issue, std::uint64_t lba,
-                      std::uint32_t sectors, std::span<std::uint8_t> out);
+    Cycle readSectors(Cycle issue, Lba lba, Sectors sectors,
+                      std::span<std::uint8_t> out);
 
     /**
      * Timed vector-grained read of @p bytes bytes at logical byte
      * address (lba, byteInSector): the EV path. Must not cross a page.
      */
-    Cycle readBytes(Cycle issue, std::uint64_t lba,
-                    std::uint32_t byteInSector, std::uint32_t bytes,
-                    std::span<std::uint8_t> out);
+    Cycle readBytes(Cycle issue, Lba lba, Bytes byteInSector,
+                    Bytes bytes, std::span<std::uint8_t> out);
 
     /** Functional write of arbitrary bytes at a logical byte address. */
-    void writeBytesFunctional(std::uint64_t lba,
-                              std::uint32_t byteInSector,
+    void writeBytesFunctional(Lba lba, Bytes byteInSector,
                               std::span<const std::uint8_t> data);
 
     /** Note a request entering the shared MUX (for stats). */

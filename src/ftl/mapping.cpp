@@ -9,15 +9,15 @@ LinearMapping::LinearMapping(std::uint64_t totalPages)
 {
 }
 
-std::uint64_t
-LinearMapping::translate(std::uint64_t lpn) const
+PageId
+LinearMapping::translate(PageId lpn) const
 {
-    RMSSD_ASSERT(lpn < totalPages_, "lpn beyond device capacity");
+    RMSSD_ASSERT(lpn.raw() < totalPages_, "lpn beyond device capacity");
     return lpn;
 }
 
-std::uint64_t
-LinearMapping::assignForWrite(std::uint64_t lpn)
+PageId
+LinearMapping::assignForWrite(PageId lpn)
 {
     return translate(lpn);
 }
@@ -27,25 +27,25 @@ PageTableMapping::PageTableMapping(std::uint64_t totalPages)
 {
 }
 
-std::uint64_t
-PageTableMapping::translate(std::uint64_t lpn) const
+PageId
+PageTableMapping::translate(PageId lpn) const
 {
     auto it = map_.find(lpn);
     if (it != map_.end())
         return it->second;
     // Deterministic fallback for never-written pages: mirror the
     // linear layout from the top of the physical space.
-    return totalPages_ - 1 - (lpn % totalPages_);
+    return PageId{totalPages_ - 1 - (lpn.raw() % totalPages_)};
 }
 
-std::uint64_t
-PageTableMapping::assignForWrite(std::uint64_t lpn)
+PageId
+PageTableMapping::assignForWrite(PageId lpn)
 {
     auto it = map_.find(lpn);
     if (it != map_.end())
         return it->second;
     RMSSD_ASSERT(nextPhys_ < totalPages_, "physical space exhausted");
-    const std::uint64_t ppn = nextPhys_++;
+    const PageId ppn{nextPhys_++};
     map_.emplace(lpn, ppn);
     return ppn;
 }

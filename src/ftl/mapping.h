@@ -4,7 +4,10 @@
  *
  * The paper's prototype uses a linear mapping (Section V-A); a
  * page-table mapping is provided as well for generality and to test
- * that nothing above the FTL depends on the linear layout.
+ * that nothing above the FTL depends on the linear layout. Page
+ * numbers are the tagged PageId type: logical and physical page
+ * numbers share a representation, and the mapping is the only place
+ * the two meanings meet.
  */
 
 #ifndef RMSSD_FTL_MAPPING_H
@@ -12,6 +15,8 @@
 
 #include <cstdint>
 #include <unordered_map>
+
+#include "sim/types.h"
 
 namespace rmssd::ftl {
 
@@ -22,10 +27,10 @@ class Mapping
     virtual ~Mapping() = default;
 
     /** Translate a logical page number. */
-    virtual std::uint64_t translate(std::uint64_t lpn) const = 0;
+    virtual PageId translate(PageId lpn) const = 0;
 
     /** Record a write: may reassign the physical page. */
-    virtual std::uint64_t assignForWrite(std::uint64_t lpn) = 0;
+    virtual PageId assignForWrite(PageId lpn) = 0;
 };
 
 /**
@@ -39,8 +44,8 @@ class LinearMapping : public Mapping
   public:
     explicit LinearMapping(std::uint64_t totalPages);
 
-    std::uint64_t translate(std::uint64_t lpn) const override;
-    std::uint64_t assignForWrite(std::uint64_t lpn) override;
+    PageId translate(PageId lpn) const override;
+    PageId assignForWrite(PageId lpn) override;
 
   private:
     std::uint64_t totalPages_;
@@ -56,15 +61,15 @@ class PageTableMapping : public Mapping
   public:
     explicit PageTableMapping(std::uint64_t totalPages);
 
-    std::uint64_t translate(std::uint64_t lpn) const override;
-    std::uint64_t assignForWrite(std::uint64_t lpn) override;
+    PageId translate(PageId lpn) const override;
+    PageId assignForWrite(PageId lpn) override;
 
     std::uint64_t allocatedPages() const { return nextPhys_; }
 
   private:
     std::uint64_t totalPages_;
     std::uint64_t nextPhys_ = 0;
-    std::unordered_map<std::uint64_t, std::uint64_t> map_;
+    std::unordered_map<PageId, PageId> map_;
 };
 
 } // namespace rmssd::ftl

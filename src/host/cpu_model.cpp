@@ -25,25 +25,27 @@ CpuModel::mlpNanos(const std::vector<FcShape> &layers,
     const double effGflops =
         std::min(costs_.maxGemmGflops,
                  costs_.gemmGflops * static_cast<double>(batch));
-    return static_cast<Nanos>(std::llround(flops / effGflops));
+    return Nanos{static_cast<std::uint64_t>(
+        std::llround(flops / effGflops))};
 }
 
 Nanos
-CpuModel::slsNanos(std::uint64_t lookups, std::uint32_t evBytes) const
+CpuModel::slsNanos(std::uint64_t lookups, Bytes evBytes) const
 {
     const double perLookup =
-        static_cast<double>(costs_.slsFixedNanos) +
-        costs_.dramNanosPerByte * static_cast<double>(evBytes);
-    return static_cast<Nanos>(
-        std::llround(perLookup * static_cast<double>(lookups)));
+        static_cast<double>(costs_.slsFixedNanos.raw()) +
+        costs_.dramNanosPerByte * static_cast<double>(evBytes.raw());
+    return Nanos{static_cast<std::uint64_t>(
+        std::llround(perLookup * static_cast<double>(lookups)))};
 }
 
 Nanos
-CpuModel::concatNanos(std::uint64_t bytes) const
+CpuModel::concatNanos(Bytes bytes) const
 {
     return costs_.concatFixedNanos +
-           static_cast<Nanos>(std::llround(
-               costs_.dramNanosPerByte * static_cast<double>(bytes)));
+           Nanos{static_cast<std::uint64_t>(std::llround(
+               costs_.dramNanosPerByte *
+               static_cast<double>(bytes.raw())))};
 }
 
 } // namespace rmssd::host

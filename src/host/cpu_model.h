@@ -25,7 +25,7 @@ namespace rmssd::host {
 struct CpuCosts
 {
     /** Per-inference-call framework/dispatch overhead (ns). */
-    Nanos frameworkNanos = 1'000'000;
+    Nanos frameworkNanos{1'000'000};
     /** Effective f32 GEMM throughput at batch 1 (GFLOP/s). */
     double gemmGflops = 5.0;
     /**
@@ -36,11 +36,11 @@ struct CpuCosts
      */
     double maxGemmGflops = 100.0;
     /** Fixed per-lookup cost of the SLS operator (index math, ns). */
-    Nanos slsFixedNanos = 15;
+    Nanos slsFixedNanos{15};
     /** DRAM streaming cost per embedding byte (ns/B). */
     double dramNanosPerByte = 0.08;
     /** Fixed cost of the feature-interaction concat (ns). */
-    Nanos concatFixedNanos = 2000;
+    Nanos concatFixedNanos{2000};
 };
 
 /** One FC layer's shape for cost purposes. */
@@ -66,10 +66,10 @@ class CpuModel
      * In-memory SLS pooling: gather + sum @p lookups vectors of
      * @p evBytes bytes each (per sample; multiply by batch upstream).
      */
-    Nanos slsNanos(std::uint64_t lookups, std::uint32_t evBytes) const;
+    Nanos slsNanos(std::uint64_t lookups, Bytes evBytes) const;
 
     /** Feature-interaction concat of @p bytes. */
-    Nanos concatNanos(std::uint64_t bytes) const;
+    Nanos concatNanos(Bytes bytes) const;
 
     /** Per-call framework overhead. */
     Nanos frameworkNanos() const { return costs_.frameworkNanos; }

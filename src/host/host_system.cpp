@@ -17,29 +17,30 @@ HostFileReader::HostFileReader(nvme::NvmeController &nvme,
 IoCost
 HostFileReader::readVector(std::uint32_t fileId,
                            const ftl::ExtentList &extents,
-                           std::uint64_t byteOffset, std::uint32_t bytes,
-                           Nanos now, std::span<std::uint8_t> out)
+                           Bytes byteOffset, Bytes bytes, Nanos now,
+                           std::span<std::uint8_t> out)
 {
     const std::uint32_t pageSize = nvme_.ftl().pageSize();
-    const std::uint32_t sectorSize = nvme_.ftl().sectorSize();
-    const std::uint32_t sectorsPerPage = pageSize / sectorSize;
-    RMSSD_ASSERT(byteOffset % pageSize + bytes <= pageSize,
+    const Bytes sectorSize{nvme_.ftl().sectorSize()};
+    const std::uint32_t sectorsPerPage =
+        pageSize / nvme_.ftl().sectorSize();
+    RMSSD_ASSERT(byteOffset.raw() % pageSize + bytes.raw() <= pageSize,
                  "host vector read straddles a cache page");
 
-    requestedBytes_.inc(bytes);
+    requestedBytes_.inc(bytes.raw());
 
     IoCost cost;
     cost.fsNanos += costs_.syscallNanos;
 
-    const PageKey key{fileId, byteOffset / pageSize};
+    const PageKey key{fileId, byteOffset.raw() / pageSize};
     if (cache_.access(key)) {
         cost.fsNanos += costs_.hitCopyNanos;
         if (!out.empty()) {
             // Functionally, a hit returns the same bytes the device
             // would: fetch without timing or traffic accounting.
             const auto loc = extents.locateByte(byteOffset, sectorSize);
-            nvme_.ftl().readBytes(0, loc.lba, loc.byteInSector, bytes,
-                                  out);
+            nvme_.ftl().readBytes(Cycle{}, loc.lba, loc.byteInSector,
+                                  bytes, out);
             // The probe above used the EV path counters; undo timing
             // side effects by charging nothing to the host. (Flash
             // timing state is monotonic but idle-time dominated; the
@@ -49,7 +50,7 @@ HostFileReader::readVector(std::uint32_t fileId,
     }
 
     // Miss: fill the whole 4 KB page through the block path.
-    const std::uint64_t pageStartByte = byteOffset / pageSize * pageSize;
+    const Bytes pageStartByte{byteOffset.raw() / pageSize * pageSize};
     const auto loc = extents.locateByte(pageStartByte, sectorSize);
     const Cycle issue = nanosToCycles(now + costs_.syscallNanos);
 
@@ -59,8 +60,9 @@ HostFileReader::readVector(std::uint32_t fileId,
         pageBuf.resize(pageSize);
         pageSpan = pageBuf;
     }
-    const Cycle done =
-        nvme_.readBlocks(issue, loc.lba, sectorsPerPage, pageSpan);
+    const Cycle done = nvme_.readBlocks(issue, loc.lba,
+                                        Sectors{sectorsPerPage},
+                                        pageSpan);
     deviceBytes_.inc(pageSize);
 
     const Nanos deviceNanos = cyclesToNanos(done - issue);
@@ -68,9 +70,10 @@ HostFileReader::readVector(std::uint32_t fileId,
     cost.fsNanos += costs_.missKernelNanos;
 
     if (!out.empty()) {
-        const std::uint32_t inPage =
-            static_cast<std::uint32_t>(byteOffset - pageStartByte);
-        std::copy_n(pageBuf.begin() + inPage, bytes, out.begin());
+        const std::uint32_t inPage = static_cast<std::uint32_t>(
+            (byteOffset - pageStartByte).raw());
+        std::copy_n(pageBuf.begin() + inPage, bytes.raw(),
+                    out.begin());
     }
     return cost;
 }

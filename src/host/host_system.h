@@ -41,8 +41,8 @@ class HostFileReader
      */
     IoCost readVector(std::uint32_t fileId,
                       const ftl::ExtentList &extents,
-                      std::uint64_t byteOffset, std::uint32_t bytes,
-                      Nanos now, std::span<std::uint8_t> out);
+                      Bytes byteOffset, Bytes bytes, Nanos now,
+                      std::span<std::uint8_t> out);
 
     PageCache &cache() { return cache_; }
     const PageCache &cache() const { return cache_; }

@@ -22,18 +22,18 @@ namespace rmssd::host {
 struct IoStackCosts
 {
     /** Syscall entry/exit + VFS + page-cache lookup per read(). */
-    Nanos syscallNanos = 1200;
+    Nanos syscallNanos{1200};
     /** copy_to_user of one vector on a page-cache hit. */
-    Nanos hitCopyNanos = 300;
+    Nanos hitCopyNanos{300};
     /** Block layer, request setup, interrupt, page install on miss. */
-    Nanos missKernelNanos = 14000;
+    Nanos missKernelNanos{14000};
 };
 
 /** Aggregated host-visible cost of one file read. */
 struct IoCost
 {
-    Nanos fsNanos = 0;  //!< kernel I/O stack share (emb-fs)
-    Nanos ssdNanos = 0; //!< device share (emb-ssd)
+    Nanos fsNanos;  //!< kernel I/O stack share (emb-fs)
+    Nanos ssdNanos; //!< device share (emb-ssd)
 
     Nanos total() const { return fsNanos + ssdNanos; }
 };

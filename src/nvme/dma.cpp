@@ -12,21 +12,22 @@ DmaEngine::DmaEngine(const DmaConfig &config) : config_(config)
 }
 
 Cycle
-DmaEngine::transfer(Cycle issue, std::uint64_t bytes)
+DmaEngine::transfer(Cycle issue, Bytes bytes)
 {
     const Cycle start = std::max(issue, nextFree_);
     const Cycle done = start + transferCycles(bytes);
     nextFree_ = done;
     transfers_.inc();
-    bytesMoved_.inc(bytes);
+    bytesMoved_.inc(bytes.raw());
     return done;
 }
 
 Cycle
-DmaEngine::transferCycles(std::uint64_t bytes) const
+DmaEngine::transferCycles(Bytes bytes) const
 {
     return config_.setupCycles +
-           (bytes + config_.bytesPerCycle - 1) / config_.bytesPerCycle;
+           Cycle{(bytes.raw() + config_.bytesPerCycle - 1) /
+                 config_.bytesPerCycle};
 }
 
 } // namespace rmssd::nvme

@@ -24,7 +24,7 @@ namespace rmssd::nvme {
 struct DmaConfig
 {
     /** Descriptor setup + doorbell per transfer (~1 us). */
-    Cycle setupCycles = 200;
+    Cycle setupCycles{200};
     /** Payload bytes per device cycle (16 B/cycle = 3.2 GB/s). */
     std::uint32_t bytesPerCycle = 16;
 };
@@ -39,19 +39,19 @@ class DmaEngine
      * Transfer @p bytes starting no earlier than @p issue; transfers
      * serialize on the engine. @return completion cycle.
      */
-    Cycle transfer(Cycle issue, std::uint64_t bytes);
+    Cycle transfer(Cycle issue, Bytes bytes);
 
     /** Cycles a transfer of @p bytes takes in isolation. */
-    Cycle transferCycles(std::uint64_t bytes) const;
+    Cycle transferCycles(Bytes bytes) const;
 
     const Counter &transfers() const { return transfers_; }
     const Counter &bytesMoved() const { return bytesMoved_; }
 
-    void resetTiming() { nextFree_ = 0; }
+    void resetTiming() { nextFree_ = Cycle{}; }
 
   private:
     DmaConfig config_;
-    Cycle nextFree_ = 0;
+    Cycle nextFree_;
 
     Counter transfers_;
     Counter bytesMoved_;

@@ -36,9 +36,9 @@ class MmioManager
 {
   public:
     /** PCIe posted write latency (~0.5 us). */
-    static constexpr Cycle kWriteCycles = 100;
+    static constexpr Cycle kWriteCycles{100};
     /** PCIe non-posted read round trip (~1 us). */
-    static constexpr Cycle kReadCycles = 200;
+    static constexpr Cycle kReadCycles{200};
     /** Bytes moved per MMIO read (one cache line). */
     static constexpr std::uint32_t kDataWidthBytes = 64;
 

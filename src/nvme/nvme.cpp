@@ -10,13 +10,11 @@ NvmeController::NvmeController(ftl::Ftl &ftl, const NvmeConfig &config)
 }
 
 Cycle
-NvmeController::readBlocks(Cycle issue, std::uint64_t lba,
-                           std::uint32_t sectors,
+NvmeController::readBlocks(Cycle issue, Lba lba, Sectors sectors,
                            std::span<std::uint8_t> out)
 {
     readCommands_.inc();
-    hostBytesRead_.inc(static_cast<std::uint64_t>(sectors) *
-                       ftl_.sectorSize());
+    hostBytesRead_.inc(sectors.raw() * ftl_.sectorSize());
     const Cycle flashDone =
         ftl_.readSectors(issue + config_.submissionCycles, lba, sectors,
                          out);
@@ -24,12 +22,12 @@ NvmeController::readBlocks(Cycle issue, std::uint64_t lba,
 }
 
 void
-NvmeController::writeBlocksFunctional(std::uint64_t lba,
+NvmeController::writeBlocksFunctional(Lba lba,
                                       std::span<const std::uint8_t> data)
 {
     RMSSD_ASSERT(data.size() % ftl_.sectorSize() == 0,
                  "block write is not sector aligned");
-    ftl_.writeBytesFunctional(lba, 0, data);
+    ftl_.writeBytesFunctional(lba, Bytes{}, data);
 }
 
 Cycle

@@ -24,9 +24,9 @@ namespace rmssd::nvme {
 struct NvmeConfig
 {
     /** Doorbell + command fetch + parse, in cycles (~1 us). */
-    Cycle submissionCycles = 200;
+    Cycle submissionCycles{200};
     /** Completion entry + interrupt + host handling (~1.2 us). */
-    Cycle completionCycles = 240;
+    Cycle completionCycles{240};
 };
 
 /** NVMe controller front-end over the FTL. */
@@ -39,11 +39,11 @@ class NvmeController
      * Timed 4K-aligned block read. @p out may be empty (timing only).
      * @return completion cycle as seen by the host.
      */
-    Cycle readBlocks(Cycle issue, std::uint64_t lba,
-                     std::uint32_t sectors, std::span<std::uint8_t> out);
+    Cycle readBlocks(Cycle issue, Lba lba, Sectors sectors,
+                     std::span<std::uint8_t> out);
 
     /** Functional block write (timing of loads is not modelled). */
-    void writeBlocksFunctional(std::uint64_t lba,
+    void writeBlocksFunctional(Lba lba,
                                std::span<const std::uint8_t> data);
 
     /** Uncontended QD1 latency of a 4K random read, in cycles. */

@@ -9,9 +9,9 @@ RmRuntime::RmRuntime(const model::ModelConfig &config,
                      std::uint32_t uid)
     : config_(config), uid_(uid),
       device_(std::make_unique<engine::RmSsd>(config, options)),
-      fs_(options.geometry.capacityBytes() /
-              options.geometry.sectorSizeBytes,
-          options.geometry.sectorSizeBytes,
+      fs_(Sectors{options.geometry.capacityBytes() /
+                  options.geometry.sectorSizeBytes},
+          Bytes{options.geometry.sectorSizeBytes},
           options.geometry.sectorsPerPage(), options.maxExtentSectors)
 {
 }
@@ -23,9 +23,8 @@ RmRuntime::RM_create_table(std::uint32_t tableId, const std::string &path)
         return -22; // EINVAL
     if (fs_.exists(path))
         return -17; // EEXIST
-    const std::uint64_t bytes =
-        config_.rowsPerTable *
-        static_cast<std::uint64_t>(config_.vectorBytes());
+    const Bytes bytes{config_.rowsPerTable *
+                      static_cast<std::uint64_t>(config_.vectorBytes())};
     fs_.create(tableId, path, bytes, uid_);
     return 0;
 }
@@ -39,7 +38,7 @@ RmRuntime::RM_open_table(std::uint32_t tableId, const std::string &path)
 
     // Push (start LBA, length) of every extent to the device; the EV
     // Translator derives the index ranges (Fig. 6).
-    device_->registerTable(tableId, file->extents);
+    device_->registerTable(TableId{tableId}, file->extents);
 
     const int fd = static_cast<int>(openFds_.size());
     openFds_.push_back(static_cast<int>(tableId));
@@ -75,14 +74,18 @@ RmRuntime::RM_send_inputs(int fd, std::uint32_t indicesPerLookup,
     std::size_t sp = 0;
     std::size_t dp = 0;
     for (std::size_t s = 0; s < batch; ++s) {
-        samples[s].dense.assign(denseIn.begin() + dp,
-                                denseIn.begin() + dp + denseDim);
+        const auto dOff = static_cast<std::ptrdiff_t>(dp);
+        samples[s].dense.assign(
+            denseIn.begin() + dOff,
+            denseIn.begin() + dOff +
+                static_cast<std::ptrdiff_t>(denseDim));
         dp += denseDim;
         samples[s].indices.resize(config_.numTables);
         for (std::uint32_t t = 0; t < config_.numTables; ++t) {
+            const auto sOff = static_cast<std::ptrdiff_t>(sp);
             samples[s].indices[t].assign(
-                sparseIn.begin() + sp,
-                sparseIn.begin() + sp + config_.lookupsPerTable);
+                sparseIn.begin() + sOff,
+                sparseIn.begin() + sOff + config_.lookupsPerTable);
             sp += config_.lookupsPerTable;
         }
     }

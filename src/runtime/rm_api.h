@@ -97,10 +97,10 @@ class RmRuntime
     struct PendingRequest
     {
         std::vector<float> outputs;
-        Nanos latency = 0;
+        Nanos latency;
     };
     std::deque<PendingRequest> pending_;
-    Nanos lastLatency_ = 0;
+    Nanos lastLatency_;
 };
 
 } // namespace rmssd::runtime

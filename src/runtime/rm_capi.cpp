@@ -135,7 +135,7 @@ rm_pending_requests(const rm_session *session)
 uint64_t
 rm_last_latency_ns(const rm_session *session)
 {
-    return session ? session->runtime.lastLatency() : 0;
+    return session ? session->runtime.lastLatency().raw() : 0;
 }
 
 } // extern "C"

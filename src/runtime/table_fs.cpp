@@ -4,9 +4,9 @@
 
 namespace rmssd::runtime {
 
-TableFs::TableFs(std::uint64_t totalSectors, std::uint32_t sectorSize,
+TableFs::TableFs(Sectors totalSectors, Bytes sectorSize,
                  std::uint32_t sectorsPerPage,
-                 std::uint64_t maxFragmentSectors)
+                 Sectors maxFragmentSectors)
     : sectorSize_(sectorSize),
       allocator_(totalSectors, maxFragmentSectors),
       sectorsPerPage_(sectorsPerPage)
@@ -15,7 +15,7 @@ TableFs::TableFs(std::uint64_t totalSectors, std::uint32_t sectorSize,
 
 const TableFile &
 TableFs::create(std::uint32_t tableId, const std::string &path,
-                std::uint64_t bytes, std::uint32_t uid)
+                Bytes bytes, std::uint32_t uid)
 {
     if (files_.contains(path))
         fatal("table file '%s' already exists", path.c_str());
@@ -24,8 +24,8 @@ TableFs::create(std::uint32_t tableId, const std::string &path,
     file.path = path;
     file.ownerUid = uid;
     file.bytes = bytes;
-    const std::uint64_t sectors =
-        (bytes + sectorSize_ - 1) / sectorSize_;
+    const Sectors sectors{(bytes.raw() + sectorSize_.raw() - 1) /
+                          sectorSize_.raw()};
     file.extents = allocator_.allocate(sectors, sectorsPerPage_);
     return files_.emplace(path, std::move(file)).first->second;
 }

@@ -23,7 +23,7 @@ struct TableFile
     std::uint32_t tableId = 0;
     std::string path;
     std::uint32_t ownerUid = 0;
-    std::uint64_t bytes = 0;
+    Bytes bytes;
     ftl::ExtentList extents;
 };
 
@@ -31,17 +31,17 @@ struct TableFile
 class TableFs
 {
   public:
-    TableFs(std::uint64_t totalSectors, std::uint32_t sectorSize,
+    TableFs(Sectors totalSectors, Bytes sectorSize,
             std::uint32_t sectorsPerPage,
-            std::uint64_t maxFragmentSectors = 0);
+            Sectors maxFragmentSectors = Sectors{});
 
     /**
      * Create a table file (RM_create_table): allocates extents and
      * records ownership. Fatal if the path already exists.
      */
     const TableFile &create(std::uint32_t tableId,
-                            const std::string &path,
-                            std::uint64_t bytes, std::uint32_t uid);
+                            const std::string &path, Bytes bytes,
+                            std::uint32_t uid);
 
     /**
      * Open a table file (RM_open_table's host half): returns the
@@ -55,7 +55,7 @@ class TableFs
     bool exists(const std::string &path) const;
 
   private:
-    std::uint32_t sectorSize_;
+    Bytes sectorSize_;
     ftl::ExtentAllocator allocator_;
     std::uint32_t sectorsPerPage_;
     std::map<std::string, TableFile> files_;

@@ -50,7 +50,7 @@ void
 EventQueue::reset()
 {
     heap_ = {};
-    now_ = 0;
+    now_ = Cycle{};
     nextSeq_ = 0;
 }
 

@@ -76,7 +76,7 @@ class EventQueue
         }
     };
 
-    Cycle now_ = 0;
+    Cycle now_;
     std::uint64_t nextSeq_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };

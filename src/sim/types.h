@@ -6,6 +6,10 @@
  * from the paper's prototype (200 MHz, i.e. 5 ns per cycle, Section V).
  * All device latencies are therefore expressed in cycles; host-side
  * costs are expressed in nanoseconds and converted at the boundary.
+ *
+ * Cycle and Nanos are distinct tagged-integer types (see
+ * sim/strong_types.h): mixing them, or converting anywhere but
+ * through cyclesToNanos()/nanosToCycles() below, does not compile.
  */
 
 #ifndef RMSSD_SIM_TYPES_H
@@ -13,13 +17,9 @@
 
 #include <cstdint>
 
+#include "sim/strong_types.h"
+
 namespace rmssd {
-
-/** Device clock cycle count (200 MHz FPGA clock). */
-using Cycle = std::uint64_t;
-
-/** Wall-clock time in nanoseconds. */
-using Nanos = std::uint64_t;
 
 /** FPGA clock frequency used by the paper's prototype (Section V). */
 inline constexpr std::uint64_t kFpgaClockHz = 200'000'000;
@@ -28,25 +28,39 @@ inline constexpr std::uint64_t kFpgaClockHz = 200'000'000;
 inline constexpr std::uint64_t kNanosPerCycle =
     1'000'000'000 / kFpgaClockHz;
 
+// The cycle<->nanos conversions below are exact only when the clock
+// divides a nanosecond grid; guard the ratio at compile time so a
+// future clock change cannot silently introduce rounding drift.
+static_assert(kNanosPerCycle * kFpgaClockHz == 1'000'000'000,
+              "FPGA clock must divide 1 GHz for exact ns conversion");
+static_assert(kNanosPerCycle > 0, "sub-ns cycles are not representable");
+
 /** Convert device cycles to nanoseconds. */
 constexpr Nanos
 cyclesToNanos(Cycle cycles)
 {
-    return cycles * kNanosPerCycle;
+    return Nanos{cycles.raw() * kNanosPerCycle};
 }
 
-/** Convert nanoseconds to device cycles, rounding up. */
+/**
+ * Convert nanoseconds to device cycles, rounding up. Implemented as
+ * quotient-plus-remainder-carry rather than the textbook
+ * (ns + k - 1) / k so the round-up cannot overflow near the top of
+ * the 64-bit range.
+ */
 constexpr Cycle
 nanosToCycles(Nanos ns)
 {
-    return (ns + kNanosPerCycle - 1) / kNanosPerCycle;
+    const std::uint64_t q = ns.raw() / kNanosPerCycle;
+    const std::uint64_t r = ns.raw() % kNanosPerCycle;
+    return Cycle{q + (r != 0 ? 1 : 0)};
 }
 
 /** Convert nanoseconds to seconds as a double (for reporting). */
 constexpr double
 nanosToSeconds(Nanos ns)
 {
-    return static_cast<double>(ns) * 1e-9;
+    return static_cast<double>(ns.raw()) * 1e-9;
 }
 
 } // namespace rmssd

@@ -26,14 +26,14 @@ simulateBatchedServing(engine::RmSsd &device, TraceGenerator &gen,
     for (auto &a : arrivals) {
         const double u = std::max(rng.nextDouble(), 1e-12);
         t += -meanGapNanos * std::log(u);
-        a = static_cast<Nanos>(t);
+        a = Nanos{static_cast<std::uint64_t>(t)};
     }
 
     LatencyRecorder latencies;
     BatcherResult result;
     result.offeredQps = config.arrivalQps;
 
-    Cycle lastCompletion = 0;
+    Cycle lastCompletion;
     std::size_t next = 0;
     std::uint64_t batchedQueries = 0;
     while (next < arrivals.size()) {

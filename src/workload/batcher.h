@@ -25,7 +25,7 @@ struct BatcherConfig
 {
     double arrivalQps = 2000.0;   //!< per-query arrival rate
     std::uint32_t maxBatch = 16;  //!< dispatch at this many queries
-    Nanos flushTimeout = 500'000; //!< ...or this long after the first
+    Nanos flushTimeout{500'000}; //!< ...or this long after the first
     std::uint32_t numQueries = 2000;
     std::uint64_t seed = 0xba7c4ULL;
 };
@@ -37,9 +37,9 @@ struct BatcherResult
     double achievedQps = 0.0;     //!< queries per second completed
     double meanBatchSize = 0.0;   //!< realized batch-size average
     std::uint64_t dispatches = 0; //!< request batches sent
-    Nanos meanLatency = 0;        //!< per-QUERY (includes batching wait)
-    Nanos p95 = 0;
-    Nanos p99 = 0;
+    Nanos meanLatency;        //!< per-QUERY (includes batching wait)
+    Nanos p95;
+    Nanos p99;
 };
 
 /**

@@ -24,7 +24,7 @@ Breakdown::operator+=(const Breakdown &o)
 double
 RunResult::qps() const
 {
-    if (totalNanos == 0)
+    if (totalNanos == Nanos{})
         return 0.0;
     return static_cast<double>(samples) /
            nanosToSeconds(totalNanos);
@@ -33,7 +33,7 @@ RunResult::qps() const
 Nanos
 RunResult::latencyPerBatch() const
 {
-    return batches == 0 ? 0 : totalNanos / batches;
+    return batches == 0 ? Nanos{} : totalNanos / batches;
 }
 
 double

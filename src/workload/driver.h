@@ -18,13 +18,13 @@ namespace rmssd::workload {
 /** Fig. 2's execution-time breakdown categories. */
 struct Breakdown
 {
-    Nanos topMlp = 0;  //!< top MLP layers
-    Nanos botMlp = 0;  //!< bottom MLP layers
-    Nanos concat = 0;  //!< feature interaction
-    Nanos embOp = 0;   //!< userspace SLS operator
-    Nanos embFs = 0;   //!< kernel I/O stack (page cache, VFS)
-    Nanos embSsd = 0;  //!< device time (driver and below)
-    Nanos other = 0;   //!< framework/dispatch overhead ("others")
+    Nanos topMlp;  //!< top MLP layers
+    Nanos botMlp;  //!< bottom MLP layers
+    Nanos concat;  //!< feature interaction
+    Nanos embOp;   //!< userspace SLS operator
+    Nanos embFs;   //!< kernel I/O stack (page cache, VFS)
+    Nanos embSsd;  //!< device time (driver and below)
+    Nanos other;   //!< framework/dispatch overhead ("others")
 
     Nanos total() const;
     Breakdown &operator+=(const Breakdown &o);
@@ -36,7 +36,7 @@ struct RunResult
     std::string system;
     std::uint64_t batches = 0;
     std::uint64_t samples = 0;
-    Nanos totalNanos = 0;
+    Nanos totalNanos;
     Breakdown breakdown;
     /** Bytes moved from device to host during the measured run. */
     std::uint64_t hostTrafficBytes = 0;

@@ -19,18 +19,18 @@ Nanos
 LatencyRecorder::mean() const
 {
     if (samples_.empty())
-        return 0;
+        return Nanos{};
     unsigned long long sum = 0;
     for (const Nanos s : samples_)
-        sum += s;
-    return sum / samples_.size();
+        sum += s.raw();
+    return Nanos{sum / samples_.size()};
 }
 
 Nanos
 LatencyRecorder::max() const
 {
     if (samples_.empty())
-        return 0;
+        return Nanos{};
     return *std::max_element(samples_.begin(), samples_.end());
 }
 
@@ -39,7 +39,7 @@ LatencyRecorder::percentile(double p) const
 {
     RMSSD_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
     if (samples_.empty())
-        return 0;
+        return Nanos{};
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
@@ -62,13 +62,13 @@ simulateServing(engine::RmSsd &device, TraceGenerator &gen,
 
     LatencyRecorder latencies;
     double arrivalNanos = 0.0;
-    Cycle lastCompletion = 0;
+    Cycle lastCompletion;
     for (std::uint32_t r = 0; r < config.numRequests; ++r) {
         // Exponential inter-arrival gap (Poisson process).
         const double u = std::max(rng.nextDouble(), 1e-12);
         arrivalNanos += -meanGapNanos * std::log(u);
-        const Cycle arrival =
-            nanosToCycles(static_cast<Nanos>(arrivalNanos));
+        const Cycle arrival = nanosToCycles(
+            Nanos{static_cast<std::uint64_t>(arrivalNanos)});
 
         // The device cannot start before the request arrives; when it
         // is backed up, the request queues (FIFO) and its latency

@@ -49,11 +49,11 @@ struct ServingResult
 {
     double offeredQps = 0.0;  //!< requested arrival rate (requests/s)
     double achievedQps = 0.0; //!< completed requests/s of sim time
-    Nanos meanLatency = 0;
-    Nanos p50 = 0;
-    Nanos p95 = 0;
-    Nanos p99 = 0;
-    Nanos maxLatency = 0;
+    Nanos meanLatency;
+    Nanos p50;
+    Nanos p95;
+    Nanos p99;
+    Nanos maxLatency;
     std::uint64_t requests = 0;
 };
 

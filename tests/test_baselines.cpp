@@ -57,10 +57,10 @@ TEST(DramSystemTest, BreakdownHasNoDeviceTime)
     workload::TraceGenerator gen(cfg, miniTrace());
     const auto r = sys.run(gen, 4, 5, 0);
     EXPECT_EQ(r.samples, 20u);
-    EXPECT_EQ(r.breakdown.embSsd, 0u);
-    EXPECT_EQ(r.breakdown.embFs, 0u);
-    EXPECT_GT(r.breakdown.embOp, 0u);
-    EXPECT_GT(r.breakdown.topMlp, 0u);
+    EXPECT_EQ(r.breakdown.embSsd, Nanos{});
+    EXPECT_EQ(r.breakdown.embFs, Nanos{});
+    EXPECT_GT(r.breakdown.embOp, Nanos{});
+    EXPECT_GT(r.breakdown.topMlp, Nanos{});
     EXPECT_EQ(r.hostTrafficBytes, 0u);
     EXPECT_GT(r.qps(), 0.0);
 }
@@ -102,7 +102,8 @@ TEST(RecssdSystemTest, WarmCacheHitsTheHotSet)
     workload::TraceGenerator gen2(cfg, miniTrace());
     const auto warmed = warm.run(gen2, 4, 5, 30);
     // Warm-up lowers device traffic per measured lookup.
-    EXPECT_LT(warmed.totalNanos, cold.totalNanos * 1.01);
+    EXPECT_LT(static_cast<double>(warmed.totalNanos.raw()),
+              static_cast<double>(cold.totalNanos.raw()) * 1.01);
 }
 
 TEST(RecssdSystemTest, ThroughputDegradesWithLocality)
@@ -166,9 +167,9 @@ TEST(EmbVectorSumSystemTest, SlsOnlySkipsMlp)
     workload::TraceGenerator gen(cfg, miniTrace());
     sys.setSlsOnly(true);
     const auto r = sys.run(gen, 2, 5, 0);
-    EXPECT_EQ(r.breakdown.topMlp, 0u);
-    EXPECT_EQ(r.breakdown.botMlp, 0u);
-    EXPECT_GT(r.breakdown.embSsd, 0u);
+    EXPECT_EQ(r.breakdown.topMlp, Nanos{});
+    EXPECT_EQ(r.breakdown.botMlp, Nanos{});
+    EXPECT_GT(r.breakdown.embSsd, Nanos{});
 }
 
 TEST(EmbVectorSumSystemTest, TrafficIsPooledVectors)

@@ -40,7 +40,7 @@ TEST_F(BatcherFixture, HighLoadFillsBatches)
     BatcherConfig bc;
     bc.arrivalQps = 50000.0; // queries pile up fast
     bc.maxBatch = 8;
-    bc.flushTimeout = 1'000'000;
+    bc.flushTimeout = Nanos{1'000'000};
     bc.numQueries = 400;
     const BatcherResult r =
         simulateBatchedServing(*device_, *gen_, bc);
@@ -54,7 +54,7 @@ TEST_F(BatcherFixture, LowLoadFlushesOnTimeout)
     BatcherConfig bc;
     bc.arrivalQps = 200.0; // sparse arrivals
     bc.maxBatch = 8;
-    bc.flushTimeout = 100'000; // 100 us << 5 ms inter-arrival
+    bc.flushTimeout = Nanos{100'000}; // 100 us << 5 ms inter-arrival
     bc.numQueries = 100;
     const BatcherResult r =
         simulateBatchedServing(*device_, *gen_, bc);
@@ -72,14 +72,14 @@ TEST_F(BatcherFixture, BatchingRaisesThroughputOnMlpDominated)
     BatcherConfig solo;
     solo.arrivalQps = 2500.0;
     solo.maxBatch = 1;
-    solo.flushTimeout = 1;
+    solo.flushTimeout = Nanos{1};
     solo.numQueries = 300;
     const BatcherResult rSolo =
         simulateBatchedServing(*device_, *gen_, solo);
 
     BatcherConfig batched = solo;
     batched.maxBatch = 8;
-    batched.flushTimeout = 2'000'000;
+    batched.flushTimeout = Nanos{2'000'000};
     const BatcherResult rBatched =
         simulateBatchedServing(*device_, *gen_, batched);
 

@@ -55,7 +55,7 @@ TEST(EmbeddingEngine, PooledResultMatchesReference)
 
     const model::Sample s = dev.model().makeSample(3);
     const EmbeddingResult res =
-        dev.embeddingEngine().run(0, std::span(&s, 1), true);
+        dev.embeddingEngine().run(Cycle{}, std::span(&s, 1), true);
     ASSERT_EQ(res.pooled.size(), 1u);
 
     const model::Vector ref =
@@ -71,7 +71,7 @@ TEST(EmbeddingEngine, PoolingIsOrderInvariant)
 
     model::Sample s = dev.model().makeSample(5);
     const EmbeddingResult a =
-        dev.embeddingEngine().run(0, std::span(&s, 1), true);
+        dev.embeddingEngine().run(Cycle{}, std::span(&s, 1), true);
     for (auto &idx : s.indices)
         std::reverse(idx.begin(), idx.end());
     const EmbeddingResult b =
@@ -87,11 +87,11 @@ TEST(EmbeddingEngine, TimingCoversAtLeastOneVectorRead)
 
     const model::Sample s = dev.model().makeSample(1);
     const EmbeddingResult res =
-        dev.embeddingEngine().run(0, std::span(&s, 1), false);
+        dev.embeddingEngine().run(Cycle{}, std::span(&s, 1), false);
     EXPECT_GE(res.elapsed(),
               dev.flash().timing().vectorReadTotalCycles(
-                  cfg.vectorBytes()));
-    EXPECT_GT(res.issueEndCycle, 0u);
+                  Bytes{cfg.vectorBytes()}));
+    EXPECT_GT(res.issueEndCycle, Cycle{});
     EXPECT_LE(res.issueEndCycle, res.doneCycle);
 }
 
@@ -102,7 +102,7 @@ TEST(EmbeddingEngine, LookupsStripeOverChannels)
     dev.loadTables();
 
     const model::Sample s = dev.model().makeSample(2);
-    dev.embeddingEngine().run(0, std::span(&s, 1), false);
+    dev.embeddingEngine().run(Cycle{}, std::span(&s, 1), false);
     // 8 tables x 8 lookups = 64 reads over 4 channels; with random
     // rows every channel must see traffic.
     for (std::uint32_t c = 0; c < 4; ++c) {
@@ -127,11 +127,11 @@ TEST(EmbeddingEngine, BatchTimeScalesRoughlyLinearly)
 
     dev.flash().resetTiming();
     const Cycle t1 = dev.embeddingEngine()
-                         .run(0, std::span(one), false)
+                         .run(Cycle{}, std::span(one), false)
                          .elapsed();
     dev.flash().resetTiming();
     const Cycle t4 = dev.embeddingEngine()
-                         .run(0, std::span(four), false)
+                         .run(Cycle{}, std::span(four), false)
                          .elapsed();
     EXPECT_GT(t4, 2 * t1);
     EXPECT_LT(t4, 8 * t1);
@@ -160,12 +160,12 @@ TEST_P(SteadyStateRate, AnalyticFormulaTracksSimulation)
     for (int i = 0; i < 8; ++i)
         batch.push_back(dev.model().makeSample(i));
     const EmbeddingResult res =
-        dev.embeddingEngine().run(0, std::span(batch), false);
+        dev.embeddingEngine().run(Cycle{}, std::span(batch), false);
     const double simPerRead =
-        static_cast<double>(res.elapsed()) /
+        static_cast<double>(res.elapsed().raw()) /
         static_cast<double>(dev.embeddingEngine().lookups().value());
     const double analytic = EmbeddingEngine::steadyStateCyclesPerRead(
-        dev.flash().geometry(), dev.flash().timing(), evBytes);
+        dev.flash().geometry(), dev.flash().timing(), Bytes{evBytes});
     EXPECT_NEAR(simPerRead, analytic, analytic * 0.25);
 }
 

@@ -46,8 +46,9 @@ TEST(EnergyModel, HostWindowChargesCpu)
     const EnergyModel energy;
     const model::ModelConfig cfg = model::rmc1();
     const EnergyReport r = energy.hostWindow(
-        cfg, /*elapsed=*/1'000'000'000, /*hostBusy=*/1'000'000'000,
-        /*inferences=*/0, /*deviceBytes=*/0, /*pageReads=*/0);
+        cfg, /*elapsed=*/Nanos{1'000'000'000},
+        /*hostBusy=*/Nanos{1'000'000'000},
+        /*inferences=*/0, /*deviceBytes=*/Bytes{}, /*pageReads=*/0);
     // One second busy at the configured host wattage.
     EXPECT_DOUBLE_EQ(r.hostJ, energy.costs().hostCpuWatts);
     EXPECT_DOUBLE_EQ(r.staticJ, energy.costs().ssdStaticWatts);
@@ -65,10 +66,12 @@ TEST(EnergyModel, RmSsdWindowScalesWithCounters)
 
     std::vector<model::Sample> batch{dev.model().makeSample(0)};
     dev.infer(batch);
-    const EnergyReport one = energy.rmSsdWindow(dev, 1'000'000, 1);
+    const EnergyReport one =
+        energy.rmSsdWindow(dev, Nanos{1'000'000}, 1);
     for (int i = 0; i < 9; ++i)
         dev.infer(batch);
-    const EnergyReport ten = energy.rmSsdWindow(dev, 1'000'000, 10);
+    const EnergyReport ten =
+        energy.rmSsdWindow(dev, Nanos{1'000'000}, 10);
 
     // Flash and transfer energies track the 10x counter growth.
     EXPECT_NEAR(ten.flashJ / one.flashJ, 10.0, 0.5);
@@ -91,8 +94,8 @@ TEST(EnergyModel, InDeviceBeatsHostPerInference)
     dev.loadTables();
     const double qps = dev.steadyStateQps(4, 8);
     const std::uint64_t n = dev.inferences().value();
-    const Nanos elapsed =
-        static_cast<Nanos>(1e9 * static_cast<double>(n) / qps);
+    const Nanos elapsed{static_cast<std::uint64_t>(
+        1e9 * static_cast<double>(n) / qps)};
     const double devicePerInf =
         energy.rmSsdWindow(dev, elapsed, n).total() /
         static_cast<double>(n);
@@ -101,8 +104,8 @@ TEST(EnergyModel, InDeviceBeatsHostPerInference)
     // inference (from the Fig. 2 / Fig. 3 measurements).
     const double hostPerInf =
         energy
-            .hostWindow(cfg, 15'000'000, 15'000'000, 1,
-                        /*deviceBytes=*/1'700'000,
+            .hostWindow(cfg, Nanos{15'000'000}, Nanos{15'000'000}, 1,
+                        /*deviceBytes=*/Bytes{1'700'000},
                         /*pageReads=*/420)
             .total();
 

@@ -35,82 +35,83 @@ oneSetCache(std::uint32_t ways, std::uint32_t lineBytes = 16)
 {
     EvCacheConfig cc;
     cc.enabled = true;
-    cc.capacityBytes = static_cast<std::uint64_t>(ways) * lineBytes;
+    cc.capacityBytes =
+        Bytes{static_cast<std::uint64_t>(ways) * lineBytes};
     cc.ways = ways;
-    return EvCache(cc, lineBytes);
+    return EvCache(cc, Bytes{lineBytes});
 }
 
 TEST(EvCache, GeometryFromConfig)
 {
     EvCacheConfig cc;
-    cc.capacityBytes = 1024;
+    cc.capacityBytes = Bytes{1024};
     cc.ways = 4;
-    const EvCache cache(cc, 32); // 32 lines -> 8 sets x 4 ways
+    const EvCache cache(cc, Bytes{32}); // 32 lines -> 8 sets x 4 ways
     EXPECT_EQ(cache.numSets(), 8u);
     EXPECT_EQ(cache.ways(), 4u);
-    EXPECT_EQ(cache.lineBytes(), 32u);
+    EXPECT_EQ(cache.lineBytes(), Bytes{32});
 }
 
 TEST(EvCache, LruEvictsOldestLine)
 {
     EvCache cache = oneSetCache(2);
-    cache.fill(0, 1, {});
-    cache.fill(0, 2, {});
-    EXPECT_TRUE(cache.contains(0, 1));
-    EXPECT_TRUE(cache.contains(0, 2));
+    cache.fill(TableId{}, EvIndex{1}, {});
+    cache.fill(TableId{}, EvIndex{2}, {});
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{1}));
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{2}));
 
     // Touch index 1 so index 2 becomes LRU, then overflow the set.
-    EXPECT_TRUE(cache.lookup(0, 1, nullptr));
-    cache.fill(0, 3, {});
-    EXPECT_TRUE(cache.contains(0, 1));
-    EXPECT_FALSE(cache.contains(0, 2));
-    EXPECT_TRUE(cache.contains(0, 3));
+    EXPECT_TRUE(cache.lookup(TableId{}, EvIndex{1}, nullptr));
+    cache.fill(TableId{}, EvIndex{3}, {});
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{1}));
+    EXPECT_FALSE(cache.contains(TableId{}, EvIndex{2}));
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{3}));
     EXPECT_EQ(cache.evictions().value(), 1u);
 }
 
 TEST(EvCache, RefillRefreshesInsteadOfEvicting)
 {
     EvCache cache = oneSetCache(2);
-    cache.fill(0, 1, {});
-    cache.fill(0, 2, {});
-    cache.fill(0, 1, {}); // refresh, not a new line
-    EXPECT_TRUE(cache.contains(0, 2));
+    cache.fill(TableId{}, EvIndex{1}, {});
+    cache.fill(TableId{}, EvIndex{2}, {});
+    cache.fill(TableId{}, EvIndex{1}, {}); // refresh, not a new line
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{2}));
     EXPECT_EQ(cache.evictions().value(), 0u);
 
-    cache.fill(0, 3, {}); // now 2 is LRU
-    EXPECT_FALSE(cache.contains(0, 2));
-    EXPECT_TRUE(cache.contains(0, 1));
+    cache.fill(TableId{}, EvIndex{3}, {}); // now 2 is LRU
+    EXPECT_FALSE(cache.contains(TableId{}, EvIndex{2}));
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{1}));
 }
 
 TEST(EvCache, TablesDoNotAlias)
 {
     EvCache cache = oneSetCache(4);
-    cache.fill(1, 7, {});
-    EXPECT_TRUE(cache.contains(1, 7));
-    EXPECT_FALSE(cache.contains(2, 7));
-    EXPECT_FALSE(cache.lookup(2, 7, nullptr));
+    cache.fill(TableId{1}, EvIndex{7}, {});
+    EXPECT_TRUE(cache.contains(TableId{1}, EvIndex{7}));
+    EXPECT_FALSE(cache.contains(TableId{2}, EvIndex{7}));
+    EXPECT_FALSE(cache.lookup(TableId{2}, EvIndex{7}, nullptr));
 }
 
 TEST(EvCache, FunctionalLookupRequiresData)
 {
     EvCache cache = oneSetCache(2);
-    cache.fill(0, 1, {}); // timing-only line, no bytes
+    cache.fill(TableId{}, EvIndex{1}, {}); // timing-only line, no bytes
     std::vector<std::uint8_t> out;
-    EXPECT_FALSE(cache.lookup(0, 1, &out)) << "dataless line must miss "
+    EXPECT_FALSE(cache.lookup(TableId{}, EvIndex{1}, &out)) << "dataless line must miss "
                                               "a functional probe";
     const std::vector<std::uint8_t> bytes{1, 2, 3, 4};
-    cache.fill(0, 1, bytes);
-    EXPECT_TRUE(cache.lookup(0, 1, &out));
+    cache.fill(TableId{}, EvIndex{1}, bytes);
+    EXPECT_TRUE(cache.lookup(TableId{}, EvIndex{1}, &out));
     EXPECT_EQ(out, bytes);
 }
 
 TEST(EvCache, InvalidateDropsLinesKeepsCounters)
 {
     EvCache cache = oneSetCache(2);
-    cache.fill(0, 1, {});
-    EXPECT_TRUE(cache.lookup(0, 1, nullptr));
+    cache.fill(TableId{}, EvIndex{1}, {});
+    EXPECT_TRUE(cache.lookup(TableId{}, EvIndex{1}, nullptr));
     cache.invalidate();
-    EXPECT_FALSE(cache.contains(0, 1));
+    EXPECT_FALSE(cache.contains(TableId{}, EvIndex{1}));
     EXPECT_EQ(cache.hits().value(), 1u);
 }
 
@@ -119,16 +120,16 @@ TEST(EffectiveCyclesPerRead, ShrinksWithHitRatioAndFloors)
     const flash::Geometry g = flash::tableIIGeometry();
     const flash::NandTiming t = flash::tableIITiming();
     const double base =
-        EmbeddingEngine::steadyStateCyclesPerRead(g, t, 128);
+        EmbeddingEngine::steadyStateCyclesPerRead(g, t, Bytes{128});
     EXPECT_DOUBLE_EQ(
-        EmbeddingEngine::effectiveCyclesPerRead(g, t, 128, 0.0), base);
+        EmbeddingEngine::effectiveCyclesPerRead(g, t, Bytes{128}, 0.0), base);
     const double half =
-        EmbeddingEngine::effectiveCyclesPerRead(g, t, 128, 0.5);
+        EmbeddingEngine::effectiveCyclesPerRead(g, t, Bytes{128}, 0.5);
     EXPECT_DOUBLE_EQ(half, base * 0.5);
     // A perfect cache is still bounded by the translator issue rate.
     EXPECT_DOUBLE_EQ(
-        EmbeddingEngine::effectiveCyclesPerRead(g, t, 128, 1.0),
-        static_cast<double>(EvTranslator::kCyclesPerIndex));
+        EmbeddingEngine::effectiveCyclesPerRead(g, t, Bytes{128}, 1.0),
+        static_cast<double>(EvTranslator::kCyclesPerIndex.raw()));
 }
 
 /** Device options with the reuse path fully on (functional). */
@@ -160,12 +161,12 @@ TEST(EvCacheEquivalence, PooledOutputsBitIdenticalOnVsOff)
         idx = batch[0].indices[0];
 
     const EmbeddingResult a =
-        plain.embeddingEngine().run(0, std::span(batch), true);
+        plain.embeddingEngine().run(Cycle{}, std::span(batch), true);
     // Two passes over the cached device: the second runs hot.
     const EmbeddingResult b =
-        cached.embeddingEngine().run(0, std::span(batch), true);
+        cached.embeddingEngine().run(Cycle{}, std::span(batch), true);
     const EmbeddingResult c =
-        cached.embeddingEngine().run(0, std::span(batch), true);
+        cached.embeddingEngine().run(Cycle{}, std::span(batch), true);
 
     ASSERT_EQ(a.pooled.size(), b.pooled.size());
     for (std::size_t s = 0; s < a.pooled.size(); ++s) {
@@ -216,10 +217,10 @@ TEST(EvCacheTiming, WarmBatchFinishesEarlier)
         batch.push_back(dev.model().makeSample(50 + i));
 
     const Cycle cold =
-        dev.embeddingEngine().run(0, std::span(batch), false).elapsed();
+        dev.embeddingEngine().run(Cycle{}, std::span(batch), false).elapsed();
     dev.flash().resetTiming();
     const Cycle warm =
-        dev.embeddingEngine().run(0, std::span(batch), false).elapsed();
+        dev.embeddingEngine().run(Cycle{}, std::span(batch), false).elapsed();
     EXPECT_LT(warm, cold);
     EXPECT_EQ(dev.evCache()->misses().value(),
               dev.evCache()->fills().value());
@@ -238,7 +239,7 @@ TEST(Coalescing, DuplicateIndicesReadFlashOnce)
     const auto row = s.indices[0][0];
     std::fill(s.indices[0].begin(), s.indices[0].end(), row);
 
-    dev.embeddingEngine().run(0, std::span(&s, 1), false);
+    dev.embeddingEngine().run(Cycle{}, std::span(&s, 1), false);
     const std::uint64_t lookups = cfg.lookupsPerSample();
     EXPECT_EQ(dev.embeddingEngine().lookups().value(), lookups);
     // At least the 7 duplicates of table 0 must coalesce; random draws
@@ -270,9 +271,9 @@ TEST(Coalescing, NeverSlowerThanPlainEngine)
         idx = batch[3].indices[0];
 
     const Cycle tPlain =
-        plain.embeddingEngine().run(0, std::span(batch), false).elapsed();
+        plain.embeddingEngine().run(Cycle{}, std::span(batch), false).elapsed();
     const Cycle tCoal =
-        coal.embeddingEngine().run(0, std::span(batch), false).elapsed();
+        coal.embeddingEngine().run(Cycle{}, std::span(batch), false).elapsed();
     EXPECT_LE(tCoal, tPlain);
 }
 
@@ -292,8 +293,9 @@ TEST(EvCacheHitRatio, TracksLocalityKTraceEstimate)
     opt.evCache.enabled = true;
     // Oversize 4x: the estimate assumes the hot set stays resident,
     // so leave headroom for cold-tail pollution and set conflicts.
-    opt.evCache.capacityBytes = 4 * tc.hotRowsPerTable *
-                                cfg.numTables * cfg.vectorBytes();
+    opt.evCache.capacityBytes = Bytes{4ull * tc.hotRowsPerTable *
+                                      cfg.numTables *
+                                      cfg.vectorBytes()};
     RmSsd dev(cfg, opt);
     dev.loadTables();
 
@@ -301,13 +303,13 @@ TEST(EvCacheHitRatio, TracksLocalityKTraceEstimate)
     // Warm the cache, then measure.
     for (int b = 0; b < 30; ++b) {
         const auto batch = gen.nextBatch(8);
-        dev.embeddingEngine().run(0, std::span(batch), false);
+        dev.embeddingEngine().run(Cycle{}, std::span(batch), false);
     }
     const std::uint64_t hits0 = dev.evCache()->hits().value();
     const std::uint64_t misses0 = dev.evCache()->misses().value();
     for (int b = 0; b < 30; ++b) {
         const auto batch = gen.nextBatch(8);
-        dev.embeddingEngine().run(0, std::span(batch), false);
+        dev.embeddingEngine().run(Cycle{}, std::span(batch), false);
     }
     const double measured =
         static_cast<double>(dev.evCache()->hits().value() - hits0) /
@@ -315,7 +317,7 @@ TEST(EvCacheHitRatio, TracksLocalityKTraceEstimate)
                             dev.evCache()->misses().value() - misses0);
 
     const double expected = workload::expectedHitRatio(
-        tc, opt.evCache.capacityBytes / cfg.vectorBytes() /
+        tc, opt.evCache.capacityBytes.raw() / cfg.vectorBytes() /
                 cfg.numTables);
     EXPECT_DOUBLE_EQ(expected, 0.80);
     EXPECT_NEAR(measured, expected, 0.12);
@@ -350,10 +352,10 @@ TEST(RmSsdCache, SearchAdaptsToExpectedHitRatio)
     RmSsd cached(cfg, cachedOpt);
 
     const double perReadPlain =
-        static_cast<double>(dev.searchResult().embReadCycles) /
+        static_cast<double>(dev.searchResult().embReadCycles.raw()) /
         dev.searchResult().plan.microBatch;
     const double perReadCached =
-        static_cast<double>(cached.searchResult().embReadCycles) /
+        static_cast<double>(cached.searchResult().embReadCycles.raw()) /
         cached.searchResult().plan.microBatch;
     EXPECT_LT(perReadCached, perReadPlain);
 }

@@ -13,39 +13,42 @@
 namespace rmssd::engine {
 namespace {
 
-constexpr std::uint32_t kSectorSize = 512;
+constexpr Bytes kSectorSize{512};
 
 TEST(EvTranslator, SingleExtentLinearLayout)
 {
     EvTranslator tr(kSectorSize);
     ftl::ExtentList extents;
-    extents.append(ftl::Extent{1000, 64}); // 32 KB = 256 x 128 B
-    tr.registerTable(0, extents, 128, 256);
+    extents.append(
+        ftl::Extent{Lba{1000}, Sectors{64}}); // 32 KB = 256 x 128 B
+    tr.registerTable(TableId{}, extents, Bytes{128}, 256);
 
-    const EvReadRequest r0 = tr.translate(0, 0);
-    EXPECT_EQ(r0.lba, 1000u);
-    EXPECT_EQ(r0.byteInSector, 0u);
-    EXPECT_EQ(r0.bytes, 128u);
+    const EvReadRequest r0 = tr.translate(TableId{}, EvIndex{});
+    EXPECT_EQ(r0.lba, Lba{1000});
+    EXPECT_EQ(r0.byteInSector, Bytes{});
+    EXPECT_EQ(r0.bytes, Bytes{128});
 
     // Index 5 -> byte 640 -> sector 1, offset 128.
-    const EvReadRequest r5 = tr.translate(0, 5);
-    EXPECT_EQ(r5.lba, 1001u);
-    EXPECT_EQ(r5.byteInSector, 128u);
+    const EvReadRequest r5 = tr.translate(TableId{}, EvIndex{5});
+    EXPECT_EQ(r5.lba, Lba{1001});
+    EXPECT_EQ(r5.byteInSector, Bytes{128});
 }
 
 TEST(EvTranslator, MultiExtentBoundaries)
 {
     EvTranslator tr(kSectorSize);
     ftl::ExtentList extents;
-    extents.append(ftl::Extent{0, 8});    // vectors 0..31 (128 B each)
-    extents.append(ftl::Extent{1000, 8}); // vectors 32..63
-    tr.registerTable(0, extents, 128, 64);
+    // vectors 0..31 (128 B each), then 32..63
+    extents.append(ftl::Extent{Lba{}, Sectors{8}});
+    extents.append(ftl::Extent{Lba{1000}, Sectors{8}});
+    tr.registerTable(TableId{}, extents, Bytes{128}, 64);
 
-    EXPECT_EQ(tr.translate(0, 31).lba, 7u);
-    EXPECT_EQ(tr.translate(0, 31).byteInSector, 384u);
-    EXPECT_EQ(tr.translate(0, 32).lba, 1000u);
-    EXPECT_EQ(tr.translate(0, 32).byteInSector, 0u);
-    EXPECT_EQ(tr.translate(0, 63).lba, 1007u);
+    const TableId t0{};
+    EXPECT_EQ(tr.translate(t0, EvIndex{31}).lba, Lba{7});
+    EXPECT_EQ(tr.translate(t0, EvIndex{31}).byteInSector, Bytes{384});
+    EXPECT_EQ(tr.translate(t0, EvIndex{32}).lba, Lba{1000});
+    EXPECT_EQ(tr.translate(t0, EvIndex{32}).byteInSector, Bytes{});
+    EXPECT_EQ(tr.translate(t0, EvIndex{63}).lba, Lba{1007});
 }
 
 class TranslatorProperty : public ::testing::TestWithParam<std::uint32_t>
@@ -64,21 +67,22 @@ TEST_P(TranslatorProperty, MatchesFlatFileOffsetForRandomExtents)
     for (int e = 0; e < 6; ++e) {
         // Page-aligned extents of random page counts.
         const std::uint64_t sectors = 8 * (1 + rng.nextBounded(20));
-        extents.append(ftl::Extent{next, sectors});
+        extents.append(ftl::Extent{Lba{next}, Sectors{sectors}});
         next += sectors + 8 * (1 + rng.nextBounded(5));
     }
     const std::uint64_t rows =
-        extents.totalSectors() * kSectorSize / evBytes;
-    tr.registerTable(0, extents, evBytes, rows);
+        extents.totalSectors().raw() * kSectorSize.raw() / evBytes;
+    tr.registerTable(TableId{}, extents, Bytes{evBytes}, rows);
 
     for (int probe = 0; probe < 200; ++probe) {
         const std::uint64_t idx = rng.nextBounded(rows);
-        const EvReadRequest req = tr.translate(0, idx);
+        const EvReadRequest req =
+            tr.translate(TableId{}, EvIndex{idx});
         const auto loc =
-            extents.locateByte(idx * evBytes, kSectorSize);
+            extents.locateByte(Bytes{idx * evBytes}, kSectorSize);
         EXPECT_EQ(req.lba, loc.lba);
         EXPECT_EQ(req.byteInSector, loc.byteInSector);
-        EXPECT_EQ(req.bytes, evBytes);
+        EXPECT_EQ(req.bytes, Bytes{evBytes});
     }
 }
 
@@ -89,53 +93,55 @@ TEST(EvTranslator, MultipleTables)
 {
     EvTranslator tr(kSectorSize);
     ftl::ExtentList a;
-    a.append(ftl::Extent{0, 8});
+    a.append(ftl::Extent{Lba{}, Sectors{8}});
     ftl::ExtentList b;
-    b.append(ftl::Extent{100, 8});
-    tr.registerTable(0, a, 128, 32);
-    tr.registerTable(1, b, 256, 16);
+    b.append(ftl::Extent{Lba{100}, Sectors{8}});
+    tr.registerTable(TableId{}, a, Bytes{128}, 32);
+    tr.registerTable(TableId{1}, b, Bytes{256}, 16);
     EXPECT_EQ(tr.numTables(), 2u);
-    EXPECT_EQ(tr.vectorBytes(0), 128u);
-    EXPECT_EQ(tr.vectorBytes(1), 256u);
-    EXPECT_EQ(tr.translate(1, 0).lba, 100u);
+    EXPECT_EQ(tr.vectorBytes(TableId{}), Bytes{128});
+    EXPECT_EQ(tr.vectorBytes(TableId{1}), Bytes{256});
+    EXPECT_EQ(tr.translate(TableId{1}, EvIndex{}).lba, Lba{100});
 }
 
 TEST(EvTranslator, MetadataScanIsWidestTable)
 {
     EvTranslator tr(kSectorSize);
     ftl::ExtentList one;
-    one.append(ftl::Extent{0, 8});
+    one.append(ftl::Extent{Lba{}, Sectors{8}});
     ftl::ExtentList three;
-    three.append(ftl::Extent{100, 8});
-    three.append(ftl::Extent{200, 8});
-    three.append(ftl::Extent{300, 8});
-    tr.registerTable(0, one, 128, 32);
-    tr.registerTable(1, three, 128, 96);
-    EXPECT_EQ(tr.metadataScanCycles(), 3u);
+    three.append(ftl::Extent{Lba{100}, Sectors{8}});
+    three.append(ftl::Extent{Lba{200}, Sectors{8}});
+    three.append(ftl::Extent{Lba{300}, Sectors{8}});
+    tr.registerTable(TableId{}, one, Bytes{128}, 32);
+    tr.registerTable(TableId{1}, three, Bytes{128}, 96);
+    EXPECT_EQ(tr.metadataScanCycles(), Cycle{3});
 }
 
 TEST(EvTranslator, UnregisteredTableIsFatal)
 {
     EvTranslator tr(kSectorSize);
-    EXPECT_EXIT(tr.translate(5, 0), ::testing::ExitedWithCode(1),
-                "not registered");
+    EXPECT_EXIT(tr.translate(TableId{5}, EvIndex{}),
+                ::testing::ExitedWithCode(1), "not registered");
 }
 
 TEST(EvTranslator, OutOfRangeIndexDies)
 {
     EvTranslator tr(kSectorSize);
     ftl::ExtentList extents;
-    extents.append(ftl::Extent{0, 8});
-    tr.registerTable(0, extents, 128, 32);
-    EXPECT_DEATH(tr.translate(0, 32), "out of range");
+    extents.append(ftl::Extent{Lba{}, Sectors{8}});
+    tr.registerTable(TableId{}, extents, Bytes{128}, 32);
+    EXPECT_DEATH(tr.translate(TableId{}, EvIndex{32}),
+                 "out of range");
 }
 
 TEST(EvTranslator, UndersizedExtentsAreFatal)
 {
     EvTranslator tr(kSectorSize);
     ftl::ExtentList extents;
-    extents.append(ftl::Extent{0, 8}); // room for 32 vectors only
-    EXPECT_EXIT(tr.registerTable(0, extents, 128, 100),
+    // room for 32 vectors only
+    extents.append(ftl::Extent{Lba{}, Sectors{8}});
+    EXPECT_EXIT(tr.registerTable(TableId{}, extents, Bytes{128}, 100),
                 ::testing::ExitedWithCode(1), "extents cover");
 }
 

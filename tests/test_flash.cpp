@@ -37,10 +37,11 @@ TEST(Geometry, ConsecutivePagesStripeAcrossChannels)
 {
     const Geometry g = tableIIGeometry();
     for (std::uint64_t ppn = 0; ppn < 64; ++ppn) {
-        EXPECT_EQ(g.decompose(ppn).channel, ppn % g.numChannels);
+        EXPECT_EQ(g.decompose(PageId{ppn}).channel,
+                  ppn % g.numChannels);
     }
     // After all channels, the die advances.
-    EXPECT_EQ(g.decompose(g.numChannels).die, 1u);
+    EXPECT_EQ(g.decompose(PageId{g.numChannels}).die, 1u);
 }
 
 class GeometryRoundTrip : public ::testing::TestWithParam<std::uint64_t>
@@ -50,7 +51,7 @@ class GeometryRoundTrip : public ::testing::TestWithParam<std::uint64_t>
 TEST_P(GeometryRoundTrip, DecomposeFlattenIsIdentity)
 {
     const Geometry g = tableIIGeometry();
-    const std::uint64_t ppn = GetParam() % g.totalPages();
+    const PageId ppn{GetParam() % g.totalPages()};
     EXPECT_EQ(g.flatten(g.decompose(ppn)), ppn);
 }
 
@@ -70,9 +71,9 @@ TEST(NandTiming, TableIIPageRead)
 {
     const NandTiming t = tableIITiming();
     // Cpage = 4000 cycles = 20 us.
-    EXPECT_EQ(t.pageReadTotalCycles(), 4000u);
-    EXPECT_EQ(t.flushCycles(), 2800u);
-    EXPECT_EQ(t.transferCycles(4096), 1200u);
+    EXPECT_EQ(t.pageReadTotalCycles(), Cycle{4000});
+    EXPECT_EQ(t.flushCycles(), Cycle{2800});
+    EXPECT_EQ(t.transferCycles(Bytes{4096}), Cycle{1200});
 }
 
 class CevFormula : public ::testing::TestWithParam<std::uint32_t>
@@ -85,11 +86,13 @@ TEST_P(CevFormula, MatchesTableII)
     const NandTiming t = tableIITiming();
     const std::uint32_t evSize = GetParam();
     const Cycle expect =
-        static_cast<Cycle>(std::ceil(0.3 * 4000.0 * evSize / 4096.0)) +
-        2800;
-    EXPECT_EQ(t.vectorReadTotalCycles(evSize), expect);
+        Cycle{static_cast<std::uint64_t>(
+            std::ceil(0.3 * 4000.0 * evSize / 4096.0))} +
+        Cycle{2800};
+    EXPECT_EQ(t.vectorReadTotalCycles(Bytes{evSize}), expect);
     // And the approximate closed form from the paper.
-    EXPECT_NEAR(static_cast<double>(t.vectorReadTotalCycles(evSize)),
+    EXPECT_NEAR(static_cast<double>(
+                    t.vectorReadTotalCycles(Bytes{evSize}).raw()),
                 0.293 * evSize + 2800.0, 1.5);
 }
 
@@ -102,12 +105,12 @@ TEST(BackingStore, PageRoundTrip)
     BackingStore store(4096);
     std::vector<std::uint8_t> page(4096);
     std::iota(page.begin(), page.end(), 0);
-    store.writePage(42, page);
+    store.writePage(PageId{42}, page);
     std::vector<std::uint8_t> out(4096);
-    store.read(42, 0, out);
+    store.read(PageId{42}, Bytes{}, out);
     EXPECT_EQ(out, page);
-    EXPECT_TRUE(store.isWritten(42));
-    EXPECT_FALSE(store.isWritten(43));
+    EXPECT_TRUE(store.isWritten(PageId{42}));
+    EXPECT_FALSE(store.isWritten(PageId{43}));
 }
 
 TEST(BackingStore, UnwrittenReadsAreDeterministic)
@@ -115,8 +118,8 @@ TEST(BackingStore, UnwrittenReadsAreDeterministic)
     BackingStore a(4096);
     BackingStore b(4096);
     std::vector<std::uint8_t> x(64), y(64);
-    a.read(7, 100, x);
-    b.read(7, 100, y);
+    a.read(PageId{7}, Bytes{100}, x);
+    b.read(PageId{7}, Bytes{100}, y);
     EXPECT_EQ(x, y);
 }
 
@@ -124,13 +127,13 @@ TEST(BackingStore, PartialWritePreservesFiller)
 {
     BackingStore store(4096);
     std::vector<std::uint8_t> before(4096);
-    store.read(9, 0, before);
+    store.read(PageId{9}, Bytes{}, before);
 
     const std::vector<std::uint8_t> patch(16, 0xAB);
-    store.writePartial(9, 128, patch);
+    store.writePartial(PageId{9}, Bytes{128}, patch);
 
     std::vector<std::uint8_t> after(4096);
-    store.read(9, 0, after);
+    store.read(PageId{9}, Bytes{}, after);
     for (std::uint32_t i = 0; i < 4096; ++i) {
         if (i >= 128 && i < 144)
             EXPECT_EQ(after[i], 0xAB);
@@ -142,29 +145,29 @@ TEST(BackingStore, PartialWritePreservesFiller)
 TEST(FlashDie, OperationsSerialize)
 {
     FlashDie die;
-    EXPECT_EQ(die.acquire(0, 100), 100u);
+    EXPECT_EQ(die.acquire(Cycle{}, Cycle{100}), Cycle{100});
     // Second op issued at cycle 10 must wait for the first.
-    EXPECT_EQ(die.acquire(10, 100), 200u);
+    EXPECT_EQ(die.acquire(Cycle{10}, Cycle{100}), Cycle{200});
     // An op issued after idle starts immediately.
-    EXPECT_EQ(die.acquire(500, 100), 600u);
-    EXPECT_EQ(die.busyCycles(), 300u);
+    EXPECT_EQ(die.acquire(Cycle{500}, Cycle{100}), Cycle{600});
+    EXPECT_EQ(die.busyCycles(), Cycle{300});
 }
 
 TEST(ChannelBus, TransfersSerialize)
 {
     ChannelBus bus;
-    EXPECT_EQ(bus.transfer(0, 50), 50u);
-    EXPECT_EQ(bus.transfer(0, 50), 100u);
-    EXPECT_EQ(bus.transfer(1000, 50), 1050u);
+    EXPECT_EQ(bus.transfer(Cycle{}, Cycle{50}), Cycle{50});
+    EXPECT_EQ(bus.transfer(Cycle{}, Cycle{50}), Cycle{100});
+    EXPECT_EQ(bus.transfer(Cycle{1000}, Cycle{50}), Cycle{1050});
 }
 
 TEST(Fmc, PageReadUsesFlushPlusFullTransfer)
 {
     const NandTiming t = tableIITiming();
     Fmc fmc(4, t);
-    const ReadTiming r = fmc.readPage(0, 0);
+    const ReadTiming r = fmc.readPage(Cycle{}, 0);
     EXPECT_EQ(r.flushDone, t.flushCycles());
-    EXPECT_EQ(r.done, t.flushCycles() + t.transferCycles(4096));
+    EXPECT_EQ(r.done, t.flushCycles() + t.transferCycles(Bytes{4096}));
     EXPECT_EQ(fmc.pageReads().value(), 1u);
     EXPECT_EQ(fmc.busBytes().value(), 4096u);
 }
@@ -173,8 +176,8 @@ TEST(Fmc, VectorReadTransfersOnlyEvBytes)
 {
     const NandTiming t = tableIITiming();
     Fmc fmc(4, t);
-    const ReadTiming r = fmc.readVector(0, 0, 128);
-    EXPECT_EQ(r.done, t.vectorReadTotalCycles(128));
+    const ReadTiming r = fmc.readVector(Cycle{}, 0, Bytes{128});
+    EXPECT_EQ(r.done, t.vectorReadTotalCycles(Bytes{128}));
     EXPECT_EQ(fmc.busBytes().value(), 128u);
 }
 
@@ -184,18 +187,18 @@ TEST(Fmc, FlushesOverlapAcrossDiesButBusSerializes)
     Fmc fmc(4, t);
     // Two vector reads on different dies issued together: flushes
     // overlap; transfers serialize on the shared bus.
-    const ReadTiming a = fmc.readVector(0, 0, 128);
-    const ReadTiming b = fmc.readVector(0, 1, 128);
+    const ReadTiming a = fmc.readVector(Cycle{}, 0, Bytes{128});
+    const ReadTiming b = fmc.readVector(Cycle{}, 1, Bytes{128});
     EXPECT_EQ(a.flushDone, b.flushDone);
-    EXPECT_EQ(b.done, a.done + t.transferCycles(128));
+    EXPECT_EQ(b.done, a.done + t.transferCycles(Bytes{128}));
 }
 
 TEST(Fmc, SameDieReadsSerializeOnFlush)
 {
     const NandTiming t = tableIITiming();
     Fmc fmc(4, t);
-    fmc.readVector(0, 0, 128);
-    const ReadTiming b = fmc.readVector(0, 0, 128);
+    fmc.readVector(Cycle{}, 0, Bytes{128});
+    const ReadTiming b = fmc.readVector(Cycle{}, 0, Bytes{128});
     EXPECT_EQ(b.flushDone, 2 * t.flushCycles());
 }
 
@@ -206,7 +209,7 @@ TEST(FlashArray, VectorReadEqualsPageSlice)
     FlashArray array(tableIIGeometry(), tableIITiming());
     Rng rng(2024);
     for (int trial = 0; trial < 20; ++trial) {
-        const std::uint64_t ppn = rng.nextBounded(1 << 20);
+        const PageId ppn{rng.nextBounded(1 << 20)};
         std::vector<std::uint8_t> page(4096);
         for (auto &b : page)
             b = static_cast<std::uint8_t>(rng.next());
@@ -217,7 +220,8 @@ TEST(FlashArray, VectorReadEqualsPageSlice)
             static_cast<std::uint32_t>(rng.nextBounded(4096 / evBytes)) *
             evBytes;
         std::vector<std::uint8_t> vec(evBytes);
-        array.readVector(0, ppn, offset, evBytes, vec);
+        array.readVector(Cycle{}, ppn, Bytes{offset}, Bytes{evBytes},
+                         vec);
         for (std::uint32_t i = 0; i < evBytes; ++i)
             EXPECT_EQ(vec[i], page[offset + i]);
     }
@@ -227,7 +231,7 @@ TEST(FlashArray, StripedReadsLandOnAllChannels)
 {
     FlashArray array(tableIIGeometry(), tableIITiming());
     for (std::uint64_t ppn = 0; ppn < 16; ++ppn)
-        array.readVector(0, ppn, 0, 128, {});
+        array.readVector(Cycle{}, PageId{ppn}, Bytes{}, Bytes{128}, {});
     for (std::uint32_t c = 0; c < 4; ++c)
         EXPECT_EQ(array.fmc(c).vectorReads().value(), 4u);
     EXPECT_EQ(array.totalVectorReads(), 16u);
@@ -240,12 +244,16 @@ TEST(FlashArray, BulkVectorReadsBeatBulkPageReads)
     // just single-read latency.
     FlashArray pages(tableIIGeometry(), tableIITiming());
     FlashArray vectors(tableIIGeometry(), tableIITiming());
-    Cycle pageDone = 0;
-    Cycle vecDone = 0;
+    Cycle pageDone;
+    Cycle vecDone;
     for (std::uint64_t i = 0; i < 256; ++i) {
-        pageDone = std::max(pageDone, pages.readPage(0, i, {}).done);
-        vecDone =
-            std::max(vecDone, vectors.readVector(0, i, 0, 128, {}).done);
+        pageDone = std::max(
+            pageDone, pages.readPage(Cycle{}, PageId{i}, {}).done);
+        vecDone = std::max(
+            vecDone, vectors
+                         .readVector(Cycle{}, PageId{i}, Bytes{},
+                                     Bytes{128}, {})
+                         .done);
     }
     EXPECT_LT(vecDone, pageDone);
 }
@@ -254,10 +262,10 @@ TEST(FlashArray, ProgramThenReadRoundTrips)
 {
     FlashArray array(tableIIGeometry(), tableIITiming());
     std::vector<std::uint8_t> page(4096, 0x5A);
-    const Cycle done = array.programPage(0, 99, page);
-    EXPECT_GT(done, 0u);
+    const Cycle done = array.programPage(Cycle{}, PageId{99}, page);
+    EXPECT_GT(done, Cycle{});
     std::vector<std::uint8_t> out(4096);
-    array.readPage(done, 99, out);
+    array.readPage(done, PageId{99}, out);
     EXPECT_EQ(out, page);
 }
 
@@ -265,11 +273,11 @@ TEST(FlashArray, ResetTimingKeepsData)
 {
     FlashArray array(tableIIGeometry(), tableIITiming());
     std::vector<std::uint8_t> page(4096, 0x11);
-    array.writePageFunctional(3, page);
-    array.readPage(0, 3, {});
+    array.writePageFunctional(PageId{3}, page);
+    array.readPage(Cycle{}, PageId{3}, {});
     array.resetTiming();
     std::vector<std::uint8_t> out(4096);
-    const ReadTiming r = array.readPage(0, 3, out);
+    const ReadTiming r = array.readPage(Cycle{}, PageId{3}, out);
     EXPECT_EQ(r.done, tableIITiming().pageReadTotalCycles());
     EXPECT_EQ(out, page);
 }

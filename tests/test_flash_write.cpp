@@ -20,16 +20,17 @@ TEST(FlashWrite, ProgramChargesBusThenCellArray)
     const NandTiming t = tableIITiming();
     FlashArray array(tableIIGeometry(), tableIITiming());
     std::vector<std::uint8_t> page(4096, 0xAA);
-    const Cycle done = array.programPage(0, 0, page);
-    EXPECT_EQ(done, t.transferCycles(4096) + t.pageProgramCycles);
+    const Cycle done = array.programPage(Cycle{}, PageId{}, page);
+    EXPECT_EQ(done,
+              t.transferCycles(Bytes{4096}) + t.pageProgramCycles);
     EXPECT_EQ(array.totalPagePrograms(), 1u);
 }
 
 TEST(FlashWrite, EmptySpanProgramsTimingOnly)
 {
     FlashArray array(tableIIGeometry(), tableIITiming());
-    array.programPage(0, 5, {});
-    EXPECT_FALSE(array.store().isWritten(5));
+    array.programPage(Cycle{}, PageId{5}, {});
+    EXPECT_FALSE(array.store().isWritten(PageId{5}));
     EXPECT_EQ(array.totalPagePrograms(), 1u);
 }
 
@@ -39,9 +40,9 @@ TEST(FlashWrite, ProgramsToOneDieSerialize)
     FlashArray array(tableIIGeometry(), tableIITiming());
     // ppn 0 and ppn = numChannels*diesPerChannel land on the same
     // channel 0 / die 0.
-    const std::uint64_t samePpn = 4ull * 4ull;
-    const Cycle a = array.programPage(0, 0, {});
-    const Cycle b = array.programPage(0, samePpn, {});
+    const PageId samePpn{4ull * 4ull};
+    const Cycle a = array.programPage(Cycle{}, PageId{}, {});
+    const Cycle b = array.programPage(Cycle{}, samePpn, {});
     EXPECT_GE(b, a + t.pageProgramCycles);
 }
 
@@ -50,17 +51,17 @@ TEST(FlashErase, WipesEveryPageOfTheBlock)
     const Geometry g = tableIIGeometry();
     FlashArray array(g, tableIITiming());
     // Two pages of the same block (page dimension stride).
-    Pba pba = g.decompose(0);
+    Pba pba = g.decompose(PageId{});
     pba.page = 0;
-    const std::uint64_t p0 = g.flatten(pba);
+    const PageId p0 = g.flatten(pba);
     pba.page = 7;
-    const std::uint64_t p7 = g.flatten(pba);
+    const PageId p7 = g.flatten(pba);
 
     std::vector<std::uint8_t> data(4096, 0x5A);
     array.writePageFunctional(p0, data);
     array.writePageFunctional(p7, data);
 
-    const Cycle done = array.eraseBlockContaining(0, p0);
+    const Cycle done = array.eraseBlockContaining(Cycle{}, p0);
     EXPECT_EQ(done, array.timing().blockEraseCycles);
     EXPECT_FALSE(array.store().isWritten(p0));
     EXPECT_FALSE(array.store().isWritten(p7));
@@ -71,16 +72,16 @@ TEST(FlashErase, WearTracksPerBlock)
 {
     const Geometry g = tableIIGeometry();
     FlashArray array(g, tableIITiming());
-    Pba pba = g.decompose(0);
+    Pba pba = g.decompose(PageId{});
 
     // Erase block 0 twice, block 1 once.
-    const std::uint64_t inBlock0 = g.flatten(pba);
+    const PageId inBlock0 = g.flatten(pba);
     pba.block = 1;
-    const std::uint64_t inBlock1 = g.flatten(pba);
+    const PageId inBlock1 = g.flatten(pba);
 
-    array.eraseBlockContaining(0, inBlock0);
-    array.eraseBlockContaining(0, inBlock0);
-    array.eraseBlockContaining(0, inBlock1);
+    array.eraseBlockContaining(Cycle{}, inBlock0);
+    array.eraseBlockContaining(Cycle{}, inBlock0);
+    array.eraseBlockContaining(Cycle{}, inBlock1);
 
     EXPECT_EQ(array.blockWear(inBlock0), 2u);
     EXPECT_EQ(array.blockWear(inBlock1), 1u);
@@ -96,12 +97,12 @@ TEST(FlashErase, EraseThenProgramRestoresData)
 {
     FlashArray array(tableIIGeometry(), tableIITiming());
     std::vector<std::uint8_t> data(4096, 0x11);
-    array.programPage(0, 9, data);
-    array.eraseBlockContaining(0, 9);
+    array.programPage(Cycle{}, PageId{9}, data);
+    array.eraseBlockContaining(Cycle{}, PageId{9});
     std::vector<std::uint8_t> fresh(4096, 0x22);
-    array.programPage(0, 9, fresh);
+    array.programPage(Cycle{}, PageId{9}, fresh);
     std::vector<std::uint8_t> out(4096);
-    array.readPage(0, 9, out);
+    array.readPage(Cycle{}, PageId{9}, out);
     EXPECT_EQ(out, fresh);
 }
 

@@ -20,46 +20,47 @@ namespace {
 TEST(LinearMapping, IsIdentityWithinRange)
 {
     LinearMapping m(1000);
-    EXPECT_EQ(m.translate(0), 0u);
-    EXPECT_EQ(m.translate(999), 999u);
-    EXPECT_EQ(m.assignForWrite(17), 17u);
-    EXPECT_DEATH(m.translate(1000), "beyond device capacity");
+    EXPECT_EQ(m.translate(PageId{}), PageId{});
+    EXPECT_EQ(m.translate(PageId{999}), PageId{999});
+    EXPECT_EQ(m.assignForWrite(PageId{17}), PageId{17});
+    EXPECT_DEATH(m.translate(PageId{1000}),
+                 "beyond device capacity");
 }
 
 TEST(PageTableMapping, AllocatesInWriteOrder)
 {
     PageTableMapping m(100);
-    EXPECT_EQ(m.assignForWrite(50), 0u);
-    EXPECT_EQ(m.assignForWrite(7), 1u);
-    EXPECT_EQ(m.assignForWrite(50), 0u); // idempotent rewrite
-    EXPECT_EQ(m.translate(50), 0u);
-    EXPECT_EQ(m.translate(7), 1u);
+    EXPECT_EQ(m.assignForWrite(PageId{50}), PageId{});
+    EXPECT_EQ(m.assignForWrite(PageId{7}), PageId{1});
+    EXPECT_EQ(m.assignForWrite(PageId{50}), PageId{}); // idempotent
+    EXPECT_EQ(m.translate(PageId{50}), PageId{});
+    EXPECT_EQ(m.translate(PageId{7}), PageId{1});
     EXPECT_EQ(m.allocatedPages(), 2u);
 }
 
 TEST(ExtentList, LocatesBytesAcrossExtents)
 {
     ExtentList list;
-    list.append(Extent{100, 8});  // sectors 100..107
-    list.append(Extent{500, 16}); // sectors 500..515
-    EXPECT_EQ(list.totalSectors(), 24u);
+    list.append(Extent{Lba{100}, Sectors{8}});  // sectors 100..107
+    list.append(Extent{Lba{500}, Sectors{16}}); // sectors 500..515
+    EXPECT_EQ(list.totalSectors(), Sectors{24});
 
-    auto loc = list.locateByte(0, 512);
-    EXPECT_EQ(loc.lba, 100u);
-    EXPECT_EQ(loc.byteInSector, 0u);
+    auto loc = list.locateByte(Bytes{}, Bytes{512});
+    EXPECT_EQ(loc.lba, Lba{100});
+    EXPECT_EQ(loc.byteInSector, Bytes{});
 
     // Last byte of the first extent.
-    loc = list.locateByte(8 * 512 - 1, 512);
-    EXPECT_EQ(loc.lba, 107u);
-    EXPECT_EQ(loc.byteInSector, 511u);
+    loc = list.locateByte(Bytes{8 * 512 - 1}, Bytes{512});
+    EXPECT_EQ(loc.lba, Lba{107});
+    EXPECT_EQ(loc.byteInSector, Bytes{511});
 
     // First byte of the second extent.
-    loc = list.locateByte(8 * 512, 512);
+    loc = list.locateByte(Bytes{8 * 512}, Bytes{512});
     EXPECT_EQ(loc.extentIndex, 1u);
-    EXPECT_EQ(loc.lba, 500u);
+    EXPECT_EQ(loc.lba, Lba{500});
 
     // Beyond end of file is fatal.
-    EXPECT_EXIT(list.locateByte(24 * 512, 512),
+    EXPECT_EXIT(list.locateByte(Bytes{24 * 512}, Bytes{512}),
                 ::testing::ExitedWithCode(1), "beyond end");
 }
 
@@ -74,57 +75,60 @@ TEST(ExtentList, LocationPropertyAgainstFlatOffset)
         std::uint64_t next = rng.nextBounded(1000);
         for (int e = 0; e < 5; ++e) {
             const std::uint64_t len = 1 + rng.nextBounded(64);
-            raw.push_back(Extent{next, len});
+            raw.push_back(Extent{Lba{next}, Sectors{len}});
             list.append(raw.back());
             next += len + 1 + rng.nextBounded(100);
         }
         for (int probe = 0; probe < 50; ++probe) {
             const std::uint64_t byte =
-                rng.nextBounded(list.totalSectors() * 512);
-            const auto loc = list.locateByte(byte, 512);
+                rng.nextBounded(list.totalSectors().raw() * 512);
+            const auto loc = list.locateByte(Bytes{byte}, Bytes{512});
             // Recompute manually.
             std::uint64_t sector = byte / 512;
             std::uint32_t idx = 0;
-            while (sector >= raw[idx].sectorCount) {
-                sector -= raw[idx].sectorCount;
+            while (sector >= raw[idx].sectorCount.raw()) {
+                sector -= raw[idx].sectorCount.raw();
                 ++idx;
             }
             EXPECT_EQ(loc.extentIndex, idx);
-            EXPECT_EQ(loc.lba, raw[idx].startLba + sector);
-            EXPECT_EQ(loc.byteInSector, byte % 512);
+            EXPECT_EQ(loc.lba, raw[idx].startLba + Sectors{sector});
+            EXPECT_EQ(loc.byteInSector, Bytes{byte % 512});
         }
     }
 }
 
 TEST(ExtentAllocator, RoundsUpToPages)
 {
-    ExtentAllocator alloc(1 << 20);
-    const ExtentList a = alloc.allocate(3, 8); // 3 sectors -> 1 page
-    EXPECT_EQ(a.totalSectors(), 8u);
-    const ExtentList b = alloc.allocate(9, 8); // 9 sectors -> 2 pages
-    EXPECT_EQ(b.totalSectors(), 16u);
+    ExtentAllocator alloc(Sectors{1 << 20});
+    // 3 sectors -> 1 page
+    const ExtentList a = alloc.allocate(Sectors{3}, 8);
+    EXPECT_EQ(a.totalSectors(), Sectors{8});
+    // 9 sectors -> 2 pages
+    const ExtentList b = alloc.allocate(Sectors{9}, 8);
+    EXPECT_EQ(b.totalSectors(), Sectors{16});
     // Allocations are disjoint and sequential.
-    EXPECT_EQ(b.extents()[0].startLba, 8u);
+    EXPECT_EQ(b.extents()[0].startLba, Lba{8});
 }
 
 TEST(ExtentAllocator, FragmentsWhenLimited)
 {
-    ExtentAllocator alloc(1 << 20, /*maxFragmentSectors=*/16);
-    const ExtentList list = alloc.allocate(64, 8);
-    EXPECT_EQ(list.totalSectors(), 64u);
+    ExtentAllocator alloc(Sectors{1 << 20},
+                          /*maxFragmentSectors=*/Sectors{16});
+    const ExtentList list = alloc.allocate(Sectors{64}, 8);
+    EXPECT_EQ(list.totalSectors(), Sectors{64});
     EXPECT_EQ(list.extents().size(), 4u);
     for (const Extent &e : list.extents()) {
-        EXPECT_EQ(e.sectorCount, 16u);
-        EXPECT_EQ(e.startLba % 8, 0u) << "fragment not page aligned";
+        EXPECT_EQ(e.sectorCount, Sectors{16});
+        EXPECT_EQ(e.startLba % 8, Lba{}) << "fragment not page aligned";
     }
 }
 
 TEST(ExtentAllocator, ExhaustionIsFatal)
 {
-    ExtentAllocator alloc(16);
-    alloc.allocate(8, 8);
-    EXPECT_EXIT(alloc.allocate(16, 8), ::testing::ExitedWithCode(1),
-                "exhausted");
+    ExtentAllocator alloc(Sectors{16});
+    alloc.allocate(Sectors{8}, 8);
+    EXPECT_EXIT(alloc.allocate(Sectors{16}, 8),
+                ::testing::ExitedWithCode(1), "exhausted");
 }
 
 class FtlFixture : public ::testing::Test
@@ -143,9 +147,9 @@ class FtlFixture : public ::testing::Test
 TEST_F(FtlFixture, TranslateSplitsPageAndOffset)
 {
     // 8 sectors per page: LBA 13 = page 1, sector 5.
-    const auto loc = ftl_.translate(13, 100);
-    EXPECT_EQ(loc.ppn, 1u);
-    EXPECT_EQ(loc.pageByteOffset, 5u * 512u + 100u);
+    const auto loc = ftl_.translate(Lba{13}, Bytes{100});
+    EXPECT_EQ(loc.ppn, PageId{1});
+    EXPECT_EQ(loc.pageByteOffset, Bytes{5 * 512 + 100});
 }
 
 TEST_F(FtlFixture, WriteThenReadBytesRoundTrips)
@@ -153,10 +157,10 @@ TEST_F(FtlFixture, WriteThenReadBytesRoundTrips)
     std::vector<std::uint8_t> data(300);
     for (std::size_t i = 0; i < data.size(); ++i)
         data[i] = static_cast<std::uint8_t>(i * 7);
-    ftl_.writeBytesFunctional(3, 17, data);
+    ftl_.writeBytesFunctional(Lba{3}, Bytes{17}, data);
 
     std::vector<std::uint8_t> out(300);
-    ftl_.readBytes(0, 3, 17, 300, out);
+    ftl_.readBytes(Cycle{}, Lba{3}, Bytes{17}, Bytes{300}, out);
     EXPECT_EQ(out, data);
 }
 
@@ -166,10 +170,10 @@ TEST_F(FtlFixture, WriteSpanningPagesRoundTrips)
     std::vector<std::uint8_t> data(5000);
     for (std::size_t i = 0; i < data.size(); ++i)
         data[i] = static_cast<std::uint8_t>(i);
-    ftl_.writeBytesFunctional(7, 0, data); // byte addr 3584
+    ftl_.writeBytesFunctional(Lba{7}, Bytes{}, data); // addr 3584
 
     std::vector<std::uint8_t> out(4096);
-    ftl_.readSectors(0, 0, 8, out);
+    ftl_.readSectors(Cycle{}, Lba{}, Sectors{8}, out);
     // First 512 bytes of the written data appear at sector 7's slot.
     for (int i = 0; i < 512; ++i)
         EXPECT_EQ(out[3584 + i], data[i]);
@@ -177,7 +181,7 @@ TEST_F(FtlFixture, WriteSpanningPagesRoundTrips)
 
 TEST_F(FtlFixture, ReadSectorsChargesWholePagesAndCounts)
 {
-    const Cycle done = ftl_.readSectors(0, 0, 16, {});
+    const Cycle done = ftl_.readSectors(Cycle{}, Lba{}, Sectors{16}, {});
     // Two pages on two different channels: flush + transfer each,
     // no shared resource -> both complete by one page-read time plus
     // the translate latency.
@@ -189,17 +193,20 @@ TEST_F(FtlFixture, ReadSectorsChargesWholePagesAndCounts)
 
 TEST_F(FtlFixture, EvReadUsesVectorPathAndCounts)
 {
-    const Cycle done = ftl_.readBytes(0, 0, 0, 128, {});
-    EXPECT_EQ(done, Ftl::kTranslateCycles +
-                        array_.timing().vectorReadTotalCycles(128));
+    const Cycle done =
+        ftl_.readBytes(Cycle{}, Lba{}, Bytes{}, Bytes{128}, {});
+    EXPECT_EQ(done,
+              Ftl::kTranslateCycles +
+                  array_.timing().vectorReadTotalCycles(Bytes{128}));
     EXPECT_EQ(array_.totalVectorReads(), 1u);
     EXPECT_EQ(ftl_.evRequests().value(), 1u);
 }
 
 TEST_F(FtlFixture, EvReadAcrossPageBoundaryDies)
 {
-    EXPECT_DEATH(ftl_.readBytes(0, 7, 500, 128, {}),
-                 "crosses flash page boundary");
+    EXPECT_DEATH(
+        ftl_.readBytes(Cycle{}, Lba{7}, Bytes{500}, Bytes{128}, {}),
+        "crosses flash page boundary");
 }
 
 } // namespace

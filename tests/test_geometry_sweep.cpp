@@ -50,7 +50,7 @@ TEST_P(GeometrySweep, DecomposeFlattenRoundTrips)
     const Geometry g = makeGeometry();
     Rng rng(99);
     for (int i = 0; i < 200; ++i) {
-        const std::uint64_t ppn = rng.nextBounded(g.totalPages());
+        const PageId ppn{rng.nextBounded(g.totalPages())};
         EXPECT_EQ(g.flatten(g.decompose(ppn)), ppn);
     }
 }
@@ -61,7 +61,7 @@ TEST_P(GeometrySweep, ChannelsSeeBalancedStriping)
     FlashArray array(g, makeTiming());
     const std::uint32_t reads = 64 * g.numChannels;
     for (std::uint64_t i = 0; i < reads; ++i)
-        array.readVector(0, i, 0, 64, {});
+        array.readVector(Cycle{}, PageId{i}, Bytes{}, Bytes{64}, {});
     for (std::uint32_t c = 0; c < g.numChannels; ++c)
         EXPECT_EQ(array.fmc(c).vectorReads().value(), 64u);
 }
@@ -71,10 +71,10 @@ TEST_P(GeometrySweep, VectorReadNeverSlowerThanPageRead)
     const NandTiming t = makeTiming();
     for (std::uint32_t bytes = 64; bytes <= t.pageSizeBytes;
          bytes *= 2) {
-        EXPECT_LE(t.vectorReadTotalCycles(bytes),
+        EXPECT_LE(t.vectorReadTotalCycles(Bytes{bytes}),
                   t.pageReadTotalCycles());
     }
-    EXPECT_EQ(t.vectorReadTotalCycles(t.pageSizeBytes),
+    EXPECT_EQ(t.vectorReadTotalCycles(Bytes{t.pageSizeBytes}),
               t.pageReadTotalCycles());
 }
 
@@ -86,15 +86,19 @@ TEST_P(GeometrySweep, AnalyticRateMatchesSimulatedBulkReads)
 
     // Issue a long uniform stream of 128 B vector reads.
     const std::uint32_t reads = 512 * g.numChannels;
-    Cycle done = 0;
+    Cycle done{};
     for (std::uint64_t i = 0; i < reads; ++i) {
         done = std::max(
             done,
-            array.readVector(i, i % g.totalPages(), 0, 128, {}).done);
+            array
+                .readVector(Cycle{i}, PageId{i % g.totalPages()},
+                            Bytes{}, Bytes{128}, {})
+                .done);
     }
-    const double perRead = static_cast<double>(done) / reads;
+    const double perRead = static_cast<double>(done.raw()) / reads;
     const double analytic =
-        engine::EmbeddingEngine::steadyStateCyclesPerRead(g, t, 128);
+        engine::EmbeddingEngine::steadyStateCyclesPerRead(
+            g, t, Bytes{128});
     EXPECT_NEAR(perRead, analytic, analytic * 0.25)
         << "channels=" << g.numChannels
         << " dies=" << g.diesPerChannel;
@@ -132,7 +136,7 @@ TEST_P(VariantMatrix, FunctionalAcrossVariantAndLayout)
     RmSsdOptions opt;
     opt.functional = true;
     opt.variant = std::get<0>(GetParam());
-    opt.maxExtentSectors = std::get<1>(GetParam()) ? 32 : 0;
+    opt.maxExtentSectors = Sectors{std::get<1>(GetParam()) ? 32u : 0u};
     RmSsd dev(cfg, opt);
     dev.loadTables();
 

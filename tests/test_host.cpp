@@ -65,7 +65,7 @@ TEST(CpuModel, MlpCostScalesWithFlopsAndBatch)
     // 2 * (128*64 + 64*32) flops at the configured base GFLOP/s.
     const Nanos one = cpu.mlpNanos(layers, 1);
     const double flops = 2.0 * (128 * 64 + 64 * 32);
-    EXPECT_NEAR(static_cast<double>(one),
+    EXPECT_NEAR(static_cast<double>(one.raw()),
                 flops / cpu.costs().gemmGflops, 1.0);
     // Small batches are throughput-free: the effective GEMM rate
     // grows linearly with batch until the batched ceiling.
@@ -76,17 +76,18 @@ TEST(CpuModel, MlpCostScalesWithFlopsAndBatch)
         cpu.costs().maxGemmGflops / cpu.costs().gemmGflops);
     const Nanos atKnee = cpu.mlpNanos(layers, knee);
     const Nanos doubleKnee = cpu.mlpNanos(layers, 2 * knee);
-    EXPECT_NEAR(static_cast<double>(doubleKnee),
-                2.0 * static_cast<double>(atKnee), 2.0);
+    EXPECT_NEAR(static_cast<double>(doubleKnee.raw()),
+                2.0 * static_cast<double>(atKnee.raw()), 2.0);
 }
 
 TEST(CpuModel, SlsCostPerLookup)
 {
     CpuModel cpu;
-    const Nanos n = cpu.slsNanos(100, 128);
-    const double perLookup = cpu.costs().slsFixedNanos +
-                             cpu.costs().dramNanosPerByte * 128.0;
-    EXPECT_NEAR(static_cast<double>(n), 100.0 * perLookup, 1.0);
+    const Nanos n = cpu.slsNanos(100, Bytes{128});
+    const double perLookup =
+        static_cast<double>(cpu.costs().slsFixedNanos.raw()) +
+        cpu.costs().dramNanosPerByte * 128.0;
+    EXPECT_NEAR(static_cast<double>(n.raw()), 100.0 * perLookup, 1.0);
 }
 
 class ReaderFixture : public ::testing::Test
@@ -96,7 +97,7 @@ class ReaderFixture : public ::testing::Test
         : array_(flash::tableIIGeometry(), flash::tableIITiming()),
           ftl_(ftl::Ftl::makeLinear(array_)), nvme_(ftl_)
     {
-        extents_.append(ftl::Extent{0, 1024}); // 128 pages
+        extents_.append(ftl::Extent{Lba{}, Sectors{1024}}); // 128 p
     }
 
     flash::FlashArray array_;
@@ -108,9 +109,11 @@ class ReaderFixture : public ::testing::Test
 TEST_F(ReaderFixture, MissPaysDeviceAndKernelCosts)
 {
     HostFileReader reader(nvme_, 16);
-    const IoCost cost = reader.readVector(0, extents_, 0, 128, 0, {});
-    EXPECT_GT(cost.ssdNanos, 0u);
-    EXPECT_GE(cost.fsNanos, reader.cache().capacityPages() ? 1u : 0u);
+    const IoCost cost = reader.readVector(0, extents_, Bytes{},
+                                          Bytes{128}, Nanos{}, {});
+    EXPECT_GT(cost.ssdNanos, Nanos{});
+    EXPECT_GE(cost.fsNanos,
+              Nanos{reader.cache().capacityPages() ? 1u : 0u});
     EXPECT_EQ(reader.deviceBytes().value(), 4096u);
     EXPECT_EQ(reader.requestedBytes().value(), 128u);
 }
@@ -118,14 +121,15 @@ TEST_F(ReaderFixture, MissPaysDeviceAndKernelCosts)
 TEST_F(ReaderFixture, HitIsCheapAndTrafficFree)
 {
     HostFileReader reader(nvme_, 16);
-    reader.readVector(0, extents_, 0, 128, 0, {});
-    const IoCost hit = reader.readVector(0, extents_, 0, 128, 0, {});
-    EXPECT_EQ(hit.ssdNanos, 0u);
+    reader.readVector(0, extents_, Bytes{}, Bytes{128}, Nanos{}, {});
+    const IoCost hit = reader.readVector(0, extents_, Bytes{},
+                                         Bytes{128}, Nanos{}, {});
+    EXPECT_EQ(hit.ssdNanos, Nanos{});
     EXPECT_EQ(reader.deviceBytes().value(), 4096u); // unchanged
     // A different vector on the same page also hits.
-    const IoCost samePage =
-        reader.readVector(0, extents_, 256, 128, 0, {});
-    EXPECT_EQ(samePage.ssdNanos, 0u);
+    const IoCost samePage = reader.readVector(
+        0, extents_, Bytes{256}, Bytes{128}, Nanos{}, {});
+    EXPECT_EQ(samePage.ssdNanos, Nanos{});
 }
 
 TEST_F(ReaderFixture, ReadAmplificationIsPageOverVector)
@@ -133,7 +137,8 @@ TEST_F(ReaderFixture, ReadAmplificationIsPageOverVector)
     HostFileReader reader(nvme_, 1); // tiny cache: all misses
     // Touch 32 distinct pages.
     for (std::uint64_t i = 0; i < 32; ++i)
-        reader.readVector(0, extents_, i * 4096, 128, 0, {});
+        reader.readVector(0, extents_, Bytes{i * 4096}, Bytes{128},
+                          Nanos{}, {});
     const double amp =
         static_cast<double>(reader.deviceBytes().value()) /
         static_cast<double>(reader.requestedBytes().value());
@@ -145,16 +150,18 @@ TEST_F(ReaderFixture, FunctionalReadMatchesDeviceBytes)
     std::vector<std::uint8_t> page(4096);
     for (std::size_t i = 0; i < page.size(); ++i)
         page[i] = static_cast<std::uint8_t>(i * 3);
-    nvme_.writeBlocksFunctional(0, page);
+    nvme_.writeBlocksFunctional(Lba{}, page);
 
     HostFileReader reader(nvme_, 16);
     std::vector<std::uint8_t> out(128);
-    reader.readVector(0, extents_, 256, 128, 0, out); // miss path
+    reader.readVector(0, extents_, Bytes{256}, Bytes{128}, Nanos{},
+                      out); // miss path
     for (int i = 0; i < 128; ++i)
         EXPECT_EQ(out[i], page[256 + i]);
 
     std::vector<std::uint8_t> out2(128);
-    reader.readVector(0, extents_, 256, 128, 0, out2); // hit path
+    reader.readVector(0, extents_, Bytes{256}, Bytes{128}, Nanos{},
+                      out2); // hit path
     EXPECT_EQ(out2, out);
 }
 

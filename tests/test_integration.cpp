@@ -112,7 +112,7 @@ TEST(Integration, FragmentedAndContiguousLayoutsAgree)
     engine::RmSsdOptions contiguous;
     contiguous.functional = true;
     engine::RmSsdOptions fragmented = contiguous;
-    fragmented.maxExtentSectors = 32;
+    fragmented.maxExtentSectors = Sectors{32};
 
     engine::RmSsd a(cfg, contiguous);
     a.loadTables();

@@ -19,7 +19,7 @@ rcpvFor(const model::ModelConfig &cfg)
 {
     return EmbeddingEngine::steadyStateCyclesPerRead(
         flash::tableIIGeometry(), flash::tableIITiming(),
-        cfg.vectorBytes());
+        Bytes{cfg.vectorBytes()});
 }
 
 SearchResult
@@ -83,8 +83,9 @@ TEST(KernelSearch, Rmc3SpillsBigLayerToDramWithPinnedKernel)
     EXPECT_EQ(lb0.kernel, (KernelConfig{16, 8}));
     // Only the big layer spills on the XCVU9P.
     for (const EngineLayer &l : res.plan.allLayers()) {
-        if (l.label != "Lb0")
+        if (l.label != "Lb0") {
             EXPECT_FALSE(l.weightsInDram) << l.label;
+        }
     }
 }
 

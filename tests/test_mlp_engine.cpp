@@ -18,9 +18,10 @@ TEST(FcKernel, TimeFormulaMatchesPaper)
 {
     // T = ceil(R/kr) * ceil(C/kc) * II.
     EXPECT_EQ(fcLayerCycles({256, 64}, {4, 2}, 8),
-              (256u / 4u) * (64u / 2u) * 8u);
+              Cycle{(256u / 4u) * (64u / 2u) * 8u});
     // Ceilings apply to non-divisible shapes.
-    EXPECT_EQ(fcLayerCycles({100, 10}, {16, 16}, 8), 7u * 1u * 8u);
+    EXPECT_EQ(fcLayerCycles({100, 10}, {16, 16}, 8),
+              Cycle{7u * 1u * 8u});
 }
 
 TEST(FcKernel, ClampKernelBoundsToShape)
@@ -86,7 +87,7 @@ TEST(Composition, PairwiseMaxBeatsSequential)
     const Cycle sequential = sequentialCycles(plan.bottom, 8);
     EXPECT_LT(composed, sequential);
     // And the pairing is exact: sum over pairs of max.
-    Cycle expect = 0;
+    Cycle expect{};
     for (std::size_t i = 0; i < plan.bottom.size(); i += 2) {
         Cycle pair = fcLayerCycles(plan.bottom[i], 8);
         if (i + 1 < plan.bottom.size())
@@ -114,7 +115,7 @@ TEST(PlanTiming, PipelineIntervalIsBottleneckStage)
     const model::ModelConfig cfg = model::rmc1();
     MlpPlan plan = makePlan(cfg, {16, 16}, true, true);
     plan.microBatch = 1;
-    const MlpTiming t = planTiming(plan, 100000);
+    const MlpTiming t = planTiming(plan, Cycle{100000});
     EXPECT_EQ(t.pipelineInterval,
               std::max({t.embPrime, t.botPrime, t.topPrime}));
     EXPECT_EQ(t.latency, std::max(t.embPrime, t.botPrime) + t.topPrime);
@@ -125,9 +126,10 @@ TEST(PlanTiming, NaiveHasNoStageOverlap)
     const model::ModelConfig cfg = model::rmc1();
     MlpPlan plan = makePlan(cfg, {16, 16}, false, false);
     plan.microBatch = 1;
-    const MlpTiming t = planTiming(plan, 5000);
+    const MlpTiming t = planTiming(plan, Cycle{5000});
     EXPECT_EQ(t.pipelineInterval, t.latency);
-    EXPECT_EQ(t.latency, std::max<Cycle>(5000, t.botPrime) + t.topPrime);
+    EXPECT_EQ(t.latency,
+              std::max(Cycle{5000}, t.botPrime) + t.topPrime);
 }
 
 TEST(PlanTiming, MicroBatchAboveIiDies)
@@ -135,7 +137,7 @@ TEST(PlanTiming, MicroBatchAboveIiDies)
     const model::ModelConfig cfg = model::rmc1();
     MlpPlan plan = makePlan(cfg, {16, 16}, true, true);
     plan.microBatch = plan.ii + 1;
-    EXPECT_DEATH(planTiming(plan, 1000), "micro-batch");
+    EXPECT_DEATH(planTiming(plan, Cycle{1000}), "micro-batch");
 }
 
 class DecomposedForwardTest

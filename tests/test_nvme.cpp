@@ -41,7 +41,8 @@ TEST_F(NvmeFixture, Random4kIopsNearTableII)
 
 TEST_F(NvmeFixture, ReadLatencyIsProtocolPlusFlash)
 {
-    const Cycle done = nvme_.readBlocks(0, 0, 8, {});
+    const Cycle done =
+        nvme_.readBlocks(Cycle{}, Lba{}, Sectors{8}, {});
     EXPECT_EQ(done, nvme_.randomReadLatencyCycles());
     EXPECT_EQ(nvme_.readCommands().value(), 1u);
     EXPECT_EQ(nvme_.hostBytesRead().value(), 4096u);
@@ -50,17 +51,17 @@ TEST_F(NvmeFixture, ReadLatencyIsProtocolPlusFlash)
 TEST_F(NvmeFixture, WriteThenReadReturnsData)
 {
     std::vector<std::uint8_t> data(4096, 0xCD);
-    nvme_.writeBlocksFunctional(8, data);
+    nvme_.writeBlocksFunctional(Lba{8}, data);
     std::vector<std::uint8_t> out(4096);
-    nvme_.readBlocks(0, 8, 8, out);
+    nvme_.readBlocks(Cycle{}, Lba{8}, Sectors{8}, out);
     EXPECT_EQ(out, data);
 }
 
 TEST(Mmio, WriteThenReadRoundTrips)
 {
     MmioManager mmio;
-    const Cycle wDone = mmio.write(100, 3, 0xDEAD);
-    EXPECT_EQ(wDone, 100 + MmioManager::kWriteCycles);
+    const Cycle wDone = mmio.write(Cycle{100}, 3, 0xDEAD);
+    EXPECT_EQ(wDone, Cycle{100} + MmioManager::kWriteCycles);
     const auto r = mmio.read(wDone, 3);
     EXPECT_EQ(r.value, 0xDEADu);
     EXPECT_EQ(r.done, wDone + MmioManager::kReadCycles);
@@ -88,16 +89,17 @@ TEST(Dma, TransferCostIsSetupPlusBandwidth)
 {
     DmaEngine dma;
     // 16 bytes/cycle, 200-cycle setup.
-    EXPECT_EQ(dma.transferCycles(1600), 200u + 100u);
-    EXPECT_EQ(dma.transferCycles(1), 200u + 1u); // rounds up
+    EXPECT_EQ(dma.transferCycles(Bytes{1600}), Cycle{200 + 100});
+    EXPECT_EQ(dma.transferCycles(Bytes{1}),
+              Cycle{200 + 1}); // rounds up
 }
 
 TEST(Dma, BackToBackTransfersSerialize)
 {
     DmaEngine dma;
-    const Cycle a = dma.transfer(0, 1600);
-    const Cycle b = dma.transfer(0, 1600);
-    EXPECT_EQ(b, a + dma.transferCycles(1600));
+    const Cycle a = dma.transfer(Cycle{}, Bytes{1600});
+    const Cycle b = dma.transfer(Cycle{}, Bytes{1600});
+    EXPECT_EQ(b, a + dma.transferCycles(Bytes{1600}));
     EXPECT_EQ(dma.bytesMoved().value(), 3200u);
     EXPECT_EQ(dma.transfers().value(), 2u);
 }
@@ -105,8 +107,8 @@ TEST(Dma, BackToBackTransfersSerialize)
 TEST(Dma, IdleEngineStartsAtIssue)
 {
     DmaEngine dma;
-    const Cycle done = dma.transfer(10'000, 16);
-    EXPECT_EQ(done, 10'000u + dma.transferCycles(16));
+    const Cycle done = dma.transfer(Cycle{10'000}, Bytes{16});
+    EXPECT_EQ(done, Cycle{10'000} + dma.transferCycles(Bytes{16}));
 }
 
 } // namespace

@@ -107,7 +107,7 @@ TEST(PaperClaims, SectionVID_KernelSearchSavesOrderOfMagnitude)
         const double rcpv =
             engine::EmbeddingEngine::steadyStateCyclesPerRead(
                 flash::tableIIGeometry(), flash::tableIITiming(),
-                cfg.vectorBytes());
+                Bytes{cfg.vectorBytes()});
         const engine::KernelSearch ks;
         const auto searched = ks.search(cfg, rcpv);
 

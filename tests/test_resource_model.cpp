@@ -100,9 +100,9 @@ TEST(ResourceModel, WeightBramRoundsUpInHalves)
 {
     const ResourceModel rm;
     // One byte still needs half a BRAM (a BRAM18).
-    EXPECT_DOUBLE_EQ(rm.weightBram(1), 0.5);
-    EXPECT_DOUBLE_EQ(rm.weightBram(4608), 1.0);
-    EXPECT_DOUBLE_EQ(rm.weightBram(4609), 1.5);
+    EXPECT_DOUBLE_EQ(rm.weightBram(Bytes{1}), 0.5);
+    EXPECT_DOUBLE_EQ(rm.weightBram(Bytes{4608}), 1.0);
+    EXPECT_DOUBLE_EQ(rm.weightBram(Bytes{4609}), 1.5);
 }
 
 TEST(ResourceModel, MinimumOnePePerLayer)

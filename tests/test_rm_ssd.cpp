@@ -136,7 +136,7 @@ TEST(RmSsd, LatencyIsPositiveAndCoversEmbedding)
     EXPECT_GE(out.latency,
               cyclesToNanos(
                   dev.flash().timing().vectorReadTotalCycles(
-                      cfg.vectorBytes())));
+                      Bytes{cfg.vectorBytes()})));
 }
 
 TEST(RmSsd, InferenceBeforeTablesIsFatal)
@@ -163,7 +163,7 @@ TEST(RmSsd, FragmentedTablesStillCorrect)
     model::ModelConfig cfg = tinyConfig();
     RmSsdOptions opt;
     opt.functional = true;
-    opt.maxExtentSectors = 64; // fragment every 8 pages
+    opt.maxExtentSectors = Sectors{64}; // fragment every 8 pages
     RmSsd dev(cfg, opt);
     dev.loadTables();
 
@@ -195,9 +195,9 @@ TEST(RmSsd, ResetTimingIdlesTheDevice)
     dev.loadTables();
     std::vector<model::Sample> batch{dev.model().makeSample(0)};
     dev.infer(batch);
-    EXPECT_GT(dev.deviceNow(), 0u);
+    EXPECT_GT(dev.deviceNow(), Cycle{});
     dev.resetTiming();
-    EXPECT_EQ(dev.deviceNow(), 0u);
+    EXPECT_EQ(dev.deviceNow(), Cycle{});
 }
 
 } // namespace

@@ -82,7 +82,7 @@ TEST(RmRuntime, FullFlowMatchesReference)
                     rt.device().model().referenceInference(batch[i]),
                     1e-4f);
     }
-    EXPECT_GT(rt.lastLatency(), 0u);
+    EXPECT_GT(rt.lastLatency(), Nanos{});
 }
 
 TEST(RmRuntime, CreateRejectsDuplicatesAndBadIds)

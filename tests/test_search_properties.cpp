@@ -48,7 +48,7 @@ rcpvFor(const model::ModelConfig &cfg)
 {
     return EmbeddingEngine::steadyStateCyclesPerRead(
         flash::tableIIGeometry(), flash::tableIITiming(),
-        cfg.vectorBytes());
+        Bytes{cfg.vectorBytes()});
 }
 
 class RandomModelSearch : public ::testing::TestWithParam<std::uint64_t>
@@ -98,8 +98,9 @@ TEST_P(RandomModelSearch, FeasibleWheneverMaxKernelsAre)
     const bool maxFeasible =
         maxTiming.botPrime <= maxTiming.embPrime &&
         maxTiming.topPrime <= maxTiming.embPrime;
-    if (maxFeasible)
+    if (maxFeasible) {
         EXPECT_TRUE(res.feasible) << cfg.name;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomModelSearch,

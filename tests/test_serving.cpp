@@ -18,34 +18,36 @@ namespace {
 TEST(LatencyRecorder, PercentilesOnKnownData)
 {
     LatencyRecorder rec;
-    for (Nanos v = 1; v <= 100; ++v)
-        rec.add(v);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        rec.add(Nanos{v});
     EXPECT_EQ(rec.count(), 100u);
-    EXPECT_EQ(rec.mean(), 50u); // (1+...+100)/100 = 50.5 -> 50
-    EXPECT_EQ(rec.percentile(0.0), 1u);
-    EXPECT_EQ(rec.percentile(100.0), 100u);
-    EXPECT_NEAR(static_cast<double>(rec.percentile(50.0)), 50.0, 1.0);
-    EXPECT_NEAR(static_cast<double>(rec.percentile(99.0)), 99.0, 1.0);
-    EXPECT_EQ(rec.max(), 100u);
+    EXPECT_EQ(rec.mean(), Nanos{50}); // (1+...+100)/100 = 50.5 -> 50
+    EXPECT_EQ(rec.percentile(0.0), Nanos{1});
+    EXPECT_EQ(rec.percentile(100.0), Nanos{100});
+    EXPECT_NEAR(static_cast<double>(rec.percentile(50.0).raw()), 50.0,
+                1.0);
+    EXPECT_NEAR(static_cast<double>(rec.percentile(99.0).raw()), 99.0,
+                1.0);
+    EXPECT_EQ(rec.max(), Nanos{100});
 }
 
 TEST(LatencyRecorder, InterleavedAddAndQuery)
 {
     LatencyRecorder rec;
-    rec.add(10);
-    EXPECT_EQ(rec.percentile(50.0), 10u);
-    rec.add(20);
-    rec.add(30);
-    EXPECT_EQ(rec.percentile(100.0), 30u);
-    EXPECT_EQ(rec.percentile(0.0), 10u);
+    rec.add(Nanos{10});
+    EXPECT_EQ(rec.percentile(50.0), Nanos{10});
+    rec.add(Nanos{20});
+    rec.add(Nanos{30});
+    EXPECT_EQ(rec.percentile(100.0), Nanos{30});
+    EXPECT_EQ(rec.percentile(0.0), Nanos{10});
 }
 
 TEST(LatencyRecorder, EmptyIsZero)
 {
     LatencyRecorder rec;
-    EXPECT_EQ(rec.mean(), 0u);
-    EXPECT_EQ(rec.max(), 0u);
-    EXPECT_EQ(rec.percentile(99.0), 0u);
+    EXPECT_EQ(rec.mean(), Nanos{});
+    EXPECT_EQ(rec.max(), Nanos{});
+    EXPECT_EQ(rec.percentile(99.0), Nanos{});
 }
 
 class ServingFixture : public ::testing::Test

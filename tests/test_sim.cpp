@@ -21,11 +21,11 @@ TEST(EventQueue, FiresInTimeOrder)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(30, [&] { order.push_back(3); });
-    eq.schedule(10, [&] { order.push_back(1); });
-    eq.schedule(20, [&] { order.push_back(2); });
+    eq.schedule(Cycle{30}, [&] { order.push_back(3); });
+    eq.schedule(Cycle{10}, [&] { order.push_back(1); });
+    eq.schedule(Cycle{20}, [&] { order.push_back(2); });
     EXPECT_EQ(eq.pending(), 3u);
-    EXPECT_EQ(eq.run(), 30u);
+    EXPECT_EQ(eq.run(), Cycle{30});
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -34,7 +34,7 @@ TEST(EventQueue, SameCycleIsFifo)
     EventQueue eq;
     std::vector<int> order;
     for (int i = 0; i < 8; ++i)
-        eq.schedule(5, [&order, i] { order.push_back(i); });
+        eq.schedule(Cycle{5}, [&order, i] { order.push_back(i); });
     eq.run();
     for (int i = 0; i < 8; ++i)
         EXPECT_EQ(order[i], i);
@@ -44,11 +44,11 @@ TEST(EventQueue, CallbacksCanScheduleMore)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(1, [&] {
+    eq.schedule(Cycle{1}, [&] {
         ++fired;
-        eq.scheduleAfter(4, [&] { ++fired; });
+        eq.scheduleAfter(Cycle{4}, [&] { ++fired; });
     });
-    EXPECT_EQ(eq.run(), 5u);
+    EXPECT_EQ(eq.run(), Cycle{5});
     EXPECT_EQ(fired, 2);
 }
 
@@ -56,38 +56,39 @@ TEST(EventQueue, RunUntilStopsAtLimit)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(10, [&] { ++fired; });
-    eq.schedule(20, [&] { ++fired; });
-    EXPECT_EQ(eq.runUntil(15), 10u);
+    eq.schedule(Cycle{10}, [&] { ++fired; });
+    eq.schedule(Cycle{20}, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(Cycle{15}), Cycle{10});
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(eq.pending(), 1u);
     // Events exactly at the limit still fire.
-    EXPECT_EQ(eq.runUntil(20), 20u);
+    EXPECT_EQ(eq.runUntil(Cycle{20}), Cycle{20});
     EXPECT_EQ(fired, 2);
 }
 
 TEST(EventQueue, RunUntilAdvancesClockWhenEmpty)
 {
     EventQueue eq;
-    EXPECT_EQ(eq.runUntil(100), 100u);
-    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_EQ(eq.runUntil(Cycle{100}), Cycle{100});
+    EXPECT_EQ(eq.now(), Cycle{100});
 }
 
 TEST(EventQueue, ResetClearsEverything)
 {
     EventQueue eq;
-    eq.schedule(10, [] {});
+    eq.schedule(Cycle{10}, [] {});
     eq.reset();
     EXPECT_EQ(eq.pending(), 0u);
-    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.now(), Cycle{});
 }
 
 TEST(EventQueue, SchedulingIntoThePastDies)
 {
     EventQueue eq;
-    eq.schedule(10, [] {});
+    eq.schedule(Cycle{10}, [] {});
     eq.run();
-    EXPECT_DEATH(eq.schedule(5, [] {}), "scheduling into the past");
+    EXPECT_DEATH(eq.schedule(Cycle{5}, [] {}),
+                 "scheduling into the past");
 }
 
 TEST(Stats, CounterAccumulates)
@@ -170,10 +171,10 @@ TEST(Time, CycleNanosConversionsMatchFpgaClock)
 {
     // 200 MHz -> 5 ns per cycle (Section V).
     EXPECT_EQ(kNanosPerCycle, 5u);
-    EXPECT_EQ(cyclesToNanos(4000), 20000u); // Tpage = 20 us
-    EXPECT_EQ(nanosToCycles(20000), 4000u);
-    EXPECT_EQ(nanosToCycles(20001), 4001u); // rounds up
-    EXPECT_DOUBLE_EQ(nanosToSeconds(1'000'000'000ull), 1.0);
+    EXPECT_EQ(cyclesToNanos(Cycle{4000}), Nanos{20000}); // Tpage
+    EXPECT_EQ(nanosToCycles(Nanos{20000}), Cycle{4000});
+    EXPECT_EQ(nanosToCycles(Nanos{20001}), Cycle{4001}); // rounds up
+    EXPECT_DOUBLE_EQ(nanosToSeconds(Nanos{1'000'000'000ull}), 1.0);
 }
 
 } // namespace

@@ -124,29 +124,29 @@ TEST(RunResult, QpsAndAmplificationMath)
     RunResult r;
     r.samples = 1000;
     r.batches = 10;
-    r.totalNanos = 2'000'000'000; // 2 s
+    r.totalNanos = Nanos{2'000'000'000}; // 2 s
     r.hostTrafficBytes = 4096;
     r.idealTrafficBytes = 128;
     EXPECT_DOUBLE_EQ(r.qps(), 500.0);
-    EXPECT_EQ(r.latencyPerBatch(), 200'000'000u);
+    EXPECT_EQ(r.latencyPerBatch(), Nanos{200'000'000});
     EXPECT_DOUBLE_EQ(r.readAmplification(), 32.0);
 }
 
 TEST(Breakdown, TotalsAndAccumulation)
 {
     Breakdown a;
-    a.topMlp = 1;
-    a.botMlp = 2;
-    a.concat = 3;
-    a.embOp = 4;
-    a.embFs = 5;
-    a.embSsd = 6;
-    a.other = 7;
-    EXPECT_EQ(a.total(), 28u);
+    a.topMlp = Nanos{1};
+    a.botMlp = Nanos{2};
+    a.concat = Nanos{3};
+    a.embOp = Nanos{4};
+    a.embFs = Nanos{5};
+    a.embSsd = Nanos{6};
+    a.other = Nanos{7};
+    EXPECT_EQ(a.total(), Nanos{28});
     Breakdown b;
     b += a;
     b += a;
-    EXPECT_EQ(b.total(), 56u);
+    EXPECT_EQ(b.total(), Nanos{56});
 }
 
 } // namespace

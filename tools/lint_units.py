@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Unit-name lint for public simulator headers.
+
+Fails when a header in the guarded directories declares a function
+parameter as a raw integer (uint64_t/uint32_t/size_t) whose name looks
+like a unit-bearing quantity (``*_cycles``, ``*Lba``, ``*_bytes``,
+``*Nanos``, ``*Sectors``, ...). Those parameters must use the strong
+types from src/sim/strong_types.h (Cycle, Nanos, Lba, Sectors, Bytes,
+PageId, TableId, EvIndex) so a unit mixup is a compile error, not a
+wrong curve.
+
+Exit status: 0 when clean, 1 with a findings report otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Directories whose public headers must be strongly typed.
+GUARDED_DIRS = [
+    "src/engine",
+    "src/ftl",
+    "src/sim",
+    "src/nvme",
+]
+
+RAW_INT = r"(?:std::)?(?:uint64_t|uint32_t|size_t)"
+
+# A raw-integer parameter declaration: "uint64_t name" followed by
+# ',' or ')' (optionally with a default argument). Multi-line
+# parameter lists are handled by scanning a whitespace-flattened copy
+# of the header.
+PARAM_RE = re.compile(
+    RAW_INT + r"\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?:=[^,);]+)?[,)]"
+)
+
+# Ratios like "bytesPerCycle" carry two units at once and have no
+# strong-type representation; they stay raw by convention.
+RATE_NAME_RE = re.compile(
+    r"Per(?:Cycle|Page|Read|Sample|Table|Sector|Byte)s?$"
+    r"|_per_[a-z]+$"
+)
+
+# Unit-bearing name shapes, snake_case and camelCase. Suffix-anchored
+# so counts and ratios ("sectorsPerPage", "numRows") stay legal.
+UNIT_NAME_RE = re.compile(
+    r"""(?x)
+    (?:^|_)(?:cycles?|nanos|ns|lba|sectors?|bytes?|ppn|lpn)$   # snake
+    | (?:Cycles?|Nanos|Ns|Lba|Sectors?|Bytes?|Ppn|Lpn|PageId)$ # camel
+    | ^(?:lba|ppn|lpn|cycle|nanos)[0-9]*$                      # bare
+    """
+)
+
+
+def strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return text
+
+
+def lint_header(path: pathlib.Path) -> list[str]:
+    flat = re.sub(r"\s+", " ", strip_comments(path.read_text()))
+    findings = []
+    for m in PARAM_RE.finditer(flat):
+        name = m.group("name")
+        if RATE_NAME_RE.search(name):
+            continue
+        if UNIT_NAME_RE.search(name):
+            findings.append(
+                f"{path.relative_to(REPO)}: raw integer parameter "
+                f"'{name}' looks unit-bearing; use a strong type "
+                f"from sim/strong_types.h"
+            )
+    return findings
+
+
+def main() -> int:
+    findings: list[str] = []
+    for rel in GUARDED_DIRS:
+        for header in sorted((REPO / rel).glob("*.h")):
+            findings.extend(lint_header(header))
+    if findings:
+        print("lint_units: unit-unsafe raw parameters found:")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print("lint_units: all guarded headers are strongly typed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
