@@ -61,10 +61,11 @@ runAblation()
             workload::TraceGenerator gen(cfg, bench::defaultTrace());
             const workload::RunResult run = sys->run(gen, 4, 6, 4);
             const std::uint64_t pageReads =
-                run.hostTrafficBytes / 4096; // misses fill 4 KB pages
+                run.hostTrafficBytes /
+                Bytes{4096}; // misses fill 4 KB pages
             const engine::EnergyReport r = energy.hostWindow(
                 cfg, run.totalNanos, run.totalNanos, run.samples,
-                Bytes{run.hostTrafficBytes}, pageReads);
+                run.hostTrafficBytes, pageReads);
             const double scale =
                 1e3 / static_cast<double>(run.samples);
             table.addRow({modelName, system,

@@ -33,7 +33,7 @@ runTable()
         workload::TraceGenerator genBase(cfg, bench::defaultTrace());
         const auto rBase = base->run(genBase, 1, 8, 6);
         const double baseBytesPerInf =
-            static_cast<double>(rBase.hostTrafficBytes) /
+            static_cast<double>(rBase.hostTrafficBytes.raw()) /
             static_cast<double>(rBase.batches);
 
         std::vector<std::string> row{modelName};
@@ -43,7 +43,7 @@ runTable()
             workload::TraceGenerator gen(cfg, bench::defaultTrace());
             const auto r = sys->run(gen, 1, 8, 6);
             const double bytesPerInf =
-                static_cast<double>(r.hostTrafficBytes) /
+                static_cast<double>(r.hostTrafficBytes.raw()) /
                 static_cast<double>(r.batches);
             row.push_back(bench::fmt(baseBytesPerInf / bytesPerInf, 0));
         }

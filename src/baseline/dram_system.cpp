@@ -36,8 +36,8 @@ DramSystem::run(workload::TraceGenerator &gen, std::uint32_t batchSize,
         ++result.batches;
         result.samples += batchSize;
         result.idealTrafficBytes +=
-            static_cast<std::uint64_t>(batchSize) *
-            config_.lookupsPerSample() * config_.vectorBytes();
+            Bytes{static_cast<std::uint64_t>(batchSize) *
+                  config_.lookupsPerSample() * config_.vectorBytes()};
     }
     return result;
 }

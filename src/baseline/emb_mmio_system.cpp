@@ -45,7 +45,7 @@ EmbMmioSystem::run(workload::TraceGenerator &gen,
                     bd.embSsd += device;
                     bd.embOp += kMmioPageCopyNanos;
                     hostNow_ += device + kMmioPageCopyNanos;
-                    result.hostTrafficBytes += pageSize;
+                    result.hostTrafficBytes += Bytes{pageSize};
                 }
             }
             const Nanos sls =
@@ -65,8 +65,8 @@ EmbMmioSystem::run(workload::TraceGenerator &gen,
         ++result.batches;
         result.samples += batchSize;
         result.idealTrafficBytes +=
-            static_cast<std::uint64_t>(batchSize) *
-            config_.lookupsPerSample() * evBytes;
+            Bytes{static_cast<std::uint64_t>(batchSize) *
+                  config_.lookupsPerSample() * evBytes};
     }
     return result;
 }

@@ -95,7 +95,7 @@ EmbPageSumSystem::run(workload::TraceGenerator &gen,
             dma_.transfer(poolDone, Bytes{pooledBytes * batchSize});
         bd.embSsd += cyclesToNanos(end - deviceNow_);
         deviceNow_ = end;
-        result.hostTrafficBytes += pooledBytes * batchSize;
+        result.hostTrafficBytes += Bytes{pooledBytes * batchSize};
 
         if (slsOnly_) {
             bd.other += cpu_.frameworkNanos();
@@ -111,8 +111,8 @@ EmbPageSumSystem::run(workload::TraceGenerator &gen,
         ++result.batches;
         result.samples += batchSize;
         result.idealTrafficBytes +=
-            static_cast<std::uint64_t>(batchSize) *
-            config_.lookupsPerSample() * config_.vectorBytes();
+            Bytes{static_cast<std::uint64_t>(batchSize) *
+                  config_.lookupsPerSample() * config_.vectorBytes()};
     }
     return result;
 }

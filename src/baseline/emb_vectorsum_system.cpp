@@ -45,11 +45,11 @@ EmbVectorSumSystem::run(workload::TraceGenerator &gen,
         ++result.batches;
         result.samples += batchSize;
         result.idealTrafficBytes +=
-            static_cast<std::uint64_t>(batchSize) *
-            config_.lookupsPerSample() * config_.vectorBytes();
+            Bytes{static_cast<std::uint64_t>(batchSize) *
+                  config_.lookupsPerSample() * config_.vectorBytes()};
     }
     result.hostTrafficBytes =
-        device_->hostBytesRead().value() - trafficBefore;
+        Bytes{device_->hostBytesRead().value() - trafficBefore};
     return result;
 }
 

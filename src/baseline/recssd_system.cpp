@@ -118,7 +118,7 @@ RecssdSystem::run(workload::TraceGenerator &gen,
             dma_.transfer(poolDone, Bytes{pooledBytes * batchSize});
         bd.embSsd += cyclesToNanos(end - deviceNow_);
         deviceNow_ = end;
-        result.hostTrafficBytes += pooledBytes * batchSize;
+        result.hostTrafficBytes += Bytes{pooledBytes * batchSize};
 
         // Merge host-cached vectors into the device partial sums.
         bd.embOp += hostHits * kMergePerVectorNanos;
@@ -135,8 +135,8 @@ RecssdSystem::run(workload::TraceGenerator &gen,
         ++result.batches;
         result.samples += batchSize;
         result.idealTrafficBytes +=
-            static_cast<std::uint64_t>(batchSize) *
-            config_.lookupsPerSample() * config_.vectorBytes();
+            Bytes{static_cast<std::uint64_t>(batchSize) *
+                  config_.lookupsPerSample() * config_.vectorBytes()};
     }
     return result;
 }

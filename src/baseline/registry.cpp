@@ -37,6 +37,22 @@ makeSystem(const std::string &name, const model::ModelConfig &config)
     if (name == "RM-SSD+cache")
         return std::make_unique<RmSsdSystem>(config,
                                              engine::EvCacheConfig{});
+    if (name == "RM-SSD+lfu") {
+        // Same capacity as RM-SSD+cache, but fills must earn their
+        // slot: TinyLFU admission keeps the cold tail out.
+        engine::EvCacheConfig evCache;
+        evCache.admission = engine::EvCacheAdmission::TinyLfu;
+        return std::make_unique<RmSsdSystem>(config, evCache, name);
+    }
+    if (name == "RM-SSD+part") {
+        // TinyLFU plus static per-table partitioning; the registry
+        // has no trace to profile, so tables split evenly (benches
+        // with a trace derive shares via workload::planTableShares).
+        engine::EvCacheConfig evCache;
+        evCache.admission = engine::EvCacheAdmission::TinyLfu;
+        evCache.tableShares.assign(config.numTables, 1.0);
+        return std::make_unique<RmSsdSystem>(config, evCache, name);
+    }
     fatal("unknown system '%s'", name.c_str());
 }
 
@@ -46,7 +62,7 @@ allSystemNames()
     return {"DRAM",          "SSD-S",        "SSD-M",
             "EMB-MMIO",      "EMB-PageSum",  "EMB-VectorSum",
             "RecSSD",        "RM-SSD-Naive", "RM-SSD",
-            "RM-SSD+cache"};
+            "RM-SSD+cache",  "RM-SSD+lfu",   "RM-SSD+part"};
 }
 
 } // namespace rmssd::baseline

@@ -18,8 +18,9 @@ RmSsdSystem::RmSsdSystem(const model::ModelConfig &config,
 }
 
 RmSsdSystem::RmSsdSystem(const model::ModelConfig &config,
-                         const engine::EvCacheConfig &evCache)
-    : InferenceSystem("RM-SSD+cache"), config_(config)
+                         const engine::EvCacheConfig &evCache,
+                         const std::string &name)
+    : InferenceSystem(name), config_(config)
 {
     engine::RmSsdOptions options;
     options.variant = engine::EngineVariant::Searched;
@@ -61,6 +62,10 @@ RmSsdSystem::run(workload::TraceGenerator &gen, std::uint32_t batchSize,
     workload::RunResult result;
     result.system = name_;
     const std::uint64_t trafficBefore = device_->hostBytesRead().value();
+    const engine::EvCache *cache = device_->evCache();
+    const std::uint64_t hitsBefore = cache ? cache->hits().value() : 0;
+    const std::uint64_t missesBefore =
+        cache ? cache->misses().value() : 0;
 
     Cycle lastCompletion = start;
     Nanos latencySum;
@@ -71,8 +76,8 @@ RmSsdSystem::run(workload::TraceGenerator &gen, std::uint32_t batchSize,
         ++result.batches;
         result.samples += batchSize;
         result.idealTrafficBytes +=
-            static_cast<std::uint64_t>(batchSize) *
-            config_.lookupsPerSample() * config_.vectorBytes();
+            Bytes{static_cast<std::uint64_t>(batchSize) *
+                  config_.lookupsPerSample() * config_.vectorBytes()};
     }
     // Requests pipeline through the device, so wall-clock is the span
     // from the stream start to the last completion.
@@ -81,7 +86,18 @@ RmSsdSystem::run(workload::TraceGenerator &gen, std::uint32_t batchSize,
     // request latency is available as latencySum / batches.
     result.breakdown.embSsd = latencySum;
     result.hostTrafficBytes =
-        device_->hostBytesRead().value() - trafficBefore;
+        Bytes{device_->hostBytesRead().value() - trafficBefore};
+    if (cache) {
+        // Hit ratio over the measured window only (the warmup batches
+        // already populated the cache, so this is the warm figure).
+        const std::uint64_t hits = cache->hits().value() - hitsBefore;
+        const std::uint64_t misses =
+            cache->misses().value() - missesBefore;
+        if (hits + misses > 0)
+            result.cacheHitRatio =
+                static_cast<double>(hits) /
+                static_cast<double>(hits + misses);
+    }
     return result;
 }
 

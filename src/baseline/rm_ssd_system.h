@@ -24,11 +24,14 @@ class RmSsdSystem : public InferenceSystem
                     engine::EngineVariant::Searched);
 
     /**
-     * RM-SSD+cache: the searched engine with the device-side EV cache
-     * and intra-batch index coalescing enabled.
+     * RM-SSD+cache (and its frequency-aware variants): the searched
+     * engine with the device-side EV cache and intra-batch index
+     * coalescing enabled. @p name distinguishes cache policies in
+     * reports (e.g. "RM-SSD+lfu" for TinyLFU admission).
      */
     RmSsdSystem(const model::ModelConfig &config,
-                const engine::EvCacheConfig &evCache);
+                const engine::EvCacheConfig &evCache,
+                const std::string &name = "RM-SSD+cache");
 
     workload::RunResult run(workload::TraceGenerator &gen,
                             std::uint32_t batchSize,

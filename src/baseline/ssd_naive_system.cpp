@@ -57,8 +57,8 @@ SsdNaiveSystem::serveBatch(const std::vector<model::Sample> &batch,
         ++result->batches;
         result->samples += batch.size();
         result->idealTrafficBytes +=
-            static_cast<std::uint64_t>(batch.size()) *
-            config_.lookupsPerSample() * evBytes;
+            Bytes{static_cast<std::uint64_t>(batch.size()) *
+                  config_.lookupsPerSample() * evBytes};
     }
 }
 
@@ -75,7 +75,7 @@ SsdNaiveSystem::run(workload::TraceGenerator &gen,
     result.system = name_;
     for (std::uint32_t b = 0; b < numBatches; ++b)
         serveBatch(gen.nextBatch(batchSize), &result);
-    result.hostTrafficBytes = reader_->deviceBytes().value();
+    result.hostTrafficBytes = Bytes{reader_->deviceBytes().value()};
     return result;
 }
 

@@ -1,6 +1,8 @@
 #include "engine/ev_cache.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 
 #include "sim/log.h"
 
@@ -20,6 +22,52 @@ mixKey(std::uint64_t x)
 
 } // namespace
 
+std::vector<EvCachePartition>
+planTablePartitions(std::uint32_t numSets, std::span<const double> shares)
+{
+    RMSSD_ASSERT(!shares.empty(), "empty table shares");
+    RMSSD_ASSERT(numSets >= shares.size(),
+                 "fewer cache sets than tables to partition");
+    const double total =
+        std::accumulate(shares.begin(), shares.end(), 0.0);
+    RMSSD_ASSERT(total > 0.0, "table shares sum to zero");
+
+    // Largest-remainder apportionment with a one-set floor per table:
+    // reserve shares.size() sets for the floors, apportion the rest.
+    const auto tables = static_cast<std::uint32_t>(shares.size());
+    const std::uint32_t spare = numSets - tables;
+    std::vector<std::uint32_t> quota(tables, 1);
+    std::vector<std::pair<double, std::uint32_t>> remainders;
+    remainders.reserve(tables);
+    std::uint32_t assigned = 0;
+    for (std::uint32_t t = 0; t < tables; ++t) {
+        RMSSD_ASSERT(shares[t] > 0.0, "non-positive table share");
+        const double exact = spare * shares[t] / total;
+        const auto whole = static_cast<std::uint32_t>(exact);
+        quota[t] += whole;
+        assigned += whole;
+        remainders.emplace_back(exact - whole, t);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto &a, const auto &b) {
+                  // Ties broken by table id for determinism.
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    for (std::uint32_t i = 0; assigned < spare; ++i, ++assigned)
+        ++quota[remainders[i].second];
+
+    std::vector<EvCachePartition> partitions(tables);
+    std::uint32_t next = 0;
+    for (std::uint32_t t = 0; t < tables; ++t) {
+        partitions[t] = EvCachePartition{next, quota[t]};
+        next += quota[t];
+    }
+    RMSSD_ASSERT(next == numSets, "partition plan does not cover sets");
+    return partitions;
+}
+
 EvCache::EvCache(const EvCacheConfig &config, Bytes lineBytes)
     : lineBytes_(lineBytes), ways_(config.ways),
       hitCycles_(config.hitCycles)
@@ -35,6 +83,16 @@ EvCache::EvCache(const EvCacheConfig &config, Bytes lineBytes)
     sets_.resize(numSets);
     for (auto &set : sets_)
         set.resize(ways_);
+
+    if (!config.tableShares.empty())
+        partitions_ = planTablePartitions(
+            static_cast<std::uint32_t>(numSets), config.tableShares);
+
+    if (config.admission == EvCacheAdmission::TinyLfu) {
+        sketch_ = std::make_unique<FrequencySketch>(
+            lines * config.sketchCountersPerLine,
+            lines * config.sketchSamplePerLine);
+    }
 }
 
 std::uint64_t
@@ -47,9 +105,15 @@ EvCache::makeKey(TableId tableId, EvIndex index)
 }
 
 std::size_t
-EvCache::setIndex(std::uint64_t key) const
+EvCache::setIndex(TableId tableId, std::uint64_t key) const
 {
-    return static_cast<std::size_t>(mixKey(key) % sets_.size());
+    if (partitions_.empty())
+        return static_cast<std::size_t>(mixKey(key) % sets_.size());
+    RMSSD_ASSERT(tableId.raw() < partitions_.size(),
+                 "table id outside partition plan");
+    const EvCachePartition &p = partitions_[tableId.raw()];
+    return p.firstSet + static_cast<std::size_t>(
+                            mixKey(key) % p.numSets);
 }
 
 bool
@@ -57,7 +121,9 @@ EvCache::lookup(TableId tableId, EvIndex index,
                 std::vector<std::uint8_t> *out)
 {
     const std::uint64_t key = makeKey(tableId, index);
-    auto &set = sets_[setIndex(key)];
+    if (sketch_)
+        sketch_->record(key);
+    auto &set = sets_[setIndex(tableId, key)];
     for (Line &line : set) {
         if (line.valid && line.key == key) {
             // A functional caller needs the bytes; a line installed by
@@ -80,7 +146,7 @@ EvCache::fill(TableId tableId, EvIndex index,
               std::span<const std::uint8_t> data)
 {
     const std::uint64_t key = makeKey(tableId, index);
-    auto &set = sets_[setIndex(key)];
+    auto &set = sets_[setIndex(tableId, key)];
 
     Line *victim = nullptr;
     for (Line &line : set) {
@@ -96,6 +162,15 @@ EvCache::fill(TableId tableId, EvIndex index,
             set.begin(), set.end(), [](const Line &a, const Line &b) {
                 return a.lastUse < b.lastUse;
             });
+        // TinyLFU admission: displacing a valid line must be earned —
+        // the candidate's estimated frequency has to beat the
+        // victim's, otherwise the one-hit cold tail would keep
+        // flushing hot lines exactly as under plain LRU.
+        if (sketch_ &&
+            sketch_->estimate(key) <= sketch_->estimate(victim->key)) {
+            admissionRejects_.inc();
+            return;
+        }
         evictions_.inc();
     }
 
@@ -110,7 +185,7 @@ bool
 EvCache::contains(TableId tableId, EvIndex index) const
 {
     const std::uint64_t key = makeKey(tableId, index);
-    const auto &set = sets_[setIndex(key)];
+    const auto &set = sets_[setIndex(tableId, key)];
     return std::any_of(set.begin(), set.end(), [&](const Line &line) {
         return line.valid && line.key == key;
     });

@@ -11,23 +11,54 @@
  * the CEV vector read and, crucially, does not occupy a flash die or
  * channel bus; a miss fills the line, evicting the set's LRU entry.
  *
- * The cache is off by default so the paper-faithful baselines are
- * unchanged; RM-SSD+cache enables it (plus intra-batch coalescing in
- * the EmbeddingEngine, which sits in front of the cache and folds
- * duplicate indices of one micro-batch into a single probe).
+ * Cache v2 adds two frequency-aware knobs on top of the PR-1 LRU:
+ *
+ *  - **TinyLFU admission** (EvCacheAdmission::TinyLfu): a 4-bit
+ *    count-min sketch with periodic halving (FrequencySketch) tracks
+ *    approximate access frequency per key; a fill that would evict a
+ *    valid line is admitted only when the incoming key's estimated
+ *    frequency *exceeds* the victim's, so the one-hit-wonder cold
+ *    tail can no longer flush hot lines.
+ *  - **Static per-table partitioning** (EvCacheConfig::tableShares):
+ *    the set array is split into contiguous per-table regions sized
+ *    offline from the trace's per-table frequency histogram
+ *    (workload::TraceGenerator::tableHistograms →
+ *    planTableShares); traffic on one table then cannot evict
+ *    another table's partition.
+ *
+ * Both knobs default off, so the default configuration reproduces the
+ * PR-1 shared LRU cache bit-for-bit. The cache is off entirely by
+ * default so the paper-faithful baselines are unchanged; RM-SSD+cache
+ * enables it (plus intra-batch coalescing in the EmbeddingEngine,
+ * which sits in front of the cache and folds duplicate indices of one
+ * micro-batch into a single probe).
  */
 
 #ifndef RMSSD_ENGINE_EV_CACHE_H
 #define RMSSD_ENGINE_EV_CACHE_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "engine/freq_sketch.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
 namespace rmssd::engine {
+
+/** Fill-admission policy on a conflict miss. */
+enum class EvCacheAdmission : std::uint8_t
+{
+    /** PR-1 behaviour: every fill displaces the set's LRU line. */
+    AlwaysAdmit,
+    /**
+     * TinyLFU: displace the LRU victim only when the incoming key's
+     * sketch-estimated frequency beats the victim's.
+     */
+    TinyLfu,
+};
 
 /** EV cache knobs (RmSsdOptions::evCache). */
 struct EvCacheConfig
@@ -45,10 +76,47 @@ struct EvCacheConfig
      * kernels against the cache-accelerated T_emb (see
      * EmbeddingEngine::effectiveCyclesPerRead). The measured ratio is
      * workload-dependent; workload::expectedHitRatio() estimates it
-     * from a TraceConfig.
+     * from a TraceConfig. RmSsd::replanIfDrifted re-runs the search
+     * when the measured ratio drifts from this estimate.
      */
     double expectedHitRatio = 0.5;
+    /** Fill-admission policy (AlwaysAdmit reproduces PR-1 exactly). */
+    EvCacheAdmission admission = EvCacheAdmission::AlwaysAdmit;
+    /**
+     * TinyLFU sketch sizing, in units of cache lines: the sketch gets
+     * lines*sketchCountersPerLine 4-bit counters and halves after
+     * lines*sketchSamplePerLine recorded accesses. 8 counters/line ≈
+     * 4x over-provisioning against the working set at kDepth=4, and a
+     * sample window of 16x the line count keeps roughly one cache
+     * generation of history.
+     */
+    std::uint32_t sketchCountersPerLine = 8;
+    std::uint32_t sketchSamplePerLine = 16;
+    /**
+     * Optional static per-table partitioning: entry t is table t's
+     * relative share of the set array (any positive scale; normalised
+     * internally — per-table lookup counts from a trace histogram
+     * work directly, see workload::planTableShares). Empty means one
+     * shared array (PR-1 behaviour). When set, size() must equal the
+     * model's table count and every share must be > 0.
+     */
+    std::vector<double> tableShares;
 };
+
+/** Contiguous run of sets owned by one table (partitioned mode). */
+struct EvCachePartition
+{
+    std::uint32_t firstSet = 0;
+    std::uint32_t numSets = 0;
+};
+
+/**
+ * Split @p numSets sets across tables proportionally to @p shares by
+ * largest-remainder apportionment; every table gets at least one set.
+ * Requires numSets >= shares.size() and all shares > 0.
+ */
+std::vector<EvCachePartition>
+planTablePartitions(std::uint32_t numSets, std::span<const double> shares);
 
 /** Set-associative LRU cache of embedding vectors. */
 class EvCache
@@ -66,6 +134,9 @@ class EvCache
      * is non-null. A non-null @p out demands data: a line installed by
      * a timing-only run carries none and reports a miss (the caller
      * re-reads flash and the fill refreshes the line with real bytes).
+     * Under TinyLFU admission the probe also records the key in the
+     * frequency sketch (the sketch read runs in parallel with the tag
+     * lookup, so it adds no cycles).
      * @return true on hit
      */
     bool lookup(TableId tableId, EvIndex index,
@@ -74,7 +145,9 @@ class EvCache
     /**
      * Install (table, index) after a miss was served from flash.
      * @p data may be empty for timing-only runs. Evicts the set's LRU
-     * line when the set is full.
+     * line when the set is full — unless TinyLFU admission rejects
+     * the fill (victim estimated at least as popular as the
+     * candidate), in which case the set is left untouched.
      */
     void fill(TableId tableId, EvIndex index,
               std::span<const std::uint8_t> data);
@@ -82,7 +155,7 @@ class EvCache
     /** Probe without touching LRU state (tests/debug). */
     bool contains(TableId tableId, EvIndex index) const;
 
-    /** Drop all lines; counters are kept. */
+    /** Drop all lines; counters and the sketch are kept. */
     void invalidate();
 
     std::uint32_t numSets() const
@@ -92,11 +165,20 @@ class EvCache
     std::uint32_t ways() const { return ways_; }
     Bytes lineBytes() const { return lineBytes_; }
     Cycle hitCycles() const { return hitCycles_; }
+    /** Per-table set regions; empty when the cache is shared. */
+    const std::vector<EvCachePartition> &partitions() const
+    {
+        return partitions_;
+    }
+    /** Frequency sketch; null unless admission is TinyLfu. */
+    const FrequencySketch *sketch() const { return sketch_.get(); }
 
     const Counter &hits() const { return hits_; }
     const Counter &misses() const { return misses_; }
     const Counter &fills() const { return fills_; }
     const Counter &evictions() const { return evictions_; }
+    /** Fills rejected by the TinyLFU admission filter. */
+    const Counter &admissionRejects() const { return admissionRejects_; }
 
     /** Measured hit ratio so far (0 when never probed). */
     double hitRatio() const;
@@ -111,18 +193,21 @@ class EvCache
     };
 
     static std::uint64_t makeKey(TableId tableId, EvIndex index);
-    std::size_t setIndex(std::uint64_t key) const;
+    std::size_t setIndex(TableId tableId, std::uint64_t key) const;
 
     Bytes lineBytes_;
     std::uint32_t ways_;
     Cycle hitCycles_;
     std::uint64_t tick_ = 0; //!< monotonic LRU clock
     std::vector<std::vector<Line>> sets_;
+    std::vector<EvCachePartition> partitions_; //!< empty = shared
+    std::unique_ptr<FrequencySketch> sketch_;  //!< TinyLfu only
 
     Counter hits_;
     Counter misses_;
     Counter fills_;
     Counter evictions_;
+    Counter admissionRejects_;
 };
 
 } // namespace rmssd::engine

@@ -1,0 +1,106 @@
+#include "engine/freq_sketch.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/log.h"
+
+namespace rmssd::engine {
+
+namespace {
+
+/** splitmix64 finalizer; one seed per sketch row. */
+std::uint64_t
+mixRow(std::uint64_t x, std::uint32_t row)
+{
+    x += 0x9e3779b97f4a7c15ULL * (row + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+FrequencySketch::FrequencySketch(std::uint64_t counters,
+                                 std::uint64_t sampleSize)
+    : sampleSize_(std::max<std::uint64_t>(1, sampleSize))
+{
+    const std::uint64_t width =
+        std::bit_ceil(std::max<std::uint64_t>(64, counters));
+    mask_ = width - 1;
+    table_.assign(width / 2, 0); // two 4-bit counters per byte
+}
+
+std::uint64_t
+FrequencySketch::slotOf(std::uint64_t key, std::uint32_t row) const
+{
+    return mixRow(key, row) & mask_;
+}
+
+std::uint32_t
+FrequencySketch::counterAt(std::uint64_t slot) const
+{
+    const std::uint8_t byte = table_[slot >> 1];
+    return (slot & 1) ? (byte >> 4) : (byte & 0x0f);
+}
+
+void
+FrequencySketch::setCounterAt(std::uint64_t slot, std::uint32_t v)
+{
+    RMSSD_ASSERT(v <= kMaxCount, "sketch counter overflow");
+    std::uint8_t &byte = table_[slot >> 1];
+    if (slot & 1)
+        byte = static_cast<std::uint8_t>((byte & 0x0f) | (v << 4));
+    else
+        byte = static_cast<std::uint8_t>((byte & 0xf0) | v);
+}
+
+void
+FrequencySketch::record(std::uint64_t key)
+{
+    // Conservative update: only the row counters equal to the current
+    // minimum grow, which tightens the count-min overestimate.
+    std::uint32_t minCount = kMaxCount;
+    std::uint64_t slots[kDepth];
+    for (std::uint32_t row = 0; row < kDepth; ++row) {
+        slots[row] = slotOf(key, row);
+        minCount = std::min(minCount, counterAt(slots[row]));
+    }
+    if (minCount < kMaxCount) {
+        for (std::uint32_t row = 0; row < kDepth; ++row) {
+            if (counterAt(slots[row]) == minCount)
+                setCounterAt(slots[row], minCount + 1);
+        }
+    }
+    if (++additions_ >= sampleSize_)
+        halve();
+}
+
+std::uint32_t
+FrequencySketch::estimate(std::uint64_t key) const
+{
+    std::uint32_t minCount = kMaxCount;
+    for (std::uint32_t row = 0; row < kDepth; ++row)
+        minCount = std::min(minCount, counterAt(slotOf(key, row)));
+    return minCount;
+}
+
+void
+FrequencySketch::halve()
+{
+    // Halve both nibbles of every byte in one pass: clearing bit 3 of
+    // each nibble before the shift keeps the nibbles independent.
+    for (std::uint8_t &byte : table_)
+        byte = static_cast<std::uint8_t>((byte >> 1) & 0x77);
+    additions_ /= 2;
+    halvings_.inc();
+}
+
+void
+FrequencySketch::clear()
+{
+    std::fill(table_.begin(), table_.end(), std::uint8_t{0});
+    additions_ = 0;
+}
+
+} // namespace rmssd::engine

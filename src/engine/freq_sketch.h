@@ -1,0 +1,85 @@
+/**
+ * @file
+ * TinyLFU frequency sketch: a 4-bit count-min sketch with periodic
+ * halving, the popularity estimator behind the EV cache's admission
+ * filter (cache v2, DESIGN.md §8).
+ *
+ * Production embedding traces are heavily Zipfian with a long
+ * once-accessed tail (Fig. 4: most unique indices are touched exactly
+ * once). A plain LRU cache admits every miss, so the tail continually
+ * evicts hot lines. TinyLFU-style admission keeps an approximate
+ * access-frequency count per key and only lets a fill displace the
+ * LRU victim when the incoming key is estimated to be *more* popular
+ * than the line it would evict.
+ *
+ * The sketch is a flat array of 4-bit saturating counters (two per
+ * byte); each key selects kDepth counters through independent
+ * splitmix64-seeded hashes, is estimated as their minimum, and is
+ * recorded with a conservative-update increment (only the minimal
+ * counters grow). After sampleSize recorded accesses every counter is
+ * halved, aging out stale popularity so the filter tracks workload
+ * drift — the "periodic reset" of the TinyLFU paper. All state is a
+ * few hundred KB of SRAM in the device budget; in the timing model
+ * the sketch probe runs in parallel with the cache tag lookup and
+ * adds no cycles.
+ */
+
+#ifndef RMSSD_ENGINE_FREQ_SKETCH_H
+#define RMSSD_ENGINE_FREQ_SKETCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace rmssd::engine {
+
+/** 4-bit count-min sketch with periodic halving (TinyLFU aging). */
+class FrequencySketch
+{
+  public:
+    /** Counters saturate at 15 (4-bit). */
+    static constexpr std::uint32_t kMaxCount = 15;
+    /** Independent hash rows probed per key. */
+    static constexpr std::uint32_t kDepth = 4;
+
+    /**
+     * @param counters requested number of 4-bit counters (rounded up
+     *        to a power of two, minimum 64)
+     * @param sampleSize recorded accesses between halvings
+     */
+    FrequencySketch(std::uint64_t counters, std::uint64_t sampleSize);
+
+    /** Count one access to @p key; may trigger the periodic halving. */
+    void record(std::uint64_t key);
+
+    /** Estimated access frequency of @p key in [0, kMaxCount]. */
+    std::uint32_t estimate(std::uint64_t key) const;
+
+    /** Actual counter count after power-of-two rounding. */
+    std::uint64_t numCounters() const { return mask_ + 1; }
+    std::uint64_t sampleSize() const { return sampleSize_; }
+    /** Accesses recorded since the last halving. */
+    std::uint64_t additions() const { return additions_; }
+    /** Periodic halvings performed so far. */
+    const Counter &halvings() const { return halvings_; }
+
+    /** Forget everything (tests / cache invalidation). */
+    void clear();
+
+  private:
+    std::uint32_t counterAt(std::uint64_t slot) const;
+    void setCounterAt(std::uint64_t slot, std::uint32_t v);
+    std::uint64_t slotOf(std::uint64_t key, std::uint32_t row) const;
+    void halve();
+
+    std::vector<std::uint8_t> table_; //!< two 4-bit counters per byte
+    std::uint64_t mask_;              //!< numCounters - 1 (pow2 size)
+    std::uint64_t sampleSize_;
+    std::uint64_t additions_ = 0;
+    Counter halvings_;
+};
+
+} // namespace rmssd::engine
+
+#endif // RMSSD_ENGINE_FREQ_SKETCH_H

@@ -224,6 +224,7 @@ KernelSearch::search(const model::ModelConfig &model,
                      double readCyclesPerVector) const
 {
     SearchResult result;
+    result.readCyclesPerVector = readCyclesPerVector;
     const KernelConfig maxK{config_.maxKernelDim, config_.maxKernelDim};
     MlpPlan plan = makePlan(model, maxK, /*decompose=*/true,
                             /*compose=*/true);

@@ -56,6 +56,13 @@ struct SearchResult
     MlpTiming timing;        //!< at the chosen micro-batch
     ResourceUsage resources; //!< engine total
     Cycle embReadCycles; //!< flash read time of one micro-batch
+    /**
+     * The bEV cost the search balanced against (Eq. 1a). Recorded so
+     * the adaptive re-planner (RmSsd::replanIfDrifted) can report
+     * what the current plan assumed when the measured hit ratio
+     * drifts and the search is re-run.
+     */
+    double readCyclesPerVector = 0.0;
     bool feasible = false;   //!< Eq. 2 targets met
     std::vector<std::string> notes; //!< human-readable decisions
 };

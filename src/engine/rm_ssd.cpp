@@ -1,6 +1,7 @@
 #include "engine/rm_ssd.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "ftl/extent.h"
 #include "sim/log.h"
@@ -32,6 +33,9 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
     // The kernel search balances the MLP against T_emb; with the EV
     // cache on, the expected hit ratio shrinks the effective per-read
     // cost, so the search picks faster (larger) MLP kernels to match.
+    plannedHitRatio_ =
+        options_.evCache.enabled ? options_.evCache.expectedHitRatio
+                                 : 0.0;
     const double rcpv =
         options_.evCache.enabled
             ? EmbeddingEngine::effectiveCyclesPerRead(
@@ -41,7 +45,15 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
             : EmbeddingEngine::steadyStateCyclesPerRead(
                   options_.geometry, options_.timing,
                   Bytes{config_.vectorBytes()});
+    buildPlan(rcpv);
+}
+
+void
+RmSsd::buildPlan(double readCyclesPerVector)
+{
+    const double rcpv = readCyclesPerVector;
     const KernelSearch search(options_.search);
+    searchResult_ = {};
 
     switch (options_.variant) {
       case EngineVariant::Searched:
@@ -91,6 +103,51 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
         break;
       }
     }
+    searchResult_.readCyclesPerVector = rcpv;
+}
+
+double
+RmSsd::plannedHitRatio() const
+{
+    return evCache_ ? plannedHitRatio_ : 0.0;
+}
+
+double
+RmSsd::measuredHitRatio() const
+{
+    return evCache_ ? evCache_->hitRatio() : 0.0;
+}
+
+bool
+RmSsd::replanIfDrifted(double threshold)
+{
+    RMSSD_ASSERT(threshold >= 0.0, "negative drift threshold");
+    if (!evCache_)
+        return false;
+
+    // Drift is judged over the window since the previous call so a
+    // long warm history cannot average away a recent locality shift.
+    const std::uint64_t hits = evCache_->hits().value();
+    const std::uint64_t misses = evCache_->misses().value();
+    const std::uint64_t windowHits = hits - windowHitsBase_;
+    const std::uint64_t windowMisses = misses - windowMissesBase_;
+    windowHitsBase_ = hits;
+    windowMissesBase_ = misses;
+    if (windowHits + windowMisses == 0)
+        return false;
+
+    const double measured =
+        static_cast<double>(windowHits) /
+        static_cast<double>(windowHits + windowMisses);
+    if (std::abs(measured - plannedHitRatio_) <= threshold)
+        return false;
+
+    plannedHitRatio_ = measured;
+    buildPlan(EmbeddingEngine::effectiveCyclesPerRead(
+        options_.geometry, options_.timing, Bytes{config_.vectorBytes()},
+        measured));
+    replans_.inc();
+    return true;
 }
 
 void
@@ -328,11 +385,11 @@ RmSsd::infer(std::span<const model::Sample> samples)
                            static_cast<std::uint32_t>(
                                nvme::RmReg::ResultStatus))
                     .done;
-    if (resultBytes > nvme::MmioManager::kDataWidthBytes) {
+    if (Bytes{resultBytes} > nvme::MmioManager::kDataWidthBytes) {
         end = dma_.transfer(end, Bytes{resultBytes});
         hostBytesRead_.inc(resultBytes);
     } else {
-        hostBytesRead_.inc(nvme::MmioManager::kDataWidthBytes);
+        hostBytesRead_.inc(nvme::MmioManager::kDataWidthBytes.raw());
     }
 
     outcome.latency = cyclesToNanos(end - t0);
@@ -409,6 +466,11 @@ RmSsd::registerStats(StatsRegistry &registry,
                             &evCache_->fills());
         registry.addCounter(prefix + ".emb.cache.evictions",
                             &evCache_->evictions());
+        registry.addCounter(prefix + ".emb.cache.admissionRejects",
+                            &evCache_->admissionRejects());
+        registry.addCounter(prefix + ".emb.cache.replans", &replans_);
+        registry.addRatio(prefix + ".emb.cache.hitRatio",
+                          &evCache_->hits(), &evCache_->misses());
     }
     registry.addCounter(prefix + ".ftl.blockRequests",
                         &ftl_->blockRequests());

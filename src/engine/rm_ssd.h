@@ -132,6 +132,30 @@ class RmSsd
 
     const MlpPlan &plan() const { return searchResult_.plan; }
     const SearchResult &searchResult() const { return searchResult_; }
+
+    /**
+     * Hit ratio the current plan was sized against (starts at
+     * evCache.expectedHitRatio; updated by replanIfDrifted). 0 when
+     * the cache is off.
+     */
+    double plannedHitRatio() const;
+
+    /** Cumulative measured cache hit ratio; 0 when the cache is off. */
+    double measuredHitRatio() const;
+
+    /**
+     * Adaptive re-planning (feedback loop): compare the hit ratio
+     * measured since the previous call — a fresh window, so old
+     * history cannot mask drift — against the ratio the current plan
+     * assumed. When the drift exceeds @p threshold, re-run the kernel
+     * search with the observed ratio so the MLP kernels re-balance
+     * against the real T_emb' (Eq. 2 with the measured bEV).
+     * @return true when the device re-planned
+     */
+    bool replanIfDrifted(double threshold);
+
+    /** Number of adaptive re-plans performed. */
+    const Counter &replans() const { return replans_; }
     const model::DlrmModel &model() const { return model_; }
     flash::FlashArray &flash() { return *flash_; }
     const flash::FlashArray &flash() const { return *flash_; }
@@ -182,6 +206,9 @@ class RmSsd
                                  std::span<const model::Sample> samples,
                                  std::vector<float> *outputs);
 
+    /** (Re)build searchResult_ for the variant at the given bEV. */
+    void buildPlan(double readCyclesPerVector);
+
     model::ModelConfig config_;
     RmSsdOptions options_;
     model::DlrmModel model_;
@@ -197,6 +224,10 @@ class RmSsd
 
     SearchResult searchResult_;
     bool tablesLoaded_ = false;
+    double plannedHitRatio_ = 0.0;
+    /** Cache-counter snapshots delimiting the current drift window. */
+    std::uint64_t windowHitsBase_ = 0;
+    std::uint64_t windowMissesBase_ = 0;
 
     Cycle deviceNow_;
     Cycle lastCompletion_;
@@ -207,6 +238,7 @@ class RmSsd
     Counter hostBytesRead_;
     Counter hostBytesWritten_;
     Counter inferences_;
+    Counter replans_;
 };
 
 } // namespace rmssd::engine

@@ -14,7 +14,7 @@ MmioManager::ReadResult
 MmioManager::read(Cycle issue, std::uint32_t reg)
 {
     hostReads_.inc();
-    hostBytesRead_.inc(kDataWidthBytes);
+    hostBytesRead_.inc(kDataWidthBytes.raw());
     return ReadResult{issue + kReadCycles, peek(reg)};
 }
 

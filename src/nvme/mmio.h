@@ -40,7 +40,7 @@ class MmioManager
     /** PCIe non-posted read round trip (~1 us). */
     static constexpr Cycle kReadCycles{200};
     /** Bytes moved per MMIO read (one cache line). */
-    static constexpr std::uint32_t kDataWidthBytes = 64;
+    static constexpr Bytes kDataWidthBytes{64};
 
     /** Host-side register write; returns completion cycle. */
     Cycle write(Cycle issue, std::uint32_t reg, std::uint64_t value);

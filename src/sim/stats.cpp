@@ -41,10 +41,28 @@ StatsRegistry::addDistribution(const std::string &name,
 }
 
 void
+StatsRegistry::addRatio(const std::string &name, const Counter *part,
+                        const Counter *rest)
+{
+    ratios_[name] = Ratio{part, rest};
+}
+
+double
+StatsRegistry::Ratio::value() const
+{
+    const std::uint64_t total = part->value() + rest->value();
+    return total ? static_cast<double>(part->value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
 StatsRegistry::dump(std::ostream &os) const
 {
     for (const auto &[name, c] : counters_)
         os << name << " " << c->value() << "\n";
+    for (const auto &[name, r] : ratios_)
+        os << name << " " << r.value() << "\n";
     for (const auto &[name, d] : distributions_) {
         os << name << ".count " << d->count() << "\n";
         os << name << ".mean " << d->mean() << "\n";
@@ -58,6 +76,13 @@ StatsRegistry::counterValue(const std::string &name) const
 {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second->value();
+}
+
+double
+StatsRegistry::ratioValue(const std::string &name) const
+{
+    auto it = ratios_.find(name);
+    return it == ratios_.end() ? 0.0 : it->second.value();
 }
 
 } // namespace rmssd

@@ -60,15 +60,34 @@ class StatsRegistry
     void addCounter(const std::string &name, const Counter *c);
     void addDistribution(const std::string &name, const Distribution *d);
 
+    /**
+     * Register a derived fraction part/(part+rest) — e.g. a cache hit
+     * ratio from its hit and miss counters. Evaluated lazily at
+     * dump/query time, so it always reflects the live counters.
+     */
+    void addRatio(const std::string &name, const Counter *part,
+                  const Counter *rest);
+
     /** Dump all registered stats as "name value" lines. */
     void dump(std::ostream &os) const;
 
     /** Look up a registered counter's value; 0 if absent. */
     std::uint64_t counterValue(const std::string &name) const;
 
+    /** Current value of a registered ratio; 0 if absent or unsampled. */
+    double ratioValue(const std::string &name) const;
+
   private:
+    struct Ratio
+    {
+        const Counter *part = nullptr;
+        const Counter *rest = nullptr;
+        double value() const;
+    };
+
     std::map<std::string, const Counter *> counters_;
     std::map<std::string, const Distribution *> distributions_;
+    std::map<std::string, Ratio> ratios_;
 };
 
 } // namespace rmssd

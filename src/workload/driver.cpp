@@ -39,10 +39,10 @@ RunResult::latencyPerBatch() const
 double
 RunResult::readAmplification() const
 {
-    if (idealTrafficBytes == 0)
+    if (idealTrafficBytes == Bytes{})
         return 0.0;
-    return static_cast<double>(hostTrafficBytes) /
-           static_cast<double>(idealTrafficBytes);
+    return static_cast<double>(hostTrafficBytes.raw()) /
+           static_cast<double>(idealTrafficBytes.raw());
 }
 
 } // namespace rmssd::workload

@@ -39,9 +39,14 @@ struct RunResult
     Nanos totalNanos;
     Breakdown breakdown;
     /** Bytes moved from device to host during the measured run. */
-    std::uint64_t hostTrafficBytes = 0;
+    Bytes hostTrafficBytes;
     /** Ideal byte-addressable traffic: lookups * EVsize. */
-    std::uint64_t idealTrafficBytes = 0;
+    Bytes idealTrafficBytes;
+    /**
+     * Measured EV-cache hit ratio over the run's probe window; 0 for
+     * systems without a device cache.
+     */
+    double cacheHitRatio = 0.0;
 
     /** Samples per second of simulated time. */
     double qps() const;

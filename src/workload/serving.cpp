@@ -61,6 +61,13 @@ simulateServing(engine::RmSsd &device, TraceGenerator &gen,
     const double meanGapNanos = 1e9 / config.arrivalQps;
 
     LatencyRecorder latencies;
+    ServingResult result;
+    const engine::EvCache *cache = device.evCache();
+    const std::uint64_t replansBefore = device.replans().value();
+    std::uint64_t hitsBase = cache ? cache->hits().value() : 0;
+    std::uint64_t missesBase = cache ? cache->misses().value() : 0;
+    std::uint64_t steadyHits = 0;
+    std::uint64_t steadyMisses = 0;
     double arrivalNanos = 0.0;
     Cycle lastCompletion;
     for (std::uint32_t r = 0; r < config.numRequests; ++r) {
@@ -81,9 +88,32 @@ simulateServing(engine::RmSsd &device, TraceGenerator &gen,
         const engine::InferenceOutcome out = device.infer(batch);
         latencies.add(cyclesToNanos(out.completionCycle - arrival));
         lastCompletion = std::max(lastCompletion, out.completionCycle);
+
+        if (cache) {
+            // Per-request hit ratio: the cache carries warm state
+            // across requests, so this climbs from the cold start
+            // toward the steady-state figure.
+            const std::uint64_t hits = cache->hits().value();
+            const std::uint64_t misses = cache->misses().value();
+            const std::uint64_t reqHits = hits - hitsBase;
+            const std::uint64_t reqMisses = misses - missesBase;
+            hitsBase = hits;
+            missesBase = misses;
+            if (reqHits + reqMisses > 0)
+                result.requestHitRatio.sample(
+                    static_cast<double>(reqHits) /
+                    static_cast<double>(reqHits + reqMisses));
+            if (r >= config.numRequests / 2) {
+                steadyHits += reqHits;
+                steadyMisses += reqMisses;
+            }
+            if (config.replanThreshold > 0.0 &&
+                config.replanCheckEvery > 0 &&
+                (r + 1) % config.replanCheckEvery == 0)
+                device.replanIfDrifted(config.replanThreshold);
+        }
     }
 
-    ServingResult result;
     result.offeredQps = config.arrivalQps;
     result.requests = config.numRequests;
     const double seconds = nanosToSeconds(cyclesToNanos(lastCompletion));
@@ -94,6 +124,11 @@ simulateServing(engine::RmSsd &device, TraceGenerator &gen,
     result.p95 = latencies.percentile(95.0);
     result.p99 = latencies.percentile(99.0);
     result.maxLatency = latencies.max();
+    if (steadyHits + steadyMisses > 0)
+        result.steadyHitRatio =
+            static_cast<double>(steadyHits) /
+            static_cast<double>(steadyHits + steadyMisses);
+    result.replans = device.replans().value() - replansBefore;
     return result;
 }
 

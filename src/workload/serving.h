@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/rm_ssd.h"
+#include "sim/stats.h"
 #include "sim/types.h"
 #include "workload/trace_gen.h"
 
@@ -42,6 +43,15 @@ struct ServingConfig
     std::uint32_t batchSize = 1; //!< samples per request
     std::uint32_t numRequests = 200;
     std::uint64_t seed = 0x5e12e5ULL;
+    /**
+     * Adaptive re-planning: every @p replanCheckEvery requests, call
+     * RmSsd::replanIfDrifted with this threshold so the MLP kernels
+     * re-balance when the measured hit ratio drifts from the
+     * expectation the plan was sized against. 0 disables the check
+     * (the default keeps existing experiments bit-identical).
+     */
+    double replanThreshold = 0.0;
+    std::uint32_t replanCheckEvery = 32;
 };
 
 /** Outcome of a serving experiment. */
@@ -55,6 +65,19 @@ struct ServingResult
     Nanos p99;
     Nanos maxLatency;
     std::uint64_t requests = 0;
+    /**
+     * EV-cache hit ratio per request (cache state carries across
+     * requests, so the mean climbs as the cache warms; min is the
+     * cold start). Empty when the device has no cache.
+     */
+    Distribution requestHitRatio;
+    /**
+     * Hit ratio over the second half of the run only — the
+     * steady-state figure once the cache is warm. 0 without a cache.
+     */
+    double steadyHitRatio = 0.0;
+    /** Adaptive re-plans triggered during the run. */
+    std::uint64_t replans = 0;
 };
 
 /**

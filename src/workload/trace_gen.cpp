@@ -39,18 +39,24 @@ TraceGenerator::isHotRow(std::uint32_t table, std::uint64_t row) const
 }
 
 std::uint64_t
-TraceGenerator::drawIndex(std::uint32_t table)
+TraceGenerator::drawIndexWith(Rng &rng, std::uint32_t table) const
 {
-    if (rng_.nextDouble() < trace_.hotAccessFraction) {
+    if (rng.nextDouble() < trace_.hotAccessFraction) {
         // Zipf-skewed rank inside the hot set.
-        const double u = rng_.nextDouble();
+        const double u = rng.nextDouble();
         const std::uint64_t rank = static_cast<std::uint64_t>(
             std::pow(u, trace_.hotSkew) *
             static_cast<double>(trace_.hotRowsPerTable));
         return hotRow(table,
                       std::min(rank, trace_.hotRowsPerTable - 1));
     }
-    return rng_.nextBounded(config_.rowsPerTable);
+    return rng.nextBounded(config_.rowsPerTable);
+}
+
+std::uint64_t
+TraceGenerator::drawIndex(std::uint32_t table)
+{
+    return drawIndexWith(rng_, table);
 }
 
 model::Sample
@@ -115,6 +121,47 @@ TraceGenerator::histogram(std::uint64_t lookups, std::uint32_t topN)
                            : static_cast<double>(topLookups) /
                                  static_cast<double>(lookups);
     return summary;
+}
+
+std::vector<TraceGenerator::TableHistogram>
+TraceGenerator::tableHistograms(std::uint64_t lookupsPerTable) const
+{
+    // A private stream keeps this a pure profiling pass: the main
+    // sample stream (rng_) is untouched, so adding a planning step in
+    // front of a run cannot change the trace the run sees.
+    Rng rng(hashCombine(trace_.seed, 0x7ab1e815ULL));
+
+    std::vector<TableHistogram> hist(config_.numTables);
+    std::unordered_map<std::uint64_t, std::uint64_t> counts;
+    for (std::uint32_t t = 0; t < config_.numTables; ++t) {
+        counts.clear();
+        counts.reserve(lookupsPerTable / 2);
+        TableHistogram &h = hist[t];
+        h.totalLookups = lookupsPerTable;
+        for (std::uint64_t i = 0; i < lookupsPerTable; ++i) {
+            const std::uint64_t idx = drawIndexWith(rng, t);
+            const bool first = ++counts[idx] == 1;
+            if (isHotRow(t, idx)) {
+                ++h.hotLookups;
+                if (first)
+                    ++h.uniqueHotIndices;
+            }
+        }
+        h.uniqueIndices = counts.size();
+    }
+    return hist;
+}
+
+std::vector<double>
+planTableShares(const std::vector<TraceGenerator::TableHistogram> &hist)
+{
+    RMSSD_ASSERT(!hist.empty(), "empty table histogram");
+    std::vector<double> shares;
+    shares.reserve(hist.size());
+    for (const TraceGenerator::TableHistogram &h : hist)
+        shares.push_back(static_cast<double>(
+            std::max<std::uint64_t>(1, h.uniqueHotIndices)));
+    return shares;
 }
 
 } // namespace rmssd::workload

@@ -58,8 +58,32 @@ class TraceGenerator
     HistogramSummary histogram(std::uint64_t lookups,
                                std::uint32_t topN = 10);
 
+    /**
+     * Per-table traffic profile for offline cache partition planning
+     * (engine::planTablePartitions consumes the shares derived from
+     * it, see planTableShares).
+     */
+    struct TableHistogram
+    {
+        std::uint64_t totalLookups = 0;
+        std::uint64_t uniqueIndices = 0;
+        std::uint64_t hotLookups = 0; //!< lookups into the hot set
+        /** Distinct hot-set rows seen — the cacheable working set. */
+        std::uint64_t uniqueHotIndices = 0;
+    };
+
+    /**
+     * Profile @p lookupsPerTable lookups into every table. Uses a
+     * private RNG stream, so the main sample stream (next/nextBatch)
+     * is not perturbed — traces generated before and after a call are
+     * identical.
+     */
+    std::vector<TableHistogram>
+    tableHistograms(std::uint64_t lookupsPerTable) const;
+
   private:
     std::uint64_t drawIndex(std::uint32_t table);
+    std::uint64_t drawIndexWith(Rng &rng, std::uint32_t table) const;
 
     model::ModelConfig config_;
     TraceConfig trace_;
@@ -67,6 +91,15 @@ class TraceGenerator
     /** Per-table hot-row membership (precomputed at construction). */
     std::vector<std::unordered_set<std::uint64_t>> hotSets_;
 };
+
+/**
+ * Turn a per-table histogram into relative cache shares for
+ * engine::EvCacheConfig::tableShares: each table's share is its hot
+ * working-set size (unique hot indices) — the rows worth caching —
+ * with a floor of one so a cold table still gets a minimal partition.
+ */
+std::vector<double>
+planTableShares(const std::vector<TraceGenerator::TableHistogram> &hist);
 
 } // namespace rmssd::workload
 

@@ -61,7 +61,7 @@ TEST(DramSystemTest, BreakdownHasNoDeviceTime)
     EXPECT_EQ(r.breakdown.embFs, Nanos{});
     EXPECT_GT(r.breakdown.embOp, Nanos{});
     EXPECT_GT(r.breakdown.topMlp, Nanos{});
-    EXPECT_EQ(r.hostTrafficBytes, 0u);
+    EXPECT_EQ(r.hostTrafficBytes, Bytes{});
     EXPECT_GT(r.qps(), 0.0);
 }
 
@@ -182,7 +182,7 @@ TEST(EmbVectorSumSystemTest, TrafficIsPooledVectors)
     const std::uint64_t pooled =
         static_cast<std::uint64_t>(cfg.numTables) * cfg.embDim *
         sizeof(float);
-    EXPECT_EQ(r.hostTrafficBytes, 4u * pooled);
+    EXPECT_EQ(r.hostTrafficBytes, Bytes{4u * pooled});
 }
 
 TEST(RmSsdSystemTest, TrafficFarBelowNaiveSsd)
@@ -199,7 +199,7 @@ TEST(RmSsdSystemTest, TrafficFarBelowNaiveSsd)
     workload::TraceGenerator g2(cfg, miniTrace());
     const auto rr = rm.run(g2, 1, 8, 0);
 
-    ASSERT_GT(rr.hostTrafficBytes, 0u);
+    ASSERT_GT(rr.hostTrafficBytes, Bytes{});
     EXPECT_GT(rs.hostTrafficBytes / rr.hostTrafficBytes, 50u);
 }
 

@@ -337,6 +337,234 @@ TEST(ExpectedHitRatio, PartialCoverageFollowsPowerLaw)
     EXPECT_DOUBLE_EQ(workload::expectedHitRatio(tc, 20000), 0.8);
 }
 
+TEST(FrequencySketch, ConservativeCountAndSaturation)
+{
+    FrequencySketch sketch(256, 1000);
+    EXPECT_EQ(sketch.estimate(42), 0u);
+    for (int i = 0; i < 5; ++i)
+        sketch.record(42);
+    EXPECT_EQ(sketch.estimate(42), 5u);
+    // 4-bit counters saturate at 15.
+    for (int i = 0; i < 100; ++i)
+        sketch.record(42);
+    EXPECT_EQ(sketch.estimate(42), FrequencySketch::kMaxCount);
+    // An untouched key stays (close to) zero; with 256 counters and
+    // one resident key, all four rows colliding is impossible.
+    EXPECT_LT(sketch.estimate(43), FrequencySketch::kMaxCount);
+}
+
+TEST(FrequencySketch, PeriodicHalvingDecays)
+{
+    // sampleSize 8: the 8th record halves every counter.
+    FrequencySketch sketch(256, 8);
+    for (int i = 0; i < 7; ++i)
+        sketch.record(7);
+    EXPECT_EQ(sketch.estimate(7), 7u);
+    EXPECT_EQ(sketch.halvings().value(), 0u);
+    sketch.record(7); // 8th addition triggers the halving
+    EXPECT_EQ(sketch.halvings().value(), 1u);
+    EXPECT_EQ(sketch.estimate(7), 4u); // (7+1)/2
+    EXPECT_EQ(sketch.additions(), 4u);
+}
+
+/** One-set TinyLFU cache of @p ways lines. */
+EvCache
+oneSetLfuCache(std::uint32_t ways)
+{
+    EvCacheConfig cc;
+    cc.enabled = true;
+    cc.capacityBytes = Bytes{static_cast<std::uint64_t>(ways) * 16};
+    cc.ways = ways;
+    cc.admission = EvCacheAdmission::TinyLfu;
+    return EvCache(cc, Bytes{16});
+}
+
+TEST(TinyLfuAdmission, OneHitWonderRejectedHotKeyAdmitted)
+{
+    EvCache cache = oneSetLfuCache(2);
+    ASSERT_NE(cache.sketch(), nullptr);
+
+    // Establish two resident keys and give them some popularity.
+    cache.fill(TableId{}, EvIndex{1}, {});
+    cache.fill(TableId{}, EvIndex{2}, {});
+    for (int i = 0; i < 3; ++i) {
+        cache.lookup(TableId{}, EvIndex{1}, nullptr);
+        cache.lookup(TableId{}, EvIndex{2}, nullptr);
+    }
+
+    // A one-hit wonder misses once and its fill must bounce off the
+    // admission filter: estimated frequency 1 vs. the victim's 3.
+    EXPECT_FALSE(cache.lookup(TableId{}, EvIndex{9}, nullptr));
+    cache.fill(TableId{}, EvIndex{9}, {});
+    EXPECT_FALSE(cache.contains(TableId{}, EvIndex{9}));
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{1}));
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{2}));
+    EXPECT_EQ(cache.admissionRejects().value(), 1u);
+    EXPECT_EQ(cache.evictions().value(), 0u);
+
+    // A genuinely hot newcomer out-polls the victim and gets in.
+    for (int i = 0; i < 5; ++i)
+        cache.lookup(TableId{}, EvIndex{5}, nullptr);
+    cache.fill(TableId{}, EvIndex{5}, {});
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{5}));
+    EXPECT_EQ(cache.evictions().value(), 1u);
+}
+
+TEST(TinyLfuAdmission, AlwaysAdmitKeepsPr1Behaviour)
+{
+    // The default policy has no sketch and admits every fill — the
+    // exact PR-1 LRU cache.
+    EvCache cache = oneSetCache(2);
+    EXPECT_EQ(cache.sketch(), nullptr);
+    cache.fill(TableId{}, EvIndex{1}, {});
+    cache.fill(TableId{}, EvIndex{2}, {});
+    cache.fill(TableId{}, EvIndex{9}, {}); // one-hit wonder admitted
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{9}));
+    EXPECT_EQ(cache.admissionRejects().value(), 0u);
+}
+
+TEST(PartitionPlanner, LargestRemainderWithFloor)
+{
+    const std::vector<double> shares{3.0, 1.0};
+    const auto parts = planTablePartitions(10, shares);
+    ASSERT_EQ(parts.size(), 2u);
+    // Contiguous cover of all 10 sets, proportional 3:1 on the spare
+    // sets after the one-set floors.
+    EXPECT_EQ(parts[0].firstSet, 0u);
+    EXPECT_EQ(parts[0].numSets, 7u);
+    EXPECT_EQ(parts[1].firstSet, 7u);
+    EXPECT_EQ(parts[1].numSets, 3u);
+
+    // A vanishing share still gets its floor set.
+    const std::vector<double> skewed{1000.0, 1e-6};
+    const auto floors = planTablePartitions(8, skewed);
+    EXPECT_EQ(floors[0].numSets, 7u);
+    EXPECT_EQ(floors[1].numSets, 1u);
+}
+
+TEST(Partitioning, TableTrafficCannotCrossPartitions)
+{
+    // 8 sets x 1 way, split evenly between two tables. Table 0 may
+    // thrash its own half all it wants; table 1's lines survive.
+    EvCacheConfig cc;
+    cc.enabled = true;
+    cc.capacityBytes = Bytes{8 * 16};
+    cc.ways = 1;
+    cc.tableShares = {1.0, 1.0};
+    EvCache cache(cc, Bytes{16});
+    ASSERT_EQ(cache.partitions().size(), 2u);
+    EXPECT_EQ(cache.partitions()[0].numSets, 4u);
+    EXPECT_EQ(cache.partitions()[1].firstSet, 4u);
+
+    for (std::uint64_t i = 0; i < 4; ++i)
+        cache.fill(TableId{1}, EvIndex{i}, {});
+    std::vector<std::uint64_t> resident;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        if (cache.contains(TableId{1}, EvIndex{i}))
+            resident.push_back(i);
+    ASSERT_FALSE(resident.empty());
+
+    // Flood table 0 with far more distinct keys than the whole cache.
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        cache.fill(TableId{0}, EvIndex{i}, {});
+
+    for (const std::uint64_t i : resident)
+        EXPECT_TRUE(cache.contains(TableId{1}, EvIndex{i}))
+            << "table 0 traffic evicted table 1 line " << i;
+}
+
+TEST(TableHistograms, ProfilesEveryTableWithoutPerturbingStream)
+{
+    model::ModelConfig cfg = model::rmc3();
+    cfg.withRowsPerTable(100000);
+    workload::TraceConfig tc = workload::localityK(0.0);
+
+    workload::TraceGenerator gen(cfg, tc);
+    workload::TraceGenerator ref(cfg, tc);
+    const auto hist = gen.tableHistograms(5000);
+    ASSERT_EQ(hist.size(), cfg.numTables);
+    for (const auto &h : hist) {
+        EXPECT_EQ(h.totalLookups, 5000u);
+        EXPECT_GT(h.uniqueHotIndices, 0u);
+        EXPECT_GE(h.uniqueIndices, h.uniqueHotIndices);
+        EXPECT_GE(h.hotLookups, h.uniqueHotIndices);
+        // K = 0: 80 % of draws land in the hot set.
+        EXPECT_NEAR(static_cast<double>(h.hotLookups) / 5000.0, 0.8,
+                    0.05);
+    }
+
+    // Profiling must not advance the main sample stream.
+    const model::Sample a = gen.next();
+    const model::Sample b = ref.next();
+    EXPECT_EQ(a.indices, b.indices);
+
+    const auto shares = workload::planTableShares(hist);
+    ASSERT_EQ(shares.size(), hist.size());
+    for (std::size_t t = 0; t < shares.size(); ++t)
+        EXPECT_DOUBLE_EQ(
+            shares[t],
+            static_cast<double>(hist[t].uniqueHotIndices));
+}
+
+TEST(Replanning, DriftTriggersKernelResearch)
+{
+    // Plan against a wildly optimistic hit ratio, then feed the
+    // device a cold uniform trace: the measured window drifts far
+    // below the plan and replanIfDrifted must re-run the search with
+    // a larger effective read cost.
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(1u << 20);
+
+    RmSsdOptions opt;
+    opt.evCache.enabled = true;
+    opt.evCache.expectedHitRatio = 0.9;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+
+    EXPECT_DOUBLE_EQ(dev.plannedHitRatio(), 0.9);
+    // No probes yet: an empty window never triggers a re-plan.
+    EXPECT_FALSE(dev.replanIfDrifted(0.05));
+
+    workload::TraceConfig tc;
+    tc.hotAccessFraction = 0.0; // pure uniform: hit ratio ~ 0
+    workload::TraceGenerator gen(cfg, tc);
+    for (int b = 0; b < 4; ++b) {
+        const auto batch = gen.nextBatch(4);
+        dev.embeddingEngine().run(Cycle{}, std::span(batch), false);
+    }
+
+    const double rcpvBefore = dev.searchResult().readCyclesPerVector;
+    EXPECT_TRUE(dev.replanIfDrifted(0.05));
+    EXPECT_EQ(dev.replans().value(), 1u);
+    EXPECT_LT(dev.plannedHitRatio(), 0.1);
+    EXPECT_GT(dev.searchResult().readCyclesPerVector, rcpvBefore);
+
+    // The fresh window is empty again; no immediate second re-plan.
+    EXPECT_FALSE(dev.replanIfDrifted(0.05));
+}
+
+TEST(Replanning, WithinThresholdLeavesPlanAlone)
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(1u << 20);
+    RmSsdOptions opt;
+    opt.evCache.enabled = true;
+    opt.evCache.expectedHitRatio = 0.5;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+
+    workload::TraceConfig tc;
+    tc.hotAccessFraction = 0.0;
+    workload::TraceGenerator gen(cfg, tc);
+    const auto batch = gen.nextBatch(4);
+    dev.embeddingEngine().run(Cycle{}, std::span(batch), false);
+
+    // Drift is ~0.5 but the threshold is wider: keep the plan.
+    EXPECT_FALSE(dev.replanIfDrifted(1.0));
+    EXPECT_EQ(dev.replans().value(), 0u);
+    EXPECT_DOUBLE_EQ(dev.plannedHitRatio(), 0.5);
+}
+
 TEST(RmSsdCache, SearchAdaptsToExpectedHitRatio)
 {
     // With the cache on, the kernel search sees a smaller T_emb and

@@ -66,7 +66,7 @@ TEST(Mmio, WriteThenReadRoundTrips)
     EXPECT_EQ(r.value, 0xDEADu);
     EXPECT_EQ(r.done, wDone + MmioManager::kReadCycles);
     EXPECT_EQ(mmio.hostBytesRead().value(),
-              MmioManager::kDataWidthBytes);
+              MmioManager::kDataWidthBytes.raw());
 }
 
 TEST(Mmio, PeekPokeAreFreeOfHostCost)
@@ -82,7 +82,7 @@ TEST(Mmio, PeekPokeAreFreeOfHostCost)
 TEST(Mmio, DataWidthIs64Bytes)
 {
     // Table IV: RM-SSD's per-inference return is one 64 B MMIO line.
-    EXPECT_EQ(MmioManager::kDataWidthBytes, 64u);
+    EXPECT_EQ(MmioManager::kDataWidthBytes, Bytes{64});
 }
 
 TEST(Dma, TransferCostIsSetupPlusBandwidth)

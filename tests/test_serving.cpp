@@ -116,6 +116,99 @@ TEST_F(ServingFixture, PercentilesAreOrdered)
     EXPECT_EQ(r.requests, 120u);
 }
 
+class CachedServingFixture : public ::testing::Test
+{
+  protected:
+    CachedServingFixture()
+        : config_(model::rmc1().withRowsPerTable(100000))
+    {
+        config_.lookupsPerTable = 16;
+    }
+
+    /** Device with a hot-set-sized EV cache. */
+    std::unique_ptr<engine::RmSsd>
+    makeDevice(double expectedHitRatio = 0.8)
+    {
+        engine::RmSsdOptions opt;
+        opt.evCache.enabled = true;
+        opt.evCache.expectedHitRatio = expectedHitRatio;
+        opt.coalesceIndices = true;
+        auto dev = std::make_unique<engine::RmSsd>(config_, opt);
+        dev->loadTables();
+        return dev;
+    }
+
+    /** Steady-state hit ratio of a serving run on trace knob @p k. */
+    ServingResult
+    serve(engine::RmSsd &dev, double k, const ServingConfig &sc)
+    {
+        // A small hot set warms the cache within the short test run,
+        // so the second-half figure really is steady state.
+        TraceConfig tc = localityK(k);
+        tc.hotRowsPerTable = 200;
+        TraceGenerator gen(config_, tc);
+        return simulateServing(dev, gen, sc);
+    }
+
+    model::ModelConfig config_;
+};
+
+TEST_F(CachedServingFixture, ExportsHitRatioStats)
+{
+    auto dev = makeDevice();
+    ServingConfig sc;
+    sc.arrivalQps = 100.0;
+    sc.numRequests = 80;
+    const ServingResult r = serve(*dev, 0.0, sc);
+
+    // Per-request samples cover the whole run; the steady-state
+    // figure (second half, cache warm) lands near the K=0 trace's
+    // 80 % hot-access fraction since the cache spans the hot set.
+    EXPECT_EQ(r.requestHitRatio.count(), 80u);
+    EXPECT_GT(r.steadyHitRatio, 0.5);
+    EXPECT_LE(r.steadyHitRatio, 1.0);
+    EXPECT_GE(r.steadyHitRatio, r.requestHitRatio.mean() - 0.25);
+    EXPECT_EQ(r.replans, 0u); // replanThreshold defaults to off
+}
+
+TEST_F(CachedServingFixture, SteadyHitRatioMonotoneInLocality)
+{
+    // The locality knob K shifts mass out of the Zipf head
+    // (K = 0/1/2 -> 80/45/30 % hot accesses); the measured
+    // steady-state hit ratio must fall with it.
+    ServingConfig sc;
+    sc.arrivalQps = 100.0;
+    sc.numRequests = 60;
+
+    auto hot = makeDevice();
+    auto mid = makeDevice();
+    auto cold = makeDevice();
+    const double rHot = serve(*hot, 0.0, sc).steadyHitRatio;
+    const double rMid = serve(*mid, 1.0, sc).steadyHitRatio;
+    const double rCold = serve(*cold, 2.0, sc).steadyHitRatio;
+
+    EXPECT_GT(rHot, rMid);
+    EXPECT_GT(rMid, rCold);
+    EXPECT_GT(rCold, 0.0);
+}
+
+TEST_F(CachedServingFixture, ReplansWhenPlannedRatioIsWrong)
+{
+    // Plan for a 99 % hit ratio the K=2 trace can't deliver: the
+    // serving loop's periodic drift check must re-run the kernel
+    // search at least once and settle on the measured ratio.
+    auto dev = makeDevice(0.99);
+    ServingConfig sc;
+    sc.arrivalQps = 100.0;
+    sc.numRequests = 64;
+    sc.replanThreshold = 0.05;
+    sc.replanCheckEvery = 16;
+    const ServingResult r = serve(*dev, 2.0, sc);
+
+    EXPECT_GE(r.replans, 1u);
+    EXPECT_LT(dev->plannedHitRatio(), 0.9);
+}
+
 TEST_F(ServingFixture, DeterministicForSameSeed)
 {
     ServingConfig sc;

@@ -125,8 +125,8 @@ TEST(RunResult, QpsAndAmplificationMath)
     r.samples = 1000;
     r.batches = 10;
     r.totalNanos = Nanos{2'000'000'000}; // 2 s
-    r.hostTrafficBytes = 4096;
-    r.idealTrafficBytes = 128;
+    r.hostTrafficBytes = Bytes{4096};
+    r.idealTrafficBytes = Bytes{128};
     EXPECT_DOUBLE_EQ(r.qps(), 500.0);
     EXPECT_EQ(r.latencyPerBatch(), Nanos{200'000'000});
     EXPECT_DOUBLE_EQ(r.readAmplification(), 32.0);

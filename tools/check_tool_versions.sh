@@ -1,0 +1,43 @@
+#!/bin/sh
+# Pin the static analyzers the CI findings were calibrated against.
+# A silent analyzer upgrade (e.g. an ubuntu-latest image bump) changes
+# the findings set and turns the static-analysis job red or — worse —
+# green for the wrong reasons. Fail loudly instead so the pin is
+# bumped on purpose, together with any new findings it brings.
+set -eu
+
+want_clang_tidy_major=18
+want_cppcheck="2.13"
+
+clang_tidy_bin="clang-tidy-${want_clang_tidy_major}"
+command -v "${clang_tidy_bin}" >/dev/null 2>&1 || clang_tidy_bin=clang-tidy
+if ! command -v "${clang_tidy_bin}" >/dev/null 2>&1; then
+    echo "check_tool_versions: clang-tidy not installed" >&2
+    exit 1
+fi
+if ! command -v cppcheck >/dev/null 2>&1; then
+    echo "check_tool_versions: cppcheck not installed" >&2
+    exit 1
+fi
+
+tidy_major=$("${clang_tidy_bin}" --version |
+    sed -n 's/.*version \([0-9]*\)\..*/\1/p' | head -n 1)
+if [ "${tidy_major}" != "${want_clang_tidy_major}" ]; then
+    echo "check_tool_versions: clang-tidy major ${tidy_major}," \
+        "pinned ${want_clang_tidy_major} (update the pin here and in" \
+        ".github/workflows/ci.yml deliberately)" >&2
+    exit 1
+fi
+
+cppcheck_ver=$(cppcheck --version | sed -n 's/^Cppcheck \([0-9.]*\).*/\1/p')
+case "${cppcheck_ver}" in
+  "${want_cppcheck}"|"${want_cppcheck}".*) ;;
+  *)
+    echo "check_tool_versions: cppcheck ${cppcheck_ver}, pinned" \
+        "${want_cppcheck} (update the pin deliberately)" >&2
+    exit 1
+    ;;
+esac
+
+echo "check_tool_versions: clang-tidy ${tidy_major}," \
+    "cppcheck ${cppcheck_ver} match the pins"

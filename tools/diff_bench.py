@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json dumps against checked-in goldens.
+
+The bench binaries simulate in virtual time, so every table cell is
+deterministic and goldens can be compared exactly. The diff is
+one-directional: everything in the golden must still be present and
+unchanged in the current dump, while the current dump may ADD tables,
+rows, and columns freely (that is how a PR extends a figure without
+invalidating history). To change an existing value intentionally,
+refresh the golden in the same PR.
+
+Usage:
+    diff_bench.py GOLDEN CURRENT
+
+where GOLDEN and CURRENT are either two JSON files or two directories
+(every ``BENCH_*.json`` under GOLDEN must exist under CURRENT).
+
+Exit status: 0 when current covers golden exactly, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+
+def keyed_tables(dump: dict) -> dict:
+    """Tables keyed by (section, caption, occurrence).
+
+    The occurrence index disambiguates figures that emit several
+    tables under one section without captions.
+    """
+    seen: dict[tuple[str, str], int] = {}
+    out = {}
+    for t in dump.get("tables", []):
+        base = (t.get("section", ""), t.get("caption", ""))
+        n = seen.get(base, 0)
+        seen[base] = n + 1
+        out[base + (n,)] = t
+    return out
+
+
+def diff_file(golden_path: pathlib.Path,
+              current_path: pathlib.Path) -> list[str]:
+    golden = json.loads(golden_path.read_text())
+    current = json.loads(current_path.read_text())
+    label = golden_path.name
+    findings: list[str] = []
+
+    current_tables = keyed_tables(current)
+    for key, gt in keyed_tables(golden).items():
+        ct = current_tables.get(key)
+        if ct is None:
+            findings.append(f"{label}: table {key} missing")
+            continue
+        missing_cols = [c for c in gt["columns"]
+                        if c not in ct["columns"]]
+        if missing_cols:
+            findings.append(
+                f"{label}: table {key} dropped columns {missing_cols}")
+            continue
+        # Rows are keyed by the golden's first column (K, system, ...).
+        row_key = gt["columns"][0]
+        current_rows = {r.get(row_key): r for r in ct["rows"]}
+        for gr in gt["rows"]:
+            cr = current_rows.get(gr.get(row_key))
+            if cr is None:
+                findings.append(
+                    f"{label}: table {key} row "
+                    f"{row_key}={gr.get(row_key)!r} missing")
+                continue
+            for col in gt["columns"]:
+                if gr.get(col) != cr.get(col):
+                    findings.append(
+                        f"{label}: table {key} row "
+                        f"{row_key}={gr.get(row_key)!r} column "
+                        f"{col!r}: golden {gr.get(col)!r} != current "
+                        f"{cr.get(col)!r}")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    golden = pathlib.Path(argv[1])
+    current = pathlib.Path(argv[2])
+
+    if golden.is_dir():
+        pairs = [(g, current / g.name)
+                 for g in sorted(golden.glob("BENCH_*.json"))]
+        if not pairs:
+            print(f"diff_bench: no BENCH_*.json goldens in {golden}")
+            return 1
+    else:
+        pairs = [(golden, current)]
+
+    findings: list[str] = []
+    for g, c in pairs:
+        if not c.exists():
+            findings.append(f"{g.name}: current dump {c} not produced")
+            continue
+        findings.extend(diff_file(g, c))
+
+    if findings:
+        print("diff_bench: regressions against goldens:")
+        for f in findings:
+            print(f"  {f}")
+        print("(intentional change? refresh the golden in this PR)")
+        return 1
+    print(f"diff_bench: {len(pairs)} dump(s) match their goldens")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,12 +2,13 @@
 """Unit-name lint for public simulator headers.
 
 Fails when a header in the guarded directories declares a function
-parameter as a raw integer (uint64_t/uint32_t/size_t) whose name looks
-like a unit-bearing quantity (``*_cycles``, ``*Lba``, ``*_bytes``,
-``*Nanos``, ``*Sectors``, ...). Those parameters must use the strong
-types from src/sim/strong_types.h (Cycle, Nanos, Lba, Sectors, Bytes,
-PageId, TableId, EvIndex) so a unit mixup is a compile error, not a
-wrong curve.
+parameter OR a struct/class member as a raw integer
+(uint64_t/uint32_t/size_t) whose name looks like a unit-bearing
+quantity (``*_cycles``, ``*Lba``, ``*_bytes``, ``*Nanos``,
+``*Sectors``, ...). Those declarations must use the strong types from
+src/sim/strong_types.h (Cycle, Nanos, Lba, Sectors, Bytes, PageId,
+TableId, EvIndex) so a unit mixup is a compile error, not a wrong
+curve.
 
 Exit status: 0 when clean, 1 with a findings report otherwise.
 """
@@ -26,6 +27,8 @@ GUARDED_DIRS = [
     "src/ftl",
     "src/sim",
     "src/nvme",
+    "src/host",
+    "src/workload",
 ]
 
 RAW_INT = r"(?:std::)?(?:uint64_t|uint32_t|size_t)"
@@ -36,6 +39,15 @@ RAW_INT = r"(?:std::)?(?:uint64_t|uint32_t|size_t)"
 # of the header.
 PARAM_RE = re.compile(
     RAW_INT + r"\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?:=[^,);]+)?[,)]"
+)
+
+# A raw-integer member (or header-local variable) declaration:
+# "uint64_t name;" / "uint64_t name = 0;" / "uint64_t name{0};".
+# This is what catches a result struct accumulating bytes in a bare
+# uint64_t even though every function signature is clean.
+MEMBER_RE = re.compile(
+    RAW_INT
+    + r"\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?:=[^;{}]+|\{[^;}]*\})?;"
 )
 
 # Ratios like "bytesPerCycle" carry two units at once and have no
@@ -65,16 +77,18 @@ def strip_comments(text: str) -> str:
 def lint_header(path: pathlib.Path) -> list[str]:
     flat = re.sub(r"\s+", " ", strip_comments(path.read_text()))
     findings = []
-    for m in PARAM_RE.finditer(flat):
-        name = m.group("name")
-        if RATE_NAME_RE.search(name):
-            continue
-        if UNIT_NAME_RE.search(name):
-            findings.append(
-                f"{path.relative_to(REPO)}: raw integer parameter "
-                f"'{name}' looks unit-bearing; use a strong type "
-                f"from sim/strong_types.h"
-            )
+    for kind, pattern in (("parameter", PARAM_RE),
+                          ("member", MEMBER_RE)):
+        for m in pattern.finditer(flat):
+            name = m.group("name")
+            if RATE_NAME_RE.search(name):
+                continue
+            if UNIT_NAME_RE.search(name):
+                findings.append(
+                    f"{path.relative_to(REPO)}: raw integer {kind} "
+                    f"'{name}' looks unit-bearing; use a strong type "
+                    f"from sim/strong_types.h"
+                )
     return findings
 
 
