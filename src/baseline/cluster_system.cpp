@@ -1,0 +1,23 @@
+#include "baseline/cluster_system.h"
+
+namespace rmssd::baseline {
+
+ClusterSystem::ClusterSystem(const model::ModelConfig &config,
+                             const cluster::ClusterOptions &options,
+                             const std::string &name)
+    : InferenceSystem(name), config_(config)
+{
+    device_ = std::make_unique<cluster::RmSsdCluster>(config, options);
+}
+
+workload::RunResult
+ClusterSystem::run(workload::TraceGenerator &gen,
+                   std::uint32_t batchSize, std::uint32_t numBatches,
+                   std::uint32_t warmupBatches)
+{
+    return workload::runDeviceLoop(*device_, name_, config_, gen,
+                                   batchSize, numBatches,
+                                   warmupBatches);
+}
+
+} // namespace rmssd::baseline

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * A multi-SSD RM-SSD fleet as an InferenceSystem ("RM-SSD x2",
+ * "RM-SSD x4"): the cluster facade scatters each request's lookups to
+ * the owning shards and gathers the pooled sums; the shared device
+ * driver measures it exactly like a single device.
+ */
+
+#ifndef RMSSD_BASELINE_CLUSTER_SYSTEM_H
+#define RMSSD_BASELINE_CLUSTER_SYSTEM_H
+
+#include <memory>
+
+#include "baseline/system.h"
+#include "cluster/cluster.h"
+
+namespace rmssd::baseline {
+
+/** Scale-out serving across a fleet of RM-SSD shards. */
+class ClusterSystem : public InferenceSystem
+{
+  public:
+    ClusterSystem(const model::ModelConfig &config,
+                  const cluster::ClusterOptions &options,
+                  const std::string &name);
+
+    workload::RunResult run(workload::TraceGenerator &gen,
+                            std::uint32_t batchSize,
+                            std::uint32_t numBatches,
+                            std::uint32_t warmupBatches) override;
+
+    cluster::RmSsdCluster &device() { return *device_; }
+
+  private:
+    model::ModelConfig config_;
+    std::unique_ptr<cluster::RmSsdCluster> device_;
+};
+
+} // namespace rmssd::baseline
+
+#endif // RMSSD_BASELINE_CLUSTER_SYSTEM_H

@@ -17,29 +17,22 @@ DramSystem::run(workload::TraceGenerator &gen, std::uint32_t batchSize,
     for (std::uint32_t b = 0; b < warmupBatches; ++b)
         gen.nextBatch(batchSize);
 
-    workload::RunResult result;
-    result.system = name_;
-    for (std::uint32_t b = 0; b < numBatches; ++b) {
-        gen.nextBatch(batchSize);
-        workload::Breakdown bd;
-        // SLS pooling straight from DRAM.
-        bd.embOp += batchSize *
-                    cpu_.slsNanos(config_.lookupsPerSample(),
-                                  Bytes{config_.vectorBytes()});
-        if (slsOnly_) {
-            bd.other += cpu_.frameworkNanos();
-        } else {
-            addHostMlpCosts(cpu_, config_, batchSize, bd);
-        }
-        result.breakdown += bd;
-        result.totalNanos += bd.total();
-        ++result.batches;
-        result.samples += batchSize;
-        result.idealTrafficBytes +=
-            Bytes{static_cast<std::uint64_t>(batchSize) *
-                  config_.lookupsPerSample() * config_.vectorBytes()};
-    }
-    return result;
+    return workload::runHostLoop(
+        name_, config_, gen, batchSize, numBatches,
+        [&](const std::vector<model::Sample> &,
+            workload::RunResult &) {
+            workload::Breakdown bd;
+            // SLS pooling straight from DRAM.
+            bd.embOp += batchSize *
+                        cpu_.slsNanos(config_.lookupsPerSample(),
+                                      Bytes{config_.vectorBytes()});
+            if (slsOnly_) {
+                bd.other += cpu_.frameworkNanos();
+            } else {
+                addHostMlpCosts(cpu_, config_, batchSize, bd);
+            }
+            return bd;
+        });
 }
 
 } // namespace rmssd::baseline

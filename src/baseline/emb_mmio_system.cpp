@@ -17,8 +17,6 @@ EmbMmioSystem::run(workload::TraceGenerator &gen,
     for (std::uint32_t b = 0; b < warmupBatches; ++b)
         gen.nextBatch(batchSize); // no cache to warm
 
-    workload::RunResult result;
-    result.system = name_;
     const std::uint32_t evBytes = config_.vectorBytes();
     const std::uint32_t pageSize = ssd_.flash().geometry().pageSizeBytes;
     const std::uint32_t sectorsPerPage =
@@ -26,49 +24,48 @@ EmbMmioSystem::run(workload::TraceGenerator &gen,
     const std::uint32_t sectorSize =
         ssd_.flash().geometry().sectorSizeBytes;
 
-    for (std::uint32_t b = 0; b < numBatches; ++b) {
-        const auto batch = gen.nextBatch(batchSize);
-        workload::Breakdown bd;
-        for (const model::Sample &sample : batch) {
-            for (std::uint32_t t = 0; t < config_.numTables; ++t) {
-                for (const std::uint64_t row : sample.indices[t]) {
-                    // Whole page containing the vector, QD1.
-                    const Bytes pageByte{
-                        row * static_cast<std::uint64_t>(evBytes) /
-                        pageSize * pageSize};
-                    const auto loc = ssd_.tableExtents(t).locateByte(
-                        pageByte, Bytes{sectorSize});
-                    const Cycle issue = nanosToCycles(hostNow_);
-                    const Cycle done = ssd_.nvme().readBlocks(
-                        issue, loc.lba, Sectors{sectorsPerPage}, {});
-                    const Nanos device = cyclesToNanos(done - issue);
-                    bd.embSsd += device;
-                    bd.embOp += kMmioPageCopyNanos;
-                    hostNow_ += device + kMmioPageCopyNanos;
-                    result.hostTrafficBytes += Bytes{pageSize};
+    return workload::runHostLoop(
+        name_, config_, gen, batchSize, numBatches,
+        [&](const std::vector<model::Sample> &batch,
+            workload::RunResult &result) {
+            workload::Breakdown bd;
+            for (const model::Sample &sample : batch) {
+                for (std::uint32_t t = 0; t < config_.numTables;
+                     ++t) {
+                    for (const std::uint64_t row : sample.indices[t]) {
+                        // Whole page containing the vector, QD1.
+                        const Bytes pageByte{
+                            row * static_cast<std::uint64_t>(evBytes) /
+                            pageSize * pageSize};
+                        const auto loc =
+                            ssd_.tableExtents(t).locateByte(
+                                pageByte, Bytes{sectorSize});
+                        const Cycle issue = nanosToCycles(hostNow_);
+                        const Cycle done = ssd_.nvme().readBlocks(
+                            issue, loc.lba, Sectors{sectorsPerPage},
+                            {});
+                        const Nanos device = cyclesToNanos(done - issue);
+                        bd.embSsd += device;
+                        bd.embOp += kMmioPageCopyNanos;
+                        hostNow_ += device + kMmioPageCopyNanos;
+                        result.hostTrafficBytes += Bytes{pageSize};
+                    }
                 }
+                const Nanos sls =
+                    cpu_.slsNanos(config_.lookupsPerSample(),
+                                  Bytes{evBytes});
+                bd.embOp += sls;
+                hostNow_ += sls;
             }
-            const Nanos sls =
-                cpu_.slsNanos(config_.lookupsPerSample(),
-                              Bytes{evBytes});
-            bd.embOp += sls;
-            hostNow_ += sls;
-        }
-        if (slsOnly_) {
-            bd.other += cpu_.frameworkNanos();
-            hostNow_ += cpu_.frameworkNanos();
-        } else {
-            hostNow_ += addHostMlpCosts(cpu_, config_, batchSize, bd);
-        }
-        result.breakdown += bd;
-        result.totalNanos += bd.total();
-        ++result.batches;
-        result.samples += batchSize;
-        result.idealTrafficBytes +=
-            Bytes{static_cast<std::uint64_t>(batchSize) *
-                  config_.lookupsPerSample() * evBytes};
-    }
-    return result;
+            if (slsOnly_) {
+                bd.other += cpu_.frameworkNanos();
+                hostNow_ += cpu_.frameworkNanos();
+            } else {
+                hostNow_ +=
+                    addHostMlpCosts(cpu_, config_, batchSize, bd);
+            }
+            return bd;
+        });
 }
 
 } // namespace rmssd::baseline

@@ -74,47 +74,40 @@ EmbPageSumSystem::run(workload::TraceGenerator &gen,
     for (std::uint32_t b = 0; b < warmupBatches; ++b)
         gen.nextBatch(batchSize); // no host cache to warm
 
-    workload::RunResult result;
-    result.system = name_;
     const std::uint64_t pooledBytes =
         static_cast<std::uint64_t>(config_.numTables) * config_.embDim *
         sizeof(float);
 
-    for (std::uint32_t b = 0; b < numBatches; ++b) {
-        const auto batch = gen.nextBatch(batchSize);
-        workload::Breakdown bd;
+    return workload::runHostLoop(
+        name_, config_, gen, batchSize, numBatches,
+        [&](const std::vector<model::Sample> &batch,
+            workload::RunResult &result) {
+            workload::Breakdown bd;
 
-        // Indices down, pooled partial sums back, both via DMA.
-        const std::uint64_t indexBytes =
-            static_cast<std::uint64_t>(batchSize) *
-            config_.lookupsPerSample() * sizeof(std::uint32_t);
-        const Cycle inputsReady =
-            dma_.transfer(deviceNow_, Bytes{indexBytes});
-        const Cycle poolDone = pooler_.poolBatch(inputsReady, batch, {});
-        const Cycle end =
-            dma_.transfer(poolDone, Bytes{pooledBytes * batchSize});
-        bd.embSsd += cyclesToNanos(end - deviceNow_);
-        deviceNow_ = end;
-        result.hostTrafficBytes += Bytes{pooledBytes * batchSize};
+            // Indices down, pooled partial sums back, both via DMA.
+            const std::uint64_t indexBytes =
+                static_cast<std::uint64_t>(batchSize) *
+                config_.lookupsPerSample() * sizeof(std::uint32_t);
+            const Cycle inputsReady =
+                dma_.transfer(deviceNow_, Bytes{indexBytes});
+            const Cycle poolDone =
+                pooler_.poolBatch(inputsReady, batch, {});
+            const Cycle end =
+                dma_.transfer(poolDone, Bytes{pooledBytes * batchSize});
+            bd.embSsd += cyclesToNanos(end - deviceNow_);
+            deviceNow_ = end;
+            result.hostTrafficBytes += Bytes{pooledBytes * batchSize};
 
-        if (slsOnly_) {
-            bd.other += cpu_.frameworkNanos();
-        } else {
-            addHostMlpCosts(cpu_, config_, batchSize, bd);
-        }
-        // Host compute proceeds after the device returns; advance the
-        // device clock so the next batch's DMA starts then.
-        deviceNow_ += nanosToCycles(bd.total() - bd.embSsd);
-
-        result.breakdown += bd;
-        result.totalNanos += bd.total();
-        ++result.batches;
-        result.samples += batchSize;
-        result.idealTrafficBytes +=
-            Bytes{static_cast<std::uint64_t>(batchSize) *
-                  config_.lookupsPerSample() * config_.vectorBytes()};
-    }
-    return result;
+            if (slsOnly_) {
+                bd.other += cpu_.frameworkNanos();
+            } else {
+                addHostMlpCosts(cpu_, config_, batchSize, bd);
+            }
+            // Host compute proceeds after the device returns; advance
+            // the device clock so the next batch's DMA starts then.
+            deviceNow_ += nanosToCycles(bd.total() - bd.embSsd);
+            return bd;
+        });
 }
 
 } // namespace rmssd::baseline

@@ -24,30 +24,25 @@ EmbVectorSumSystem::run(workload::TraceGenerator &gen,
     for (std::uint32_t b = 0; b < warmupBatches; ++b)
         device_->infer(gen.nextBatch(batchSize));
 
-    workload::RunResult result;
-    result.system = name_;
     const std::uint64_t trafficBefore = device_->hostBytesRead().value();
 
-    for (std::uint32_t b = 0; b < numBatches; ++b) {
-        const auto batch = gen.nextBatch(batchSize);
-        workload::Breakdown bd;
-        const engine::InferenceOutcome out = device_->infer(batch);
-        bd.embSsd += out.latency;
-        if (slsOnly_) {
-            bd.other += cpu_.frameworkNanos();
-        } else {
-            addHostMlpCosts(cpu_, config_, batchSize, bd);
-        }
-        // The host computes its MLP before issuing the next request.
-        device_->advanceHostClock(bd.total() - bd.embSsd);
-        result.breakdown += bd;
-        result.totalNanos += bd.total();
-        ++result.batches;
-        result.samples += batchSize;
-        result.idealTrafficBytes +=
-            Bytes{static_cast<std::uint64_t>(batchSize) *
-                  config_.lookupsPerSample() * config_.vectorBytes()};
-    }
+    workload::RunResult result = workload::runHostLoop(
+        name_, config_, gen, batchSize, numBatches,
+        [&](const std::vector<model::Sample> &batch,
+            workload::RunResult &) {
+            workload::Breakdown bd;
+            const engine::InferenceOutcome out = device_->infer(batch);
+            bd.embSsd += out.latency;
+            if (slsOnly_) {
+                bd.other += cpu_.frameworkNanos();
+            } else {
+                addHostMlpCosts(cpu_, config_, batchSize, bd);
+            }
+            // The host computes its MLP before issuing the next
+            // request.
+            device_->advanceHostClock(bd.total() - bd.embSsd);
+            return bd;
+        });
     result.hostTrafficBytes =
         Bytes{device_->hostBytesRead().value() - trafficBefore};
     return result;

@@ -87,58 +87,52 @@ RecssdSystem::run(workload::TraceGenerator &gen,
     }
     cache_.resetStats();
 
-    workload::RunResult result;
-    result.system = name_;
     const std::uint64_t pooledBytes =
         static_cast<std::uint64_t>(config_.numTables) * config_.embDim *
         sizeof(float);
 
-    for (std::uint32_t b = 0; b < numBatches; ++b) {
-        const auto batch = gen.nextBatch(batchSize);
-        workload::Breakdown bd;
+    return workload::runHostLoop(
+        name_, config_, gen, batchSize, numBatches,
+        [&](const std::vector<model::Sample> &batch,
+            workload::RunResult &result) {
+            workload::Breakdown bd;
 
-        // Pre-classify against the host cache; cached lookups merge on
-        // the CPU, the rest pool in-device at page granularity.
-        std::uint64_t hostHits = 0;
-        const auto cached = [&](std::uint32_t table, std::uint64_t row) {
-            const bool hit = cache_.access(table, row);
-            if (hit)
-                ++hostHits;
-            return hit;
-        };
+            // Pre-classify against the host cache; cached lookups
+            // merge on the CPU, the rest pool in-device at page
+            // granularity.
+            std::uint64_t hostHits = 0;
+            const auto cached = [&](std::uint32_t table,
+                                    std::uint64_t row) {
+                const bool hit = cache_.access(table, row);
+                if (hit)
+                    ++hostHits;
+                return hit;
+            };
 
-        const std::uint64_t indexBytes =
-            static_cast<std::uint64_t>(batchSize) *
-            config_.lookupsPerSample() * sizeof(std::uint32_t);
-        const Cycle inputsReady =
-            dma_.transfer(deviceNow_, Bytes{indexBytes});
-        const Cycle poolDone =
-            pooler_.poolBatch(inputsReady, batch, cached);
-        const Cycle end =
-            dma_.transfer(poolDone, Bytes{pooledBytes * batchSize});
-        bd.embSsd += cyclesToNanos(end - deviceNow_);
-        deviceNow_ = end;
-        result.hostTrafficBytes += Bytes{pooledBytes * batchSize};
+            const std::uint64_t indexBytes =
+                static_cast<std::uint64_t>(batchSize) *
+                config_.lookupsPerSample() * sizeof(std::uint32_t);
+            const Cycle inputsReady =
+                dma_.transfer(deviceNow_, Bytes{indexBytes});
+            const Cycle poolDone =
+                pooler_.poolBatch(inputsReady, batch, cached);
+            const Cycle end =
+                dma_.transfer(poolDone, Bytes{pooledBytes * batchSize});
+            bd.embSsd += cyclesToNanos(end - deviceNow_);
+            deviceNow_ = end;
+            result.hostTrafficBytes += Bytes{pooledBytes * batchSize};
 
-        // Merge host-cached vectors into the device partial sums.
-        bd.embOp += hostHits * kMergePerVectorNanos;
+            // Merge host-cached vectors into the device partial sums.
+            bd.embOp += hostHits * kMergePerVectorNanos;
 
-        if (slsOnly_) {
-            bd.other += cpu_.frameworkNanos();
-        } else {
-            addHostMlpCosts(cpu_, config_, batchSize, bd);
-        }
-        deviceNow_ += nanosToCycles(bd.total() - bd.embSsd);
-
-        result.breakdown += bd;
-        result.totalNanos += bd.total();
-        ++result.batches;
-        result.samples += batchSize;
-        result.idealTrafficBytes +=
-            Bytes{static_cast<std::uint64_t>(batchSize) *
-                  config_.lookupsPerSample() * config_.vectorBytes()};
-    }
-    return result;
+            if (slsOnly_) {
+                bd.other += cpu_.frameworkNanos();
+            } else {
+                addHostMlpCosts(cpu_, config_, batchSize, bd);
+            }
+            deviceNow_ += nanosToCycles(bd.total() - bd.embSsd);
+            return bd;
+        });
 }
 
 } // namespace rmssd::baseline

@@ -1,5 +1,6 @@
 #include "baseline/registry.h"
 
+#include "baseline/cluster_system.h"
 #include "baseline/dram_system.h"
 #include "baseline/emb_mmio_system.h"
 #include "baseline/emb_pagesum_system.h"
@@ -52,6 +53,16 @@ makeSystem(const std::string &name, const model::ModelConfig &config)
         evCache.admission = engine::EvCacheAdmission::TinyLfu;
         evCache.tableShares.assign(config.numTables, 1.0);
         return std::make_unique<RmSsdSystem>(config, evCache, name);
+    }
+    if (name == "RM-SSD x2" || name == "RM-SSD x4") {
+        // Scale-out fleets: tables shard over the devices (no traffic
+        // profile here, so the split is capacity-exact) and the router
+        // balances by outstanding work. Not part of allSystemNames():
+        // the single-device sweeps iterate that list.
+        cluster::ClusterOptions options;
+        options.sharding.numDevices = name == "RM-SSD x2" ? 2 : 4;
+        options.policy = cluster::RouterPolicy::LeastOutstanding;
+        return std::make_unique<ClusterSystem>(config, options, name);
     }
     fatal("unknown system '%s'", name.c_str());
 }

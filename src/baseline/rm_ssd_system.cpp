@@ -49,56 +49,11 @@ workload::RunResult
 RmSsdSystem::run(workload::TraceGenerator &gen, std::uint32_t batchSize,
                  std::uint32_t numBatches, std::uint32_t warmupBatches)
 {
-    // At least one unmeasured request establishes the completion
-    // watermark the measured window starts from (otherwise work
-    // queued by earlier runs would be charged to this one).
-    const std::uint32_t warm = std::max<std::uint32_t>(warmupBatches, 1);
-    Cycle start = device_->deviceNow();
-    for (std::uint32_t b = 0; b < warm; ++b) {
-        const auto out = device_->infer(gen.nextBatch(batchSize));
-        start = std::max(start, out.completionCycle);
-    }
-
-    workload::RunResult result;
-    result.system = name_;
-    const std::uint64_t trafficBefore = device_->hostBytesRead().value();
-    const engine::EvCache *cache = device_->evCache();
-    const std::uint64_t hitsBefore = cache ? cache->hits().value() : 0;
-    const std::uint64_t missesBefore =
-        cache ? cache->misses().value() : 0;
-
-    Cycle lastCompletion = start;
-    Nanos latencySum;
-    for (std::uint32_t b = 0; b < numBatches; ++b) {
-        const auto out = device_->infer(gen.nextBatch(batchSize));
-        lastCompletion = std::max(lastCompletion, out.completionCycle);
-        latencySum += out.latency;
-        ++result.batches;
-        result.samples += batchSize;
-        result.idealTrafficBytes +=
-            Bytes{static_cast<std::uint64_t>(batchSize) *
-                  config_.lookupsPerSample() * config_.vectorBytes()};
-    }
-    // Requests pipeline through the device, so wall-clock is the span
-    // from the stream start to the last completion.
-    result.totalNanos = cyclesToNanos(lastCompletion - start);
-    // Whole run is in-device; report it as device time. Individual
-    // request latency is available as latencySum / batches.
-    result.breakdown.embSsd = latencySum;
-    result.hostTrafficBytes =
-        Bytes{device_->hostBytesRead().value() - trafficBefore};
-    if (cache) {
-        // Hit ratio over the measured window only (the warmup batches
-        // already populated the cache, so this is the warm figure).
-        const std::uint64_t hits = cache->hits().value() - hitsBefore;
-        const std::uint64_t misses =
-            cache->misses().value() - missesBefore;
-        if (hits + misses > 0)
-            result.cacheHitRatio =
-                static_cast<double>(hits) /
-                static_cast<double>(hits + misses);
-    }
-    return result;
+    // The device-clocked measurement loop (watermark warm-up, traffic
+    // and hit-ratio window deltas) lives in the shared driver.
+    return workload::runDeviceLoop(*device_, name_, config_, gen,
+                                   batchSize, numBatches,
+                                   warmupBatches);
 }
 
 } // namespace rmssd::baseline

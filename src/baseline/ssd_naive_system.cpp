@@ -19,9 +19,8 @@ SsdNaiveSystem::SsdNaiveSystem(const model::ModelConfig &config,
         ssd_.nvme(), cachePages, ioCosts);
 }
 
-void
-SsdNaiveSystem::serveBatch(const std::vector<model::Sample> &batch,
-                           workload::RunResult *result)
+workload::Breakdown
+SsdNaiveSystem::serveBatch(const std::vector<model::Sample> &batch)
 {
     workload::Breakdown bd;
     const std::uint32_t evBytes = config_.vectorBytes();
@@ -51,15 +50,7 @@ SsdNaiveSystem::serveBatch(const std::vector<model::Sample> &batch,
             cpu_, config_, static_cast<std::uint32_t>(batch.size()), bd);
     }
 
-    if (result) {
-        result->breakdown += bd;
-        result->totalNanos += bd.total();
-        ++result->batches;
-        result->samples += batch.size();
-        result->idealTrafficBytes +=
-            Bytes{static_cast<std::uint64_t>(batch.size()) *
-                  config_.lookupsPerSample() * evBytes};
-    }
+    return bd;
 }
 
 workload::RunResult
@@ -68,13 +59,13 @@ SsdNaiveSystem::run(workload::TraceGenerator &gen,
                     std::uint32_t warmupBatches)
 {
     for (std::uint32_t b = 0; b < warmupBatches; ++b)
-        serveBatch(gen.nextBatch(batchSize), nullptr);
+        serveBatch(gen.nextBatch(batchSize));
     reader_->resetStats();
 
-    workload::RunResult result;
-    result.system = name_;
-    for (std::uint32_t b = 0; b < numBatches; ++b)
-        serveBatch(gen.nextBatch(batchSize), &result);
+    workload::RunResult result = workload::runHostLoop(
+        name_, config_, gen, batchSize, numBatches,
+        [&](const std::vector<model::Sample> &batch,
+            workload::RunResult &) { return serveBatch(batch); });
     result.hostTrafficBytes = Bytes{reader_->deviceBytes().value()};
     return result;
 }

@@ -36,9 +36,9 @@ class SsdNaiveSystem : public InferenceSystem
     host::HostFileReader &reader() { return *reader_; }
 
   private:
-    /** Serve one batch; @p result may be null during warm-up. */
-    void serveBatch(const std::vector<model::Sample> &batch,
-                    workload::RunResult *result);
+    /** Serve one batch and charge its cost (warm-up discards it). */
+    workload::Breakdown
+    serveBatch(const std::vector<model::Sample> &batch);
 
     model::ModelConfig config_;
     host::CpuModel cpu_;

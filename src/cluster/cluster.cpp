@@ -1,0 +1,345 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "engine/embedding_engine.h"
+#include "engine/fc_kernel.h"
+#include "engine/mlp_engine.h"
+#include "sim/log.h"
+
+namespace rmssd::cluster {
+
+RmSsdCluster::RmSsdCluster(const model::ModelConfig &config,
+                           const ClusterOptions &options)
+    : config_(config), options_(options),
+      plan_(planTableSharding(config, options.sharding,
+                              options.histograms)),
+      fullModel_(config)
+{
+    // Each shard is an RM-SSD hosting its table subset. The sub-model
+    // keeps the parent's global table ids (withTableSubset), so shard
+    // flash holds exactly the bytes the unsharded device would.
+    engine::RmSsdOptions shardOptions = options_.device;
+    shardOptions.variant = engine::EngineVariant::EmbeddingOnly;
+    for (std::uint32_t d = 0; d < plan_.numDevices(); ++d) {
+        shards_.push_back(std::make_unique<engine::RmSsd>(
+            config_.withTableSubset(plan_.tablesPerDevice[d]),
+            shardOptions));
+        shards_.back()->loadTables();
+    }
+
+    // Fleet MLP plan: the home device runs the same searched kernels a
+    // single RM-SSD would, balanced against the full model's T_emb.
+    if (!options_.embeddingOnly) {
+        const double rcpv =
+            options_.device.evCache.enabled
+                ? engine::EmbeddingEngine::effectiveCyclesPerRead(
+                      options_.device.geometry, options_.device.timing,
+                      Bytes{config_.vectorBytes()},
+                      options_.device.evCache.expectedHitRatio)
+                : engine::EmbeddingEngine::steadyStateCyclesPerRead(
+                      options_.device.geometry, options_.device.timing,
+                      Bytes{config_.vectorBytes()});
+        searchResult_ =
+            engine::KernelSearch(options_.device.search)
+                .search(config_, rcpv);
+        const engine::MlpPlan &plan = searchResult_.plan;
+        botPrime_ = engine::composedCycles(plan.bottom, plan.ii);
+        topPrime_ = engine::composedCycles(plan.top, plan.ii);
+        lePrime_ = engine::fcLayerCycles(plan.embeddingSplit, plan.ii);
+    }
+
+    bottomFree_.resize(plan_.numDevices());
+    topFree_.resize(plan_.numDevices());
+    rrReplica_.resize(config_.numTables, 0);
+}
+
+std::uint32_t
+RmSsdCluster::chooseReplica(std::uint32_t g)
+{
+    const auto &owners = plan_.ownersPerTable[g];
+    if (owners.size() == 1)
+        return owners[0];
+    switch (options_.policy) {
+      case RouterPolicy::RoundRobin:
+        return owners[rrReplica_[g]++ % owners.size()];
+      case RouterPolicy::LeastOutstanding: {
+        std::uint32_t best = owners[0];
+        for (const std::uint32_t d : owners) {
+            if (shards_[d]->deviceNow() < shards_[best]->deviceNow())
+                best = d;
+        }
+        return best;
+      }
+      case RouterPolicy::TableAffinity:
+        // Pin each table to one fixed replica; different tables hash
+        // to different replicas so fleet load still spreads.
+        return owners[g % owners.size()];
+    }
+    return owners[0];
+}
+
+std::uint32_t
+RmSsdCluster::chooseHome(const std::vector<std::uint64_t> &assignedLookups)
+{
+    const std::uint32_t numDevices = plan_.numDevices();
+    switch (options_.policy) {
+      case RouterPolicy::RoundRobin:
+        return static_cast<std::uint32_t>(rrHome_++ % numDevices);
+      case RouterPolicy::LeastOutstanding: {
+        std::uint32_t best = 0;
+        for (std::uint32_t d = 1; d < numDevices; ++d) {
+            const Cycle dBusy =
+                std::max(topFree_[d], shards_[d]->deviceNow());
+            const Cycle bestBusy =
+                std::max(topFree_[best], shards_[best]->deviceNow());
+            if (dBusy < bestBusy)
+                best = d;
+        }
+        return best;
+      }
+      case RouterPolicy::TableAffinity: {
+        // Home the MLP where most of the request's pooled data lands.
+        std::uint32_t best = 0;
+        for (std::uint32_t d = 1; d < numDevices; ++d) {
+            if (assignedLookups[d] > assignedLookups[best])
+                best = d;
+        }
+        return best;
+      }
+    }
+    return 0;
+}
+
+engine::InferenceOutcome
+RmSsdCluster::infer(std::span<const model::Sample> samples)
+{
+    RMSSD_ASSERT(!samples.empty(), "empty inference request");
+    const Cycle t0 = clusterNow_;
+    const std::uint32_t numDevices = plan_.numDevices();
+
+    // Route: pick the serving replica of every table, then tally how
+    // many lookups each device is about to absorb.
+    std::vector<std::uint32_t> chosen(config_.numTables);
+    std::vector<std::uint64_t> assignedLookups(numDevices, 0);
+    for (std::uint32_t g = 0; g < config_.numTables; ++g) {
+        chosen[g] = chooseReplica(g);
+        std::uint64_t lookups = 0;
+        for (const model::Sample &sample : samples)
+            lookups += sample.indices[g].size();
+        assignedLookups[chosen[g]] += lookups;
+    }
+
+    // Scatter: every device with assigned lookups serves a sub-request
+    // holding only its tables' indices (empty lists for hosted tables
+    // routed to another replica — they pool to zero and are ignored by
+    // the gather).
+    std::vector<engine::InferenceOutcome> partial(numDevices);
+    std::vector<bool> participated(numDevices, false);
+    Cycle gatherReady = t0;
+    for (std::uint32_t d = 0; d < numDevices; ++d) {
+        if (assignedLookups[d] == 0)
+            continue;
+        const auto &tables = plan_.tablesPerDevice[d];
+        std::vector<model::Sample> local(samples.size());
+        for (std::size_t s = 0; s < samples.size(); ++s) {
+            local[s].dense = samples[s].dense;
+            local[s].indices.resize(tables.size());
+            for (std::uint32_t slot = 0; slot < tables.size(); ++slot) {
+                if (chosen[tables[slot]] == d)
+                    local[s].indices[slot] = samples[s].indices[tables[slot]];
+            }
+        }
+        engine::RmSsd &shard = *shards_[d];
+        shard.advanceClockTo(t0);
+        const std::uint64_t readBefore = shard.hostBytesRead().value();
+        const std::uint64_t writtenBefore =
+            shard.hostBytesWritten().value();
+        partial[d] = shard.infer(local);
+        participated[d] = true;
+        hostBytesRead_.inc(shard.hostBytesRead().value() - readBefore);
+        hostBytesWritten_.inc(shard.hostBytesWritten().value() -
+                              writtenBefore);
+        subRequests_.inc();
+        gatherReady = std::max(gatherReady, partial[d].completionCycle);
+    }
+
+    // The home device's MLP pipeline consumes the gathered pooled
+    // vectors micro-batch by micro-batch, exactly like the single
+    // device's Section IV-D pipeline but with the fleet-wide gather as
+    // its embedding stage. Shards stream their lookups, so micro-batch
+    // i's pooled slices are ready a proportional way into the gather
+    // span, not at its end — the same emb/MLP overlap the single
+    // device gets from per-micro-batch emb.doneCycle.
+    Cycle end = gatherReady;
+    if (!options_.embeddingOnly) {
+        const std::uint32_t home = chooseHome(assignedLookups);
+        const engine::MlpPlan &plan = searchResult_.plan;
+        const std::size_t mbSize =
+            std::min<std::size_t>(plan.microBatch, samples.size());
+        const std::size_t numMb = (samples.size() + mbSize - 1) / mbSize;
+        const Cycle gatherSpan = gatherReady - t0;
+        std::size_t mb = 0;
+        for (std::size_t pos = 0; pos < samples.size();
+             pos += mbSize, ++mb) {
+            const Cycle sliceReady =
+                t0 + Cycle{gatherSpan.raw() * (mb + 1) / numMb};
+            const Cycle bottomStart =
+                std::max(t0, bottomFree_[home]);
+            const Cycle bottomDone = bottomStart + botPrime_;
+            bottomFree_[home] = bottomDone;
+            const Cycle embPrime =
+                std::max(sliceReady, t0 + lePrime_);
+            const Cycle topStart = std::max(
+                std::max(embPrime, bottomDone), topFree_[home]);
+            const Cycle topDone = topStart + topPrime_;
+            topFree_[home] = topDone;
+            end = std::max(end, topDone);
+        }
+    }
+
+    // Gather (functional): reassemble each sample's full pooled vector
+    // by placing every chosen replica's partial slice at its global
+    // offset — a pure placement copy, so the result is byte-identical
+    // to the unsharded device's pooled vector.
+    engine::InferenceOutcome outcome;
+    if (options_.device.functional) {
+        const std::uint32_t dim = config_.embDim;
+        for (std::size_t s = 0; s < samples.size(); ++s) {
+            model::Vector pooled(
+                static_cast<std::size_t>(config_.numTables) * dim,
+                0.0f);
+            for (std::uint32_t g = 0; g < config_.numTables; ++g) {
+                const std::uint32_t d = chosen[g];
+                const auto &owners = plan_.ownersPerTable[g];
+                const std::size_t i = static_cast<std::size_t>(
+                    std::find(owners.begin(), owners.end(), d) -
+                    owners.begin());
+                const std::uint32_t slot = plan_.localSlotPerTable[g][i];
+                const std::size_t localTables =
+                    plan_.tablesPerDevice[d].size();
+                const std::size_t base =
+                    (s * localTables + slot) * dim;
+                std::copy_n(partial[d].outputs.data() + base, dim,
+                            pooled.data() +
+                                static_cast<std::size_t>(g) * dim);
+            }
+            if (options_.embeddingOnly) {
+                outcome.outputs.insert(outcome.outputs.end(),
+                                       pooled.begin(), pooled.end());
+            } else {
+                outcome.outputs.push_back(engine::decomposedForward(
+                    fullModel_, samples[s].dense, pooled));
+            }
+        }
+    }
+
+    // Pre-send semantics match the single device: the host may ship
+    // the next request's inputs while this one computes, so the fleet
+    // clock advances to the shards' input-side progress (or to full
+    // completion for synchronous hosts).
+    Cycle next = t0;
+    for (std::uint32_t d = 0; d < numDevices; ++d) {
+        if (participated[d])
+            next = std::max(next, shards_[d]->deviceNow());
+    }
+    if (!options_.device.presend)
+        next = std::max(next, end);
+    clusterNow_ = next;
+    lastCompletion_ = end;
+    requests_.inc();
+
+    outcome.latency = cyclesToNanos(end - t0);
+    outcome.completionCycle = end;
+    return outcome;
+}
+
+std::uint32_t
+RmSsdCluster::pipelineMicroBatch() const
+{
+    if (options_.embeddingOnly)
+        return shards_[0]->pipelineMicroBatch();
+    return searchResult_.plan.microBatch;
+}
+
+bool
+RmSsdCluster::hasEvCache() const
+{
+    for (const auto &shard : shards_) {
+        if (shard->hasEvCache())
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+RmSsdCluster::cacheHits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->cacheHits();
+    return total;
+}
+
+std::uint64_t
+RmSsdCluster::cacheMisses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->cacheMisses();
+    return total;
+}
+
+bool
+RmSsdCluster::replanIfDrifted(double threshold)
+{
+    bool any = false;
+    for (const auto &shard : shards_)
+        any = shard->replanIfDrifted(threshold) || any;
+    return any;
+}
+
+std::uint64_t
+RmSsdCluster::replanCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->replanCount();
+    return total;
+}
+
+void
+RmSsdCluster::advanceHostClock(Nanos hostNanos)
+{
+    clusterNow_ += nanosToCycles(hostNanos);
+}
+
+void
+RmSsdCluster::resetTiming()
+{
+    for (const auto &shard : shards_)
+        shard->resetTiming();
+    clusterNow_ = {};
+    lastCompletion_ = {};
+    std::fill(bottomFree_.begin(), bottomFree_.end(), Cycle{});
+    std::fill(topFree_.begin(), topFree_.end(), Cycle{});
+    rrHome_ = 0;
+    std::fill(rrReplica_.begin(), rrReplica_.end(), 0);
+}
+
+void
+RmSsdCluster::registerStats(StatsRegistry &registry,
+                            const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".requests", &requests_);
+    registry.addCounter(prefix + ".subRequests", &subRequests_);
+    registry.addCounter(prefix + ".host.bytesRead", &hostBytesRead_);
+    registry.addCounter(prefix + ".host.bytesWritten",
+                        &hostBytesWritten_);
+    for (std::uint32_t d = 0; d < plan_.numDevices(); ++d) {
+        shards_[d]->registerStats(registry,
+                                  prefix + ".dev" + std::to_string(d));
+    }
+}
+
+} // namespace rmssd::cluster

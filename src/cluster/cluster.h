@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Multi-SSD scale-out serving: a fleet of RM-SSD shards behind one
+ * InferenceDevice facade. Tables are partitioned over the shards by a
+ * ShardPlan; each request's lookups scatter to the owning shards, the
+ * partial pooled sums gather back (the same pooled-vector splitting
+ * the intra-layer decomposition of Section IV-C2 exploits inside one
+ * device), and the MLP runs on a router-chosen home device.
+ *
+ * The facade implements the full InferenceDevice contract, so the
+ * shared serving drivers (workload::runDeviceLoop, simulateServing,
+ * steadyStateQps) drive a fleet exactly like a single device.
+ */
+
+#ifndef RMSSD_CLUSTER_CLUSTER_H
+#define RMSSD_CLUSTER_CLUSTER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/sharding.h"
+#include "engine/inference_device.h"
+#include "engine/rm_ssd.h"
+#include "model/dlrm.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd::cluster {
+
+/** How the router picks shards and the MLP home device. */
+enum class RouterPolicy : std::uint8_t
+{
+    /** Rotate homes and replica choices request by request. */
+    RoundRobin,
+    /** Route to the device with the least outstanding work. */
+    LeastOutstanding,
+    /**
+     * Pin each table to one fixed replica and home the MLP on the
+     * device serving the most lookups of the request.
+     */
+    TableAffinity,
+};
+
+/** Fleet construction options. */
+struct ClusterOptions
+{
+    ShardingOptions sharding;
+    RouterPolicy policy = RouterPolicy::RoundRobin;
+    /** Per-shard device options (variant is forced to EmbeddingOnly). */
+    engine::RmSsdOptions device;
+    /**
+     * Serve pooled embeddings only (no fleet MLP): outputs are the
+     * gathered pooled vectors, matching a single EmbeddingOnly device
+     * byte-for-byte.
+     */
+    bool embeddingOnly = false;
+    /**
+     * Optional per-table traffic profile
+     * (TraceGenerator::tableHistograms) steering the sharding planner.
+     */
+    std::vector<workload::TraceGenerator::TableHistogram> histograms;
+};
+
+/** A fleet of RM-SSD shards serving one model. */
+class RmSsdCluster : public engine::InferenceDevice
+{
+  public:
+    RmSsdCluster(const model::ModelConfig &config,
+                 const ClusterOptions &options);
+
+    /**
+     * Scatter one request's lookups to the owning shards, gather the
+     * partial pooled sums, and (unless embeddingOnly) run the MLP on
+     * the router-chosen home device.
+     */
+    engine::InferenceOutcome
+    infer(std::span<const model::Sample> samples) override;
+
+    const model::DlrmModel &model() const override { return fullModel_; }
+    Cycle deviceNow() const override { return clusterNow_; }
+    Cycle lastCompletion() const override { return lastCompletion_; }
+    void advanceHostClock(Nanos hostNanos) override;
+    void resetTiming() override;
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix = "cluster")
+        const override;
+    const Counter &hostBytesRead() const override
+    {
+        return hostBytesRead_;
+    }
+    const Counter &hostBytesWritten() const override
+    {
+        return hostBytesWritten_;
+    }
+    std::uint32_t pipelineMicroBatch() const override;
+
+    bool hasEvCache() const override;
+    std::uint64_t cacheHits() const override;
+    std::uint64_t cacheMisses() const override;
+    /** Propagate the drift check to every shard (true if any re-plans). */
+    bool replanIfDrifted(double threshold) override;
+    std::uint64_t replanCount() const override;
+
+    const ShardPlan &shardPlan() const { return plan_; }
+    std::uint32_t numDevices() const { return plan_.numDevices(); }
+    engine::RmSsd &shard(std::uint32_t d) { return *shards_[d]; }
+    const engine::RmSsd &shard(std::uint32_t d) const
+    {
+        return *shards_[d];
+    }
+    /** Fleet-level requests served. */
+    const Counter &requests() const { return requests_; }
+    /** Shard infer() calls issued by the scatter stage. */
+    const Counter &subRequests() const { return subRequests_; }
+
+  private:
+    /** Replica of global table @p g serving this request. */
+    std::uint32_t chooseReplica(std::uint32_t g);
+    /** Home device for the MLP given per-device assigned lookups. */
+    std::uint32_t chooseHome(
+        const std::vector<std::uint64_t> &assignedLookups);
+
+    model::ModelConfig config_;
+    ClusterOptions options_;
+    ShardPlan plan_;
+    model::DlrmModel fullModel_;
+    std::vector<std::unique_ptr<engine::RmSsd>> shards_;
+
+    /** Fleet-level MLP plan (kernel search against the full model). */
+    engine::SearchResult searchResult_;
+    Cycle botPrime_;
+    Cycle topPrime_;
+    Cycle lePrime_;
+
+    Cycle clusterNow_;
+    Cycle lastCompletion_;
+    /** Per-device MLP stage availability (home-device pipelining). */
+    std::vector<Cycle> bottomFree_;
+    std::vector<Cycle> topFree_;
+    /** Round-robin rotation state. */
+    std::uint64_t rrHome_ = 0;
+    std::vector<std::uint64_t> rrReplica_;
+
+    Counter requests_;
+    Counter subRequests_;
+    Counter hostBytesRead_;
+    Counter hostBytesWritten_;
+};
+
+} // namespace rmssd::cluster
+
+#endif // RMSSD_CLUSTER_CLUSTER_H

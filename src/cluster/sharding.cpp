@@ -1,0 +1,101 @@
+#include "cluster/sharding.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/log.h"
+
+namespace rmssd::cluster {
+
+ShardPlan
+planTableSharding(
+    const model::ModelConfig &config, const ShardingOptions &options,
+    const std::vector<workload::TraceGenerator::TableHistogram> &hist)
+{
+    const std::uint32_t numTables = config.numTables;
+    const std::uint32_t numDevices = options.numDevices;
+    RMSSD_ASSERT(numDevices > 0, "fleet needs at least one device");
+    RMSSD_ASSERT(numDevices <= numTables,
+                 "more devices than tables to place");
+    RMSSD_ASSERT(hist.empty() || hist.size() == numTables,
+                 "histogram count must match the table count");
+
+    // Per-table placement weight: the trace-derived cacheable working
+    // set when a profile is available, else uniform (which makes the
+    // greedy below a capacity-exact round-robin).
+    std::vector<double> weight(numTables, 1.0);
+    if (!hist.empty())
+        weight = workload::planTableShares(hist);
+
+    // Longest-processing-time greedy: heaviest table first onto the
+    // least-loaded device. Ties break toward fewer tables, then the
+    // lower device id, so uniform weights deal tables out evenly.
+    std::vector<std::uint32_t> order(numTables);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return weight[a] > weight[b];
+                     });
+
+    ShardPlan plan;
+    plan.tablesPerDevice.resize(numDevices);
+    std::vector<double> load(numDevices, 0.0);
+    for (const std::uint32_t g : order) {
+        std::uint32_t best = 0;
+        for (std::uint32_t d = 1; d < numDevices; ++d) {
+            if (load[d] < load[best] ||
+                (load[d] == load[best] &&
+                 plan.tablesPerDevice[d].size() <
+                     plan.tablesPerDevice[best].size()))
+                best = d;
+        }
+        plan.tablesPerDevice[best].push_back(g);
+        load[best] += weight[g];
+    }
+
+    // Replicate the hottest tables onto every device that does not
+    // already host them. Heat is observed traffic when profiled, else
+    // the placement weight.
+    std::uint32_t replicate =
+        std::min(options.replicateHottest, numTables);
+    if (replicate > 0 && numDevices > 1) {
+        std::vector<std::uint32_t> byHeat(numTables);
+        std::iota(byHeat.begin(), byHeat.end(), 0);
+        std::stable_sort(
+            byHeat.begin(), byHeat.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+                if (hist.empty())
+                    return weight[a] > weight[b];
+                return hist[a].totalLookups > hist[b].totalLookups;
+            });
+        byHeat.resize(replicate);
+        for (const std::uint32_t g : byHeat) {
+            for (std::uint32_t d = 0; d < numDevices; ++d) {
+                auto &tables = plan.tablesPerDevice[d];
+                if (std::find(tables.begin(), tables.end(), g) ==
+                    tables.end())
+                    tables.push_back(g);
+            }
+        }
+    }
+
+    // Keep each device's local slot order deterministic and index the
+    // placement from the table side.
+    plan.ownersPerTable.resize(numTables);
+    plan.localSlotPerTable.resize(numTables);
+    for (std::uint32_t d = 0; d < numDevices; ++d) {
+        auto &tables = plan.tablesPerDevice[d];
+        std::sort(tables.begin(), tables.end());
+        RMSSD_ASSERT(!tables.empty(), "device left without tables");
+        for (std::uint32_t slot = 0; slot < tables.size(); ++slot) {
+            plan.ownersPerTable[tables[slot]].push_back(d);
+            plan.localSlotPerTable[tables[slot]].push_back(slot);
+        }
+    }
+    for (std::uint32_t g = 0; g < numTables; ++g)
+        RMSSD_ASSERT(!plan.ownersPerTable[g].empty(),
+                     "table left without an owner");
+    return plan;
+}
+
+} // namespace rmssd::cluster

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table-sharding planner for multi-SSD scale-out serving: partition a
+ * model's embedding tables across N devices by capacity and access
+ * frequency, optionally replicating the hottest tables on every device
+ * so the router can spread their traffic.
+ *
+ * The planner reuses the single-device planning inputs — per-table
+ * traffic profiles from workload::TraceGenerator::tableHistograms()
+ * turned into weights by workload::planTableShares() — so a trace-aware
+ * shard plan and a trace-aware cache partition see the same picture of
+ * the workload.
+ */
+
+#ifndef RMSSD_CLUSTER_SHARDING_H
+#define RMSSD_CLUSTER_SHARDING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/dlrm.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd::cluster {
+
+/** How tables are spread over the fleet. */
+struct ShardingOptions
+{
+    /** Number of devices in the fleet. */
+    std::uint32_t numDevices = 2;
+    /**
+     * Replicate the @p replicateHottest highest-traffic tables on
+     * every device (0 = pure partitioning). Replicas let the router
+     * rotate a hot table's lookups across the fleet instead of
+     * funnelling them into one shard's flash channels.
+     */
+    std::uint32_t replicateHottest = 0;
+};
+
+/** The placement produced by planTableSharding. */
+struct ShardPlan
+{
+    /**
+     * tablesPerDevice[d] = global table ids hosted by device d, in
+     * the device's local slot order (local slot s of device d holds
+     * global table tablesPerDevice[d][s]).
+     */
+    std::vector<std::vector<std::uint32_t>> tablesPerDevice;
+    /** ownersPerTable[g] = devices hosting global table g (sorted). */
+    std::vector<std::vector<std::uint32_t>> ownersPerTable;
+    /**
+     * localSlotPerTable[g][i] = local slot of global table g on device
+     * ownersPerTable[g][i].
+     */
+    std::vector<std::vector<std::uint32_t>> localSlotPerTable;
+
+    std::uint32_t numDevices() const
+    {
+        return static_cast<std::uint32_t>(tablesPerDevice.size());
+    }
+
+    /** Whether global table @p g lives on more than one device. */
+    bool replicated(std::uint32_t g) const
+    {
+        return ownersPerTable[g].size() > 1;
+    }
+};
+
+/**
+ * Partition @p config's tables over the fleet.
+ *
+ * Placement is longest-processing-time greedy over per-table weights:
+ * with histograms the weight is the table's cacheable working set
+ * (workload::planTableShares), without them all tables weigh the same
+ * and the plan degenerates to capacity-exact round-robin. After
+ * partitioning, the @p options.replicateHottest highest-traffic tables
+ * are replicated onto every remaining device.
+ *
+ * Every device is guaranteed at least one table (requires
+ * numDevices <= config.numTables).
+ */
+ShardPlan planTableSharding(
+    const model::ModelConfig &config, const ShardingOptions &options,
+    const std::vector<workload::TraceGenerator::TableHistogram> &hist =
+        {});
+
+} // namespace rmssd::cluster
+
+#endif // RMSSD_CLUSTER_SHARDING_H

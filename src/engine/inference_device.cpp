@@ -1,0 +1,38 @@
+#include "engine/inference_device.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace rmssd::engine {
+
+double
+InferenceDevice::steadyStateQps(std::uint32_t batchSize,
+                                std::uint32_t measureBatches)
+{
+    RMSSD_ASSERT(batchSize > 0, "zero batch size");
+    resetTiming();
+
+    // Build a deterministic request stream.
+    const std::uint32_t mbSize =
+        std::min<std::uint32_t>(batchSize, pipelineMicroBatch());
+    const std::uint32_t requests = std::max<std::uint32_t>(
+        1, (measureBatches * mbSize + batchSize - 1) / batchSize);
+
+    std::vector<model::Sample> batch(batchSize);
+    const Cycle start = deviceNow();
+    Cycle completed = start;
+    std::uint64_t totalSamples = 0;
+    for (std::uint32_t r = 0; r < requests; ++r) {
+        for (std::uint32_t s = 0; s < batchSize; ++s)
+            batch[s] = model().makeSample(r * 131071ULL + s);
+        const InferenceOutcome out = infer(batch);
+        completed = std::max(completed, out.completionCycle);
+        totalSamples += batchSize;
+    }
+    const double seconds =
+        nanosToSeconds(cyclesToNanos(completed - start));
+    return static_cast<double>(totalSamples) / seconds;
+}
+
+} // namespace rmssd::engine

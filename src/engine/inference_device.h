@@ -1,0 +1,121 @@
+/**
+ * @file
+ * InferenceDevice: the abstract contract every device-like inference
+ * backend satisfies — a single RM-SSD (engine::RmSsd), a sharded
+ * multi-SSD cluster (cluster::RmSsdCluster), or any future backend.
+ *
+ * The serving simulator (workload::simulateServing), the shared
+ * run-loop driver (workload::runDeviceLoop) and the steady-state QPS
+ * probe are written against this interface only, so an experiment can
+ * drive 1..N devices without knowing what is behind the queue.
+ */
+
+#ifndef RMSSD_ENGINE_INFERENCE_DEVICE_H
+#define RMSSD_ENGINE_INFERENCE_DEVICE_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/dlrm.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace rmssd::engine {
+
+/** Host-visible outcome of one inference request. */
+struct InferenceOutcome
+{
+    Nanos latency;        //!< request arrival to results readable
+    Cycle completionCycle; //!< absolute device cycle of completion
+    /**
+     * Per-sample results (functional only): one CTR value per sample,
+     * or the pooled embedding (numTables*dim floats per sample) for
+     * embedding-only backends.
+     */
+    std::vector<float> outputs;
+};
+
+/** Abstract inference backend with a device clock. */
+class InferenceDevice
+{
+  public:
+    virtual ~InferenceDevice() = default;
+
+    /**
+     * Run one inference request of arbitrary batch size. Large
+     * batches partition into micro-batches that stream through the
+     * backend's engines.
+     */
+    virtual InferenceOutcome
+    infer(std::span<const model::Sample> samples) = 0;
+
+    /** The functional model served by this backend. */
+    virtual const model::DlrmModel &model() const = 0;
+
+    /** Current device clock (advances across infer calls). */
+    virtual Cycle deviceNow() const = 0;
+
+    /** Completion cycle of the most recent request. */
+    virtual Cycle lastCompletion() const = 0;
+
+    /**
+     * Account host-side work between requests: the next request
+     * cannot be issued before the host finishes.
+     */
+    virtual void advanceHostClock(Nanos hostNanos) = 0;
+
+    /** Idle the backend: clears all timing state (not the counters). */
+    virtual void resetTiming() = 0;
+
+    /**
+     * Register every backend counter under @p prefix (gem5-style
+     * stats dump support).
+     */
+    virtual void registerStats(StatsRegistry &registry,
+                               const std::string &prefix) const = 0;
+
+    /** Host bytes read from the backend per inference accounting. */
+    virtual const Counter &hostBytesRead() const = 0;
+    /** Host bytes written to the backend (indices + dense inputs). */
+    virtual const Counter &hostBytesWritten() const = 0;
+
+    /** Samples per micro-batch the backend pipelines internally. */
+    virtual std::uint32_t pipelineMicroBatch() const = 0;
+
+    // EV-cache feedback hooks; cacheless backends keep the defaults.
+
+    /** Whether a device-side EV cache is active. */
+    virtual bool hasEvCache() const { return false; }
+    /** Cumulative EV-cache hits (0 without a cache). */
+    virtual std::uint64_t cacheHits() const { return 0; }
+    /** Cumulative EV-cache misses (0 without a cache). */
+    virtual std::uint64_t cacheMisses() const { return 0; }
+    /**
+     * Adaptive re-planning hook: re-balance the backend when the
+     * measured hit ratio drifts more than @p threshold from the
+     * planned one. Default: nothing to re-plan.
+     * @return true when the backend re-planned
+     */
+    virtual bool replanIfDrifted(double threshold)
+    {
+        (void)threshold;
+        return false;
+    }
+    /** Number of adaptive re-plans performed. */
+    virtual std::uint64_t replanCount() const { return 0; }
+
+    /**
+     * Steady-state throughput in queries (samples) per second for a
+     * continuous stream of requests of @p batchSize. Shared across
+     * backends: built purely on the virtual hooks above.
+     * @param measureBatches micro-batch count in the measured window
+     */
+    double steadyStateQps(std::uint32_t batchSize,
+                          std::uint32_t measureBatches = 32);
+};
+
+} // namespace rmssd::engine
+
+#endif // RMSSD_ENGINE_INFERENCE_DEVICE_H

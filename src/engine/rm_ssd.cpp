@@ -142,7 +142,18 @@ RmSsd::replanIfDrifted(double threshold)
     if (std::abs(measured - plannedHitRatio_) <= threshold)
         return false;
 
+    // Hysteresis: a re-plan rebuilds the MLP kernels, so drift seen
+    // before the cooldown elapses is skipped (the drift window above
+    // still advanced; a persistent shift re-triggers next check).
+    if (options_.replanCooldownRequests > 0 && replans_.value() > 0 &&
+        inferCalls_ - inferCallsAtLastReplan_ <
+            options_.replanCooldownRequests) {
+        replanSkips_.inc();
+        return false;
+    }
+
     plannedHitRatio_ = measured;
+    inferCallsAtLastReplan_ = inferCalls_;
     buildPlan(EmbeddingEngine::effectiveCyclesPerRead(
         options_.geometry, options_.timing, Bytes{config_.vectorBytes()},
         measured));
@@ -181,10 +192,14 @@ RmSsd::loadTables()
         Sectors{options_.geometry.capacityBytes() / sectorSize},
         options_.maxExtentSectors);
 
-    for (const auto &spec : model_.embedding().tables()) {
-        const Sectors sectors{(spec.totalBytes() + sectorSize - 1) /
+    // Tables are keyed by their local position: a sharded sub-model
+    // keeps the parent's global ids in spec.tableId (they seed the
+    // synthetic content), but the device address space is local.
+    const auto &tables = model_.embedding().tables();
+    for (std::uint32_t t = 0; t < tables.size(); ++t) {
+        const Sectors sectors{(tables[t].totalBytes() + sectorSize - 1) /
                               sectorSize};
-        registerTable(TableId{spec.tableId},
+        registerTable(TableId{t},
                       allocator.allocate(
                           sectors, options_.geometry.sectorsPerPage()));
     }
@@ -201,12 +216,14 @@ RmSsd::loadTablesTimed()
 
     Cycle done = deviceNow_;
     std::vector<std::uint8_t> pageBuf(pageSize);
-    for (const auto &spec : model_.embedding().tables()) {
+    const auto &tables = model_.embedding().tables();
+    for (std::uint32_t t = 0; t < tables.size(); ++t) {
+        const auto &spec = tables[t];
         const Sectors sectors{(spec.totalBytes() + sectorSize - 1) /
                               sectorSize};
         const ftl::ExtentList extents = allocator.allocate(
             sectors, options_.geometry.sectorsPerPage());
-        translator_->registerTable(TableId{spec.tableId}, extents,
+        translator_->registerTable(TableId{t}, extents,
                                    Bytes{spec.vectorBytes()},
                                    spec.numRows);
 
@@ -395,6 +412,7 @@ RmSsd::infer(std::span<const model::Sample> samples)
     outcome.latency = cyclesToNanos(end - t0);
     outcome.completionCycle = end;
     inferences_.inc(samples.size());
+    ++inferCalls_;
 
     // System-level pipeline (Section IV-D): the host double-buffers —
     // it pre-sends the next request's inputs during the current
@@ -410,35 +428,6 @@ RmSsd::infer(std::span<const model::Sample> samples)
     secondLastCompletion_ = lastCompletion_;
     lastCompletion_ = end;
     return outcome;
-}
-
-double
-RmSsd::steadyStateQps(std::uint32_t batchSize,
-                      std::uint32_t measureBatches)
-{
-    RMSSD_ASSERT(batchSize > 0, "zero batch size");
-    resetTiming();
-
-    // Build a deterministic request stream.
-    const std::uint32_t mbSize = std::min<std::uint32_t>(
-        batchSize, searchResult_.plan.microBatch);
-    const std::uint32_t requests = std::max<std::uint32_t>(
-        1, (measureBatches * mbSize + batchSize - 1) / batchSize);
-
-    std::vector<model::Sample> batch(batchSize);
-    const Cycle start = deviceNow_;
-    Cycle lastCompletion = start;
-    std::uint64_t totalSamples = 0;
-    for (std::uint32_t r = 0; r < requests; ++r) {
-        for (std::uint32_t s = 0; s < batchSize; ++s)
-            batch[s] = model_.makeSample(r * 131071ULL + s);
-        const InferenceOutcome out = infer(batch);
-        lastCompletion = std::max(lastCompletion, out.completionCycle);
-        totalSamples += batchSize;
-    }
-    const double seconds =
-        nanosToSeconds(cyclesToNanos(lastCompletion - start));
-    return static_cast<double>(totalSamples) / seconds;
 }
 
 void
@@ -469,6 +458,8 @@ RmSsd::registerStats(StatsRegistry &registry,
         registry.addCounter(prefix + ".emb.cache.admissionRejects",
                             &evCache_->admissionRejects());
         registry.addCounter(prefix + ".emb.cache.replans", &replans_);
+        registry.addCounter(prefix + ".emb.cache.replanSkips",
+                            &replanSkips_);
         registry.addRatio(prefix + ".emb.cache.hitRatio",
                           &evCache_->hits(), &evCache_->misses());
     }
@@ -499,6 +490,12 @@ void
 RmSsd::advanceHostClock(Nanos hostNanos)
 {
     deviceNow_ += nanosToCycles(hostNanos);
+}
+
+void
+RmSsd::advanceClockTo(Cycle cycle)
+{
+    deviceNow_ = std::max(deviceNow_, cycle);
 }
 
 void

@@ -20,6 +20,7 @@
 
 #include "engine/embedding_engine.h"
 #include "engine/ev_translator.h"
+#include "engine/inference_device.h"
 #include "engine/kernel_search.h"
 #include "engine/mlp_engine.h"
 #include "flash/flash_array.h"
@@ -75,23 +76,18 @@ struct RmSsdOptions
     EvCacheConfig evCache = {};
     /** Fold duplicate (table, index) pairs within a micro-batch. */
     bool coalesceIndices = false;
-};
-
-/** Host-visible outcome of one inference request. */
-struct InferenceOutcome
-{
-    Nanos latency;        //!< request arrival to results readable
-    Cycle completionCycle; //!< absolute device cycle of completion
     /**
-     * Per-sample results (functional only): one CTR value per sample,
-     * or the pooled embedding (numTables*dim floats per sample) for
-     * the EmbeddingOnly variant.
+     * Re-plan hysteresis: minimum number of infer() calls between two
+     * adaptive re-plans, so an adversarial trace that flips locality
+     * every drift window cannot thrash the kernel search. Drift seen
+     * during the cooldown is skipped (counted in replanSkips()). 0
+     * disables the cooldown (every drifted window may re-plan).
      */
-    std::vector<float> outputs;
+    std::uint32_t replanCooldownRequests = 0;
 };
 
 /** The RM-SSD device. */
-class RmSsd
+class RmSsd : public InferenceDevice
 {
   public:
     RmSsd(const model::ModelConfig &config, const RmSsdOptions &options);
@@ -120,15 +116,8 @@ class RmSsd
      * batches partition into micro-batches that stream through the
      * engines (Section IV-D's system-level pipeline).
      */
-    InferenceOutcome infer(std::span<const model::Sample> samples);
-
-    /**
-     * Steady-state throughput in queries (samples) per second for a
-     * continuous stream of requests of @p batchSize.
-     * @param measureBatches micro-batch count in the measured window
-     */
-    double steadyStateQps(std::uint32_t batchSize,
-                          std::uint32_t measureBatches = 32);
+    InferenceOutcome
+    infer(std::span<const model::Sample> samples) override;
 
     const MlpPlan &plan() const { return searchResult_.plan; }
     const SearchResult &searchResult() const { return searchResult_; }
@@ -150,13 +139,17 @@ class RmSsd
      * assumed. When the drift exceeds @p threshold, re-run the kernel
      * search with the observed ratio so the MLP kernels re-balance
      * against the real T_emb' (Eq. 2 with the measured bEV).
+     * Re-plans are rate-limited by
+     * RmSsdOptions::replanCooldownRequests (hysteresis).
      * @return true when the device re-planned
      */
-    bool replanIfDrifted(double threshold);
+    bool replanIfDrifted(double threshold) override;
 
     /** Number of adaptive re-plans performed. */
     const Counter &replans() const { return replans_; }
-    const model::DlrmModel &model() const { return model_; }
+    /** Drifted windows skipped because the cooldown had not elapsed. */
+    const Counter &replanSkips() const { return replanSkips_; }
+    const model::DlrmModel &model() const override { return model_; }
     flash::FlashArray &flash() { return *flash_; }
     const flash::FlashArray &flash() const { return *flash_; }
     ftl::Ftl &ftl() { return *ftl_; }
@@ -167,33 +160,67 @@ class RmSsd
     const EvCache *evCache() const { return evCache_.get(); }
 
     /** Host bytes read from the device per inference accounting. */
-    const Counter &hostBytesRead() const { return hostBytesRead_; }
+    const Counter &hostBytesRead() const override
+    {
+        return hostBytesRead_;
+    }
     /** Host bytes written to the device (indices + dense inputs). */
-    const Counter &hostBytesWritten() const { return hostBytesWritten_; }
+    const Counter &hostBytesWritten() const override
+    {
+        return hostBytesWritten_;
+    }
     const Counter &inferences() const { return inferences_; }
 
     /** Current device clock (advances across infer calls). */
-    Cycle deviceNow() const { return deviceNow_; }
+    Cycle deviceNow() const override { return deviceNow_; }
 
     /** Completion cycle of the most recent request. */
-    Cycle lastCompletion() const { return lastCompletion_; }
+    Cycle lastCompletion() const override { return lastCompletion_; }
+
+    /** Samples per micro-batch of the planned pipeline. */
+    std::uint32_t pipelineMicroBatch() const override
+    {
+        return searchResult_.plan.microBatch;
+    }
+
+    bool hasEvCache() const override { return evCache_ != nullptr; }
+    std::uint64_t cacheHits() const override
+    {
+        return evCache_ ? evCache_->hits().value() : 0;
+    }
+    std::uint64_t cacheMisses() const override
+    {
+        return evCache_ ? evCache_->misses().value() : 0;
+    }
+    std::uint64_t replanCount() const override
+    {
+        return replans_.value();
+    }
 
     /**
      * Account host-side work between requests (e.g. the host MLP of
      * the EMB-VectorSum configuration): the next request cannot be
      * issued before the host finishes.
      */
-    void advanceHostClock(Nanos hostNanos);
+    void advanceHostClock(Nanos hostNanos) override;
+
+    /**
+     * Pull the device clock forward to absolute cycle @p cycle (never
+     * backward). The cluster layer uses this to synchronize shard
+     * clocks to a request's scatter time.
+     */
+    void advanceClockTo(Cycle cycle);
 
     /** Idle the device: clears all timing state (not the counters). */
-    void resetTiming();
+    void resetTiming() override;
 
     /**
      * Register every device counter under @p prefix (gem5-style
      * stats dump support).
      */
     void registerStats(StatsRegistry &registry,
-                       const std::string &prefix = "rmssd") const;
+                       const std::string &prefix = "rmssd")
+        const override;
 
   private:
     /** Timing of one micro-batch's MLP stages given its read time. */
@@ -228,6 +255,9 @@ class RmSsd
     /** Cache-counter snapshots delimiting the current drift window. */
     std::uint64_t windowHitsBase_ = 0;
     std::uint64_t windowMissesBase_ = 0;
+    /** infer() calls served so far / at the last re-plan (cooldown). */
+    std::uint64_t inferCalls_ = 0;
+    std::uint64_t inferCallsAtLastReplan_ = 0;
 
     Cycle deviceNow_;
     Cycle lastCompletion_;
@@ -239,6 +269,7 @@ class RmSsd
     Counter hostBytesWritten_;
     Counter inferences_;
     Counter replans_;
+    Counter replanSkips_;
 };
 
 } // namespace rmssd::engine

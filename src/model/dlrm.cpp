@@ -107,6 +107,28 @@ ModelConfig::withRowsPerTable(std::uint64_t rows)
     return *this;
 }
 
+std::uint32_t
+ModelConfig::globalTableId(std::uint32_t t) const
+{
+    RMSSD_ASSERT(t < numTables, "table position out of range");
+    if (tableIds.empty())
+        return t;
+    return tableIds[t];
+}
+
+ModelConfig
+ModelConfig::withTableSubset(const std::vector<std::uint32_t> &tables) const
+{
+    RMSSD_ASSERT(!tables.empty(), "empty table subset");
+    ModelConfig sub = *this;
+    sub.tableIds.clear();
+    sub.tableIds.reserve(tables.size());
+    for (const std::uint32_t t : tables)
+        sub.tableIds.push_back(globalTableId(t));
+    sub.numTables = static_cast<std::uint32_t>(tables.size());
+    return sub;
+}
+
 DlrmModel::DlrmModel(const ModelConfig &config)
     : config_(config),
       bottom_(config.denseInputDim(),
@@ -119,9 +141,13 @@ DlrmModel::DlrmModel(const ModelConfig &config)
     std::vector<EmbeddingTableSpec> tables;
     tables.reserve(config.numTables);
     for (std::uint32_t t = 0; t < config.numTables; ++t) {
+        // Content is a pure function of (seed, tableId): both use the
+        // GLOBAL id so a sharded sub-model reproduces the parent's
+        // table bytes exactly.
+        const std::uint32_t gid = config.globalTableId(t);
         tables.push_back(EmbeddingTableSpec{
-            t, config.rowsPerTable, config.embDim,
-            hashCombine(config.seed, 0xe3bULL + t)});
+            gid, config.rowsPerTable, config.embDim,
+            hashCombine(config.seed, 0xe3bULL + gid)});
     }
     embedding_ = EmbeddingLayer(std::move(tables));
 }

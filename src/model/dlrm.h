@@ -53,6 +53,14 @@ struct ModelConfig
     std::uint32_t lookupsPerTable = 80;
     std::uint64_t rowsPerTable = 1024;
     std::uint64_t seed = 42;
+    /**
+     * Global ids of this config's tables; empty = identity (table t
+     * IS global table t). A sharded sub-model (cluster layer) keeps
+     * the parent's global ids here so the deterministic table content
+     * — seeded per global id — matches the unsharded model
+     * bit-for-bit (see withTableSubset).
+     */
+    std::vector<std::uint32_t> tableIds;
 
     std::uint32_t denseInputDim() const;
     std::uint32_t bottomOutputDim() const;
@@ -72,6 +80,18 @@ struct ModelConfig
     ModelConfig &withTotalEmbeddingGB(double gb);
     /** Shrink rows for functional tests (tables become loadable). */
     ModelConfig &withRowsPerTable(std::uint64_t rows);
+
+    /** Global id of local table @p t (identity when tableIds empty). */
+    std::uint32_t globalTableId(std::uint32_t t) const;
+    /**
+     * Copy of this config restricted to the given local table
+     * positions: numTables shrinks to tables.size() and tableIds maps
+     * each new local slot to its global id, so a DlrmModel built from
+     * the copy generates exactly the same table content as the parent
+     * did for those tables.
+     */
+    ModelConfig
+    withTableSubset(const std::vector<std::uint32_t> &tables) const;
 };
 
 /** One inference request sample. */

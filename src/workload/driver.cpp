@@ -1,5 +1,10 @@
 #include "workload/driver.h"
 
+#include <algorithm>
+
+#include "engine/inference_device.h"
+#include "workload/trace_gen.h"
+
 namespace rmssd::workload {
 
 Nanos
@@ -43,6 +48,87 @@ RunResult::readAmplification() const
         return 0.0;
     return static_cast<double>(hostTrafficBytes.raw()) /
            static_cast<double>(idealTrafficBytes.raw());
+}
+
+RunResult
+runHostLoop(const std::string &system,
+            const model::ModelConfig &config, TraceGenerator &gen,
+            std::uint32_t batchSize, std::uint32_t numBatches,
+            const ServeBatchFn &serveBatch)
+{
+    RunResult result;
+    result.system = system;
+    for (std::uint32_t b = 0; b < numBatches; ++b) {
+        const auto batch = gen.nextBatch(batchSize);
+        const Breakdown bd = serveBatch(batch, result);
+        result.breakdown += bd;
+        result.totalNanos += bd.total();
+        ++result.batches;
+        result.samples += batchSize;
+        result.idealTrafficBytes +=
+            Bytes{static_cast<std::uint64_t>(batchSize) *
+                  config.lookupsPerSample() * config.vectorBytes()};
+    }
+    return result;
+}
+
+RunResult
+runDeviceLoop(engine::InferenceDevice &device,
+              const std::string &system,
+              const model::ModelConfig &config, TraceGenerator &gen,
+              std::uint32_t batchSize, std::uint32_t numBatches,
+              std::uint32_t warmupBatches)
+{
+    // At least one unmeasured request establishes the completion
+    // watermark the measured window starts from (otherwise work
+    // queued by earlier runs would be charged to this one).
+    const std::uint32_t warm = std::max<std::uint32_t>(warmupBatches, 1);
+    Cycle start = device.deviceNow();
+    for (std::uint32_t b = 0; b < warm; ++b) {
+        const auto out = device.infer(gen.nextBatch(batchSize));
+        start = std::max(start, out.completionCycle);
+    }
+
+    RunResult result;
+    result.system = system;
+    const std::uint64_t trafficBefore = device.hostBytesRead().value();
+    const bool cached = device.hasEvCache();
+    const std::uint64_t hitsBefore = cached ? device.cacheHits() : 0;
+    const std::uint64_t missesBefore =
+        cached ? device.cacheMisses() : 0;
+
+    Cycle lastCompletion = start;
+    Nanos latencySum;
+    for (std::uint32_t b = 0; b < numBatches; ++b) {
+        const auto out = device.infer(gen.nextBatch(batchSize));
+        lastCompletion = std::max(lastCompletion, out.completionCycle);
+        latencySum += out.latency;
+        ++result.batches;
+        result.samples += batchSize;
+        result.idealTrafficBytes +=
+            Bytes{static_cast<std::uint64_t>(batchSize) *
+                  config.lookupsPerSample() * config.vectorBytes()};
+    }
+    // Requests pipeline through the device, so wall-clock is the span
+    // from the stream start to the last completion.
+    result.totalNanos = cyclesToNanos(lastCompletion - start);
+    // Whole run is in-device; report it as device time. Individual
+    // request latency is available as latencySum / batches.
+    result.breakdown.embSsd = latencySum;
+    result.hostTrafficBytes =
+        Bytes{device.hostBytesRead().value() - trafficBefore};
+    if (cached) {
+        // Hit ratio over the measured window only (the warmup batches
+        // already populated the cache, so this is the warm figure).
+        const std::uint64_t hits = device.cacheHits() - hitsBefore;
+        const std::uint64_t misses =
+            device.cacheMisses() - missesBefore;
+        if (hits + misses > 0)
+            result.cacheHitRatio =
+                static_cast<double>(hits) /
+                static_cast<double>(hits + misses);
+    }
+    return result;
 }
 
 } // namespace rmssd::workload

@@ -1,19 +1,38 @@
 /**
  * @file
- * Measurement types shared by the benchmark harness: the Fig. 2 time
+ * Measurement types shared by the benchmark harness — the Fig. 2 time
  * breakdown categories and the per-run result record (throughput,
- * latency, I/O traffic, read amplification).
+ * latency, I/O traffic, read amplification) — plus the two shared
+ * run-loop drivers every baseline system builds on:
+ *
+ *  - runHostLoop():   host-clocked systems (DRAM, SSD-S/M, EMB-*,
+ *                     RecSSD) serve one batch at a time and charge a
+ *                     Breakdown; the driver owns the per-batch
+ *                     accumulation all of them used to copy-paste.
+ *  - runDeviceLoop(): device-clocked backends (RM-SSD, clusters)
+ *                     pipeline requests through an InferenceDevice;
+ *                     wall-clock is the stream span to the last
+ *                     completion.
  */
 
 #ifndef RMSSD_WORKLOAD_DRIVER_H
 #define RMSSD_WORKLOAD_DRIVER_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "model/dlrm.h"
 #include "sim/types.h"
 
+namespace rmssd::engine {
+class InferenceDevice;
+} // namespace rmssd::engine
+
 namespace rmssd::workload {
+
+class TraceGenerator;
 
 /** Fig. 2's execution-time breakdown categories. */
 struct Breakdown
@@ -55,6 +74,42 @@ struct RunResult
     /** hostTraffic / ideal (Fig. 3's amplification; 1.0 = ideal). */
     double readAmplification() const;
 };
+
+/**
+ * One measured batch of a host-clocked system: charge the batch's
+ * cost to a Breakdown; systems that track host traffic per lookup add
+ * it to @p result.hostTrafficBytes directly (the driver owns every
+ * other RunResult field).
+ */
+using ServeBatchFn = std::function<Breakdown(
+    const std::vector<model::Sample> &batch, RunResult &result)>;
+
+/**
+ * The measured loop shared by all host-clocked systems: pull
+ * @p numBatches batches of @p batchSize from @p gen, charge each via
+ * @p serveBatch and accumulate the RunResult (breakdown, wall-clock,
+ * batch/sample counts, ideal traffic). Warm-up stays with the caller
+ * — it is the one genuinely system-specific part of a run.
+ */
+RunResult runHostLoop(const std::string &system,
+                      const model::ModelConfig &config,
+                      TraceGenerator &gen, std::uint32_t batchSize,
+                      std::uint32_t numBatches,
+                      const ServeBatchFn &serveBatch);
+
+/**
+ * The measured loop shared by all device-clocked backends: requests
+ * pipeline through @p device, wall-clock spans the post-warmup
+ * watermark to the last completion, host traffic and the EV-cache hit
+ * ratio are window deltas of the device counters. At least one
+ * warm-up request always runs to establish the watermark.
+ */
+RunResult runDeviceLoop(engine::InferenceDevice &device,
+                        const std::string &system,
+                        const model::ModelConfig &config,
+                        TraceGenerator &gen, std::uint32_t batchSize,
+                        std::uint32_t numBatches,
+                        std::uint32_t warmupBatches);
 
 } // namespace rmssd::workload
 

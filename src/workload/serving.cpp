@@ -37,7 +37,14 @@ LatencyRecorder::max() const
 Nanos
 LatencyRecorder::percentile(double p) const
 {
-    RMSSD_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    // Clamp rather than assert: out-of-range (or NaN) percentiles
+    // from config arithmetic degrade to the min/max sample instead of
+    // aborting a long experiment. Written so NaN fails into the first
+    // branch (std::clamp on NaN is undefined).
+    if (!(p >= 0.0))
+        p = 0.0;
+    else if (p > 100.0)
+        p = 100.0;
     if (samples_.empty())
         return Nanos{};
     if (!sorted_) {
@@ -51,7 +58,7 @@ LatencyRecorder::percentile(double p) const
 }
 
 ServingResult
-simulateServing(engine::RmSsd &device, TraceGenerator &gen,
+simulateServing(engine::InferenceDevice &device, TraceGenerator &gen,
                 const ServingConfig &config)
 {
     RMSSD_ASSERT(config.arrivalQps > 0.0, "non-positive arrival rate");
@@ -62,10 +69,10 @@ simulateServing(engine::RmSsd &device, TraceGenerator &gen,
 
     LatencyRecorder latencies;
     ServingResult result;
-    const engine::EvCache *cache = device.evCache();
-    const std::uint64_t replansBefore = device.replans().value();
-    std::uint64_t hitsBase = cache ? cache->hits().value() : 0;
-    std::uint64_t missesBase = cache ? cache->misses().value() : 0;
+    const bool cached = device.hasEvCache();
+    const std::uint64_t replansBefore = device.replanCount();
+    std::uint64_t hitsBase = cached ? device.cacheHits() : 0;
+    std::uint64_t missesBase = cached ? device.cacheMisses() : 0;
     std::uint64_t steadyHits = 0;
     std::uint64_t steadyMisses = 0;
     double arrivalNanos = 0.0;
@@ -89,12 +96,12 @@ simulateServing(engine::RmSsd &device, TraceGenerator &gen,
         latencies.add(cyclesToNanos(out.completionCycle - arrival));
         lastCompletion = std::max(lastCompletion, out.completionCycle);
 
-        if (cache) {
+        if (cached) {
             // Per-request hit ratio: the cache carries warm state
             // across requests, so this climbs from the cold start
             // toward the steady-state figure.
-            const std::uint64_t hits = cache->hits().value();
-            const std::uint64_t misses = cache->misses().value();
+            const std::uint64_t hits = device.cacheHits();
+            const std::uint64_t misses = device.cacheMisses();
             const std::uint64_t reqHits = hits - hitsBase;
             const std::uint64_t reqMisses = misses - missesBase;
             hitsBase = hits;
@@ -128,7 +135,7 @@ simulateServing(engine::RmSsd &device, TraceGenerator &gen,
         result.steadyHitRatio =
             static_cast<double>(steadyHits) /
             static_cast<double>(steadyHits + steadyMisses);
-    result.replans = device.replans().value() - replansBefore;
+    result.replans = device.replanCount() - replansBefore;
     return result;
 }
 

@@ -1,9 +1,10 @@
 /**
  * @file
- * Online-serving simulation: Poisson request arrivals against an
- * RM-SSD device, with tail-latency statistics — the service-level
- * agreement context that motivates the paper ("to meet the strict
- * service level agreement requirements of recommendation systems").
+ * Online-serving simulation: Poisson request arrivals against any
+ * InferenceDevice (a single RM-SSD or a sharded cluster), with
+ * tail-latency statistics — the service-level agreement context that
+ * motivates the paper ("to meet the strict service level agreement
+ * requirements of recommendation systems").
  */
 
 #ifndef RMSSD_WORKLOAD_SERVING_H
@@ -12,7 +13,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "engine/rm_ssd.h"
+#include "engine/inference_device.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 #include "workload/trace_gen.h"
@@ -26,9 +27,15 @@ class LatencyRecorder
     void add(Nanos latency);
 
     std::size_t count() const { return samples_.size(); }
+    /** Mean latency; Nanos{0} on an empty recorder. */
     Nanos mean() const;
+    /** Largest latency; Nanos{0} on an empty recorder. */
     Nanos max() const;
-    /** p in [0, 100]; e.g. percentile(99.0) is the p99 latency. */
+    /**
+     * Latency percentile; e.g. percentile(99.0) is the p99 latency.
+     * @p p is clamped to [0, 100] (NaN clamps to 0); an empty
+     * recorder returns Nanos{0}.
+     */
     Nanos percentile(double p) const;
 
   private:
@@ -45,8 +52,8 @@ struct ServingConfig
     std::uint64_t seed = 0x5e12e5ULL;
     /**
      * Adaptive re-planning: every @p replanCheckEvery requests, call
-     * RmSsd::replanIfDrifted with this threshold so the MLP kernels
-     * re-balance when the measured hit ratio drifts from the
+     * InferenceDevice::replanIfDrifted with this threshold so the MLP
+     * kernels re-balance when the measured hit ratio drifts from the
      * expectation the plan was sized against. 0 disables the check
      * (the default keeps existing experiments bit-identical).
      */
@@ -83,9 +90,10 @@ struct ServingResult
 /**
  * Drive @p device with Poisson arrivals from @p gen. Requests queue
  * FIFO; each request's latency spans its arrival to its results
- * being readable on the host.
+ * being readable on the host. Works against any InferenceDevice —
+ * a single RM-SSD or a multi-SSD cluster.
  */
-ServingResult simulateServing(engine::RmSsd &device,
+ServingResult simulateServing(engine::InferenceDevice &device,
                               TraceGenerator &gen,
                               const ServingConfig &config);
 

@@ -48,6 +48,23 @@ TEST(LatencyRecorder, EmptyIsZero)
     EXPECT_EQ(rec.mean(), Nanos{});
     EXPECT_EQ(rec.max(), Nanos{});
     EXPECT_EQ(rec.percentile(99.0), Nanos{});
+    // Out-of-range percentiles on an empty recorder are also zero.
+    EXPECT_EQ(rec.percentile(-1.0), Nanos{});
+    EXPECT_EQ(rec.percentile(1000.0), Nanos{});
+}
+
+TEST(LatencyRecorder, PercentileClampsOutOfRange)
+{
+    // Regression: config arithmetic (e.g. "100 * (1 - 1/n)" with n=0)
+    // can produce out-of-range percentiles; they must degrade to the
+    // min/max sample, never index out of bounds.
+    LatencyRecorder rec;
+    for (std::uint64_t v = 1; v <= 10; ++v)
+        rec.add(Nanos{v});
+    EXPECT_EQ(rec.percentile(150.0), rec.percentile(100.0));
+    EXPECT_EQ(rec.percentile(-5.0), rec.percentile(0.0));
+    EXPECT_EQ(rec.percentile(150.0), Nanos{10});
+    EXPECT_EQ(rec.percentile(-5.0), Nanos{1});
 }
 
 class ServingFixture : public ::testing::Test
@@ -207,6 +224,40 @@ TEST_F(CachedServingFixture, ReplansWhenPlannedRatioIsWrong)
 
     EXPECT_GE(r.replans, 1u);
     EXPECT_LT(dev->plannedHitRatio(), 0.9);
+}
+
+TEST_F(CachedServingFixture, ReplanCooldownSkipsDriftedWindows)
+{
+    // Plan for a hit ratio the trace can't deliver, but arm a cooldown
+    // longer than the test: the first drifted window re-plans, every
+    // later one is skipped and counted instead of thrashing the
+    // kernel search.
+    engine::RmSsdOptions opt;
+    opt.evCache.enabled = true;
+    opt.evCache.expectedHitRatio = 0.99;
+    opt.coalesceIndices = true;
+    opt.replanCooldownRequests = 1000000;
+    auto dev = std::make_unique<engine::RmSsd>(config_, opt);
+    dev->loadTables();
+
+    TraceConfig tc = localityK(2.0);
+    tc.hotRowsPerTable = 200;
+    TraceGenerator gen(config_, tc);
+
+    for (int b = 0; b < 8; ++b)
+        dev->infer(gen.nextBatch(4));
+    EXPECT_TRUE(dev->replanIfDrifted(0.05));
+    EXPECT_EQ(dev->replans().value(), 1u);
+
+    // Zero threshold makes every later window count as drifted; the
+    // cooldown must absorb all of them.
+    for (int round = 0; round < 4; ++round) {
+        for (int b = 0; b < 8; ++b)
+            dev->infer(gen.nextBatch(4));
+        EXPECT_FALSE(dev->replanIfDrifted(0.0));
+    }
+    EXPECT_EQ(dev->replans().value(), 1u);
+    EXPECT_GE(dev->replanSkips().value(), 1u);
 }
 
 TEST_F(ServingFixture, DeterministicForSameSeed)

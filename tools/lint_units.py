@@ -29,6 +29,7 @@ GUARDED_DIRS = [
     "src/nvme",
     "src/host",
     "src/workload",
+    "src/cluster",
 ]
 
 RAW_INT = r"(?:std::)?(?:uint64_t|uint32_t|size_t)"
