@@ -111,34 +111,43 @@ RmSsdCluster::chooseHome(const std::vector<std::uint64_t> &assignedLookups)
     return 0;
 }
 
-engine::InferenceOutcome
-RmSsdCluster::infer(std::span<const model::Sample> samples)
+engine::RequestId
+RmSsdCluster::submit(std::span<const model::Sample> samples)
 {
     RMSSD_ASSERT(!samples.empty(), "empty inference request");
-    const Cycle t0 = clusterNow_;
+
+    // Bounded queue depth: the oldest request gathers and retires
+    // before a new one scatters (host backpressure). At depth 1 this
+    // reproduces the blocking infer() loop op-for-op.
+    while (inflight_.size() >= maxInflight())
+        retireOldest();
+
     const std::uint32_t numDevices = plan_.numDevices();
+    ClusterInflight request;
+    request.id = allocateRequestId();
+    request.t0 = clusterNow_;
+    request.numSamples = samples.size();
 
     // Route: pick the serving replica of every table, then tally how
     // many lookups each device is about to absorb.
-    std::vector<std::uint32_t> chosen(config_.numTables);
-    std::vector<std::uint64_t> assignedLookups(numDevices, 0);
+    request.chosen.resize(config_.numTables);
+    request.assignedLookups.assign(numDevices, 0);
     for (std::uint32_t g = 0; g < config_.numTables; ++g) {
-        chosen[g] = chooseReplica(g);
+        request.chosen[g] = chooseReplica(g);
         std::uint64_t lookups = 0;
         for (const model::Sample &sample : samples)
             lookups += sample.indices[g].size();
-        assignedLookups[chosen[g]] += lookups;
+        request.assignedLookups[request.chosen[g]] += lookups;
     }
 
-    // Scatter: every device with assigned lookups serves a sub-request
+    // Scatter: every device with assigned lookups gets a sub-request
     // holding only its tables' indices (empty lists for hosted tables
     // routed to another replica — they pool to zero and are ignored by
-    // the gather).
-    std::vector<engine::InferenceOutcome> partial(numDevices);
-    std::vector<bool> participated(numDevices, false);
-    Cycle gatherReady = t0;
+    // the gather). Sub-requests issue through the shards' own async
+    // queues, so each shard's clock advances independently between
+    // scatters; the gather and home MLP wait for the retire stage.
     for (std::uint32_t d = 0; d < numDevices; ++d) {
-        if (assignedLookups[d] == 0)
+        if (request.assignedLookups[d] == 0)
             continue;
         const auto &tables = plan_.tablesPerDevice[d];
         std::vector<model::Sample> local(samples.size());
@@ -146,22 +155,66 @@ RmSsdCluster::infer(std::span<const model::Sample> samples)
             local[s].dense = samples[s].dense;
             local[s].indices.resize(tables.size());
             for (std::uint32_t slot = 0; slot < tables.size(); ++slot) {
-                if (chosen[tables[slot]] == d)
-                    local[s].indices[slot] = samples[s].indices[tables[slot]];
+                if (request.chosen[tables[slot]] == d)
+                    local[s].indices[slot] =
+                        samples[s].indices[tables[slot]];
             }
         }
         engine::RmSsd &shard = *shards_[d];
-        shard.advanceClockTo(t0);
-        const std::uint64_t readBefore = shard.hostBytesRead().value();
+        shard.advanceClockTo(request.t0);
         const std::uint64_t writtenBefore =
             shard.hostBytesWritten().value();
-        partial[d] = shard.infer(local);
-        participated[d] = true;
-        hostBytesRead_.inc(shard.hostBytesRead().value() - readBefore);
+        const engine::RequestId subId = shard.submit(local);
         hostBytesWritten_.inc(shard.hostBytesWritten().value() -
                               writtenBefore);
         subRequests_.inc();
-        gatherReady = std::max(gatherReady, partial[d].completionCycle);
+        request.participants.emplace_back(d, subId);
+    }
+
+    // The scatter holds the host until every shard's inputs are in
+    // (max-accumulation: retire folds in the completion-side terms).
+    Cycle next = clusterNow_;
+    for (const auto &participant : request.participants)
+        next = std::max(next, shards_[participant.first]->deviceNow());
+    clusterNow_ = next;
+
+    if (options_.device.functional)
+        request.samples.assign(samples.begin(), samples.end());
+
+    submitted_.inc();
+    const engine::RequestId id = request.id;
+    inflight_.push_back(std::move(request));
+    queueDepthOnSubmit_.sample(static_cast<double>(inflight_.size()));
+    return id;
+}
+
+void
+RmSsdCluster::retireOldest()
+{
+    RMSSD_ASSERT(!inflight_.empty(), "no request in flight");
+    ClusterInflight request = std::move(inflight_.front());
+    inflight_.pop_front();
+    const Cycle t0 = request.t0;
+
+    // Gather: pop each participating shard's completion. FIFO pairing
+    // holds because cluster requests retire in order and each shard's
+    // sub-request stream is the per-shard subsequence of that order.
+    std::vector<engine::InferenceOutcome> partial(plan_.numDevices());
+    Cycle gatherReady = t0;
+    for (const auto &[d, subId] : request.participants) {
+        engine::RmSsd &shard = *shards_[d];
+        const std::uint64_t readBefore = shard.hostBytesRead().value();
+        auto completion = shard.poll();
+        if (!completion) {
+            shard.retireNext();
+            completion = shard.poll();
+        }
+        RMSSD_ASSERT(completion && completion->id == subId,
+                     "shard completion out of order");
+        hostBytesRead_.inc(shard.hostBytesRead().value() - readBefore);
+        gatherReady = std::max(gatherReady,
+                               completion->outcome.completionCycle);
+        partial[d] = std::move(completion->outcome);
     }
 
     // The home device's MLP pipeline consumes the gathered pooled
@@ -173,14 +226,15 @@ RmSsdCluster::infer(std::span<const model::Sample> samples)
     // device gets from per-micro-batch emb.doneCycle.
     Cycle end = gatherReady;
     if (!options_.embeddingOnly) {
-        const std::uint32_t home = chooseHome(assignedLookups);
+        const std::uint32_t home = chooseHome(request.assignedLookups);
         const engine::MlpPlan &plan = searchResult_.plan;
         const std::size_t mbSize =
-            std::min<std::size_t>(plan.microBatch, samples.size());
-        const std::size_t numMb = (samples.size() + mbSize - 1) / mbSize;
+            std::min<std::size_t>(plan.microBatch, request.numSamples);
+        const std::size_t numMb =
+            (request.numSamples + mbSize - 1) / mbSize;
         const Cycle gatherSpan = gatherReady - t0;
         std::size_t mb = 0;
-        for (std::size_t pos = 0; pos < samples.size();
+        for (std::size_t pos = 0; pos < request.numSamples;
              pos += mbSize, ++mb) {
             const Cycle sliceReady =
                 t0 + Cycle{gatherSpan.raw() * (mb + 1) / numMb};
@@ -202,15 +256,16 @@ RmSsdCluster::infer(std::span<const model::Sample> samples)
     // by placing every chosen replica's partial slice at its global
     // offset — a pure placement copy, so the result is byte-identical
     // to the unsharded device's pooled vector.
-    engine::InferenceOutcome outcome;
+    engine::AsyncCompletion done;
+    done.id = request.id;
     if (options_.device.functional) {
         const std::uint32_t dim = config_.embDim;
-        for (std::size_t s = 0; s < samples.size(); ++s) {
+        for (std::size_t s = 0; s < request.numSamples; ++s) {
             model::Vector pooled(
                 static_cast<std::size_t>(config_.numTables) * dim,
                 0.0f);
             for (std::uint32_t g = 0; g < config_.numTables; ++g) {
-                const std::uint32_t d = chosen[g];
+                const std::uint32_t d = request.chosen[g];
                 const auto &owners = plan_.ownersPerTable[g];
                 const std::size_t i = static_cast<std::size_t>(
                     std::find(owners.begin(), owners.end(), d) -
@@ -225,11 +280,13 @@ RmSsdCluster::infer(std::span<const model::Sample> samples)
                                 static_cast<std::size_t>(g) * dim);
             }
             if (options_.embeddingOnly) {
-                outcome.outputs.insert(outcome.outputs.end(),
-                                       pooled.begin(), pooled.end());
+                done.outcome.outputs.insert(done.outcome.outputs.end(),
+                                            pooled.begin(),
+                                            pooled.end());
             } else {
-                outcome.outputs.push_back(engine::decomposedForward(
-                    fullModel_, samples[s].dense, pooled));
+                done.outcome.outputs.push_back(
+                    engine::decomposedForward(
+                        fullModel_, request.samples[s].dense, pooled));
             }
         }
     }
@@ -238,19 +295,49 @@ RmSsdCluster::infer(std::span<const model::Sample> samples)
     // the next request's inputs while this one computes, so the fleet
     // clock advances to the shards' input-side progress (or to full
     // completion for synchronous hosts).
-    Cycle next = t0;
-    for (std::uint32_t d = 0; d < numDevices; ++d) {
-        if (participated[d])
-            next = std::max(next, shards_[d]->deviceNow());
-    }
+    Cycle next = clusterNow_;
+    for (const auto &participant : request.participants)
+        next = std::max(next, shards_[participant.first]->deviceNow());
     if (!options_.device.presend)
         next = std::max(next, end);
     clusterNow_ = next;
     lastCompletion_ = end;
     requests_.inc();
 
-    outcome.latency = cyclesToNanos(end - t0);
-    outcome.completionCycle = end;
+    done.outcome.latency = cyclesToNanos(end - t0);
+    done.outcome.completionCycle = end;
+    retired_.inc();
+    pushCompletion(std::move(done));
+}
+
+bool
+RmSsdCluster::retireNext()
+{
+    if (inflight_.empty())
+        return false;
+    retireOldest();
+    return true;
+}
+
+void
+RmSsdCluster::setMaxInflight(std::uint32_t depth)
+{
+    // Shrink the fleet queue first so shard queues never hold a
+    // sub-request whose cluster request has already retired.
+    engine::InferenceDevice::setMaxInflight(depth);
+    for (const auto &shard : shards_)
+        shard->setMaxInflight(depth);
+}
+
+engine::InferenceOutcome
+RmSsdCluster::infer(std::span<const model::Sample> samples)
+{
+    const engine::RequestId id = submit(samples);
+    engine::InferenceOutcome outcome;
+    for (engine::AsyncCompletion &completion : drain()) {
+        if (completion.id == id)
+            outcome = std::move(completion.outcome);
+    }
     return outcome;
 }
 
@@ -325,6 +412,8 @@ RmSsdCluster::resetTiming()
     std::fill(topFree_.begin(), topFree_.end(), Cycle{});
     rrHome_ = 0;
     std::fill(rrReplica_.begin(), rrReplica_.end(), 0);
+    inflight_.clear();
+    clearCompletions();
 }
 
 void
@@ -333,6 +422,10 @@ RmSsdCluster::registerStats(StatsRegistry &registry,
 {
     registry.addCounter(prefix + ".requests", &requests_);
     registry.addCounter(prefix + ".subRequests", &subRequests_);
+    registry.addCounter(prefix + ".queue.submitted", &submitted_);
+    registry.addCounter(prefix + ".queue.retired", &retired_);
+    registry.addDistribution(prefix + ".queue.depth",
+                             &queueDepthOnSubmit_);
     registry.addCounter(prefix + ".host.bytesRead", &hostBytesRead_);
     registry.addCounter(prefix + ".host.bytesWritten",
                         &hostBytesWritten_);

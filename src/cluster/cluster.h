@@ -16,7 +16,9 @@
 #define RMSSD_CLUSTER_CLUSTER_H
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/sharding.h"
@@ -73,10 +75,34 @@ class RmSsdCluster : public engine::InferenceDevice
     /**
      * Scatter one request's lookups to the owning shards, gather the
      * partial pooled sums, and (unless embeddingOnly) run the MLP on
-     * the router-chosen home device.
+     * the router-chosen home device. Implemented as submit() +
+     * drain(), so any other outstanding submissions retire with it.
      */
     engine::InferenceOutcome
     infer(std::span<const model::Sample> samples) override;
+
+    /**
+     * Issue one request asynchronously: route and scatter now (each
+     * shard's sub-request issues through its own async queue, so
+     * shard clocks stay independent between scatters and
+     * least-outstanding routing observes real per-device depths);
+     * defer the gather, the home MLP, and the completion bookkeeping
+     * until the request retires.
+     */
+    engine::RequestId
+    submit(std::span<const model::Sample> samples) override;
+
+    /** Retire the oldest outstanding request; false when idle. */
+    bool retireNext() override;
+
+    /** Requests issued but not yet retired. */
+    std::uint32_t inflight() const override
+    {
+        return static_cast<std::uint32_t>(inflight_.size());
+    }
+
+    /** Propagate the queue depth to every shard, then resize. */
+    void setMaxInflight(std::uint32_t depth) override;
 
     const model::DlrmModel &model() const override { return fullModel_; }
     Cycle deviceNow() const override { return clusterNow_; }
@@ -122,6 +148,25 @@ class RmSsdCluster : public engine::InferenceDevice
     std::uint32_t chooseHome(
         const std::vector<std::uint64_t> &assignedLookups);
 
+    /** One scattered-but-not-gathered request (async pipeline). */
+    struct ClusterInflight
+    {
+        engine::RequestId id = 0;
+        Cycle t0; //!< fleet clock at scatter time
+        std::size_t numSamples = 0;
+        /** Serving replica chosen per global table. */
+        std::vector<std::uint32_t> chosen;
+        std::vector<std::uint64_t> assignedLookups;
+        /** (device, shard ticket) per participant, in device order. */
+        std::vector<std::pair<std::uint32_t, engine::RequestId>>
+            participants;
+        /** Request samples, kept for the functional gather. */
+        std::vector<model::Sample> samples;
+    };
+
+    /** Retire stage: shard gather + home MLP + presend bookkeeping. */
+    void retireOldest();
+
     model::ModelConfig config_;
     ClusterOptions options_;
     ShardPlan plan_;
@@ -142,6 +187,8 @@ class RmSsdCluster : public engine::InferenceDevice
     /** Round-robin rotation state. */
     std::uint64_t rrHome_ = 0;
     std::vector<std::uint64_t> rrReplica_;
+
+    std::deque<ClusterInflight> inflight_;
 
     Counter requests_;
     Counter subRequests_;

@@ -14,6 +14,8 @@
 #define RMSSD_ENGINE_INFERENCE_DEVICE_H
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,6 +39,16 @@ struct InferenceOutcome
     std::vector<float> outputs;
 };
 
+/** Ticket identifying one asynchronously submitted request. */
+using RequestId = std::uint64_t;
+
+/** One retired asynchronous request. */
+struct AsyncCompletion
+{
+    RequestId id = 0;
+    InferenceOutcome outcome;
+};
+
 /** Abstract inference backend with a device clock. */
 class InferenceDevice
 {
@@ -46,10 +58,68 @@ class InferenceDevice
     /**
      * Run one inference request of arbitrary batch size. Large
      * batches partition into micro-batches that stream through the
-     * backend's engines.
+     * backend's engines. Synchronous: equivalent to submit() followed
+     * by drain() — any other outstanding submissions retire with it
+     * (their completions are consumed by the internal drain).
      */
     virtual InferenceOutcome
     infer(std::span<const model::Sample> samples) = 0;
+
+    // ---- Asynchronous surface (cross-request pipelining) ----------
+    //
+    // submit() issues a request without waiting for its results; up
+    // to maxInflight() requests overlap inside the backend, each
+    // engine (flash/embedding, MLP units, DMA) scheduled on its own
+    // occupancy track. When the bounded queue is full, submit first
+    // retires the oldest outstanding request (backpressure). poll()
+    // pops already-retired completions in FIFO order without
+    // advancing the timeline; drain() retires everything outstanding.
+    // At maxInflight() == 1 the submit/retire sequence is
+    // op-for-op identical to the blocking infer() loop, so existing
+    // results reproduce bit-for-bit.
+
+    /**
+     * Issue one request asynchronously. Retires the oldest
+     * outstanding request first when maxInflight() are already in
+     * flight. The base implementation is a synchronous fallback
+     * (serve inline, queue the completion) for backends without an
+     * async pipeline.
+     */
+    virtual RequestId submit(std::span<const model::Sample> samples);
+
+    /**
+     * Pop the oldest retired completion, FIFO; std::nullopt when none
+     * has retired yet. Never advances the device timeline.
+     */
+    std::optional<AsyncCompletion> poll();
+
+    /**
+     * Retire every outstanding request and return all unconsumed
+     * completions in FIFO order. Idempotent: a second drain() with
+     * nothing submitted in between returns an empty vector.
+     */
+    std::vector<AsyncCompletion> drain();
+
+    /**
+     * Force-retire the oldest outstanding request into the completion
+     * queue. @return false when nothing is in flight. Base backends
+     * complete synchronously inside submit(), so the default is a
+     * no-op.
+     */
+    virtual bool retireNext() { return false; }
+
+    /** Requests currently issued but not yet retired. */
+    virtual std::uint32_t inflight() const { return 0; }
+
+    /** Bounded queue depth: requests that may overlap in the device. */
+    std::uint32_t maxInflight() const { return maxInflight_; }
+
+    /**
+     * Set the queue depth (>= 1). Shrinking below the current
+     * inflight() count retires the oldest requests down to the new
+     * bound.
+     */
+    virtual void setMaxInflight(std::uint32_t depth);
 
     /** The functional model served by this backend. */
     virtual const model::DlrmModel &model() const = 0;
@@ -111,9 +181,32 @@ class InferenceDevice
      * continuous stream of requests of @p batchSize. Shared across
      * backends: built purely on the virtual hooks above.
      * @param measureBatches micro-batch count in the measured window
+     * @param queueDepth requests kept in flight (submit/poll); 1
+     *        reproduces the blocking infer() loop bit-for-bit
      */
     double steadyStateQps(std::uint32_t batchSize,
-                          std::uint32_t measureBatches = 32);
+                          std::uint32_t measureBatches = 32,
+                          std::uint32_t queueDepth = 1);
+
+  protected:
+    /** Allocate the next submission ticket. */
+    RequestId allocateRequestId() { return ++requestIdCounter_; }
+    /** Queue a retired request for poll()/drain(). */
+    void pushCompletion(AsyncCompletion completion);
+    /** Drop queued completions and reset depth bookkeeping (timing reset). */
+    void clearCompletions();
+
+    /** Async submissions (including synchronous fallbacks). */
+    Counter submitted_;
+    /** Requests retired through the async surface. */
+    Counter retired_;
+    /** Queue occupancy sampled at each submit (includes the new request). */
+    Distribution queueDepthOnSubmit_;
+
+  private:
+    std::uint32_t maxInflight_ = 1;
+    std::uint64_t requestIdCounter_ = 0;
+    std::deque<AsyncCompletion> completed_;
 };
 
 } // namespace rmssd::engine

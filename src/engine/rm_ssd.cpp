@@ -285,6 +285,7 @@ RmSsd::runMicroBatch(Cycle inputsReady,
             : std::max(inputsReady, topUnitFree_);
     const EmbeddingResult emb =
         embeddingEngine_->run(embStart, samples, functional);
+    embIssueBusy_.inc((emb.issueEndCycle - embStart).raw());
 
     MicroBatchDone out;
     if (options_.variant == EngineVariant::EmbeddingOnly) {
@@ -304,6 +305,8 @@ RmSsd::runMicroBatch(Cycle inputsReady,
     const Cycle topPrime =
         plan.composed ? composedCycles(plan.top, plan.ii)
                       : sequentialCycles(plan.top, plan.ii);
+    mlpBottomBusy_.inc(botPrime.raw());
+    mlpTopBusy_.inc(topPrime.raw());
 
     if (plan.decomposed && plan.composed) {
         // Bottom MLP runs concurrently with the lookups; the unit
@@ -349,37 +352,54 @@ RmSsd::runMicroBatch(Cycle inputsReady,
     return out;
 }
 
-InferenceOutcome
-RmSsd::infer(std::span<const model::Sample> samples)
+RequestId
+RmSsd::submit(std::span<const model::Sample> samples)
 {
     RMSSD_ASSERT(!samples.empty(), "empty inference request");
+
+    // Bounded queue depth: when full, the oldest request retires
+    // before the new one issues (host backpressure). At depth 1 this
+    // reproduces the blocking infer() loop op-for-op: retire r, then
+    // issue r+1, with the same DMA/MMIO call order.
+    while (inflight_.size() >= maxInflight())
+        retireOldest();
+
     const MlpPlan &plan = searchResult_.plan;
-    const Cycle t0 = deviceNow_;
+    InflightRequest request;
+    request.id = allocateRequestId();
+    request.t0 = deviceNow_;
+    request.numSamples = samples.size();
 
     // Host sends control parameters over MMIO (posted writes) and the
     // indices + dense inputs via DMA (RM_send_inputs).
-    const Cycle paramsDone =
-        mmio_.write(t0, static_cast<std::uint32_t>(nvme::RmReg::NumLookups),
-                    config_.lookupsPerTable);
+    const Cycle paramsDone = mmio_.write(
+        request.t0, static_cast<std::uint32_t>(nvme::RmReg::NumLookups),
+        config_.lookupsPerTable);
     mmio_.poke(static_cast<std::uint32_t>(nvme::RmReg::BatchSize),
                samples.size());
     const std::uint64_t indexBytes =
         samples.size() * config_.lookupsPerSample() * sizeof(std::uint32_t);
     const std::uint64_t denseBytes =
         samples.size() * config_.denseInputDim() * sizeof(float);
-    const Cycle inputsReady =
+    request.inputsReady =
         dma_.transfer(paramsDone, Bytes{indexBytes + denseBytes});
     hostBytesWritten_.inc(indexBytes + denseBytes);
 
-    InferenceOutcome outcome;
     std::vector<float> *outPtr =
-        options_.functional ? &outcome.outputs : nullptr;
+        options_.functional ? &request.outputs : nullptr;
 
-    // Partition into micro-batches streaming through the engines.
+    // Partition into micro-batches streaming through the engines. At
+    // depth > 1 the embedding engine's issue port is an occupancy
+    // track shared across requests: request r+1's lookups queue
+    // behind r's issue tail while r's MLP micro-batches keep
+    // draining. The depth-1 path leaves the bound off — the blocking
+    // pipeline never applied it, and the host serializes anyway.
     const std::size_t mbSize =
         std::min<std::size_t>(plan.microBatch, samples.size());
-    Cycle issueChain = inputsReady;
-    Cycle lastDone = inputsReady;
+    Cycle issueChain = request.inputsReady;
+    if (maxInflight() > 1)
+        issueChain = std::max(issueChain, embIssueFree_);
+    Cycle lastDone = request.inputsReady;
     for (std::size_t pos = 0; pos < samples.size(); pos += mbSize) {
         const std::size_t n = std::min(mbSize, samples.size() - pos);
         const MicroBatchDone mb =
@@ -387,32 +407,53 @@ RmSsd::infer(std::span<const model::Sample> samples)
         issueChain = std::max(issueChain, mb.issueEnd);
         lastDone = std::max(lastDone, mb.done);
     }
+    embIssueFree_ = std::max(embIssueFree_, issueChain);
+    request.lastDone = lastDone;
 
-    // Results: the host polls the status register; small results ride
-    // the 64-byte MMIO read, larger ones take a DMA transfer.
     const std::uint64_t resultBytesPerSample =
         options_.variant == EngineVariant::EmbeddingOnly
             ? static_cast<std::uint64_t>(config_.numTables) *
                   config_.embDim * sizeof(float)
             : sizeof(float);
-    const std::uint64_t resultBytes =
-        resultBytesPerSample * samples.size();
+    request.resultBytes = Bytes{resultBytesPerSample * samples.size()};
+
+    // Request-level accounting happens at issue so the replan
+    // cooldown sees the same call counts as the blocking path.
+    inferences_.inc(samples.size());
+    ++inferCalls_;
+    submitted_.inc();
+
+    // The host is busy until its inputs are sent; completions of
+    // older requests fold in at their retire (max-accumulation, so
+    // issue/retire interleavings cannot move the clock backward).
+    deviceNow_ = std::max(deviceNow_, request.inputsReady);
+
+    const RequestId id = request.id;
+    inflight_.push_back(std::move(request));
+    queueDepthOnSubmit_.sample(static_cast<double>(inflight_.size()));
+    return id;
+}
+
+void
+RmSsd::retireOldest()
+{
+    RMSSD_ASSERT(!inflight_.empty(), "no request in flight");
+    InflightRequest request = std::move(inflight_.front());
+    inflight_.pop_front();
+
+    // Results: the host polls the status register; small results ride
+    // the 64-byte MMIO read, larger ones take a DMA transfer.
     mmio_.poke(static_cast<std::uint32_t>(nvme::RmReg::ResultStatus), 1);
-    Cycle end = mmio_.read(lastDone,
+    Cycle end = mmio_.read(request.lastDone,
                            static_cast<std::uint32_t>(
                                nvme::RmReg::ResultStatus))
                     .done;
-    if (Bytes{resultBytes} > nvme::MmioManager::kDataWidthBytes) {
-        end = dma_.transfer(end, Bytes{resultBytes});
-        hostBytesRead_.inc(resultBytes);
+    if (request.resultBytes > nvme::MmioManager::kDataWidthBytes) {
+        end = dma_.transfer(end, request.resultBytes);
+        hostBytesRead_.inc(request.resultBytes.raw());
     } else {
         hostBytesRead_.inc(nvme::MmioManager::kDataWidthBytes.raw());
     }
-
-    outcome.latency = cyclesToNanos(end - t0);
-    outcome.completionCycle = end;
-    inferences_.inc(samples.size());
-    ++inferCalls_;
 
     // System-level pipeline (Section IV-D): the host double-buffers —
     // it pre-sends the next request's inputs during the current
@@ -422,11 +463,41 @@ RmSsd::infer(std::span<const model::Sample> samples)
     // back. Synchronous hosts (presend off) block on this request's
     // own completion.
     if (options_.presend)
-        deviceNow_ = std::max(inputsReady, secondLastCompletion_);
+        deviceNow_ = std::max(
+            deviceNow_,
+            std::max(request.inputsReady, secondLastCompletion_));
     else
-        deviceNow_ = end;
+        deviceNow_ = std::max(deviceNow_, end);
     secondLastCompletion_ = lastCompletion_;
     lastCompletion_ = end;
+
+    AsyncCompletion completion;
+    completion.id = request.id;
+    completion.outcome.latency = cyclesToNanos(end - request.t0);
+    completion.outcome.completionCycle = end;
+    completion.outcome.outputs = std::move(request.outputs);
+    retired_.inc();
+    pushCompletion(std::move(completion));
+}
+
+bool
+RmSsd::retireNext()
+{
+    if (inflight_.empty())
+        return false;
+    retireOldest();
+    return true;
+}
+
+InferenceOutcome
+RmSsd::infer(std::span<const model::Sample> samples)
+{
+    const RequestId id = submit(samples);
+    InferenceOutcome outcome;
+    for (AsyncCompletion &completion : drain()) {
+        if (completion.id == id)
+            outcome = std::move(completion.outcome);
+    }
     return outcome;
 }
 
@@ -467,8 +538,19 @@ RmSsd::registerStats(StatsRegistry &registry,
                         &ftl_->blockRequests());
     registry.addCounter(prefix + ".ftl.evRequests",
                         &ftl_->evRequests());
+    registry.addCounter(prefix + ".queue.submitted", &submitted_);
+    registry.addCounter(prefix + ".queue.retired", &retired_);
+    registry.addDistribution(prefix + ".queue.depth",
+                             &queueDepthOnSubmit_);
+    registry.addCounter(prefix + ".emb.issueBusyCycles",
+                        &embIssueBusy_);
+    registry.addCounter(prefix + ".mlp.bottomBusyCycles",
+                        &mlpBottomBusy_);
+    registry.addCounter(prefix + ".mlp.topBusyCycles", &mlpTopBusy_);
     registry.addCounter(prefix + ".dma.transfers", &dma_.transfers());
     registry.addCounter(prefix + ".dma.bytes", &dma_.bytesMoved());
+    registry.addCounter(prefix + ".dma.busyCycles",
+                        &dma_.busyCycles());
     registry.addCounter(prefix + ".mmio.reads", &mmio_.hostReads());
     registry.addCounter(prefix + ".mmio.writes", &mmio_.hostWrites());
     for (std::uint32_t c = 0; c < options_.geometry.numChannels; ++c) {
@@ -508,6 +590,9 @@ RmSsd::resetTiming()
     secondLastCompletion_ = {};
     bottomUnitFree_ = {};
     topUnitFree_ = {};
+    embIssueFree_ = {};
+    inflight_.clear();
+    clearCompletions();
 }
 
 } // namespace rmssd::engine

@@ -14,6 +14,7 @@
 #define RMSSD_ENGINE_RM_SSD_H
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -114,10 +115,34 @@ class RmSsd : public InferenceDevice
     /**
      * Run one inference request of arbitrary batch size. Large
      * batches partition into micro-batches that stream through the
-     * engines (Section IV-D's system-level pipeline).
+     * engines (Section IV-D's system-level pipeline). Implemented as
+     * submit() + drain(), so any other outstanding submissions retire
+     * with it.
      */
     InferenceOutcome
     infer(std::span<const model::Sample> samples) override;
+
+    /**
+     * Issue one request asynchronously (cross-request pipelining).
+     * The issue stage runs immediately: inputs DMA in and the
+     * micro-batches are scheduled onto the engine occupancy tracks
+     * (embedding issue port, bottom/top MLP units), overlapping with
+     * up to maxInflight()-1 older requests still draining through the
+     * MLP. The retire stage (result readback + host presend
+     * bookkeeping) is deferred until the request leaves the queue.
+     * When the queue is full the oldest request retires first
+     * (backpressure).
+     */
+    RequestId submit(std::span<const model::Sample> samples) override;
+
+    /** Retire the oldest outstanding request; false when idle. */
+    bool retireNext() override;
+
+    /** Requests issued but not yet retired. */
+    std::uint32_t inflight() const override
+    {
+        return static_cast<std::uint32_t>(inflight_.size());
+    }
 
     const MlpPlan &plan() const { return searchResult_.plan; }
     const SearchResult &searchResult() const { return searchResult_; }
@@ -233,6 +258,21 @@ class RmSsd : public InferenceDevice
                                  std::span<const model::Sample> samples,
                                  std::vector<float> *outputs);
 
+    /** One issued-but-not-retired request (async pipeline). */
+    struct InflightRequest
+    {
+        RequestId id = 0;
+        Cycle t0;          //!< host issue time (request arrival)
+        Cycle inputsReady; //!< indices + dense inputs DMA'd in
+        Cycle lastDone;    //!< last micro-batch through the engines
+        Bytes resultBytes; //!< result payload awaiting readback
+        std::size_t numSamples = 0;
+        std::vector<float> outputs;
+    };
+
+    /** Retire stage: result readback + presend clock bookkeeping. */
+    void retireOldest();
+
     /** (Re)build searchResult_ for the variant at the given bEV. */
     void buildPlan(double readCyclesPerVector);
 
@@ -264,12 +304,25 @@ class RmSsd : public InferenceDevice
     Cycle secondLastCompletion_;
     Cycle bottomUnitFree_;
     Cycle topUnitFree_;
+    /**
+     * Embedding-engine issue port occupancy across requests. Only
+     * enforced at maxInflight() > 1: the depth-1 pipeline already
+     * serializes requests through the host, and the blocking path
+     * never applied this bound (bit-for-bit compatibility).
+     */
+    Cycle embIssueFree_;
+
+    std::deque<InflightRequest> inflight_;
 
     Counter hostBytesRead_;
     Counter hostBytesWritten_;
     Counter inferences_;
     Counter replans_;
     Counter replanSkips_;
+    /** Per-engine occupancy (utilization = busy / wall cycles). */
+    Counter embIssueBusy_;
+    Counter mlpBottomBusy_;
+    Counter mlpTopBusy_;
 };
 
 } // namespace rmssd::engine

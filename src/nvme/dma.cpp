@@ -19,6 +19,7 @@ DmaEngine::transfer(Cycle issue, Bytes bytes)
     nextFree_ = done;
     transfers_.inc();
     bytesMoved_.inc(bytes.raw());
+    busyCycles_.inc((done - start).raw());
     return done;
 }
 

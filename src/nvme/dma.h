@@ -46,6 +46,8 @@ class DmaEngine
 
     const Counter &transfers() const { return transfers_; }
     const Counter &bytesMoved() const { return bytesMoved_; }
+    /** Cycles the channel spent moving data (occupancy, not waiting). */
+    const Counter &busyCycles() const { return busyCycles_; }
 
     void resetTiming() { nextFree_ = Cycle{}; }
 
@@ -55,6 +57,7 @@ class DmaEngine
 
     Counter transfers_;
     Counter bytesMoved_;
+    Counter busyCycles_;
 };
 
 } // namespace rmssd::nvme

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "sim/log.h"
@@ -10,12 +12,14 @@
 namespace rmssd::workload {
 
 BatcherResult
-simulateBatchedServing(engine::RmSsd &device, TraceGenerator &gen,
-                       const BatcherConfig &config)
+simulateBatchedServing(engine::InferenceDevice &device,
+                       TraceGenerator &gen, const BatcherConfig &config)
 {
     RMSSD_ASSERT(config.maxBatch >= 1, "batch cap must be positive");
     RMSSD_ASSERT(config.arrivalQps > 0.0, "non-positive arrival rate");
     device.resetTiming();
+    device.setMaxInflight(
+        std::max<std::uint32_t>(config.queueDepth, 1));
 
     Rng rng(config.seed);
     const double meanGapNanos = 1e9 / config.arrivalQps;
@@ -36,40 +40,56 @@ simulateBatchedServing(engine::RmSsd &device, TraceGenerator &gen,
     Cycle lastCompletion;
     std::size_t next = 0;
     std::uint64_t batchedQueries = 0;
+    // Query index ranges of dispatched-but-uncompleted batches, FIFO —
+    // device completions pop in dispatch order.
+    std::deque<std::pair<std::size_t, std::size_t>> pendingRanges;
+    const auto recordCompletion =
+        [&](const engine::AsyncCompletion &completion) {
+            const auto range = pendingRanges.front();
+            pendingRanges.pop_front();
+            const Nanos done =
+                cyclesToNanos(completion.outcome.completionCycle);
+            for (std::size_t q = range.first; q < range.second; ++q)
+                latencies.add(done - arrivals[q]);
+            lastCompletion = std::max(
+                lastCompletion, completion.outcome.completionCycle);
+        };
     while (next < arrivals.size()) {
-        // The window opens at the first query's arrival (or when the
-        // server frees up, whichever is later) and closes at the
-        // size cap or the flush timeout.
+        // The window opens at the first pending query's arrival. Two
+        // events can close it: the size-cap arrival, or the flush
+        // timer armed at open + flushTimeout. The timer fires on its
+        // own — a long lull (or the end of the arrival stream) cannot
+        // hold a partial batch open past the timeout.
         const Nanos windowOpen = arrivals[next];
-        const Nanos deadline = windowOpen + config.flushTimeout;
-        std::size_t end = next;
-        while (end < arrivals.size() &&
-               end - next < config.maxBatch &&
-               arrivals[end] <= deadline) {
+        const Nanos flushAt = windowOpen + config.flushTimeout;
+        std::size_t end = next + 1;
+        while (end < arrivals.size() && end - next < config.maxBatch &&
+               arrivals[end] <= flushAt) {
             ++end;
         }
         const std::size_t batchSize = end - next;
-        // Dispatch when the batch fills or the timeout expires.
-        const Nanos dispatch =
-            batchSize == config.maxBatch ? arrivals[end - 1] : deadline;
-
-        if (device.deviceNow() < nanosToCycles(dispatch)) {
+        const Nanos dispatch = batchSize == config.maxBatch
+                                   ? arrivals[end - 1] // cap event
+                                   : flushAt;          // timer event
+        const Cycle dispatchCycle = nanosToCycles(dispatch);
+        if (device.deviceNow() < dispatchCycle) {
             device.advanceHostClock(
-                cyclesToNanos(nanosToCycles(dispatch) -
-                              device.deviceNow()));
+                cyclesToNanos(dispatchCycle - device.deviceNow()));
         }
         const auto batch =
             gen.nextBatch(static_cast<std::uint32_t>(batchSize));
-        const engine::InferenceOutcome out = device.infer(batch);
-        const Nanos completion = cyclesToNanos(out.completionCycle);
-        for (std::size_t q = next; q < end; ++q)
-            latencies.add(completion - arrivals[q]);
-        lastCompletion =
-            std::max(lastCompletion, out.completionCycle);
+        device.submit(batch);
+        pendingRanges.emplace_back(next, end);
+        while (const auto completion = device.poll())
+            recordCompletion(*completion);
         batchedQueries += batchSize;
         ++result.dispatches;
         next = end;
     }
+    for (const engine::AsyncCompletion &completion : device.drain())
+        recordCompletion(completion);
+    RMSSD_ASSERT(pendingRanges.empty(),
+                 "drain left batches unaccounted");
 
     result.achievedQps =
         static_cast<double>(batchedQueries) /

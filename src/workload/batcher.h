@@ -2,11 +2,12 @@
  * @file
  * Query batcher: individual queries arrive (Poisson); the server
  * accumulates them into request batches up to a size cap or a flush
- * timeout, then dispatches to the RM-SSD. This is the standard
- * serving-side batching loop (DeepRecSys-style) the paper's
- * system-level pipeline slots under: "if large batch inferences come,
- * they should be partitioned into several small batches" — here we
- * model where those batches come from.
+ * timeout, then dispatches to any InferenceDevice — a single RM-SSD,
+ * a baseline, or a sharded cluster. This is the standard serving-side
+ * batching loop (DeepRecSys-style) the paper's system-level pipeline
+ * slots under: "if large batch inferences come, they should be
+ * partitioned into several small batches" — here we model where those
+ * batches come from.
  */
 
 #ifndef RMSSD_WORKLOAD_BATCHER_H
@@ -14,7 +15,7 @@
 
 #include <cstdint>
 
-#include "engine/rm_ssd.h"
+#include "engine/inference_device.h"
 #include "workload/serving.h"
 #include "workload/trace_gen.h"
 
@@ -28,6 +29,12 @@ struct BatcherConfig
     Nanos flushTimeout{500'000}; //!< ...or this long after the first
     std::uint32_t numQueries = 2000;
     std::uint64_t seed = 0xba7c4ULL;
+    /**
+     * Request batches kept in flight on the device (submit/poll
+     * pipelining); 1 reproduces the blocking dispatch loop
+     * bit-for-bit.
+     */
+    std::uint32_t queueDepth = 1;
 };
 
 /** Outcome of a batched-serving experiment. */
@@ -47,8 +54,15 @@ struct BatcherResult
  * per Poisson, wait in the batching window, and complete when their
  * request's results are readable. Per-query latency includes the
  * batching delay — the throughput/latency trade batching makes.
+ *
+ * The batching window is event-driven: it opens at the first pending
+ * query's arrival and closes on whichever event fires first — the
+ * size-cap arrival or the flush timer armed at open + flushTimeout.
+ * The timer is a real event, so a partial batch (including the
+ * stream's last, with no subsequent arrival to piggy-back on) never
+ * waits past the timeout.
  */
-BatcherResult simulateBatchedServing(engine::RmSsd &device,
+BatcherResult simulateBatchedServing(engine::InferenceDevice &device,
                                      TraceGenerator &gen,
                                      const BatcherConfig &config);
 

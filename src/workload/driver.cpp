@@ -77,11 +77,13 @@ runDeviceLoop(engine::InferenceDevice &device,
               const std::string &system,
               const model::ModelConfig &config, TraceGenerator &gen,
               std::uint32_t batchSize, std::uint32_t numBatches,
-              std::uint32_t warmupBatches)
+              std::uint32_t warmupBatches, std::uint32_t queueDepth)
 {
     // At least one unmeasured request establishes the completion
     // watermark the measured window starts from (otherwise work
-    // queued by earlier runs would be charged to this one).
+    // queued by earlier runs would be charged to this one). Warm-up
+    // is synchronous regardless of depth, so deeper queues measure
+    // the same warm state.
     const std::uint32_t warm = std::max<std::uint32_t>(warmupBatches, 1);
     Cycle start = device.deviceNow();
     for (std::uint32_t b = 0; b < warm; ++b) {
@@ -97,17 +99,27 @@ runDeviceLoop(engine::InferenceDevice &device,
     const std::uint64_t missesBefore =
         cached ? device.cacheMisses() : 0;
 
+    device.setMaxInflight(std::max<std::uint32_t>(queueDepth, 1));
     Cycle lastCompletion = start;
     Nanos latencySum;
     for (std::uint32_t b = 0; b < numBatches; ++b) {
-        const auto out = device.infer(gen.nextBatch(batchSize));
-        lastCompletion = std::max(lastCompletion, out.completionCycle);
-        latencySum += out.latency;
+        device.submit(gen.nextBatch(batchSize));
+        while (const auto completion = device.poll()) {
+            lastCompletion =
+                std::max(lastCompletion,
+                         completion->outcome.completionCycle);
+            latencySum += completion->outcome.latency;
+        }
         ++result.batches;
         result.samples += batchSize;
         result.idealTrafficBytes +=
             Bytes{static_cast<std::uint64_t>(batchSize) *
                   config.lookupsPerSample() * config.vectorBytes()};
+    }
+    for (const engine::AsyncCompletion &completion : device.drain()) {
+        lastCompletion = std::max(
+            lastCompletion, completion.outcome.completionCycle);
+        latencySum += completion.outcome.latency;
     }
     // Requests pipeline through the device, so wall-clock is the span
     // from the stream start to the last completion.

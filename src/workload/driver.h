@@ -102,14 +102,17 @@ RunResult runHostLoop(const std::string &system,
  * pipeline through @p device, wall-clock spans the post-warmup
  * watermark to the last completion, host traffic and the EV-cache hit
  * ratio are window deltas of the device counters. At least one
- * warm-up request always runs to establish the watermark.
+ * warm-up request always runs to establish the watermark. The
+ * measured window keeps @p queueDepth requests in flight
+ * (submit/poll); 1 reproduces the blocking infer() loop bit-for-bit.
  */
 RunResult runDeviceLoop(engine::InferenceDevice &device,
                         const std::string &system,
                         const model::ModelConfig &config,
                         TraceGenerator &gen, std::uint32_t batchSize,
                         std::uint32_t numBatches,
-                        std::uint32_t warmupBatches);
+                        std::uint32_t warmupBatches,
+                        std::uint32_t queueDepth = 1);
 
 } // namespace rmssd::workload
 

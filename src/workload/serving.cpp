@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 
 #include "sim/log.h"
 #include "sim/rng.h"
@@ -63,6 +64,8 @@ simulateServing(engine::InferenceDevice &device, TraceGenerator &gen,
 {
     RMSSD_ASSERT(config.arrivalQps > 0.0, "non-positive arrival rate");
     device.resetTiming();
+    device.setMaxInflight(
+        std::max<std::uint32_t>(config.queueDepth, 1));
 
     Rng rng(config.seed);
     const double meanGapNanos = 1e9 / config.arrivalQps;
@@ -76,7 +79,20 @@ simulateServing(engine::InferenceDevice &device, TraceGenerator &gen,
     std::uint64_t steadyHits = 0;
     std::uint64_t steadyMisses = 0;
     double arrivalNanos = 0.0;
+    double depthSum = 0.0;
     Cycle lastCompletion;
+    // Arrival cycles of submitted-but-not-completed requests, FIFO —
+    // completions pop in submission order.
+    std::deque<Cycle> pendingArrivals;
+    const auto recordCompletion =
+        [&](const engine::AsyncCompletion &completion) {
+            const Cycle reqArrival = pendingArrivals.front();
+            pendingArrivals.pop_front();
+            latencies.add(cyclesToNanos(
+                completion.outcome.completionCycle - reqArrival));
+            lastCompletion = std::max(
+                lastCompletion, completion.outcome.completionCycle);
+        };
     for (std::uint32_t r = 0; r < config.numRequests; ++r) {
         // Exponential inter-arrival gap (Poisson process).
         const double u = std::max(rng.nextDouble(), 1e-12);
@@ -92,9 +108,11 @@ simulateServing(engine::InferenceDevice &device, TraceGenerator &gen,
                 cyclesToNanos(arrival - device.deviceNow()));
         }
         const auto batch = gen.nextBatch(config.batchSize);
-        const engine::InferenceOutcome out = device.infer(batch);
-        latencies.add(cyclesToNanos(out.completionCycle - arrival));
-        lastCompletion = std::max(lastCompletion, out.completionCycle);
+        device.submit(batch);
+        pendingArrivals.push_back(arrival);
+        depthSum += static_cast<double>(device.inflight());
+        while (const auto completion = device.poll())
+            recordCompletion(*completion);
 
         if (cached) {
             // Per-request hit ratio: the cache carries warm state
@@ -120,8 +138,14 @@ simulateServing(engine::InferenceDevice &device, TraceGenerator &gen,
                 device.replanIfDrifted(config.replanThreshold);
         }
     }
+    for (const engine::AsyncCompletion &completion : device.drain())
+        recordCompletion(completion);
+    RMSSD_ASSERT(pendingArrivals.empty(),
+                 "drain left requests unaccounted");
 
     result.offeredQps = config.arrivalQps;
+    result.meanQueueDepth =
+        config.numRequests > 0 ? depthSum / config.numRequests : 0.0;
     result.requests = config.numRequests;
     const double seconds = nanosToSeconds(cyclesToNanos(lastCompletion));
     result.achievedQps =

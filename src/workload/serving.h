@@ -51,6 +51,13 @@ struct ServingConfig
     std::uint32_t numRequests = 200;
     std::uint64_t seed = 0x5e12e5ULL;
     /**
+     * Requests kept in flight on the device (submit/poll pipelining).
+     * 1 (the default) reproduces the blocking infer() loop
+     * bit-for-bit; deeper queues overlap request r+1's embedding
+     * lookups with request r's MLP tail.
+     */
+    std::uint32_t queueDepth = 1;
+    /**
      * Adaptive re-planning: every @p replanCheckEvery requests, call
      * InferenceDevice::replanIfDrifted with this threshold so the MLP
      * kernels re-balance when the measured hit ratio drifts from the
@@ -85,6 +92,8 @@ struct ServingResult
     double steadyHitRatio = 0.0;
     /** Adaptive re-plans triggered during the run. */
     std::uint64_t replans = 0;
+    /** Mean device queue occupancy observed right after each submit. */
+    double meanQueueDepth = 0.0;
 };
 
 /**

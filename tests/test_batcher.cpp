@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.h"
 #include "engine/rm_ssd.h"
 #include "model/model_zoo.h"
 #include "workload/batcher.h"
@@ -99,6 +100,62 @@ TEST_F(BatcherFixture, AllQueriesAccountedFor)
         simulateBatchedServing(*device_, *gen_, bc);
     EXPECT_NEAR(r.meanBatchSize * static_cast<double>(r.dispatches),
                 101.0, 0.5);
+}
+
+TEST_F(BatcherFixture, PartialBatchNeverWaitsPastFlushTimeout)
+{
+    // Regression: the flush timer is its own event. A lone query with
+    // no subsequent arrival to piggy-back on (here: 10 ms gaps vs a
+    // 50 us timeout, so every window is a singleton — including the
+    // stream's last) must dispatch at windowOpen + flushTimeout, not
+    // wait for the next arrival to be processed.
+    BatcherConfig bc;
+    bc.arrivalQps = 50.0; // 20 ms inter-arrival
+    bc.maxBatch = 8;
+    bc.flushTimeout = Nanos{50'000};
+    bc.numQueries = 10;
+    const BatcherResult r =
+        simulateBatchedServing(*device_, *gen_, bc);
+    EXPECT_EQ(r.dispatches, 10u);
+    // Every query waits exactly the timeout plus its own service time
+    // (~3.4 ms for batch-1 RMC3); an unbounded wait would show up as
+    // ~20 ms latencies.
+    EXPECT_GE(r.meanLatency, bc.flushTimeout);
+    EXPECT_LT(r.p99, bc.flushTimeout + Nanos{8'000'000});
+}
+
+TEST_F(BatcherFixture, RunsAgainstClusterBackend)
+{
+    // The batcher takes any InferenceDevice — drive an x2 fleet.
+    cluster::ClusterOptions fleetOptions;
+    fleetOptions.sharding.numDevices = 2;
+    cluster::RmSsdCluster fleet(config_, fleetOptions);
+
+    BatcherConfig bc;
+    bc.arrivalQps = 3000.0;
+    bc.maxBatch = 4;
+    bc.numQueries = 101;
+    const BatcherResult r = simulateBatchedServing(fleet, *gen_, bc);
+    EXPECT_NEAR(r.meanBatchSize * static_cast<double>(r.dispatches),
+                101.0, 0.5);
+    EXPECT_GT(r.achievedQps, 0.0);
+}
+
+TEST_F(BatcherFixture, PipelinedDispatchIsDeterministicAndComplete)
+{
+    BatcherConfig bc;
+    bc.arrivalQps = 50000.0;
+    bc.maxBatch = 8;
+    bc.numQueries = 200;
+    bc.queueDepth = 4;
+    gen_->reset();
+    const BatcherResult a = simulateBatchedServing(*device_, *gen_, bc);
+    gen_->reset();
+    const BatcherResult b = simulateBatchedServing(*device_, *gen_, bc);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+    EXPECT_NEAR(a.meanBatchSize * static_cast<double>(a.dispatches),
+                200.0, 0.5);
 }
 
 TEST_F(BatcherFixture, DeterministicForSeed)

@@ -60,15 +60,28 @@ def diff_file(golden_path: pathlib.Path,
             findings.append(
                 f"{label}: table {key} dropped columns {missing_cols}")
             continue
-        # Rows are keyed by the golden's first column (K, system, ...).
+        # Rows are keyed by the golden's first column (K, system, ...)
+        # plus an occurrence index, so sweep tables that repeat the
+        # first column (e.g. one row per queue depth per system) pair
+        # up positionally within each key.
         row_key = gt["columns"][0]
-        current_rows = {r.get(row_key): r for r in ct["rows"]}
+        current_rows = {}
+        seen_rows: dict[object, int] = {}
+        for r in ct["rows"]:
+            v = r.get(row_key)
+            n = seen_rows.get(v, 0)
+            seen_rows[v] = n + 1
+            current_rows[(v, n)] = r
+        seen_rows.clear()
         for gr in gt["rows"]:
-            cr = current_rows.get(gr.get(row_key))
+            v = gr.get(row_key)
+            n = seen_rows.get(v, 0)
+            seen_rows[v] = n + 1
+            cr = current_rows.get((v, n))
             if cr is None:
                 findings.append(
                     f"{label}: table {key} row "
-                    f"{row_key}={gr.get(row_key)!r} missing")
+                    f"{row_key}={v!r} (occurrence {n}) missing")
                 continue
             for col in gt["columns"]:
                 if gr.get(col) != cr.get(col):
