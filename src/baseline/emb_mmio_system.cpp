@@ -18,11 +18,12 @@ EmbMmioSystem::run(workload::TraceGenerator &gen,
         gen.nextBatch(batchSize); // no cache to warm
 
     const std::uint32_t evBytes = config_.vectorBytes();
-    const std::uint32_t pageSize = ssd_.flash().geometry().pageSizeBytes;
+    const std::uint32_t pageSize = static_cast<std::uint32_t>(
+        ssd_.flash().geometry().pageSizeBytes.raw());
     const std::uint32_t sectorsPerPage =
         ssd_.flash().geometry().sectorsPerPage();
-    const std::uint32_t sectorSize =
-        ssd_.flash().geometry().sectorSizeBytes;
+    const std::uint32_t sectorSize = static_cast<std::uint32_t>(
+        ssd_.flash().geometry().sectorSizeBytes.raw());
 
     return workload::runHostLoop(
         name_, config_, gen, batchSize, numBatches,

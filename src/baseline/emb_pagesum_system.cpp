@@ -21,9 +21,10 @@ PageGrainPooler::poolBatch(Cycle start,
                            const HostCached &cached)
 {
     const std::uint32_t evBytes = config_.vectorBytes();
-    const std::uint32_t pageSize = ssd_.flash().geometry().pageSizeBytes;
-    const std::uint32_t sectorSize =
-        ssd_.flash().geometry().sectorSizeBytes;
+    const std::uint32_t pageSize = static_cast<std::uint32_t>(
+        ssd_.flash().geometry().pageSizeBytes.raw());
+    const std::uint32_t sectorSize = static_cast<std::uint32_t>(
+        ssd_.flash().geometry().sectorSizeBytes.raw());
 
     Cycle issue = start + engine::EvTranslator::kPipelineFillCycles;
     Cycle lastDone = issue;

@@ -14,7 +14,8 @@ SsdNaiveSystem::SsdNaiveSystem(const model::ModelConfig &config,
     ssd_.layoutTables(config_);
     const std::uint64_t cachePages = static_cast<std::uint64_t>(
         dramFraction * static_cast<double>(config_.embeddingBytes()) /
-        ssd_.flash().geometry().pageSizeBytes);
+        static_cast<double>(
+            ssd_.flash().geometry().pageSizeBytes.raw()));
     reader_ = std::make_unique<host::HostFileReader>(
         ssd_.nvme(), cachePages, ioCosts);
 }

@@ -17,8 +17,8 @@ SimulatedSsd::SimulatedSsd(const flash::Geometry &geometry,
 void
 SimulatedSsd::layoutTables(const model::ModelConfig &config)
 {
-    const std::uint32_t sectorSize =
-        flash_.geometry().sectorSizeBytes;
+    const std::uint64_t sectorSize =
+        flash_.geometry().sectorSizeBytes.raw();
     ftl::ExtentAllocator allocator(
         Sectors{flash_.geometry().capacityBytes() / sectorSize});
     extents_.clear();

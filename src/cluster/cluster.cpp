@@ -395,6 +395,24 @@ RmSsdCluster::replanCount() const
     return total;
 }
 
+std::uint64_t
+RmSsdCluster::migrateIfDrifted()
+{
+    std::uint64_t moved = 0;
+    for (const auto &shard : shards_)
+        moved += shard->migrateIfDrifted();
+    return moved;
+}
+
+std::uint64_t
+RmSsdCluster::migratedPageCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->migratedPageCount();
+    return total;
+}
+
 void
 RmSsdCluster::advanceHostClock(Nanos hostNanos)
 {

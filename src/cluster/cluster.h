@@ -128,6 +128,9 @@ class RmSsdCluster : public engine::InferenceDevice
     /** Propagate the drift check to every shard (true if any re-plans). */
     bool replanIfDrifted(double threshold) override;
     std::uint64_t replanCount() const override;
+    /** Propagate the migration check to every shard (pages moved). */
+    std::uint64_t migrateIfDrifted() override;
+    std::uint64_t migratedPageCount() const override;
 
     const ShardPlan &shardPlan() const { return plan_; }
     std::uint32_t numDevices() const { return plan_.numDevices(); }

@@ -98,4 +98,118 @@ planTableSharding(
     return plan;
 }
 
+ReshardPlanResult
+replanTableSharding(
+    const model::ModelConfig &config, const ShardingOptions &options,
+    const ShardPlan &previous,
+    const std::vector<workload::TraceGenerator::TableHistogram> &hist,
+    double stickiness)
+{
+    const std::uint32_t numTables = config.numTables;
+    const std::uint32_t numDevices = options.numDevices;
+    RMSSD_ASSERT(numDevices > 0, "fleet needs at least one device");
+    RMSSD_ASSERT(numDevices <= numTables,
+                 "more devices than tables to place");
+    RMSSD_ASSERT(previous.numDevices() == numDevices,
+                 "previous plan covers a different fleet");
+    RMSSD_ASSERT(previous.ownersPerTable.size() == numTables,
+                 "previous plan covers a different model");
+    RMSSD_ASSERT(hist.empty() || hist.size() == numTables,
+                 "histogram count must match the table count");
+    RMSSD_ASSERT(stickiness >= 0.0, "negative stickiness");
+
+    std::vector<double> weight(numTables, 1.0);
+    if (!hist.empty())
+        weight = workload::planTableShares(hist);
+
+    std::vector<std::uint32_t> order(numTables);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return weight[a] > weight[b];
+                     });
+
+    // Sticky LPT: heaviest table first, onto a previous owner when
+    // its load is within (1 + stickiness) of the least-loaded device,
+    // else onto the least-loaded device (the plain greedy choice).
+    ReshardPlanResult result;
+    ShardPlan &plan = result.plan;
+    plan.tablesPerDevice.resize(numDevices);
+    std::vector<double> load(numDevices, 0.0);
+    for (const std::uint32_t g : order) {
+        std::uint32_t best = 0;
+        for (std::uint32_t d = 1; d < numDevices; ++d) {
+            if (load[d] < load[best] ||
+                (load[d] == load[best] &&
+                 plan.tablesPerDevice[d].size() <
+                     plan.tablesPerDevice[best].size()))
+                best = d;
+        }
+        const double bound = load[best] * (1.0 + stickiness) +
+                             stickiness * weight[g];
+        std::uint32_t chosen = best;
+        bool stuck = false;
+        for (const std::uint32_t d : previous.ownersPerTable[g]) {
+            if (load[d] > bound)
+                continue;
+            if (!stuck || load[d] < load[chosen]) {
+                chosen = d;
+                stuck = true;
+            }
+        }
+        plan.tablesPerDevice[chosen].push_back(g);
+        load[chosen] += weight[g];
+    }
+
+    std::uint32_t replicate =
+        std::min(options.replicateHottest, numTables);
+    if (replicate > 0 && numDevices > 1) {
+        std::vector<std::uint32_t> byHeat(numTables);
+        std::iota(byHeat.begin(), byHeat.end(), 0);
+        std::stable_sort(
+            byHeat.begin(), byHeat.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+                if (hist.empty())
+                    return weight[a] > weight[b];
+                return hist[a].totalLookups > hist[b].totalLookups;
+            });
+        byHeat.resize(replicate);
+        for (const std::uint32_t g : byHeat) {
+            for (std::uint32_t d = 0; d < numDevices; ++d) {
+                auto &tables = plan.tablesPerDevice[d];
+                if (std::find(tables.begin(), tables.end(), g) ==
+                    tables.end())
+                    tables.push_back(g);
+            }
+        }
+    }
+
+    plan.ownersPerTable.resize(numTables);
+    plan.localSlotPerTable.resize(numTables);
+    for (std::uint32_t d = 0; d < numDevices; ++d) {
+        auto &tables = plan.tablesPerDevice[d];
+        std::sort(tables.begin(), tables.end());
+        RMSSD_ASSERT(!tables.empty(), "device left without tables");
+        for (std::uint32_t slot = 0; slot < tables.size(); ++slot) {
+            plan.ownersPerTable[tables[slot]].push_back(d);
+            plan.localSlotPerTable[tables[slot]].push_back(slot);
+        }
+    }
+
+    double totalWeight = 0.0;
+    double movedWeight = 0.0;
+    for (std::uint32_t g = 0; g < numTables; ++g) {
+        RMSSD_ASSERT(!plan.ownersPerTable[g].empty(),
+                     "table left without an owner");
+        totalWeight += weight[g];
+        if (plan.ownersPerTable[g] != previous.ownersPerTable[g]) {
+            ++result.movedTables;
+            movedWeight += weight[g];
+        }
+    }
+    result.movedWeightFraction =
+        totalWeight > 0.0 ? movedWeight / totalWeight : 0.0;
+    return result;
+}
+
 } // namespace rmssd::cluster

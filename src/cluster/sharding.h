@@ -84,6 +84,32 @@ ShardPlan planTableSharding(
     const std::vector<workload::TraceGenerator::TableHistogram> &hist =
         {});
 
+/** A re-sharding plan plus how much placement it disturbs. */
+struct ReshardPlanResult
+{
+    ShardPlan plan;
+    /** Tables whose owner set changed versus the previous plan. */
+    std::uint32_t movedTables = 0;
+    /** Placement weight of the moved tables over the total weight. */
+    double movedWeightFraction = 0.0;
+};
+
+/**
+ * Cluster-level twin of the device's migration pass: re-balance the
+ * shard plan from a drifted traffic profile while keeping tables on
+ * their previous owner when load balance allows. A table prefers any
+ * previous owner whose load stays within (1 + @p stickiness) of the
+ * least-loaded device; only tables whose old owners are genuinely
+ * overloaded move, so a mild drift re-weights without a fleet-wide
+ * reshuffle (each moved table means re-provisioning that table's
+ * flash on another device).
+ */
+ReshardPlanResult replanTableSharding(
+    const model::ModelConfig &config, const ShardingOptions &options,
+    const ShardPlan &previous,
+    const std::vector<workload::TraceGenerator::TableHistogram> &hist,
+    double stickiness = 0.05);
+
 } // namespace rmssd::cluster
 
 #endif // RMSSD_CLUSTER_SHARDING_H

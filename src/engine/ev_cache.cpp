@@ -74,12 +74,25 @@ EvCache::EvCache(const EvCacheConfig &config, Bytes lineBytes)
 {
     RMSSD_ASSERT(lineBytes_ > Bytes{}, "zero EV cache line size");
     RMSSD_ASSERT(ways_ > 0, "zero EV cache associativity");
+    RMSSD_ASSERT(config.windowFraction >= 0.0 &&
+                     config.windowFraction < 1.0,
+                 "window fraction outside [0, 1)");
     const std::uint64_t lines = std::max<std::uint64_t>(
         1, config.capacityBytes / lineBytes_);
+    // The W-TinyLFU window is carved out of the same line budget so
+    // enabling it never grows the SRAM footprint; at least one line
+    // must remain on each side of the split.
+    std::uint64_t windowLines = static_cast<std::uint64_t>(
+        config.windowFraction * static_cast<double>(lines));
+    if (config.windowFraction > 0.0 && windowLines == 0 && lines > 1)
+        windowLines = 1;
+    windowLines = std::min(windowLines, lines - 1);
+    window_.resize(windowLines);
+    const std::uint64_t mainLines = lines - windowLines;
     ways_ = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(ways_, lines));
+        std::min<std::uint64_t>(ways_, mainLines));
     const std::uint64_t numSets = std::max<std::uint64_t>(
-        1, lines / ways_);
+        1, mainLines / ways_);
     sets_.resize(numSets);
     for (auto &set : sets_)
         set.resize(ways_);
@@ -123,6 +136,18 @@ EvCache::lookup(TableId tableId, EvIndex index,
     const std::uint64_t key = makeKey(tableId, index);
     if (sketch_)
         sketch_->record(key);
+    for (Line &line : window_) {
+        if (line.valid && line.key == key) {
+            if (out && line.data.empty())
+                break;
+            line.lastUse = ++tick_;
+            hits_.inc();
+            admissionWindowHits_.inc();
+            if (out)
+                *out = line.data;
+            return true;
+        }
+    }
     auto &set = sets_[setIndex(tableId, key)];
     for (Line &line : set) {
         if (line.valid && line.key == key) {
@@ -146,6 +171,55 @@ EvCache::fill(TableId tableId, EvIndex index,
               std::span<const std::uint8_t> data)
 {
     const std::uint64_t key = makeKey(tableId, index);
+
+    if (!window_.empty()) {
+        // Refresh wherever the key already lives (window or main);
+        // otherwise new keys serve their probation in the window and
+        // only its LRU spill may contend for main admission.
+        for (Line &line : window_) {
+            if (line.valid && line.key == key) {
+                line.lastUse = ++tick_;
+                line.data.assign(data.begin(), data.end());
+                fills_.inc();
+                return;
+            }
+        }
+        auto &probeSet = sets_[setIndex(tableId, key)];
+        for (Line &line : probeSet) {
+            if (line.valid && line.key == key) {
+                fillMain(tableId, key, data);
+                return;
+            }
+        }
+        Line &slot = *std::min_element(
+            window_.begin(), window_.end(),
+            [](const Line &a, const Line &b) {
+                if (a.valid != b.valid)
+                    return !a.valid;
+                return a.lastUse < b.lastUse;
+            });
+        if (slot.valid) {
+            // Graduate the window victim toward the main cache; the
+            // TinyLFU filter inside fillMain decides admission.
+            const TableId victimTable{
+                static_cast<std::uint32_t>(slot.key >> 48)};
+            fillMain(victimTable, slot.key, slot.data);
+        }
+        slot.valid = true;
+        slot.key = key;
+        slot.lastUse = ++tick_;
+        slot.data.assign(data.begin(), data.end());
+        fills_.inc();
+        return;
+    }
+
+    fillMain(tableId, key, data);
+}
+
+void
+EvCache::fillMain(TableId tableId, std::uint64_t key,
+                  std::span<const std::uint8_t> data)
+{
     auto &set = sets_[setIndex(tableId, key)];
 
     Line *victim = nullptr;
@@ -185,6 +259,13 @@ bool
 EvCache::contains(TableId tableId, EvIndex index) const
 {
     const std::uint64_t key = makeKey(tableId, index);
+    const auto inWindow =
+        std::any_of(window_.begin(), window_.end(),
+                    [&](const Line &line) {
+                        return line.valid && line.key == key;
+                    });
+    if (inWindow)
+        return true;
     const auto &set = sets_[setIndex(tableId, key)];
     return std::any_of(set.begin(), set.end(), [&](const Line &line) {
         return line.valid && line.key == key;
@@ -199,6 +280,10 @@ EvCache::invalidate()
             line.valid = false;
             line.data.clear();
         }
+    }
+    for (Line &line : window_) {
+        line.valid = false;
+        line.data.clear();
     }
 }
 

@@ -101,6 +101,17 @@ struct EvCacheConfig
      * model's table count and every share must be > 0.
      */
     std::vector<double> tableShares;
+    /**
+     * W-TinyLFU admission window: this fraction of the line budget is
+     * carved out as a small fully-associative LRU window in front of
+     * the main set array. New keys land in the window first and only
+     * graduate into the main cache when the window evicts them AND
+     * their sketch frequency beats the main victim's — recency gets a
+     * probation period without letting the cold tail touch the main
+     * arrays. 0 (the default) disables the window and reproduces the
+     * plain cache bit-for-bit. Meaningful values are small (~0.01).
+     */
+    double windowFraction = 0.0;
 };
 
 /** Contiguous run of sets owned by one table (partitioned mode). */
@@ -179,6 +190,17 @@ class EvCache
     const Counter &evictions() const { return evictions_; }
     /** Fills rejected by the TinyLFU admission filter. */
     const Counter &admissionRejects() const { return admissionRejects_; }
+    /** Hits served by the W-TinyLFU admission window. */
+    const Counter &admissionWindowHits() const
+    {
+        return admissionWindowHits_;
+    }
+
+    /** Lines in the admission window (0 = no window). */
+    std::uint32_t windowLines() const
+    {
+        return static_cast<std::uint32_t>(window_.size());
+    }
 
     /** Measured hit ratio so far (0 when never probed). */
     double hitRatio() const;
@@ -195,11 +217,16 @@ class EvCache
     static std::uint64_t makeKey(TableId tableId, EvIndex index);
     std::size_t setIndex(TableId tableId, std::uint64_t key) const;
 
+    /** Fill the main set array (shared by fill() and window spill). */
+    void fillMain(TableId tableId, std::uint64_t key,
+                  std::span<const std::uint8_t> data);
+
     Bytes lineBytes_;
     std::uint32_t ways_;
     Cycle hitCycles_;
     std::uint64_t tick_ = 0; //!< monotonic LRU clock
     std::vector<std::vector<Line>> sets_;
+    std::vector<Line> window_; //!< W-TinyLFU window; empty = off
     std::vector<EvCachePartition> partitions_; //!< empty = shared
     std::unique_ptr<FrequencySketch> sketch_;  //!< TinyLfu only
 
@@ -208,6 +235,7 @@ class EvCache
     Counter fills_;
     Counter evictions_;
     Counter admissionRejects_;
+    Counter admissionWindowHits_;
 };
 
 } // namespace rmssd::engine

@@ -176,6 +176,20 @@ class InferenceDevice
     /** Number of adaptive re-plans performed. */
     virtual std::uint64_t replanCount() const { return 0; }
 
+    // Frequency-aware placement hooks; backends with the linear
+    // layout keep the defaults.
+
+    /**
+     * Background migration hook: when the online heat estimate says
+     * the hot page set has drifted off the striped hot tier, relocate
+     * a bounded batch of pages through the timed flash path (the
+     * migration traffic contends with foreground reads).
+     * @return pages migrated by this pass (0 when nothing drifted)
+     */
+    virtual std::uint64_t migrateIfDrifted() { return 0; }
+    /** Cumulative pages relocated by background migration. */
+    virtual std::uint64_t migratedPageCount() const { return 0; }
+
     /**
      * Steady-state throughput in queries (samples) per second for a
      * continuous stream of requests of @p batchSize. Shared across

@@ -1,0 +1,44 @@
+#include "engine/placement.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/log.h"
+
+namespace rmssd::engine {
+
+std::vector<PageId>
+planHotPages(const EvTranslator &translator,
+             std::uint32_t sectorsPerPage,
+             std::span<const RowHeat> rows, std::size_t maxPages)
+{
+    RMSSD_ASSERT(sectorsPerPage > 0, "placement without page shape");
+
+    std::unordered_map<PageId, double> heat;
+    for (const RowHeat &row : rows) {
+        if (row.weight <= 0.0)
+            continue;
+        const EvReadRequest req =
+            translator.translate(row.table, row.row);
+        heat[PageId{req.lba.raw() / sectorsPerPage}] += row.weight;
+    }
+
+    std::vector<std::pair<PageId, double>> pages(heat.begin(),
+                                                 heat.end());
+    std::sort(pages.begin(), pages.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first.raw() < b.first.raw();
+              });
+    if (pages.size() > maxPages)
+        pages.resize(maxPages);
+
+    std::vector<PageId> hot;
+    hot.reserve(pages.size());
+    for (const auto &[page, weight] : pages)
+        hot.push_back(page);
+    return hot;
+}
+
+} // namespace rmssd::engine

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Frequency-aware placement planning: turn per-row access weights
+ * into a heat-ordered list of logical flash pages.
+ *
+ * The embedding access skew of production recommendation traces
+ * (Section III-B2, Fig. 4) concentrates most lookups on a small hot
+ * row set. Under the linear layout those hot rows land on whatever
+ * die their table offset hashes to, so the hottest dies serialize
+ * behind their 2800-cycle flushes while others idle. The planner
+ * aggregates row weights to page granularity; FrequencyMapping then
+ * stripes the top pages round-robin across channels x dies (physical
+ * pages 0..tier-1 visit every (channel, die) pair once per C*D block
+ * by Geometry::decompose construction).
+ */
+
+#ifndef RMSSD_ENGINE_PLACEMENT_H
+#define RMSSD_ENGINE_PLACEMENT_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/ev_translator.h"
+#include "sim/types.h"
+
+namespace rmssd::engine {
+
+/** Expected access weight of one embedding row. */
+struct RowHeat
+{
+    TableId table;
+    EvIndex row;
+    /** Relative access frequency; any non-negative scale works. */
+    double weight = 0.0;
+};
+
+/**
+ * Aggregate @p rows to logical-page heat via @p translator and
+ * return up to @p maxPages page ids, hottest first (ties break
+ * toward the lower page id so plans are deterministic).
+ */
+std::vector<PageId> planHotPages(const EvTranslator &translator,
+                                 std::uint32_t sectorsPerPage,
+                                 std::span<const RowHeat> rows,
+                                 std::size_t maxPages);
+
+} // namespace rmssd::engine
+
+#endif // RMSSD_ENGINE_PLACEMENT_H

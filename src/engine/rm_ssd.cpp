@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "ftl/extent.h"
 #include "sim/log.h"
@@ -12,12 +13,10 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
     : config_(config), options_(options), model_(config),
       flash_(std::make_unique<flash::FlashArray>(options.geometry,
                                                  options.timing)),
-      ftl_(std::make_unique<ftl::Ftl>(
-          *flash_, std::make_unique<ftl::LinearMapping>(
-                       options.geometry.totalPages()))),
+      ftl_(std::make_unique<ftl::Ftl>(*flash_, makeMapping(options))),
       nvme_(std::make_unique<nvme::NvmeController>(*ftl_)),
       translator_(std::make_unique<EvTranslator>(
-          Bytes{options.geometry.sectorSizeBytes})),
+          options.geometry.sectorSizeBytes)),
       evCache_(options.evCache.enabled
                    ? std::make_unique<EvCache>(
                          options.evCache, Bytes{config.vectorBytes()})
@@ -29,6 +28,10 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
     if (config_.embeddingBytes() > options_.geometry.capacityBytes())
         fatal("embedding tables (%.1f GB) exceed device capacity",
               static_cast<double>(config_.embeddingBytes()) / 1e9);
+
+    if (options_.placement.enabled)
+        freqMapping_ =
+            static_cast<ftl::FrequencyMapping *>(&ftl_->mapping());
 
     // The kernel search balances the MLP against T_emb; with the EV
     // cache on, the expected hit ratio shrinks the effective per-read
@@ -46,6 +49,115 @@ RmSsd::RmSsd(const model::ModelConfig &config, const RmSsdOptions &options)
                   options_.geometry, options_.timing,
                   Bytes{config_.vectorBytes()});
     buildPlan(rcpv);
+}
+
+std::unique_ptr<ftl::Mapping>
+RmSsd::makeMapping(const RmSsdOptions &options)
+{
+    const std::uint64_t totalPages = options.geometry.totalPages();
+    if (!options.placement.enabled)
+        return std::make_unique<ftl::LinearMapping>(totalPages);
+
+    ftl::FrequencyMapping::Options fm;
+    fm.sketchCounters = options.placement.sketchCounters;
+    fm.sketchSampleSize = options.placement.sketchSampleSize;
+    fm.candidateEstimate = options.placement.sketchCandidateEstimate;
+    return std::make_unique<ftl::FrequencyMapping>(totalPages, fm);
+}
+
+std::uint64_t
+RmSsd::applyHotSet(std::span<const PageId> hot, bool timed,
+                   std::uint64_t maxSwaps)
+{
+    RMSSD_ASSERT(freqMapping_ != nullptr,
+                 "placement pass without a frequency mapping");
+    std::vector<ftl::FrequencyMapping::Swap> swaps =
+        freqMapping_->planHotSet(hot);
+    if (swaps.size() > maxSwaps)
+        swaps.resize(maxSwaps);
+
+    const std::size_t pageSize =
+        static_cast<std::size_t>(options_.geometry.pageSizeBytes.raw());
+    std::vector<std::uint8_t> bufA(pageSize);
+    std::vector<std::uint8_t> bufB(pageSize);
+    flash::BackingStore &store = flash_->store();
+    for (const ftl::FrequencyMapping::Swap &swap : swaps) {
+        // Functional copy first: materialize both pages (unwritten
+        // pages read as PPN-keyed filler, so the bytes must move with
+        // the logical page for reads to stay byte-stable), then swap.
+        store.read(swap.fromPpn, Bytes{}, bufA);
+        store.read(swap.toPpn, Bytes{}, bufB);
+        store.writePage(swap.toPpn, bufA);
+        store.writePage(swap.fromPpn, bufB);
+
+        if (timed) {
+            // Background traffic: the copies occupy dies and channel
+            // buses from the current device time, contending with
+            // foreground reads, but never stall the host clock.
+            const flash::ReadTiming ra =
+                flash_->readPage(deviceNow_, swap.fromPpn, {});
+            const flash::ReadTiming rb =
+                flash_->readPage(deviceNow_, swap.toPpn, {});
+            flash_->programPage(ra.done, swap.toPpn, {});
+            flash_->programPage(rb.done, swap.fromPpn, {});
+        }
+        freqMapping_->commitSwap(swap);
+    }
+    return 2 * swaps.size();
+}
+
+void
+RmSsd::planPlacement(std::span<const RowHeat> rows)
+{
+    if (!freqMapping_)
+        return;
+    const std::vector<PageId> hot = planHotPages(
+        *translator_, options_.geometry.sectorsPerPage(), rows,
+        options_.placement.hotPageCount);
+    applyHotSet(hot, /*timed=*/false,
+                std::numeric_limits<std::uint64_t>::max());
+    freqMapping_->resetObservation();
+}
+
+std::uint64_t
+RmSsd::migrateIfDrifted()
+{
+    if (!freqMapping_)
+        return 0;
+    if (freqMapping_->observedReads() <
+        options_.placement.minObservedReads)
+        return 0;
+
+    const std::vector<PageId> hot =
+        freqMapping_->observedHot(options_.placement.hotPageCount);
+    if (hot.empty())
+        return 0;
+
+    // Drift = fraction of the observed hot set living outside the
+    // striped hot tier. Membership is what balances dies, so pages
+    // already inside the tier (any slot) are not drift.
+    std::uint64_t missing = 0;
+    for (const PageId lpn : hot) {
+        if (freqMapping_->translate(lpn).raw() >=
+            options_.placement.hotPageCount)
+            ++missing;
+    }
+    const double drift = static_cast<double>(missing) /
+                         static_cast<double>(hot.size());
+    if (missing == 0 ||
+        drift <= options_.placement.migrationDriftThreshold) {
+        freqMapping_->resetObservation();
+        return 0;
+    }
+
+    const std::uint64_t moved = applyHotSet(
+        hot, /*timed=*/true, options_.placement.maxSwapsPerPass);
+    if (moved > 0) {
+        migrationPasses_.inc();
+        migratedPages_.inc(moved);
+    }
+    freqMapping_->resetObservation();
+    return moved;
 }
 
 void
@@ -172,7 +284,7 @@ RmSsd::registerTable(TableId tableId,
                                Bytes{spec.vectorBytes()}, spec.numRows);
 
     if (options_.functional) {
-        const Bytes sectorSize{options_.geometry.sectorSizeBytes};
+        const Bytes sectorSize = options_.geometry.sectorSizeBytes;
         std::vector<std::uint8_t> row(spec.vectorBytes());
         for (std::uint64_t r = 0; r < spec.numRows; ++r) {
             spec.rowBytes(r, row);
@@ -187,7 +299,8 @@ RmSsd::registerTable(TableId tableId,
 void
 RmSsd::loadTables()
 {
-    const std::uint32_t sectorSize = options_.geometry.sectorSizeBytes;
+    const std::uint64_t sectorSize =
+        options_.geometry.sectorSizeBytes.raw();
     ftl::ExtentAllocator allocator(
         Sectors{options_.geometry.capacityBytes() / sectorSize},
         options_.maxExtentSectors);
@@ -208,8 +321,10 @@ RmSsd::loadTables()
 Cycle
 RmSsd::loadTablesTimed()
 {
-    const std::uint32_t sectorSize = options_.geometry.sectorSizeBytes;
-    const std::uint32_t pageSize = options_.geometry.pageSizeBytes;
+    const std::uint64_t sectorSize =
+        options_.geometry.sectorSizeBytes.raw();
+    const std::uint64_t pageSize =
+        options_.geometry.pageSizeBytes.raw();
     ftl::ExtentAllocator allocator(
         Sectors{options_.geometry.capacityBytes() / sectorSize},
         options_.maxExtentSectors);
@@ -229,7 +344,8 @@ RmSsd::loadTablesTimed()
 
         // Program every page of the table through the timed write
         // path; pages stripe over channels/dies via the FTL layout.
-        const std::uint32_t vecsPerPage = pageSize / spec.vectorBytes();
+        const std::uint32_t vecsPerPage =
+            static_cast<std::uint32_t>(pageSize / spec.vectorBytes());
         std::uint64_t row = 0;
         for (const ftl::Extent &e : extents.extents()) {
             const std::uint64_t pages =
@@ -528,6 +644,8 @@ RmSsd::registerStats(StatsRegistry &registry,
                             &evCache_->evictions());
         registry.addCounter(prefix + ".emb.cache.admissionRejects",
                             &evCache_->admissionRejects());
+        registry.addCounter(prefix + ".emb.cache.admissionWindowHits",
+                            &evCache_->admissionWindowHits());
         registry.addCounter(prefix + ".emb.cache.replans", &replans_);
         registry.addCounter(prefix + ".emb.cache.replanSkips",
                             &replanSkips_);
@@ -553,18 +671,33 @@ RmSsd::registerStats(StatsRegistry &registry,
                         &dma_.busyCycles());
     registry.addCounter(prefix + ".mmio.reads", &mmio_.hostReads());
     registry.addCounter(prefix + ".mmio.writes", &mmio_.hostWrites());
+    if (freqMapping_) {
+        registry.addCounter(prefix + ".placement.migrationPasses",
+                            &migrationPasses_);
+        registry.addCounter(prefix + ".placement.migratedPages",
+                            &migratedPages_);
+    }
     for (std::uint32_t c = 0; c < options_.geometry.numChannels; ++c) {
         const std::string ch = prefix + ".flash.ch" + std::to_string(c);
-        registry.addCounter(ch + ".pageReads",
-                            &flash_->fmc(c).pageReads());
-        registry.addCounter(ch + ".vectorReads",
-                            &flash_->fmc(c).vectorReads());
-        registry.addCounter(ch + ".busBytes",
-                            &flash_->fmc(c).busBytes());
+        const flash::Fmc *fmc = &flash_->fmc(c);
+        registry.addCounter(ch + ".pageReads", &fmc->pageReads());
+        registry.addCounter(ch + ".vectorReads", &fmc->vectorReads());
+        registry.addCounter(ch + ".busBytes", &fmc->busBytes());
         registry.addCounter(ch + ".pagePrograms",
-                            &flash_->fmc(c).pagePrograms());
-        registry.addCounter(ch + ".blockErases",
-                            &flash_->fmc(c).blockErases());
+                            &fmc->pagePrograms());
+        registry.addCounter(ch + ".blockErases", &fmc->blockErases());
+        registry.addCounter(ch + ".dieConflicts",
+                            &fmc->dieConflicts());
+        // Busy cycles live inside occupancy trackers that reset with
+        // timing state, so they export as gauges, sampled at dump.
+        registry.addGauge(ch + ".busyCycles", [fmc]() {
+            return fmc->busBusyCycles().raw();
+        });
+        for (std::uint32_t d = 0; d < fmc->numDies(); ++d) {
+            registry.addGauge(
+                ch + ".die" + std::to_string(d) + ".busyCycles",
+                [fmc, d]() { return fmc->dieBusyCycles(d).raw(); });
+        }
     }
 }
 

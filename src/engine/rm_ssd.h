@@ -24,7 +24,9 @@
 #include "engine/inference_device.h"
 #include "engine/kernel_search.h"
 #include "engine/mlp_engine.h"
+#include "engine/placement.h"
 #include "flash/flash_array.h"
+#include "ftl/freq_mapping.h"
 #include "ftl/ftl.h"
 #include "model/dlrm.h"
 #include "nvme/dma.h"
@@ -46,6 +48,44 @@ enum class EngineVariant : std::uint8_t
     Naive,
     /** Embedding Lookup Engine only; MLP stays on the host. */
     EmbeddingOnly,
+};
+
+/**
+ * Frequency-aware flash data mapping (off by default: the linear
+ * layout keeps every existing configuration bit-identical). When
+ * enabled the device swaps ftl::LinearMapping for
+ * ftl::FrequencyMapping: hot pages stripe round-robin across
+ * channels x dies, cold pages stay packed, and a background
+ * migration pass re-stripes when the online heat estimate drifts.
+ */
+struct PlacementOptions
+{
+    bool enabled = false;
+    /**
+     * Hot-tier size in flash pages. Physical pages 0..hotPageCount-1
+     * stripe perfectly over (channel, die) pairs, so the tier should
+     * cover the workload's hot set but stay small enough to keep the
+     * mapping tables sparse.
+     */
+    std::uint64_t hotPageCount = 4096;
+    /**
+     * Fraction of the observed hot set that must live outside the
+     * hot tier before a migration pass fires. 0 migrates on any
+     * drift.
+     */
+    double migrationDriftThreshold = 0.0;
+    /** EV reads a drift check needs before it may trust the sketch. */
+    std::uint64_t minObservedReads = 2048;
+    /**
+     * Relocation budget per migration pass. Each swap costs two page
+     * reads plus two page programs of timed background traffic, so
+     * the bound caps interference with foreground reads.
+     */
+    std::uint32_t maxSwapsPerPass = 32;
+    /** Online heat estimator shape (see FrequencyMapping::Options). */
+    std::uint64_t sketchCounters = 1ull << 16;
+    std::uint64_t sketchSampleSize = 1ull << 18;
+    std::uint32_t sketchCandidateEstimate = 2;
 };
 
 /** Device construction options. */
@@ -85,6 +125,8 @@ struct RmSsdOptions
      * disables the cooldown (every drifted window may re-plan).
      */
     std::uint32_t replanCooldownRequests = 0;
+    /** Frequency-aware flash data mapping (default: linear layout). */
+    PlacementOptions placement = {};
 };
 
 /** The RM-SSD device. */
@@ -169,6 +211,40 @@ class RmSsd : public InferenceDevice
      * @return true when the device re-planned
      */
     bool replanIfDrifted(double threshold) override;
+
+    /**
+     * Offline placement planning: aggregate @p rows to page heat and
+     * re-stripe the hot tier now, through functional (untimed) page
+     * copies — the operator's provisioning-time layout pass. Only
+     * meaningful with placement.enabled; call after loadTables().
+     */
+    void planPlacement(std::span<const RowHeat> rows);
+
+    /**
+     * Background migration (see PlacementOptions): when enough reads
+     * were observed and the online hot set drifted off the hot tier,
+     * relocate up to maxSwapsPerPass pages through the timed flash
+     * path and reset the observation window.
+     * @return pages migrated by this pass
+     */
+    std::uint64_t migrateIfDrifted() override;
+
+    std::uint64_t migratedPageCount() const override
+    {
+        return migratedPages_.value();
+    }
+
+    /** Migration passes that actually moved pages. */
+    const Counter &migrationPasses() const { return migrationPasses_; }
+    /** Pages relocated (hot page + displaced partner count as 2). */
+    const Counter &migratedPages() const { return migratedPages_; }
+
+    /** Frequency mapping; nullptr when placement is off. */
+    ftl::FrequencyMapping *frequencyMapping() { return freqMapping_; }
+    const ftl::FrequencyMapping *frequencyMapping() const
+    {
+        return freqMapping_;
+    }
 
     /** Number of adaptive re-plans performed. */
     const Counter &replans() const { return replans_; }
@@ -276,6 +352,18 @@ class RmSsd : public InferenceDevice
     /** (Re)build searchResult_ for the variant at the given bEV. */
     void buildPlan(double readCyclesPerVector);
 
+    /** Mapping matching options.placement (linear or frequency). */
+    static std::unique_ptr<ftl::Mapping>
+    makeMapping(const RmSsdOptions &options);
+
+    /**
+     * Execute a hot-set plan: data copies (functional, plus timed
+     * flash traffic when @p timed) followed by mapping commits, up to
+     * @p maxSwaps relocations. @return pages moved (2 per swap)
+     */
+    std::uint64_t applyHotSet(std::span<const PageId> hot, bool timed,
+                              std::uint64_t maxSwaps);
+
     model::ModelConfig config_;
     RmSsdOptions options_;
     model::DlrmModel model_;
@@ -288,6 +376,8 @@ class RmSsd : public InferenceDevice
     std::unique_ptr<EvTranslator> translator_;
     std::unique_ptr<EvCache> evCache_;
     std::unique_ptr<EmbeddingEngine> embeddingEngine_;
+    /** Borrowed from ftl_; nullptr when placement is off. */
+    ftl::FrequencyMapping *freqMapping_ = nullptr;
 
     SearchResult searchResult_;
     bool tablesLoaded_ = false;
@@ -319,6 +409,8 @@ class RmSsd : public InferenceDevice
     Counter inferences_;
     Counter replans_;
     Counter replanSkips_;
+    Counter migrationPasses_;
+    Counter migratedPages_;
     /** Per-engine occupancy (utilization = busy / wall cycles). */
     Counter embIssueBusy_;
     Counter mlpBottomBusy_;

@@ -7,17 +7,18 @@
 
 namespace rmssd::flash {
 
-BackingStore::BackingStore(std::uint32_t pageSizeBytes)
+BackingStore::BackingStore(Bytes pageSizeBytes)
     : pageSize_(pageSizeBytes)
 {
-    RMSSD_ASSERT(pageSizeBytes > 0, "zero page size");
+    RMSSD_ASSERT(pageSizeBytes > Bytes{}, "zero page size");
 }
 
 void
 BackingStore::writePage(PageId ppn,
                         std::span<const std::uint8_t> data)
 {
-    RMSSD_ASSERT(data.size() == pageSize_, "write is not page sized");
+    RMSSD_ASSERT(data.size() == pageSize_.raw(),
+                 "write is not page sized");
     pages_[ppn].assign(data.begin(), data.end());
 }
 
@@ -25,14 +26,14 @@ void
 BackingStore::writePartial(PageId ppn, Bytes offset,
                            std::span<const std::uint8_t> data)
 {
-    RMSSD_ASSERT(offset.raw() + data.size() <= pageSize_,
+    RMSSD_ASSERT(offset.raw() + data.size() <= pageSize_.raw(),
                  "partial write crosses page boundary");
     auto it = pages_.find(ppn);
     if (it == pages_.end()) {
         // Materialize the page with its filler content first so the
         // untouched region keeps reading back the same bytes.
-        std::vector<std::uint8_t> page(pageSize_);
-        for (std::uint32_t i = 0; i < pageSize_; ++i)
+        std::vector<std::uint8_t> page(pageSize_.raw());
+        for (std::uint64_t i = 0; i < pageSize_.raw(); ++i)
             page[i] = fillerByte(ppn, i);
         it = pages_.emplace(ppn, std::move(page)).first;
     }
@@ -45,7 +46,7 @@ void
 BackingStore::read(PageId ppn, Bytes offset,
                    std::span<std::uint8_t> out) const
 {
-    RMSSD_ASSERT(offset.raw() + out.size() <= pageSize_,
+    RMSSD_ASSERT(offset.raw() + out.size() <= pageSize_.raw(),
                  "read crosses page boundary");
     auto it = pages_.find(ppn);
     if (it != pages_.end()) {

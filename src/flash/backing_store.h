@@ -25,7 +25,7 @@ namespace rmssd::flash {
 class BackingStore
 {
   public:
-    explicit BackingStore(std::uint32_t pageSizeBytes);
+    explicit BackingStore(Bytes pageSizeBytes);
 
     /** Overwrite a full page. @p data must be exactly one page. */
     void writePage(PageId ppn, std::span<const std::uint8_t> data);
@@ -50,13 +50,13 @@ class BackingStore
     /** Number of pages currently materialized. */
     std::size_t materializedPages() const { return pages_.size(); }
 
-    std::uint32_t pageSizeBytes() const { return pageSize_; }
+    Bytes pageSizeBytes() const { return pageSize_; }
 
   private:
     /** Deterministic filler byte for unwritten storage. */
     static std::uint8_t fillerByte(PageId ppn, std::uint64_t off);
 
-    std::uint32_t pageSize_;
+    Bytes pageSize_;
     std::unordered_map<PageId, std::vector<std::uint8_t>> pages_;
 };
 

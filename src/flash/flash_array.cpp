@@ -26,7 +26,7 @@ FlashArray::readPage(Cycle issue, PageId ppn,
     const Pba pba = geometry_.decompose(ppn);
     const ReadTiming t = fmcs_[pba.channel]->readPage(issue, pba.die);
     if (!out.empty()) {
-        RMSSD_ASSERT(out.size() == geometry_.pageSizeBytes,
+        RMSSD_ASSERT(out.size() == geometry_.pageSizeBytes.raw(),
                      "page read buffer is not page sized");
         store_.read(ppn, Bytes{}, out);
     }
@@ -42,7 +42,7 @@ FlashArray::readVector(Cycle issue, PageId ppn, Bytes colOffset,
         RMSSD_ASSERT(out.size() == bytes.raw(),
                      "vector read size mismatch");
     }
-    RMSSD_ASSERT((colOffset + bytes).raw() <= geometry_.pageSizeBytes,
+    RMSSD_ASSERT(colOffset + bytes <= geometry_.pageSizeBytes,
                  "vector read crosses page boundary");
     const ReadTiming t =
         fmcs_[pba.channel]->readVector(issue, pba.die, bytes);

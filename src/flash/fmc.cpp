@@ -14,13 +14,14 @@ ReadTiming
 Fmc::readPage(Cycle issue, std::uint32_t die)
 {
     RMSSD_ASSERT(die < dies_.size(), "die index out of range");
+    if (dies_[die].nextFree() > issue)
+        dieConflicts_.inc();
     ReadTiming t;
     t.flushDone = dies_[die].acquire(issue, timing_.flushCycles());
     t.done = bus_.transfer(
-        t.flushDone,
-        timing_.transferCycles(Bytes{timing_.pageSizeBytes}));
+        t.flushDone, timing_.transferCycles(timing_.pageSizeBytes));
     pageReads_.inc();
-    busBytes_.inc(timing_.pageSizeBytes);
+    busBytes_.inc(timing_.pageSizeBytes.raw());
     return t;
 }
 
@@ -28,6 +29,8 @@ ReadTiming
 Fmc::readVector(Cycle issue, std::uint32_t die, Bytes bytes)
 {
     RMSSD_ASSERT(die < dies_.size(), "die index out of range");
+    if (dies_[die].nextFree() > issue)
+        dieConflicts_.inc();
     ReadTiming t;
     t.flushDone = dies_[die].acquire(issue, timing_.flushCycles());
     t.done = bus_.transfer(t.flushDone, timing_.transferCycles(bytes));
@@ -42,8 +45,8 @@ Fmc::programPage(Cycle issue, std::uint32_t die)
     RMSSD_ASSERT(die < dies_.size(), "die index out of range");
     // Data first crosses the bus into the die buffer, then programs.
     const Cycle busDone = bus_.transfer(
-        issue, timing_.transferCycles(Bytes{timing_.pageSizeBytes}));
-    busBytes_.inc(timing_.pageSizeBytes);
+        issue, timing_.transferCycles(timing_.pageSizeBytes));
+    busBytes_.inc(timing_.pageSizeBytes.raw());
     pagePrograms_.inc();
     return dies_[die].acquire(busDone, timing_.pageProgramCycles);
 }
@@ -80,6 +83,7 @@ Fmc::resetAll()
     busBytes_.reset();
     pagePrograms_.reset();
     blockErases_.reset();
+    dieConflicts_.reset();
 }
 
 } // namespace rmssd::flash

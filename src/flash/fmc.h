@@ -63,6 +63,12 @@ class Fmc
     const Counter &busBytes() const { return busBytes_; }
     const Counter &pagePrograms() const { return pagePrograms_; }
     const Counter &blockErases() const { return blockErases_; }
+    /**
+     * Reads that arrived while their target die was still busy and
+     * queued behind it — the die-contention signal that motivates
+     * frequency-aware placement (hot pages colliding on one die).
+     */
+    const Counter &dieConflicts() const { return dieConflicts_; }
     Cycle busBusyCycles() const { return bus_.busyCycles(); }
     Cycle dieBusyCycles(std::uint32_t die) const;
 
@@ -82,6 +88,7 @@ class Fmc
     Counter busBytes_;
     Counter pagePrograms_;
     Counter blockErases_;
+    Counter dieConflicts_;
 };
 
 } // namespace rmssd::flash

@@ -20,13 +20,14 @@ Geometry::totalPages() const
 std::uint64_t
 Geometry::capacityBytes() const
 {
-    return totalPages() * pageSizeBytes;
+    return totalPages() * pageSizeBytes.raw();
 }
 
 std::uint32_t
 Geometry::sectorsPerPage() const
 {
-    return pageSizeBytes / sectorSizeBytes;
+    return static_cast<std::uint32_t>(pageSizeBytes /
+                                      sectorSizeBytes);
 }
 
 Pba
@@ -65,10 +66,11 @@ Geometry::validate() const
         blocksPerPlane == 0 || pagesPerBlock == 0) {
         fatal("flash geometry has a zero dimension");
     }
-    if (pageSizeBytes == 0 || sectorSizeBytes == 0 ||
-        pageSizeBytes % sectorSizeBytes != 0) {
-        fatal("flash page size %u not a multiple of sector size %u",
-              pageSizeBytes, sectorSizeBytes);
+    if (pageSizeBytes == Bytes{} || sectorSizeBytes == Bytes{} ||
+        pageSizeBytes % sectorSizeBytes != Bytes{}) {
+        fatal("flash page size %llu not a multiple of sector size %llu",
+              static_cast<unsigned long long>(pageSizeBytes.raw()),
+              static_cast<unsigned long long>(sectorSizeBytes.raw()));
     }
 }
 

@@ -38,8 +38,8 @@ struct Geometry
     std::uint32_t planesPerDie = 1;
     std::uint32_t blocksPerPlane = 1024;
     std::uint32_t pagesPerBlock = 512;
-    std::uint32_t pageSizeBytes = 4096;
-    std::uint32_t sectorSizeBytes = 512;
+    Bytes pageSizeBytes{4096};
+    Bytes sectorSizeBytes{512};
 
     /** Pages per die across all its planes/blocks. */
     std::uint64_t pagesPerDie() const;

@@ -17,19 +17,20 @@ NandTiming::flushCycles() const
 Cycle
 NandTiming::transferCycles(Bytes bytes) const
 {
-    RMSSD_ASSERT(bytes.raw() <= pageSizeBytes,
+    RMSSD_ASSERT(bytes <= pageSizeBytes,
                  "transfer larger than a page");
     // Integer ceil-division off the exact flush cycle count; a
     // floating-point (1 - flushFraction) would round 0.3 up.
     const Cycle fullTransfer = pageReadCycles - flushCycles();
-    return Cycle{(fullTransfer.raw() * bytes.raw() + pageSizeBytes - 1) /
-                 pageSizeBytes};
+    return Cycle{(fullTransfer.raw() * bytes.raw() +
+                  pageSizeBytes.raw() - 1) /
+                 pageSizeBytes.raw()};
 }
 
 Cycle
 NandTiming::pageReadTotalCycles() const
 {
-    return flushCycles() + transferCycles(Bytes{pageSizeBytes});
+    return flushCycles() + transferCycles(pageSizeBytes);
 }
 
 Cycle

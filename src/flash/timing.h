@@ -33,7 +33,7 @@ struct NandTiming
     double flushFraction = 0.7;
 
     /** Page size the transfer fraction is normalized to. */
-    std::uint32_t pageSizeBytes = 4096;
+    Bytes pageSizeBytes{4096};
 
     /** Program (write) delay; exercised by the table-load path. */
     Cycle pageProgramCycles{40000};

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Frequency-aware logical-to-physical mapping: hot-page die striping.
+ *
+ * The linear mapping leaves hot embedding vectors wherever the table
+ * layout put them; because hot rows are scattered pseudo-randomly over
+ * the tables, the per-die hot-page counts are Poisson-distributed and
+ * the busiest die serializes a disproportionate share of the lookups
+ * (die flush dominates the vector-read cost, Section IV-B2, so die
+ * balance IS throughput). This mapping re-places the hottest pages
+ * onto the lowest physical page numbers: the geometry interleaves
+ * consecutive PPNs channel-first then die (Geometry::decompose), so
+ * slots 0..C*D-1 cover every (channel, die) pair exactly once and the
+ * hot tier is round-robin striped across the full die array. Cold
+ * pages keep their dense layout, inheriting any hot slot's previous
+ * occupant via a swap so the mapping stays a bijection.
+ *
+ * The permutation is stored sparsely (only non-identity entries), so
+ * memory scales with the hot-tier size rather than the 8.4 M-page
+ * device. Online heat comes through Mapping::noteRead: a 4-bit
+ * count-min sketch (the TinyLFU FrequencySketch) gates an exact
+ * per-page candidate counter, so one-shot cold reads never allocate
+ * counter state and the tracker stays bounded by the true hot set
+ * plus sketch false positives.
+ */
+
+#ifndef RMSSD_FTL_FREQ_MAPPING_H
+#define RMSSD_FTL_FREQ_MAPPING_H
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+// The sketch is a self-contained utility (depends on sim/ only); the
+// FTL reuses it rather than growing a second count-min implementation.
+#include "engine/freq_sketch.h"
+#include "ftl/mapping.h"
+#include "sim/types.h"
+
+namespace rmssd::ftl {
+
+/** Hot-striping mapping with sketch-fed online heat tracking. */
+class FrequencyMapping : public Mapping
+{
+  public:
+    /** Online heat-tracker sizing. */
+    struct Options
+    {
+        /** 4-bit counters in the page-heat sketch. */
+        std::uint64_t sketchCounters = 1ull << 16;
+        /** Recorded reads between sketch halvings (aging). */
+        std::uint64_t sketchSampleSize = 1ull << 18;
+        /**
+         * Sketch estimate a page must reach before it gets an exact
+         * candidate counter (bounds tracker memory to the hot set).
+         */
+        std::uint32_t candidateEstimate = 2;
+    };
+
+    /**
+     * One planned page relocation: @p hotLpn moves from @p fromPpn
+     * into hot slot @p toPpn, displacing @p displacedLpn (the slot's
+     * previous occupant) out to @p fromPpn. Committing the swap keeps
+     * the mapping bijective; the data copy is the caller's job (it
+     * owns the flash timing and the functional store).
+     */
+    struct Swap
+    {
+        PageId hotLpn;
+        PageId fromPpn;
+        PageId toPpn;
+        PageId displacedLpn;
+    };
+
+    explicit FrequencyMapping(std::uint64_t totalPages);
+    FrequencyMapping(std::uint64_t totalPages, const Options &options);
+
+    PageId translate(PageId lpn) const override;
+    PageId assignForWrite(PageId lpn) override;
+    void noteRead(PageId lpn) override;
+
+    /** Logical page currently mapped onto physical page @p ppn. */
+    PageId inverse(PageId ppn) const;
+
+    /**
+     * Plan the minimal swap set that brings @p hotLpnsByHeat (hottest
+     * first, duplicates ignored) into the hot tier: slots
+     * [0, hotCount). Hot pages already inside the tier stay where
+     * they are — membership, not rank order, is what balances the
+     * dies — so a re-plan over a stable hot set yields zero swaps.
+     * Swaps touch pairwise-disjoint pages, so they can be committed
+     * (and their data copied) one at a time in any prefix order.
+     */
+    std::vector<Swap> planHotSet(
+        std::span<const PageId> hotLpnsByHeat) const;
+
+    /** Apply one planned swap to the mapping (after the data copy). */
+    void commitSwap(const Swap &swap);
+
+    /** Reads observed through noteRead since the last reset. */
+    std::uint64_t observedReads() const { return observedReads_; }
+
+    /**
+     * The @p k hottest pages by exact candidate count (count
+     * descending, LPN ascending for determinism).
+     */
+    std::vector<PageId> observedHot(std::size_t k) const;
+
+    /** Start a fresh observation window (after a migration pass). */
+    void resetObservation();
+
+    /** Non-identity entries currently materialized (both maps). */
+    std::size_t remappedEntries() const
+    {
+        return l2p_.size() + p2l_.size();
+    }
+
+  private:
+    /** Point lpn at ppn, eliding identity entries in both maps. */
+    void setMapping(PageId lpn, PageId ppn);
+
+    std::uint64_t totalPages_;
+    Options options_;
+    /** Sparse permutation: absent keys map to themselves. */
+    std::unordered_map<PageId, PageId> l2p_;
+    std::unordered_map<PageId, PageId> p2l_;
+
+    engine::FrequencySketch sketch_;
+    /** Exact read counts for pages past the sketch admission bar. */
+    std::unordered_map<PageId, std::uint64_t> candidates_;
+    std::uint64_t observedReads_ = 0;
+};
+
+} // namespace rmssd::ftl
+
+#endif // RMSSD_FTL_FREQ_MAPPING_H

@@ -28,13 +28,15 @@ Ftl::sectorsPerPage() const
 std::uint32_t
 Ftl::sectorSize() const
 {
-    return array_.geometry().sectorSizeBytes;
+    return static_cast<std::uint32_t>(
+        array_.geometry().sectorSizeBytes.raw());
 }
 
 std::uint32_t
 Ftl::pageSize() const
 {
-    return array_.geometry().pageSizeBytes;
+    return static_cast<std::uint32_t>(
+        array_.geometry().pageSizeBytes.raw());
 }
 
 Ftl::PhysLoc
@@ -103,6 +105,9 @@ Ftl::readBytes(Cycle issue, Lba lba, Bytes byteInSector, Bytes bytes,
                std::span<std::uint8_t> out)
 {
     recordPath(RequestPath::Embedding);
+    // Feed frequency-aware mappings their online heat signal. Keyed
+    // by the logical page: heat follows the data through relocations.
+    mapping_->noteRead(PageId{lba.raw() / sectorsPerPage()});
     const PhysLoc loc = translate(lba, byteInSector);
     RMSSD_ASSERT((loc.pageByteOffset + bytes).raw() <= pageSize(),
                  "EV read crosses flash page boundary");

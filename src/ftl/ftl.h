@@ -84,6 +84,10 @@ class Ftl
 
     flash::FlashArray &array() { return array_; }
 
+    /** The mapping behind this FTL (placement planners re-shape it). */
+    Mapping &mapping() { return *mapping_; }
+    const Mapping &mapping() const { return *mapping_; }
+
   private:
     flash::FlashArray &array_;
     std::unique_ptr<Mapping> mapping_;

@@ -31,6 +31,13 @@ class Mapping
 
     /** Record a write: may reassign the physical page. */
     virtual PageId assignForWrite(PageId lpn) = 0;
+
+    /**
+     * Observe one EV-path read of @p lpn. Frequency-aware mappings
+     * feed their online heat estimate from this hook; the default is
+     * a no-op so plain mappings stay stateless.
+     */
+    virtual void noteRead(PageId lpn) { (void)lpn; }
 };
 
 /**

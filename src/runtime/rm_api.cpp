@@ -10,8 +10,8 @@ RmRuntime::RmRuntime(const model::ModelConfig &config,
     : config_(config), uid_(uid),
       device_(std::make_unique<engine::RmSsd>(config, options)),
       fs_(Sectors{options.geometry.capacityBytes() /
-                  options.geometry.sectorSizeBytes},
-          Bytes{options.geometry.sectorSizeBytes},
+                  options.geometry.sectorSizeBytes.raw()},
+          options.geometry.sectorSizeBytes,
           options.geometry.sectorsPerPage(), options.maxExtentSectors)
 {
 }

@@ -47,6 +47,13 @@ StatsRegistry::addRatio(const std::string &name, const Counter *part,
     ratios_[name] = Ratio{part, rest};
 }
 
+void
+StatsRegistry::addGauge(const std::string &name,
+                        std::function<std::uint64_t()> value)
+{
+    gauges_[name] = std::move(value);
+}
+
 double
 StatsRegistry::Ratio::value() const
 {
@@ -61,6 +68,8 @@ StatsRegistry::dump(std::ostream &os) const
 {
     for (const auto &[name, c] : counters_)
         os << name << " " << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << name << " " << g() << "\n";
     for (const auto &[name, r] : ratios_)
         os << name << " " << r.value() << "\n";
     for (const auto &[name, d] : distributions_) {
@@ -76,6 +85,13 @@ StatsRegistry::counterValue(const std::string &name) const
 {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::uint64_t
+StatsRegistry::gaugeValue(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second();
 }
 
 double

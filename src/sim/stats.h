@@ -11,6 +11,7 @@
 #define RMSSD_SIM_STATS_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -68,11 +69,22 @@ class StatsRegistry
     void addRatio(const std::string &name, const Counter *part,
                   const Counter *rest);
 
+    /**
+     * Register a lazily-evaluated scalar — for quantities a component
+     * tracks in its own representation (e.g. a die's busy Cycle count)
+     * rather than in a Counter. Evaluated at dump/query time.
+     */
+    void addGauge(const std::string &name,
+                  std::function<std::uint64_t()> value);
+
     /** Dump all registered stats as "name value" lines. */
     void dump(std::ostream &os) const;
 
     /** Look up a registered counter's value; 0 if absent. */
     std::uint64_t counterValue(const std::string &name) const;
+
+    /** Current value of a registered gauge; 0 if absent. */
+    std::uint64_t gaugeValue(const std::string &name) const;
 
     /** Current value of a registered ratio; 0 if absent or unsampled. */
     double ratioValue(const std::string &name) const;
@@ -88,6 +100,7 @@ class StatsRegistry
     std::map<std::string, const Counter *> counters_;
     std::map<std::string, const Distribution *> distributions_;
     std::map<std::string, Ratio> ratios_;
+    std::map<std::string, std::function<std::uint64_t()>> gauges_;
 };
 
 } // namespace rmssd

@@ -137,6 +137,9 @@ simulateServing(engine::InferenceDevice &device, TraceGenerator &gen,
                 (r + 1) % config.replanCheckEvery == 0)
                 device.replanIfDrifted(config.replanThreshold);
         }
+        if (config.migrateCheckEvery > 0 &&
+            (r + 1) % config.migrateCheckEvery == 0)
+            result.migratedPages += device.migrateIfDrifted();
     }
     for (const engine::AsyncCompletion &completion : device.drain())
         recordCompletion(completion);

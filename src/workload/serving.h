@@ -66,6 +66,14 @@ struct ServingConfig
      */
     double replanThreshold = 0.0;
     std::uint32_t replanCheckEvery = 32;
+    /**
+     * Background placement migration: every @p migrateCheckEvery
+     * requests, call InferenceDevice::migrateIfDrifted so a
+     * frequency-aware device can re-stripe a drifted hot set while
+     * serving (the relocation traffic contends with foreground
+     * reads). 0 (the default) disables the check.
+     */
+    std::uint32_t migrateCheckEvery = 0;
 };
 
 /** Outcome of a serving experiment. */
@@ -92,6 +100,8 @@ struct ServingResult
     double steadyHitRatio = 0.0;
     /** Adaptive re-plans triggered during the run. */
     std::uint64_t replans = 0;
+    /** Pages relocated by background migration during the run. */
+    std::uint64_t migratedPages = 0;
     /** Mean device queue occupancy observed right after each submit. */
     double meanQueueDepth = 0.0;
 };

@@ -152,6 +152,28 @@ TraceGenerator::tableHistograms(std::uint64_t lookupsPerTable) const
     return hist;
 }
 
+std::vector<engine::RowHeat>
+TraceGenerator::hotRowHeats() const
+{
+    std::vector<engine::RowHeat> heats;
+    heats.reserve(static_cast<std::size_t>(config_.numTables) *
+                  trace_.hotRowsPerTable);
+    const double n = static_cast<double>(trace_.hotRowsPerTable);
+    const double invSkew = 1.0 / trace_.hotSkew;
+    for (std::uint32_t t = 0; t < config_.numTables; ++t) {
+        for (std::uint64_t r = 0; r < trace_.hotRowsPerTable; ++r) {
+            const double weight =
+                trace_.hotAccessFraction *
+                (std::pow((static_cast<double>(r) + 1.0) / n, invSkew) -
+                 std::pow(static_cast<double>(r) / n, invSkew));
+            heats.push_back(engine::RowHeat{TableId{t},
+                                            EvIndex{hotRow(t, r)},
+                                            weight});
+        }
+    }
+    return heats;
+}
+
 std::vector<double>
 planTableShares(const std::vector<TraceGenerator::TableHistogram> &hist)
 {

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "engine/placement.h"
 #include "model/dlrm.h"
 #include "sim/rng.h"
 #include "workload/trace.h"
@@ -80,6 +81,15 @@ class TraceGenerator
      */
     std::vector<TableHistogram>
     tableHistograms(std::uint64_t lookupsPerTable) const;
+
+    /**
+     * Analytic per-row access weights of the hot set, for offline
+     * placement planning (engine::planHotPages). The rank draw is
+     * rank = floor(u^hotSkew * N), so hot rank r carries probability
+     * hotAccessFraction * (((r+1)/N)^(1/hotSkew) - (r/N)^(1/hotSkew))
+     * — exact, no sampling noise, and independent of the RNG stream.
+     */
+    std::vector<engine::RowHeat> hotRowHeats() const;
 
   private:
     std::uint64_t drawIndex(std::uint32_t table);

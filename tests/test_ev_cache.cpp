@@ -423,6 +423,143 @@ TEST(TinyLfuAdmission, AlwaysAdmitKeepsPr1Behaviour)
     EXPECT_EQ(cache.admissionRejects().value(), 0u);
 }
 
+/** A cache of @p lines lines with a W-TinyLFU admission window. */
+EvCache
+windowCache(std::uint32_t lines, double fraction,
+            EvCacheAdmission admission = EvCacheAdmission::AlwaysAdmit)
+{
+    EvCacheConfig cc;
+    cc.enabled = true;
+    cc.capacityBytes = Bytes{static_cast<std::uint64_t>(lines) * 16};
+    cc.ways = 2;
+    cc.windowFraction = fraction;
+    cc.admission = admission;
+    return EvCache(cc, Bytes{16});
+}
+
+TEST(WTinyLfuWindow, CarvedFromLineBudget)
+{
+    // The window shares the line budget with the main array: no SRAM
+    // beyond what the plain cache already used.
+    const EvCache cache = windowCache(8, 0.25);
+    EXPECT_EQ(cache.windowLines(), 2u);
+    EXPECT_EQ(cache.numSets() * cache.ways(), 6u);
+
+    // A tiny positive fraction still gets one probation line.
+    EXPECT_EQ(windowCache(8, 0.01).windowLines(), 1u);
+
+    // Fraction 0 is the plain cache, exactly.
+    const EvCache plain = windowCache(8, 0.0);
+    EXPECT_EQ(plain.windowLines(), 0u);
+    EXPECT_EQ(plain.numSets() * plain.ways(), 8u);
+}
+
+TEST(WTinyLfuWindow, WindowHitsCountedSeparately)
+{
+    EvCache cache = windowCache(8, 0.25);
+    cache.fill(TableId{}, EvIndex{1}, {}); // new key -> window
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{1}));
+    EXPECT_TRUE(cache.lookup(TableId{}, EvIndex{1}, nullptr));
+    EXPECT_EQ(cache.hits().value(), 1u);
+    EXPECT_EQ(cache.admissionWindowHits().value(), 1u);
+}
+
+TEST(WTinyLfuWindow, EvictedVictimGraduatesToMain)
+{
+    // One-line window: filling a second key spills the first toward
+    // the main array (AlwaysAdmit lets it straight in).
+    EvCache cache = windowCache(8, 0.01);
+    ASSERT_EQ(cache.windowLines(), 1u);
+    cache.fill(TableId{}, EvIndex{1}, {});
+    cache.fill(TableId{}, EvIndex{2}, {});
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{1}));
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{2}));
+
+    // Index 1 now lives in the main array: hitting it is a main hit,
+    // not a window hit.
+    EXPECT_TRUE(cache.lookup(TableId{}, EvIndex{1}, nullptr));
+    EXPECT_EQ(cache.admissionWindowHits().value(), 0u);
+}
+
+TEST(WTinyLfuWindow, GraduationRunsThroughTinyLfuFilter)
+{
+    // Two main lines (one set), one window line, TinyLFU admission.
+    EvCache cache = windowCache(3, 0.34, EvCacheAdmission::TinyLfu);
+    ASSERT_EQ(cache.windowLines(), 1u);
+    ASSERT_EQ(cache.numSets() * cache.ways(), 2u);
+
+    // Two popular residents occupy the main set.
+    for (const std::uint64_t idx : {1, 2}) {
+        cache.fill(TableId{}, EvIndex{idx}, {});
+        cache.fill(TableId{}, EvIndex{99}, {}); // spill idx from window
+    }
+    for (int i = 0; i < 3; ++i) {
+        cache.lookup(TableId{}, EvIndex{1}, nullptr);
+        cache.lookup(TableId{}, EvIndex{2}, nullptr);
+    }
+    ASSERT_TRUE(cache.contains(TableId{}, EvIndex{1}));
+    ASSERT_TRUE(cache.contains(TableId{}, EvIndex{2}));
+
+    // A one-hit wonder enjoys its window probation but bounces off
+    // the admission filter when a newer key spills it toward main.
+    cache.lookup(TableId{}, EvIndex{9}, nullptr);
+    cache.fill(TableId{}, EvIndex{9}, {});
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{9})); // in window
+    const std::uint64_t rejectsBefore =
+        cache.admissionRejects().value();
+    cache.fill(TableId{}, EvIndex{10}, {}); // spills 9
+    EXPECT_FALSE(cache.contains(TableId{}, EvIndex{9}));
+    EXPECT_GT(cache.admissionRejects().value(), rejectsBefore);
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{1}));
+    EXPECT_TRUE(cache.contains(TableId{}, EvIndex{2}));
+}
+
+TEST(WTinyLfuWindow, InvalidateCoversWindow)
+{
+    EvCache cache = windowCache(8, 0.25);
+    cache.fill(TableId{}, EvIndex{1}, {}); // in window
+    cache.invalidate();
+    EXPECT_FALSE(cache.contains(TableId{}, EvIndex{1}));
+}
+
+TEST(WTinyLfuWindow, PooledOutputsBitIdenticalWithWindow)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions plainOpt;
+    plainOpt.functional = true;
+    RmSsd plain(cfg, plainOpt);
+    plain.loadTables();
+
+    RmSsdOptions opt = cachedOptions();
+    opt.evCache.windowFraction = 0.05;
+    opt.evCache.admission = EvCacheAdmission::TinyLfu;
+    RmSsd windowed(cfg, opt);
+    windowed.loadTables();
+
+    std::vector<model::Sample> batch;
+    for (int i = 0; i < 6; ++i)
+        batch.push_back(plain.model().makeSample(300 + i));
+
+    const EmbeddingResult a =
+        plain.embeddingEngine().run(Cycle{}, std::span(batch), true);
+    const EmbeddingResult b =
+        windowed.embeddingEngine().run(Cycle{}, std::span(batch), true);
+    const EmbeddingResult c =
+        windowed.embeddingEngine().run(Cycle{}, std::span(batch), true);
+
+    ASSERT_EQ(a.pooled.size(), b.pooled.size());
+    for (std::size_t s = 0; s < a.pooled.size(); ++s) {
+        ASSERT_EQ(a.pooled[s].size(), b.pooled[s].size());
+        for (std::size_t d = 0; d < a.pooled[s].size(); ++d) {
+            EXPECT_EQ(a.pooled[s][d], b.pooled[s][d])
+                << "sample " << s << " dim " << d;
+            EXPECT_EQ(a.pooled[s][d], c.pooled[s][d])
+                << "warm sample " << s << " dim " << d;
+        }
+    }
+    EXPECT_GT(windowed.evCache()->windowLines(), 0u);
+}
+
 TEST(PartitionPlanner, LargestRemainderWithFloor)
 {
     const std::vector<double> shares{3.0, 1.0};

@@ -28,7 +28,7 @@ TEST(Geometry, TableIICapacityIs32GB)
 {
     const Geometry g = tableIIGeometry();
     EXPECT_EQ(g.numChannels, 4u);
-    EXPECT_EQ(g.pageSizeBytes, 4096u);
+    EXPECT_EQ(g.pageSizeBytes.raw(), 4096u);
     EXPECT_EQ(g.capacityBytes(), 32ull << 30);
     EXPECT_EQ(g.sectorsPerPage(), 8u);
 }
@@ -63,7 +63,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Geometry, ValidateRejectsBadPageSize)
 {
     Geometry g = tableIIGeometry();
-    g.sectorSizeBytes = 513;
+    g.sectorSizeBytes = Bytes{513};
     EXPECT_EXIT(g.validate(), ::testing::ExitedWithCode(1), "multiple");
 }
 
@@ -102,7 +102,7 @@ INSTANTIATE_TEST_SUITE_P(SweepEvSizes, CevFormula,
 
 TEST(BackingStore, PageRoundTrip)
 {
-    BackingStore store(4096);
+    BackingStore store(Bytes{4096});
     std::vector<std::uint8_t> page(4096);
     std::iota(page.begin(), page.end(), 0);
     store.writePage(PageId{42}, page);
@@ -115,8 +115,8 @@ TEST(BackingStore, PageRoundTrip)
 
 TEST(BackingStore, UnwrittenReadsAreDeterministic)
 {
-    BackingStore a(4096);
-    BackingStore b(4096);
+    BackingStore a(Bytes{4096});
+    BackingStore b(Bytes{4096});
     std::vector<std::uint8_t> x(64), y(64);
     a.read(PageId{7}, Bytes{100}, x);
     b.read(PageId{7}, Bytes{100}, y);
@@ -125,7 +125,7 @@ TEST(BackingStore, UnwrittenReadsAreDeterministic)
 
 TEST(BackingStore, PartialWritePreservesFiller)
 {
-    BackingStore store(4096);
+    BackingStore store(Bytes{4096});
     std::vector<std::uint8_t> before(4096);
     store.read(PageId{9}, Bytes{}, before);
 

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Tests for frequency-aware flash data mapping: FrequencyMapping
+ * bijectivity and hot-tier striping, offline placement planning,
+ * byte-identical inference versus the linear layout, background
+ * migration preserving table contents mid-serving, the sticky
+ * cluster re-sharding twin, and the per-channel/per-die stats
+ * export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/sharding.h"
+#include "engine/placement.h"
+#include "engine/rm_ssd.h"
+#include "ftl/freq_mapping.h"
+#include "model/model_zoo.h"
+#include "workload/serving.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd::engine {
+namespace {
+
+model::ModelConfig
+tinyConfig()
+{
+    model::ModelConfig cfg = model::rmc1();
+    cfg.withRowsPerTable(512);
+    cfg.lookupsPerTable = 8;
+    return cfg;
+}
+
+workload::TraceConfig
+skewedTrace(std::uint64_t seed = 0x5eedULL)
+{
+    workload::TraceConfig tc;
+    tc.hotRowsPerTable = 64;
+    tc.hotAccessFraction = 0.8;
+    tc.hotSkew = 2.0;
+    tc.seed = seed;
+    return tc;
+}
+
+RmSsdOptions
+placementOptions()
+{
+    RmSsdOptions opt;
+    opt.functional = true;
+    opt.placement.enabled = true;
+    opt.placement.hotPageCount = 256;
+    return opt;
+}
+
+TEST(FrequencyMapping, IdentityBeforeAnyPlan)
+{
+    ftl::FrequencyMapping mapping(1024);
+    for (std::uint64_t p : {0ull, 1ull, 17ull, 1023ull}) {
+        EXPECT_EQ(mapping.translate(PageId{p}), PageId{p});
+        EXPECT_EQ(mapping.inverse(PageId{p}), PageId{p});
+        EXPECT_EQ(mapping.assignForWrite(PageId{p}), PageId{p});
+    }
+    EXPECT_EQ(mapping.remappedEntries(), 0u);
+}
+
+TEST(FrequencyMapping, CommittedPlanStaysBijective)
+{
+    ftl::FrequencyMapping mapping(4096);
+    std::vector<PageId> hot;
+    for (std::uint64_t i = 0; i < 32; ++i)
+        hot.push_back(PageId{1000 + 37 * i});
+
+    for (const auto &swap : mapping.planHotSet(hot))
+        mapping.commitSwap(swap);
+
+    // Forward/inverse round-trip over hot, displaced and untouched
+    // pages; no two logical pages may share a physical page.
+    std::unordered_set<std::uint64_t> seen;
+    for (std::uint64_t p = 0; p < 4096; ++p) {
+        const PageId ppn = mapping.translate(PageId{p});
+        EXPECT_EQ(mapping.inverse(ppn), PageId{p});
+        EXPECT_EQ(mapping.assignForWrite(PageId{p}), ppn);
+        EXPECT_TRUE(seen.insert(ppn.raw()).second);
+    }
+}
+
+TEST(FrequencyMapping, HotTierCoversEveryChannelDiePair)
+{
+    const flash::Geometry g = flash::tableIIGeometry();
+    const std::uint32_t pairs = g.numChannels * g.diesPerChannel;
+    ftl::FrequencyMapping mapping(g.totalPages());
+
+    std::vector<PageId> hot;
+    for (std::uint64_t i = 0; i < pairs; ++i)
+        hot.push_back(PageId{50000 + 1013 * i});
+    for (const auto &swap : mapping.planHotSet(hot))
+        mapping.commitSwap(swap);
+
+    // The i-th hottest page lands on physical page i, and pages
+    // 0..C*D-1 visit each (channel, die) pair exactly once by
+    // Geometry::decompose construction — perfect striping.
+    std::set<std::pair<std::uint32_t, std::uint32_t>> visited;
+    for (const PageId lpn : hot) {
+        const flash::Pba pba = g.decompose(mapping.translate(lpn));
+        visited.insert({pba.channel, pba.die});
+    }
+    EXPECT_EQ(visited.size(), pairs);
+}
+
+TEST(FrequencyMapping, ReplanOverStableHotSetPlansNoSwaps)
+{
+    ftl::FrequencyMapping mapping(4096);
+    std::vector<PageId> hot;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        hot.push_back(PageId{2000 + 3 * i});
+    for (const auto &swap : mapping.planHotSet(hot))
+        mapping.commitSwap(swap);
+
+    // Membership, not rank order, is what balances dies: the same hot
+    // set in any order must already be fully placed.
+    std::reverse(hot.begin(), hot.end());
+    EXPECT_TRUE(mapping.planHotSet(hot).empty());
+}
+
+TEST(FrequencyMapping, ObservedHotRanksByReadFrequency)
+{
+    ftl::FrequencyMapping::Options opt;
+    opt.candidateEstimate = 1;
+    ftl::FrequencyMapping mapping(4096, opt);
+
+    for (int i = 0; i < 10; ++i)
+        mapping.noteRead(PageId{7});
+    for (int i = 0; i < 5; ++i)
+        mapping.noteRead(PageId{11});
+    for (int i = 0; i < 2; ++i)
+        mapping.noteRead(PageId{13});
+
+    EXPECT_EQ(mapping.observedReads(), 17u);
+    const std::vector<PageId> hot = mapping.observedHot(2);
+    ASSERT_EQ(hot.size(), 2u);
+    EXPECT_EQ(hot[0], PageId{7});
+    EXPECT_EQ(hot[1], PageId{11});
+
+    mapping.resetObservation();
+    EXPECT_EQ(mapping.observedReads(), 0u);
+    EXPECT_TRUE(mapping.observedHot(2).empty());
+}
+
+TEST(Placement, PlanHotPagesAggregatesRowsToPages)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions opt;
+    opt.functional = true;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+
+    // Two rows of table 0 in the same flash page must fold into one
+    // entry; heavier pages sort first.
+    const EvTranslator &tr = dev.embeddingEngine().translator();
+    (void)tr;
+    std::vector<RowHeat> rows = {
+        {TableId{0}, EvIndex{0}, 0.5},
+        {TableId{0}, EvIndex{1}, 0.4}, // same 4 KB page as row 0
+        {TableId{1}, EvIndex{100}, 0.3},
+    };
+    const auto hot =
+        planHotPages(dev.embeddingEngine().translator(),
+                     opt.geometry.sectorsPerPage(), rows, 8);
+    ASSERT_EQ(hot.size(), 2u);
+    // 0.5 + 0.4 in one page beats 0.3.
+    const auto req = dev.embeddingEngine().translator().translate(
+        TableId{0}, EvIndex{0});
+    EXPECT_EQ(hot[0].raw(),
+              req.lba.raw() / opt.geometry.sectorsPerPage());
+}
+
+TEST(Placement, FrequencyLayoutInferenceMatchesLinearByteExact)
+{
+    const model::ModelConfig cfg = tinyConfig();
+
+    RmSsdOptions linearOpt;
+    linearOpt.functional = true;
+    RmSsd linear(cfg, linearOpt);
+    linear.loadTables();
+
+    RmSsd freq(cfg, placementOptions());
+    freq.loadTables();
+    workload::TraceGenerator heatGen(cfg, skewedTrace());
+    freq.planPlacement(heatGen.hotRowHeats());
+    EXPECT_GT(freq.frequencyMapping()->remappedEntries(), 0u);
+
+    workload::TraceGenerator genA(cfg, skewedTrace());
+    workload::TraceGenerator genB(cfg, skewedTrace());
+    for (int r = 0; r < 4; ++r) {
+        const auto batchA = genA.nextBatch(3);
+        const auto batchB = genB.nextBatch(3);
+        const auto outA = linear.infer(batchA);
+        const auto outB = freq.infer(batchB);
+        ASSERT_EQ(outA.outputs.size(), outB.outputs.size());
+        for (std::size_t i = 0; i < outA.outputs.size(); ++i)
+            EXPECT_EQ(outA.outputs[i], outB.outputs[i]);
+    }
+}
+
+TEST(Placement, MigrationPreservesContentsMidServing)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions opt = placementOptions();
+    // The tiny model spans only ~128 flash pages; a small hot tier
+    // leaves most of the hot set outside it so drift must trigger.
+    opt.placement.hotPageCount = 16;
+    opt.placement.minObservedReads = 64;
+    opt.placement.maxSwapsPerPass = 64;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+    // No offline plan: the hot set starts entirely outside the hot
+    // tier, so the online estimate must drift-trigger migration.
+
+    workload::TraceGenerator gen(cfg, skewedTrace());
+    bool migrated = false;
+    for (int r = 0; r < 24; ++r) {
+        const auto batch = gen.nextBatch(2);
+        const auto out = dev.infer(batch);
+        ASSERT_EQ(out.outputs.size(), batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            EXPECT_NEAR(out.outputs[i],
+                        dev.model().referenceInference(batch[i]),
+                        1e-4f)
+                << "request " << r << " sample " << i;
+        }
+        if (dev.migrateIfDrifted() > 0)
+            migrated = true;
+    }
+    EXPECT_TRUE(migrated);
+    EXPECT_GT(dev.migratedPageCount(), 0u);
+    EXPECT_GT(dev.migrationPasses().value(), 0u);
+}
+
+TEST(Placement, ServingLoopDrivesMigration)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions opt = placementOptions();
+    opt.placement.hotPageCount = 16;
+    opt.placement.minObservedReads = 64;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+
+    workload::TraceGenerator gen(cfg, skewedTrace());
+    workload::ServingConfig sc;
+    sc.arrivalQps = 2000.0;
+    sc.batchSize = 2;
+    sc.numRequests = 48;
+    sc.migrateCheckEvery = 8;
+    const workload::ServingResult r =
+        workload::simulateServing(dev, gen, sc);
+    EXPECT_EQ(r.requests, 48u);
+    EXPECT_GT(r.migratedPages, 0u);
+    EXPECT_EQ(r.migratedPages, dev.migratedPageCount());
+}
+
+TEST(Placement, AsyncDepthTwoStaysFunctionallyCorrect)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsd dev(cfg, placementOptions());
+    dev.loadTables();
+    workload::TraceGenerator heatGen(cfg, skewedTrace());
+    dev.planPlacement(heatGen.hotRowHeats());
+
+    dev.setMaxInflight(2);
+    workload::TraceGenerator gen(cfg, skewedTrace());
+    std::vector<std::vector<model::Sample>> batches;
+    for (int r = 0; r < 6; ++r) {
+        batches.push_back(gen.nextBatch(2));
+        dev.submit(batches.back());
+    }
+    std::size_t retired = 0;
+    for (const AsyncCompletion &completion : dev.drain()) {
+        const auto &batch = batches[retired++];
+        ASSERT_EQ(completion.outcome.outputs.size(), batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            EXPECT_NEAR(completion.outcome.outputs[i],
+                        dev.model().referenceInference(batch[i]),
+                        1e-4f);
+    }
+    EXPECT_EQ(retired, batches.size());
+}
+
+TEST(Placement, KnobOffLeavesLinearMappingInPlace)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions opt;
+    opt.functional = true;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+    EXPECT_EQ(dev.frequencyMapping(), nullptr);
+    EXPECT_EQ(dev.migrateIfDrifted(), 0u);
+    EXPECT_EQ(dev.migratedPageCount(), 0u);
+}
+
+TEST(Stats, PerChannelBusyCyclesAndDieConflictsExported)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    RmSsdOptions opt;
+    opt.functional = true;
+    RmSsd dev(cfg, opt);
+    dev.loadTables();
+
+    workload::TraceGenerator gen(cfg, skewedTrace());
+    for (int r = 0; r < 4; ++r)
+        dev.infer(gen.nextBatch(4));
+
+    StatsRegistry registry;
+    dev.registerStats(registry, "t");
+    for (std::uint32_t c = 0; c < opt.geometry.numChannels; ++c) {
+        const std::string ch = "t.flash.ch" + std::to_string(c);
+        EXPECT_GT(registry.gaugeValue(ch + ".busyCycles"), 0u);
+        std::uint64_t dieBusy = 0;
+        for (std::uint32_t d = 0; d < opt.geometry.diesPerChannel;
+             ++d)
+            dieBusy += registry.gaugeValue(
+                ch + ".die" + std::to_string(d) + ".busyCycles");
+        EXPECT_GT(dieBusy, 0u);
+        // The conflict counter is registered (value is workload
+        // dependent); counterValue returns the live counter.
+        EXPECT_EQ(registry.counterValue(ch + ".dieConflicts"),
+                  dev.flash().fmc(c).dieConflicts().value());
+    }
+}
+
+TEST(Stats, SameDieBackToBackReadsCountAConflict)
+{
+    flash::Fmc fmc(2, flash::tableIITiming());
+    fmc.readVector(Cycle{}, 0, Bytes{128});
+    EXPECT_EQ(fmc.dieConflicts().value(), 0u);
+    fmc.readVector(Cycle{}, 0, Bytes{128}); // die still flushing
+    EXPECT_EQ(fmc.dieConflicts().value(), 1u);
+    fmc.readVector(Cycle{}, 1, Bytes{128}); // other die is idle
+    EXPECT_EQ(fmc.dieConflicts().value(), 1u);
+}
+
+} // namespace
+} // namespace rmssd::engine
+
+namespace rmssd::cluster {
+namespace {
+
+std::vector<workload::TraceGenerator::TableHistogram>
+histogramWithWorkingSets(const std::vector<std::uint64_t> &sets)
+{
+    std::vector<workload::TraceGenerator::TableHistogram> hist(
+        sets.size());
+    for (std::size_t t = 0; t < sets.size(); ++t) {
+        hist[t].totalLookups = 1000 * sets[t];
+        hist[t].uniqueHotIndices = sets[t];
+    }
+    return hist;
+}
+
+TEST(Resharding, UnchangedHistogramMovesNothing)
+{
+    model::ModelConfig cfg = model::rmc1();
+    ShardingOptions opt;
+    opt.numDevices = 2;
+    const auto hist =
+        histogramWithWorkingSets({100, 1, 1, 1, 1, 1, 1, 1});
+    const ShardPlan previous = planTableSharding(cfg, opt, hist);
+
+    const ReshardPlanResult r =
+        replanTableSharding(cfg, opt, previous, hist);
+    EXPECT_EQ(r.movedTables, 0u);
+    EXPECT_EQ(r.movedWeightFraction, 0.0);
+    EXPECT_EQ(r.plan.ownersPerTable, previous.ownersPerTable);
+}
+
+TEST(Resharding, StickinessKeepsHeavyTableOnItsOwner)
+{
+    model::ModelConfig cfg = model::rmc1();
+    ShardingOptions opt;
+    opt.numDevices = 2;
+    const auto before =
+        histogramWithWorkingSets({100, 1, 1, 1, 1, 1, 1, 1});
+    const ShardPlan previous = planTableSharding(cfg, opt, before);
+    const std::uint32_t heavyOwnerBefore =
+        previous.ownersPerTable[0][0];
+
+    // Drift: table 7 becomes the heavy one. A fresh plan would place
+    // it greedily; the sticky re-plan keeps it on its previous owner
+    // because the fleet can still balance around it.
+    const auto after =
+        histogramWithWorkingSets({1, 1, 1, 1, 1, 1, 1, 100});
+    const ReshardPlanResult r = replanTableSharding(
+        cfg, opt, previous, after, /*stickiness=*/10.0);
+
+    // Every table still owned, every device still populated.
+    for (std::uint32_t d = 0; d < opt.numDevices; ++d)
+        EXPECT_FALSE(r.plan.tablesPerDevice[d].empty());
+    for (std::uint32_t g = 0; g < cfg.numTables; ++g)
+        EXPECT_FALSE(r.plan.ownersPerTable[g].empty());
+    EXPECT_EQ(r.plan.ownersPerTable[7][0],
+              previous.ownersPerTable[7][0]);
+    EXPECT_EQ(r.plan.ownersPerTable[0][0], heavyOwnerBefore);
+    EXPECT_LE(r.movedWeightFraction, 0.2);
+}
+
+TEST(Resharding, ZeroStickinessStillProducesValidPlan)
+{
+    model::ModelConfig cfg = model::rmc1();
+    ShardingOptions opt;
+    opt.numDevices = 4;
+    const auto before =
+        histogramWithWorkingSets({64, 32, 16, 8, 4, 2, 1, 1});
+    const ShardPlan previous = planTableSharding(cfg, opt, before);
+    const auto after =
+        histogramWithWorkingSets({1, 1, 2, 4, 8, 16, 32, 64});
+    const ReshardPlanResult r = replanTableSharding(
+        cfg, opt, previous, after, /*stickiness=*/0.0);
+
+    for (std::uint32_t d = 0; d < opt.numDevices; ++d)
+        EXPECT_FALSE(r.plan.tablesPerDevice[d].empty());
+    std::uint32_t owned = 0;
+    for (std::uint32_t g = 0; g < cfg.numTables; ++g)
+        owned += static_cast<std::uint32_t>(
+            r.plan.ownersPerTable[g].size());
+    EXPECT_EQ(owned, cfg.numTables);
+    EXPECT_GE(r.movedWeightFraction, 0.0);
+    EXPECT_LE(r.movedWeightFraction, 1.0);
+}
+
+} // namespace
+} // namespace rmssd::cluster

@@ -31,7 +31,7 @@ class GeometrySweep : public ::testing::TestWithParam<GeometryParam>
         Geometry g = tableIIGeometry();
         g.numChannels = std::get<0>(GetParam());
         g.diesPerChannel = std::get<1>(GetParam());
-        g.pageSizeBytes = std::get<2>(GetParam());
+        g.pageSizeBytes = Bytes{std::get<2>(GetParam())};
         g.validate();
         return g;
     }
@@ -40,7 +40,7 @@ class GeometrySweep : public ::testing::TestWithParam<GeometryParam>
     makeTiming() const
     {
         NandTiming t = tableIITiming();
-        t.pageSizeBytes = std::get<2>(GetParam());
+        t.pageSizeBytes = Bytes{std::get<2>(GetParam())};
         return t;
     }
 };
@@ -69,12 +69,12 @@ TEST_P(GeometrySweep, ChannelsSeeBalancedStriping)
 TEST_P(GeometrySweep, VectorReadNeverSlowerThanPageRead)
 {
     const NandTiming t = makeTiming();
-    for (std::uint32_t bytes = 64; bytes <= t.pageSizeBytes;
+    for (std::uint64_t bytes = 64; bytes <= t.pageSizeBytes.raw();
          bytes *= 2) {
         EXPECT_LE(t.vectorReadTotalCycles(Bytes{bytes}),
                   t.pageReadTotalCycles());
     }
-    EXPECT_EQ(t.vectorReadTotalCycles(Bytes{t.pageSizeBytes}),
+    EXPECT_EQ(t.vectorReadTotalCycles(t.pageSizeBytes),
               t.pageReadTotalCycles());
 }
 

@@ -30,6 +30,8 @@ GUARDED_DIRS = [
     "src/host",
     "src/workload",
     "src/cluster",
+    "src/flash",
+    "src/baseline",
 ]
 
 RAW_INT = r"(?:std::)?(?:uint64_t|uint32_t|size_t)"
