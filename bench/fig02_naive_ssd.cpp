@@ -32,7 +32,7 @@ runFigure()
     for (const char *modelName : {"RMC1", "RMC2", "RMC3"}) {
         const model::ModelConfig cfg = model::modelByName(modelName);
         std::printf("--- %s ---\n", modelName);
-        bench::TextTable time({"batch", "system", "time/1K inf (s)"});
+        bench::TextTable timeTable({"batch", "system", "time/1K inf (s)"});
         bench::TextTable parts({"batch", "system", "top-mlp%",
                                 "bot-mlp%", "concat%", "emb-op%",
                                 "emb-fs%", "emb-ssd%", "other%"});
@@ -44,7 +44,7 @@ runFigure()
                 const workload::RunResult r = sys->run(
                     gen, batch, scale.numBatches, scale.warmupBatches);
 
-                time.addRow({std::to_string(batch), system,
+                timeTable.addRow({std::to_string(batch), system,
                              bench::fmtTimesPer1k(r.latencyPerBatch())});
                 const double total =
                     static_cast<double>(r.breakdown.total().raw());
@@ -63,7 +63,7 @@ runFigure()
                               pct(r.breakdown.other)});
             }
         }
-        time.print();
+        timeTable.print();
         std::printf("\n");
         parts.print();
         std::printf("\n");

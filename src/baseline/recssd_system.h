@@ -39,6 +39,9 @@ class HostVectorCache
 
     std::uint64_t capacity_;
     std::list<Key> lru_;
+    // Determinism audit: point lookups only; recency order lives in
+    // lru_. Never iterate this map (bucket order is a platform
+    // artifact — see tools/lint_determinism.py).
     std::unordered_map<Key, std::list<Key>::iterator> map_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -184,9 +184,17 @@ KernelSearch::growSlowest(std::vector<EngineLayer *> &seq,
     std::vector<std::size_t> order(seq.size());
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
+    // Total order: cycles desc, then layer position asc. Without the
+    // position tie-breaker, equal-time layers would grow in
+    // std::sort's implementation-defined order, making the searched
+    // kernel a stdlib artifact rather than a reproducible result.
     std::sort(order.begin(), order.end(), [&](std::size_t a,
                                               std::size_t b) {
-        return fcLayerCycles(*seq[a], ii) > fcLayerCycles(*seq[b], ii);
+        const Cycle ca = fcLayerCycles(*seq[a], ii);
+        const Cycle cb = fcLayerCycles(*seq[b], ii);
+        if (ca != cb)
+            return ca > cb;
+        return a < b;
     });
 
     for (const std::size_t i : order) {

@@ -23,6 +23,9 @@ planHotPages(const EvTranslator &translator,
         heat[PageId{req.lba.raw() / sectorsPerPage}] += row.weight;
     }
 
+    // det-safe: extraction order is erased by the total-order sort
+    // below (weight desc, PageId asc); the weights themselves are
+    // accumulated in row-span order, not bucket order.
     std::vector<std::pair<PageId, double>> pages(heat.begin(),
                                                  heat.end());
     std::sort(pages.begin(), pages.end(),

@@ -57,6 +57,8 @@ class BackingStore
     static std::uint8_t fillerByte(PageId ppn, std::uint64_t off);
 
     Bytes pageSize_;
+    // Determinism audit: per-page point lookups only; never iterate
+    // (bucket order is a platform artifact).
     std::unordered_map<PageId, std::vector<std::uint8_t>> pages_;
 };
 

@@ -113,6 +113,7 @@ std::uint32_t
 FlashArray::maxBlockWear() const
 {
     std::uint32_t wear = 0;
+    // det-safe: max is a commutative, order-insensitive fold.
     for (const auto &[key, count] : blockWear_)
         wear = std::max(wear, count);
     return wear;

@@ -104,6 +104,9 @@ class FlashArray
     NandTiming timing_;
     BackingStore store_;
     std::vector<std::unique_ptr<Fmc>> fmcs_;
+    // Determinism audit: point lookups plus one det-safe max fold
+    // (maxBlockWear). Any future wear-leveling ranking must sort by
+    // (wear, block key) — not by map order.
     std::unordered_map<std::uint64_t, std::uint32_t> blockWear_;
 };
 

@@ -128,6 +128,8 @@ FrequencyMapping::observedHot(std::size_t k) const
 {
     std::vector<std::pair<std::uint64_t, PageId>> byCount;
     byCount.reserve(candidates_.size());
+    // det-safe: extraction order is erased by the total-order sort
+    // below (count desc, PageId asc).
     for (const auto &[lpn, count] : candidates_)
         byCount.emplace_back(count, lpn);
     std::sort(byCount.begin(), byCount.end(),

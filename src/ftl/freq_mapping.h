@@ -127,7 +127,12 @@ class FrequencyMapping : public Mapping
     std::unordered_map<PageId, PageId> p2l_;
 
     engine::FrequencySketch sketch_;
-    /** Exact read counts for pages past the sketch admission bar. */
+    /**
+     * Exact read counts for pages past the sketch admission bar.
+     * Determinism audit: the only iteration (observedHot) re-sorts
+     * with a (count desc, PageId asc) total order before any rank
+     * leaks out; keep it that way.
+     */
     std::unordered_map<PageId, std::uint64_t> candidates_;
     std::uint64_t observedReads_ = 0;
 };

@@ -76,6 +76,9 @@ class PageTableMapping : public Mapping
   private:
     std::uint64_t totalPages_;
     std::uint64_t nextPhys_ = 0;
+    // Determinism audit: L2P point lookups only; never iterate
+    // (bucket order is a platform artifact). GC victim selection, when
+    // it lands, must rank by (wear, PageId) — not by map order.
     std::unordered_map<PageId, PageId> map_;
 };
 

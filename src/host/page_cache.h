@@ -75,6 +75,9 @@ class PageCache
 
     std::uint64_t capacity_;
     std::list<PageKey> lru_; //!< front = most recent
+    // Determinism audit: point lookups only; recency order lives in
+    // lru_. Never iterate this map (bucket order is a platform
+    // artifact — see tools/lint_determinism.py).
     std::unordered_map<PageKey, std::list<PageKey>::iterator,
                        PageKeyHash>
         map_;

@@ -62,6 +62,8 @@ class MmioManager
     const Counter &hostBytesRead() const { return hostBytesRead_; }
 
   private:
+    // Determinism audit: register-offset point lookups only; never
+    // iterate (bucket order is a platform artifact).
     std::unordered_map<std::uint32_t, std::uint64_t> regs_;
 
     Counter hostReads_;

@@ -54,7 +54,15 @@ class Distribution
     double max_ = 0.0;
 };
 
-/** Named stats registry; values are registered by pointer. */
+/**
+ * Named stats registry; values are registered by pointer.
+ *
+ * Determinism audit: every table below is a std::map keyed by the
+ * stat NAME (never by pointer), so dump() exports in lexicographic
+ * name order — stable across runs, builds, and address-space layouts.
+ * Keep it that way: switching to unordered_map (or keying by the
+ * registered pointer) would make export order an ASLR artifact.
+ */
 class StatsRegistry
 {
   public:

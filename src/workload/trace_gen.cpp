@@ -104,13 +104,22 @@ TraceGenerator::histogram(std::uint64_t lookups, std::uint32_t topN)
     summary.uniqueIndices = counts.size();
     std::vector<std::pair<std::uint64_t, std::uint64_t>> byCount;
     byCount.reserve(counts.size());
+    // det-safe: onceAccessed is a commutative sum; byCount is given a
+    // total order by the sort below before any rank is extracted.
     for (const auto &[idx, n] : counts) {
         if (n == 1)
             ++summary.onceAccessed;
         byCount.emplace_back(n, idx);
     }
+    // Total order: count desc, then index asc. Without the index
+    // tie-breaker, equally-hot rows at the top-N boundary would be
+    // ranked by hash-bucket order — a platform artifact, not a result.
     std::sort(byCount.begin(), byCount.end(),
-              [](const auto &a, const auto &b) { return a.first > b.first; });
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
     std::uint64_t topLookups = 0;
     for (std::uint32_t i = 0; i < topN && i < byCount.size(); ++i) {
         summary.top.push_back(byCount[i]);

@@ -98,7 +98,12 @@ class TraceGenerator
     model::ModelConfig config_;
     TraceConfig trace_;
     Rng rng_;
-    /** Per-table hot-row membership (precomputed at construction). */
+    /**
+     * Per-table hot-row membership (precomputed at construction).
+     * Determinism audit: contains() only; never iterate a set
+     * (bucket order is a platform artifact) — rank-ordered hot rows
+     * come from hotRow(t, rank) instead.
+     */
     std::vector<std::unordered_set<std::uint64_t>> hotSets_;
 };
 

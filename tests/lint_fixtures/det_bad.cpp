@@ -1,0 +1,36 @@
+// Lint fixture: every construct below is a KNOWN lint_determinism
+// finding (7 total). test_lint_tools.py asserts each is reported.
+// Never compiled.
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+struct Widget;
+
+int
+lintFixtureBad()
+{
+    std::unordered_map<int, int> counts;
+    counts[1] = 2;
+
+    int s = 0;
+    for (const auto &[k, v] : counts) // finding: range-for, unordered
+        s += v;
+
+    // finding: iterator extraction without a sort re-establishing order
+    std::vector<std::pair<int, int>> flat(counts.begin(), counts.end());
+
+    std::map<Widget *, int> byWidget; // finding: pointer-keyed order
+
+    std::random_device rd;                     // finding: entropy
+    s += static_cast<int>(rd());
+    s += static_cast<int>(std::time(nullptr)); // finding: wall clock
+    s += std::rand();                          // finding: libc rand
+    auto now = std::chrono::steady_clock::now(); // finding: host clock
+    (void)now;
+    (void)byWidget;
+    return s + static_cast<int>(flat.size());
+}

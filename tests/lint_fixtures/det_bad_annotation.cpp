@@ -1,0 +1,15 @@
+// Lint fixture: 1 finding expected — a det-safe annotation carrying
+// no reason is itself an error, so "because I said so" suppressions
+// cannot creep in. Never compiled.
+#include <unordered_map>
+
+int
+lintFixtureBadAnnotation()
+{
+    std::unordered_map<int, int> counts;
+    int s = 0;
+    // det-safe:
+    for (const auto &[k, v] : counts)
+        s += v;
+    return s;
+}

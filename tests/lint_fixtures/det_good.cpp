@@ -1,0 +1,39 @@
+// Lint fixture: zero lint_determinism findings expected. Annotated
+// order-insensitive folds, non-iterating hash-map use, and pointer
+// VALUES (not keys) are all legal. Never compiled.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Widget;
+
+int
+lintFixtureGood()
+{
+    std::unordered_map<int, int> counts;
+    counts[1] = 2;
+
+    int mx = 0;
+    // det-safe: max is a commutative, order-insensitive fold.
+    for (const auto &[k, v] : counts)
+        mx = std::max(mx, v);
+
+    // det-safe: extraction order is erased by the total-order sort
+    // below (value desc, key asc) before any rank is extracted.
+    std::vector<std::pair<int, int>> flat(counts.begin(), counts.end());
+    std::sort(flat.begin(), flat.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+
+    // Point lookups never observe bucket order.
+    const auto it = counts.find(1);
+    mx += it == counts.end() ? 0 : it->second;
+
+    std::map<int, Widget *> ptrValues; // pointer value, stable int key
+    (void)ptrValues;
+    return mx + static_cast<int>(flat.size());
+}

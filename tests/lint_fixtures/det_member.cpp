@@ -1,0 +1,12 @@
+// Lint fixture: 1 finding expected — range-for over a hash-map
+// member declared in the sibling header. Never compiled.
+#include "det_member.h"
+
+int
+HeatTracker::hottest() const
+{
+    int best = 0;
+    for (const auto &[k, v] : heat_)
+        best = best > v ? best : v;
+    return best;
+}

@@ -1,0 +1,15 @@
+// Lint fixture: declares the hash-map MEMBER that det_member.cpp
+// iterates, proving the lint resolves members through the sibling
+// header (the freq_mapping.h/.cpp shape). Never compiled.
+#ifndef RMSSD_TESTS_LINT_FIXTURES_DET_MEMBER_H
+#define RMSSD_TESTS_LINT_FIXTURES_DET_MEMBER_H
+
+#include <unordered_map>
+
+struct HeatTracker
+{
+    int hottest() const;
+    std::unordered_map<int, int> heat_;
+};
+
+#endif

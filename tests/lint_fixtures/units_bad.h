@@ -1,0 +1,22 @@
+// Lint fixture: every declaration below is a KNOWN lint_units
+// finding. test_lint_tools.py asserts each one is reported; if the
+// lint regresses, CI fails here, not in review. Never compiled.
+#ifndef RMSSD_TESTS_LINT_FIXTURES_UNITS_BAD_H
+#define RMSSD_TESTS_LINT_FIXTURES_UNITS_BAD_H
+
+#include <cstdint>
+
+namespace rmssd::lintfix {
+
+struct BadTimings
+{
+    std::uint64_t startCycle = 0;  // finding: raw member, Cycle unit
+    std::uint32_t spanSectors{0};  // finding: raw member, Sectors unit
+};
+
+// finding x2: raw params carrying Lba and Bytes units
+void readRange(std::uint64_t beginLba, std::uint64_t lenBytes);
+
+} // namespace rmssd::lintfix
+
+#endif

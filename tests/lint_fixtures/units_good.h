@@ -1,0 +1,27 @@
+// Lint fixture: zero lint_units findings expected. Strong types,
+// rate names, and plain counts are all legal. Never compiled (the
+// strong-type names are placeholders for the lint's textual view).
+#ifndef RMSSD_TESTS_LINT_FIXTURES_UNITS_GOOD_H
+#define RMSSD_TESTS_LINT_FIXTURES_UNITS_GOOD_H
+
+#include <cstdint>
+
+namespace rmssd::lintfix {
+
+struct Cycle;
+struct Lba;
+struct Bytes;
+
+struct GoodTimings
+{
+    Cycle *startCycle = nullptr;       // strong type: legal
+    std::uint64_t bytesPerCycle = 0;   // ratio: legal by convention
+    std::uint32_t numRows = 0;         // count, not a unit: legal
+    std::uint64_t sectorsPerPage = 0;  // ratio: legal by convention
+};
+
+void readRange(const Lba &beginLba, const Bytes &lenBytes);
+
+} // namespace rmssd::lintfix
+
+#endif

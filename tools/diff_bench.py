@@ -59,12 +59,21 @@ def diff_file(golden_path: pathlib.Path,
         if missing_cols:
             findings.append(
                 f"{label}: table {key} dropped columns {missing_cols}")
-            continue
+        # Keep diffing the surviving columns so one dropped column
+        # doesn't mask every other regression in the table: the report
+        # must name ALL mismatched cells, not the first failure path.
+        cols = [c for c in gt["columns"] if c not in missing_cols]
         # Rows are keyed by the golden's first column (K, system, ...)
         # plus an occurrence index, so sweep tables that repeat the
         # first column (e.g. one row per queue depth per system) pair
         # up positionally within each key.
         row_key = gt["columns"][0]
+        if row_key in missing_cols:
+            # Without the key column rows cannot be paired at all.
+            findings.append(
+                f"{label}: table {key} lost its row-key column "
+                f"{row_key!r}; row diff skipped")
+            continue
         current_rows = {}
         seen_rows: dict[object, int] = {}
         for r in ct["rows"]:
@@ -83,7 +92,7 @@ def diff_file(golden_path: pathlib.Path,
                     f"{label}: table {key} row "
                     f"{row_key}={v!r} (occurrence {n}) missing")
                 continue
-            for col in gt["columns"]:
+            for col in cols:
                 if gr.get(col) != cr.get(col):
                     findings.append(
                         f"{label}: table {key} row "

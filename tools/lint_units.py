@@ -32,6 +32,8 @@ GUARDED_DIRS = [
     "src/cluster",
     "src/flash",
     "src/baseline",
+    "src/model",
+    "src/runtime",
 ]
 
 RAW_INT = r"(?:std::)?(?:uint64_t|uint32_t|size_t)"
@@ -79,6 +81,10 @@ def strip_comments(text: str) -> str:
 
 def lint_header(path: pathlib.Path) -> list[str]:
     flat = re.sub(r"\s+", " ", strip_comments(path.read_text()))
+    try:
+        path = path.relative_to(REPO)
+    except ValueError:
+        pass
     findings = []
     for kind, pattern in (("parameter", PARAM_RE),
                           ("member", MEMBER_RE)):
@@ -88,18 +94,28 @@ def lint_header(path: pathlib.Path) -> list[str]:
                 continue
             if UNIT_NAME_RE.search(name):
                 findings.append(
-                    f"{path.relative_to(REPO)}: raw integer {kind} "
+                    f"{path}: raw integer {kind} "
                     f"'{name}' looks unit-bearing; use a strong type "
                     f"from sim/strong_types.h"
                 )
     return findings
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    # Explicit paths (files or directories) override the guarded
+    # dirs — used by the lint self-tests to run against fixtures.
+    argv = argv if argv is not None else sys.argv[1:]
+    if argv:
+        headers: list[pathlib.Path] = []
+        for a in argv:
+            p = pathlib.Path(a)
+            headers.extend(sorted(p.glob("*.h")) if p.is_dir() else [p])
+    else:
+        headers = [h for rel in GUARDED_DIRS
+                   for h in sorted((REPO / rel).glob("*.h"))]
     findings: list[str] = []
-    for rel in GUARDED_DIRS:
-        for header in sorted((REPO / rel).glob("*.h")):
-            findings.extend(lint_header(header))
+    for header in headers:
+        findings.extend(lint_header(header))
     if findings:
         print("lint_units: unit-unsafe raw parameters found:")
         for f in findings:
