@@ -115,7 +115,22 @@ engine::RequestId
 RmSsdCluster::submit(std::span<const model::Sample> samples)
 {
     RMSSD_ASSERT(!samples.empty(), "empty inference request");
+    if (!hostTier_ || !hostTier_->active())
+        return submitResidual(samples, nullptr);
 
+    // Tier above the router: intercept the full-model request first,
+    // charge the DRAM service time, then shard only the residual —
+    // tables the tier fully absorbed route nowhere.
+    host::EmbeddingTier::Intercept icpt =
+        hostTier_->intercept(samples, options_.device.functional);
+    advanceHostClock(icpt.hostNanos);
+    return submitResidual(icpt.residual, &icpt);
+}
+
+engine::RequestId
+RmSsdCluster::submitResidual(std::span<const model::Sample> samples,
+                             host::EmbeddingTier::Intercept *icpt)
+{
     // Bounded queue depth: the oldest request gathers and retires
     // before a new one scatters (host backpressure). At depth 1 this
     // reproduces the blocking infer() loop op-for-op.
@@ -146,6 +161,7 @@ RmSsdCluster::submit(std::span<const model::Sample> samples)
     // the gather). Sub-requests issue through the shards' own async
     // queues, so each shard's clock advances independently between
     // scatters; the gather and home MLP wait for the retire stage.
+    request.participants.reserve(numDevices);
     for (std::uint32_t d = 0; d < numDevices; ++d) {
         if (request.assignedLookups[d] == 0)
             continue;
@@ -180,6 +196,8 @@ RmSsdCluster::submit(std::span<const model::Sample> samples)
 
     if (options_.device.functional)
         request.samples.assign(samples.begin(), samples.end());
+    if (icpt)
+        request.tierServed = std::move(icpt->served);
 
     submitted_.inc();
     const engine::RequestId id = request.id;
@@ -260,12 +278,42 @@ RmSsdCluster::retireOldest()
     done.id = request.id;
     if (options_.device.functional) {
         const std::uint32_t dim = config_.embDim;
+        done.outcome.outputs.reserve(
+            request.numSamples *
+            (options_.embeddingOnly
+                 ? static_cast<std::size_t>(config_.numTables) * dim
+                 : 1));
+        model::Vector pooled;
+        std::vector<bool> served(config_.numTables);
         for (std::size_t s = 0; s < request.numSamples; ++s) {
-            model::Vector pooled(
+            pooled.assign(
                 static_cast<std::size_t>(config_.numTables) * dim,
                 0.0f);
+            // Tier-served slices first: their pooled partials place at
+            // the global offset, and the mask keeps the shard pass off
+            // those slices (the shard saw an empty lookup list there —
+            // or, with the whole table absorbed, no sub-request).
+            served.assign(config_.numTables, false);
+            if (s < request.tierServed.size()) {
+                for (const host::EmbeddingTier::ServedSlice &slice :
+                     request.tierServed[s]) {
+                    std::copy(slice.pooled.begin(), slice.pooled.end(),
+                              pooled.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      slice.table) *
+                                      dim);
+                    served[slice.table] = true;
+                }
+            }
             for (std::uint32_t g = 0; g < config_.numTables; ++g) {
+                if (served[g])
+                    continue;
                 const std::uint32_t d = request.chosen[g];
+                // A shard that received no lookups at all never got a
+                // sub-request; its would-be partials are exact zeros,
+                // already in place.
+                if (partial[d].outputs.empty())
+                    continue;
                 const auto &owners = plan_.ownersPerTable[g];
                 const std::size_t i = static_cast<std::size_t>(
                     std::find(owners.begin(), owners.end(), d) -
@@ -404,6 +452,22 @@ RmSsdCluster::migrateIfDrifted()
     return moved;
 }
 
+void
+RmSsdCluster::attachHostTier(std::shared_ptr<host::EmbeddingTier> tier)
+{
+    if (tier)
+        RMSSD_ASSERT(tier->model().config().numTables ==
+                         config_.numTables,
+                     "tier model shape does not match the cluster");
+    hostTier_ = std::move(tier);
+    // Residual sub-requests carry variable-length lookup lists, so the
+    // shards must charge input DMA by what they actually receive (the
+    // config formula would charge full-size payloads for slices the
+    // tier absorbed). Restored when the tier detaches.
+    for (const auto &shard : shards_)
+        shard->setChargeActualIndexBytes(hostTier_ != nullptr);
+}
+
 std::uint64_t
 RmSsdCluster::migratedPageCount() const
 {
@@ -447,6 +511,8 @@ RmSsdCluster::registerStats(StatsRegistry &registry,
     registry.addCounter(prefix + ".host.bytesRead", &hostBytesRead_);
     registry.addCounter(prefix + ".host.bytesWritten",
                         &hostBytesWritten_);
+    if (hostTier_)
+        hostTier_->registerStats(registry, prefix + ".host.tier");
     for (std::uint32_t d = 0; d < plan_.numDevices(); ++d) {
         shards_[d]->registerStats(registry,
                                   prefix + ".dev" + std::to_string(d));

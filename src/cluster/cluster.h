@@ -24,6 +24,7 @@
 #include "cluster/sharding.h"
 #include "engine/inference_device.h"
 #include "engine/rm_ssd.h"
+#include "host/embedding_tier.h"
 #include "model/dlrm.h"
 #include "sim/stats.h"
 #include "sim/types.h"
@@ -132,6 +133,28 @@ class RmSsdCluster : public engine::InferenceDevice
     std::uint64_t migrateIfDrifted() override;
     std::uint64_t migratedPageCount() const override;
 
+    /**
+     * Attach a host tier ABOVE the router: requests intercept before
+     * sharding, so the residual re-shards — a shard whose tables were
+     * fully served receives no sub-request at all — and every shard
+     * switches to actual-index-count DMA accounting. The tier's served
+     * partials merge in the gather, byte-exactly.
+     */
+    void attachHostTier(std::shared_ptr<host::EmbeddingTier> tier)
+        override;
+    const host::EmbeddingTier *hostTier() const override
+    {
+        return hostTier_.get();
+    }
+    std::uint64_t tierSliceHits() const override
+    {
+        return hostTier_ ? hostTier_->sliceHits().value() : 0;
+    }
+    std::uint64_t tierSliceMisses() const override
+    {
+        return hostTier_ ? hostTier_->sliceMisses().value() : 0;
+    }
+
     const ShardPlan &shardPlan() const { return plan_; }
     std::uint32_t numDevices() const { return plan_.numDevices(); }
     engine::RmSsd &shard(std::uint32_t d) { return *shards_[d]; }
@@ -165,16 +188,27 @@ class RmSsdCluster : public engine::InferenceDevice
             participants;
         /** Request samples, kept for the functional gather. */
         std::vector<model::Sample> samples;
+        /** Host-tier served slices per sample (empty without a tier);
+         *  slice.table is the GLOBAL table id (full-model samples). */
+        std::vector<std::vector<host::EmbeddingTier::ServedSlice>>
+            tierServed;
     };
 
     /** Retire stage: shard gather + home MLP + presend bookkeeping. */
     void retireOldest();
+
+    /** Route/scatter stage over the (possibly residual) samples. */
+    engine::RequestId
+    submitResidual(std::span<const model::Sample> samples,
+                   host::EmbeddingTier::Intercept *icpt);
 
     model::ModelConfig config_;
     ClusterOptions options_;
     ShardPlan plan_;
     model::DlrmModel fullModel_;
     std::vector<std::unique_ptr<engine::RmSsd>> shards_;
+    /** Host-DRAM embedding tier above the router; nullptr without. */
+    std::shared_ptr<host::EmbeddingTier> hostTier_;
 
     /** Fleet-level MLP plan (kernel search against the full model). */
     engine::SearchResult searchResult_;

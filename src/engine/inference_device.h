@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -23,6 +24,10 @@
 #include "model/dlrm.h"
 #include "sim/stats.h"
 #include "sim/types.h"
+
+namespace rmssd::host {
+class EmbeddingTier;
+}
 
 namespace rmssd::engine {
 
@@ -189,6 +194,31 @@ class InferenceDevice
     virtual std::uint64_t migrateIfDrifted() { return 0; }
     /** Cumulative pages relocated by background migration. */
     virtual std::uint64_t migratedPageCount() const { return 0; }
+
+    // Host-DRAM embedding-tier hooks; backends without tier support
+    // keep the defaults (requests always reach the device whole).
+
+    /**
+     * Attach a host-DRAM embedding tier in front of this backend:
+     * submissions are intercepted on the host, fully tier-resident
+     * (sample, table) slices are served from DRAM, and only the
+     * residual indices reach the device. Detach with nullptr. The
+     * base implementation ignores the tier (no host interception).
+     */
+    virtual void
+    attachHostTier(std::shared_ptr<host::EmbeddingTier> tier)
+    {
+        (void)tier;
+    }
+    /** The attached host tier; nullptr without one. */
+    virtual const host::EmbeddingTier *hostTier() const
+    {
+        return nullptr;
+    }
+    /** Cumulative tier slice hits (0 without a tier). */
+    virtual std::uint64_t tierSliceHits() const { return 0; }
+    /** Cumulative tier slice misses (0 without a tier). */
+    virtual std::uint64_t tierSliceMisses() const { return 0; }
 
     /**
      * Steady-state throughput in queries (samples) per second for a

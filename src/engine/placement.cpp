@@ -44,4 +44,172 @@ planHotPages(const EvTranslator &translator,
     return hot;
 }
 
+TierPlan
+planHostTier(std::uint64_t rowsPerTable, Bytes vectorBytes,
+             std::span<const double> shares,
+             std::span<const RowHeat> heats, Bytes budgetBytes)
+{
+    RMSSD_ASSERT(!shares.empty(), "empty table shares");
+    RMSSD_ASSERT(rowsPerTable > 0, "empty tables");
+    RMSSD_ASSERT(vectorBytes.raw() > 0, "zero-byte embedding vector");
+
+    TierPlan plan;
+    plan.budgetBytes = budgetBytes;
+    const auto tables = static_cast<std::uint32_t>(shares.size());
+    const std::uint64_t slots = budgetBytes.raw() / vectorBytes.raw();
+    if (slots == 0)
+        return plan;
+
+    // Budget split: largest-remainder apportionment of row slots over
+    // the table shares (planTablePartitions' quota scheme), iterated
+    // with per-table caps — a table whose quota reaches its row count
+    // is pinned whole and its surplus re-apportions to the rest.
+    std::vector<std::uint64_t> quota(tables, 0);
+    std::uint64_t pool = slots;
+    while (pool > 0) {
+        double total = 0.0;
+        std::uint32_t open = 0;
+        for (std::uint32_t t = 0; t < tables; ++t) {
+            if (quota[t] >= rowsPerTable)
+                continue;
+            RMSSD_ASSERT(shares[t] > 0.0, "non-positive table share");
+            total += shares[t];
+            ++open;
+        }
+        if (open == 0)
+            break; // every table already whole; surplus stays unused
+
+        std::uint64_t assigned = 0;
+        std::vector<std::pair<double, std::uint32_t>> remainders;
+        remainders.reserve(open);
+        for (std::uint32_t t = 0; t < tables; ++t) {
+            if (quota[t] >= rowsPerTable)
+                continue;
+            const double exact =
+                static_cast<double>(pool) * shares[t] / total;
+            const auto whole = static_cast<std::uint64_t>(exact);
+            const std::uint64_t take =
+                std::min(whole, rowsPerTable - quota[t]);
+            quota[t] += take;
+            assigned += take;
+            if (quota[t] < rowsPerTable)
+                remainders.emplace_back(exact - static_cast<double>(whole),
+                                        t);
+        }
+        std::sort(remainders.begin(), remainders.end(),
+                  [](const auto &a, const auto &b) {
+                      // Ties broken by table id for determinism.
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        for (const auto &[rem, t] : remainders) {
+            if (assigned >= pool)
+                break;
+            ++quota[t];
+            ++assigned;
+        }
+        if (assigned == 0)
+            break; // nothing placeable (all floors zero, all capped)
+        pool -= assigned;
+    }
+
+    // Vector granularity: each table's quota buys its hottest rows.
+    // Weights accumulate per row (hot ranks can alias onto one row),
+    // and rows with no positive weight are never bought — the tier
+    // pays off per intercepted lookup, so cold rows are dead weight.
+    struct TableHeat
+    {
+        std::vector<std::pair<double, std::uint64_t>> rows;
+        double totalWeight = 0.0;
+    };
+    std::vector<TableHeat> heat(tables);
+    {
+        std::vector<std::unordered_map<std::uint64_t, double>> acc(
+            tables);
+        for (const RowHeat &row : heats) {
+            if (row.weight <= 0.0 || row.table.raw() >= tables)
+                continue;
+            acc[row.table.raw()][row.row.raw()] += row.weight;
+        }
+        for (std::uint32_t t = 0; t < tables; ++t) {
+            // det-safe: extraction order is erased by the total-order
+            // sort below (weight desc, row asc); totalWeight is a
+            // commutative sum.
+            for (const auto &[row, weight] : acc[t]) {
+                heat[t].rows.emplace_back(weight, row);
+                heat[t].totalWeight += weight;
+            }
+            std::sort(heat[t].rows.begin(), heat[t].rows.end(),
+                      [](const auto &a, const auto &b) {
+                          if (a.first != b.first)
+                              return a.first > b.first;
+                          return a.second < b.second;
+                      });
+        }
+    }
+
+    std::vector<TierPlanEntry> entries(tables);
+    std::vector<double> covered(tables, 0.0);
+    std::uint64_t spent = 0;
+    for (std::uint32_t t = 0; t < tables; ++t) {
+        entries[t].table = TableId{t};
+        if (quota[t] >= rowsPerTable) {
+            entries[t].wholeTable = true;
+            covered[t] = 1.0;
+            spent += rowsPerTable;
+            continue;
+        }
+        const std::uint64_t take =
+            std::min<std::uint64_t>(quota[t], heat[t].rows.size());
+        entries[t].rows.reserve(take);
+        for (std::uint64_t i = 0; i < take; ++i) {
+            entries[t].rows.push_back(EvIndex{heat[t].rows[i].second});
+            covered[t] += heat[t].rows[i].first;
+        }
+        spent += take;
+    }
+
+    // Table granularity: slots the hot rows could not absorb upgrade
+    // tables to whole pins, chasing *uncovered* traffic — the heat
+    // mass (hot tail + cold accesses) residency does not serve yet. A
+    // fully-hot table whose hot set is already resident has nothing
+    // left to cover and never steals an upgrade from a half-cold one.
+    std::uint64_t leftover = slots - spent;
+    std::vector<std::pair<double, std::uint32_t>> upgrade;
+    for (std::uint32_t t = 0; t < tables; ++t) {
+        if (!entries[t].wholeTable)
+            upgrade.emplace_back(1.0 - covered[t], t);
+    }
+    std::sort(upgrade.begin(), upgrade.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    for (const auto &[uncovered, t] : upgrade) {
+        if (uncovered <= 0.0)
+            break;
+        const std::uint64_t cost =
+            rowsPerTable - entries[t].rows.size();
+        if (cost > leftover)
+            continue;
+        entries[t].wholeTable = true;
+        entries[t].rows.clear();
+        leftover -= cost;
+        spent += cost;
+    }
+
+    for (TierPlanEntry &entry : entries) {
+        entry.bytes =
+            Bytes{(entry.wholeTable ? rowsPerTable
+                                    : entry.rows.size()) *
+                  vectorBytes.raw()};
+        if (entry.wholeTable || !entry.rows.empty())
+            plan.entries.push_back(std::move(entry));
+    }
+    plan.plannedBytes = Bytes{spent * vectorBytes.raw()};
+    return plan;
+}
+
 } // namespace rmssd::engine

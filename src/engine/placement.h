@@ -45,6 +45,53 @@ std::vector<PageId> planHotPages(const EvTranslator &translator,
                                  std::span<const RowHeat> rows,
                                  std::size_t maxPages);
 
+/** Planned host-DRAM residency of one embedding table. */
+struct TierPlanEntry
+{
+    TableId table;
+    /**
+     * The whole table is pinned (table granularity): every row is
+     * tier-resident, so rows stays empty.
+     */
+    bool wholeTable = false;
+    /** Resident rows (vector granularity); empty when wholeTable. */
+    std::vector<EvIndex> rows;
+    /** DRAM bytes this entry occupies. */
+    Bytes bytes;
+};
+
+/** A host-DRAM embedding-tier placement under a fixed byte budget. */
+struct TierPlan
+{
+    Bytes budgetBytes;
+    /** Bytes actually placed (<= budget; surplus beyond the hot rows
+     *  worth pinning is left unused rather than spent on cold rows). */
+    Bytes plannedBytes;
+    std::vector<TierPlanEntry> entries; //!< one per table with residency
+};
+
+/**
+ * Plan host-DRAM residency for @p budgetBytes of embedding rows.
+ *
+ * The budget (in row slots of @p vectorBytes) splits across tables by
+ * largest-remainder apportionment over @p shares — the same
+ * deterministic quota scheme EvCache's planTablePartitions uses — with
+ * per-table caps at @p rowsPerTable: a table whose quota reaches its
+ * row count is pinned whole (table granularity) and its surplus slots
+ * re-apportion to the remaining tables. A table's quota below the cap
+ * buys its top-quota rows by @p heats weight (vector granularity);
+ * rows with non-positive weight are never bought — leftover budget
+ * shows up as plannedBytes < budgetBytes instead of pinning cold rows
+ * that would never amortize.
+ *
+ * Edge cases: a zero budget returns an empty plan; a budget covering
+ * every table pins everything whole.
+ */
+TierPlan planHostTier(std::uint64_t rowsPerTable, Bytes vectorBytes,
+                      std::span<const double> shares,
+                      std::span<const RowHeat> heats,
+                      Bytes budgetBytes);
+
 } // namespace rmssd::engine
 
 #endif // RMSSD_ENGINE_PLACEMENT_H

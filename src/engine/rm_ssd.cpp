@@ -75,7 +75,13 @@ RmSsd::applyHotSet(std::span<const PageId> hot, bool timed,
         freqMapping_->planHotSet(hot);
     if (swaps.size() > maxSwaps)
         swaps.resize(maxSwaps);
+    return executeSwaps(swaps, timed);
+}
 
+std::uint64_t
+RmSsd::executeSwaps(std::span<const ftl::FrequencyMapping::Swap> swaps,
+                    bool timed)
+{
     const std::size_t pageSize =
         static_cast<std::size_t>(options_.geometry.pageSizeBytes.raw());
     std::vector<std::uint8_t> bufA(pageSize);
@@ -119,10 +125,32 @@ RmSsd::planPlacement(std::span<const RowHeat> rows)
     freqMapping_->resetObservation();
 }
 
+void
+RmSsd::runPendingMigration()
+{
+    if (pendingSwaps_.empty())
+        return;
+    const std::size_t n =
+        std::min(paceChunk_, pendingSwaps_.size());
+    std::vector<ftl::FrequencyMapping::Swap> chunk(
+        pendingSwaps_.begin(),
+        pendingSwaps_.begin() +
+            static_cast<std::ptrdiff_t>(n));
+    pendingSwaps_.erase(pendingSwaps_.begin(),
+                        pendingSwaps_.begin() +
+                            static_cast<std::ptrdiff_t>(n));
+    migratedPages_.inc(executeSwaps(chunk, /*timed=*/true));
+}
+
 std::uint64_t
 RmSsd::migrateIfDrifted()
 {
     if (!freqMapping_)
+        return 0;
+    // A paced pass is still draining; let it finish before judging
+    // drift again (queued swaps were planned against the current
+    // mapping and must commit before a new plan).
+    if (!pendingSwaps_.empty())
         return 0;
     if (freqMapping_->observedReads() <
         options_.placement.minObservedReads)
@@ -147,6 +175,27 @@ RmSsd::migrateIfDrifted()
     if (missing == 0 ||
         drift <= options_.placement.migrationDriftThreshold) {
         freqMapping_->resetObservation();
+        return 0;
+    }
+
+    if (options_.placement.migrationPaceRequests > 0) {
+        // Paced: plan now, execute in even chunks across the next
+        // migrationPaceRequests submissions. Pages count as migrated
+        // when they actually move, so counter deltas stay honest.
+        std::vector<ftl::FrequencyMapping::Swap> swaps =
+            freqMapping_->planHotSet(hot);
+        if (swaps.size() > options_.placement.maxSwapsPerPass)
+            swaps.resize(options_.placement.maxSwapsPerPass);
+        freqMapping_->resetObservation();
+        if (swaps.empty())
+            return 0;
+        migrationPasses_.inc();
+        paceChunk_ =
+            (swaps.size() + options_.placement.migrationPaceRequests -
+             1) /
+            options_.placement.migrationPaceRequests;
+        pendingSwaps_.insert(pendingSwaps_.end(), swaps.begin(),
+                             swaps.end());
         return 0;
     }
 
@@ -384,9 +433,11 @@ RmSsd::loadTablesTimed()
 }
 
 RmSsd::MicroBatchDone
-RmSsd::runMicroBatch(Cycle inputsReady,
-                     std::span<const model::Sample> samples,
-                     std::vector<float> *outputs)
+RmSsd::runMicroBatch(
+    Cycle inputsReady, std::span<const model::Sample> samples,
+    std::vector<float> *outputs,
+    std::span<const std::vector<host::EmbeddingTier::ServedSlice>>
+        served)
 {
     RMSSD_ASSERT(tablesLoaded_, "tables must be loaded before inference");
     const MlpPlan &plan = searchResult_.plan;
@@ -399,9 +450,28 @@ RmSsd::runMicroBatch(Cycle inputsReady,
         (pipelined || options_.variant == EngineVariant::EmbeddingOnly)
             ? inputsReady
             : std::max(inputsReady, topUnitFree_);
-    const EmbeddingResult emb =
+    EmbeddingResult emb =
         embeddingEngine_->run(embStart, samples, functional);
     embIssueBusy_.inc((emb.issueEndCycle - embStart).raw());
+
+    // Host-tier merge: a served slice's lookup list arrived empty, so
+    // the engine pooled it to exact zeros; the tier's pooled partial
+    // overwrites that slice in place (a placement copy, never a float
+    // add — the fold stayed whole on one side, so results are
+    // byte-identical to the un-tiered device).
+    if (functional && !served.empty()) {
+        const std::uint32_t dim = config_.embDim;
+        for (std::size_t s = 0; s < samples.size(); ++s) {
+            for (const host::EmbeddingTier::ServedSlice &slice :
+                 served[s]) {
+                std::copy(slice.pooled.begin(), slice.pooled.end(),
+                          emb.pooled[s].begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  slice.table) *
+                                  dim);
+            }
+        }
+    }
 
     MicroBatchDone out;
     if (options_.variant == EngineVariant::EmbeddingOnly) {
@@ -472,6 +542,28 @@ RequestId
 RmSsd::submit(std::span<const model::Sample> samples)
 {
     RMSSD_ASSERT(!samples.empty(), "empty inference request");
+    if (!hostTier_ || !hostTier_->active())
+        return submitWith(samples, nullptr);
+
+    // Host tier in front of the device: serve fully-resident slices
+    // from DRAM, charge that host time before the doorbell (the next
+    // issue cannot start earlier), and forward only the residual.
+    const host::EmbeddingTier::Intercept icpt =
+        hostTier_->intercept(samples, options_.functional);
+    advanceHostClock(icpt.hostNanos);
+    return submitWith(icpt.residual, &icpt);
+}
+
+RequestId
+RmSsd::submitWith(std::span<const model::Sample> samples,
+                  const host::EmbeddingTier::Intercept *icpt)
+{
+    RMSSD_ASSERT(!samples.empty(), "empty inference request");
+
+    // Paced migration: drain one chunk of a planned pass per request,
+    // so relocation traffic trickles into the foreground stream
+    // instead of bursting all at once.
+    runPendingMigration();
 
     // Bounded queue depth: when full, the oldest request retires
     // before the new one issues (host backpressure). At depth 1 this
@@ -487,22 +579,47 @@ RmSsd::submit(std::span<const model::Sample> samples)
     request.numSamples = samples.size();
 
     // Host sends control parameters over MMIO (posted writes) and the
-    // indices + dense inputs via DMA (RM_send_inputs).
+    // indices + dense inputs via DMA (RM_send_inputs). With a tier in
+    // front, the index payload is the actual residual count, and the
+    // non-embedding-only variants also ship the tier's pooled partials
+    // down so the on-device top MLP can consume the full concat.
     const Cycle paramsDone = mmio_.write(
         request.t0, static_cast<std::uint32_t>(nvme::RmReg::NumLookups),
         config_.lookupsPerTable);
     mmio_.poke(static_cast<std::uint32_t>(nvme::RmReg::BatchSize),
                samples.size());
-    const std::uint64_t indexBytes =
-        samples.size() * config_.lookupsPerSample() * sizeof(std::uint32_t);
+    std::uint64_t indexBytes =
+        samples.size() * config_.lookupsPerSample() *
+        sizeof(std::uint32_t);
+    if (chargeActualIndexBytes_ || icpt) {
+        std::uint64_t indices = 0;
+        if (icpt) {
+            indices = icpt->residualIndices;
+        } else {
+            for (const model::Sample &sample : samples)
+                for (const std::vector<std::uint64_t> &slice :
+                     sample.indices)
+                    indices += slice.size();
+        }
+        indexBytes = indices * sizeof(std::uint32_t);
+    }
+    const std::uint64_t partialBytes =
+        (icpt && options_.variant != EngineVariant::EmbeddingOnly)
+            ? icpt->servedSlices * config_.embDim * sizeof(float)
+            : 0;
     const std::uint64_t denseBytes =
         samples.size() * config_.denseInputDim() * sizeof(float);
-    request.inputsReady =
-        dma_.transfer(paramsDone, Bytes{indexBytes + denseBytes});
-    hostBytesWritten_.inc(indexBytes + denseBytes);
+    request.inputsReady = dma_.transfer(
+        paramsDone, Bytes{indexBytes + denseBytes + partialBytes});
+    hostBytesWritten_.inc(indexBytes + denseBytes + partialBytes);
 
     std::vector<float> *outPtr =
         options_.functional ? &request.outputs : nullptr;
+    if (outPtr)
+        outPtr->reserve(
+            options_.variant == EngineVariant::EmbeddingOnly
+                ? samples.size() * config_.numTables * config_.embDim
+                : samples.size());
 
     // Partition into micro-batches streaming through the engines. At
     // depth > 1 the embedding engine's issue port is an occupancy
@@ -518,20 +635,30 @@ RmSsd::submit(std::span<const model::Sample> samples)
     Cycle lastDone = request.inputsReady;
     for (std::size_t pos = 0; pos < samples.size(); pos += mbSize) {
         const std::size_t n = std::min(mbSize, samples.size() - pos);
-        const MicroBatchDone mb =
-            runMicroBatch(issueChain, samples.subspan(pos, n), outPtr);
+        const MicroBatchDone mb = runMicroBatch(
+            issueChain, samples.subspan(pos, n), outPtr,
+            icpt ? std::span(icpt->served).subspan(pos, n)
+                 : std::span<const std::vector<
+                       host::EmbeddingTier::ServedSlice>>{});
         issueChain = std::max(issueChain, mb.issueEnd);
         lastDone = std::max(lastDone, mb.done);
     }
     embIssueFree_ = std::max(embIssueFree_, issueChain);
     request.lastDone = lastDone;
 
-    const std::uint64_t resultBytesPerSample =
+    // Embedding-only results shrink by what the tier already holds:
+    // served slices never left the host, so only residual pooled
+    // slices ride the readback DMA.
+    const std::uint64_t totalSlices =
+        static_cast<std::uint64_t>(config_.numTables) * samples.size();
+    const std::uint64_t servedSlices = icpt ? icpt->servedSlices : 0;
+    RMSSD_ASSERT(servedSlices <= totalSlices,
+                 "tier served more slices than the request has");
+    request.resultBytes =
         options_.variant == EngineVariant::EmbeddingOnly
-            ? static_cast<std::uint64_t>(config_.numTables) *
-                  config_.embDim * sizeof(float)
-            : sizeof(float);
-    request.resultBytes = Bytes{resultBytesPerSample * samples.size()};
+            ? Bytes{(totalSlices - servedSlices) * config_.embDim *
+                    sizeof(float)}
+            : Bytes{samples.size() * sizeof(float)};
 
     // Request-level accounting happens at issue so the replan
     // cooldown sees the same call counts as the blocking path.
@@ -605,6 +732,17 @@ RmSsd::retireNext()
     return true;
 }
 
+void
+RmSsd::attachHostTier(std::shared_ptr<host::EmbeddingTier> tier)
+{
+    if (tier)
+        RMSSD_ASSERT(&tier->model().config() == &config_ ||
+                         tier->model().config().numTables ==
+                             config_.numTables,
+                     "tier model shape does not match the device");
+    hostTier_ = std::move(tier);
+}
+
 InferenceOutcome
 RmSsd::infer(std::span<const model::Sample> samples)
 {
@@ -652,6 +790,8 @@ RmSsd::registerStats(StatsRegistry &registry,
         registry.addRatio(prefix + ".emb.cache.hitRatio",
                           &evCache_->hits(), &evCache_->misses());
     }
+    if (hostTier_)
+        hostTier_->registerStats(registry, prefix + ".host.tier");
     registry.addCounter(prefix + ".ftl.blockRequests",
                         &ftl_->blockRequests());
     registry.addCounter(prefix + ".ftl.evRequests",

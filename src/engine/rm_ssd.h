@@ -28,6 +28,7 @@
 #include "flash/flash_array.h"
 #include "ftl/freq_mapping.h"
 #include "ftl/ftl.h"
+#include "host/embedding_tier.h"
 #include "model/dlrm.h"
 #include "nvme/dma.h"
 #include "nvme/mmio.h"
@@ -86,6 +87,15 @@ struct PlacementOptions
     std::uint64_t sketchCounters = 1ull << 16;
     std::uint64_t sketchSampleSize = 1ull << 18;
     std::uint32_t sketchCandidateEstimate = 2;
+    /**
+     * Migration pacing: spread a drifted pass's swaps evenly across
+     * this many subsequent requests instead of bursting the whole
+     * maxSwapsPerPass batch at once — a burst piles four flash ops
+     * per swap onto the dies right when foreground reads need them,
+     * which is exactly the p99 spike pacing removes. 0 keeps the
+     * legacy burst behavior (bit-identical).
+     */
+    std::uint32_t migrationPaceRequests = 0;
 };
 
 /** Device construction options. */
@@ -238,6 +248,48 @@ class RmSsd : public InferenceDevice
     const Counter &migrationPasses() const { return migrationPasses_; }
     /** Pages relocated (hot page + displaced partner count as 2). */
     const Counter &migratedPages() const { return migratedPages_; }
+    /** Planned swaps queued but not yet executed (pacing only). */
+    std::size_t pendingMigrationSwaps() const
+    {
+        return pendingSwaps_.size();
+    }
+
+    // ---- Host-DRAM embedding tier (off by default) ----------------
+
+    /**
+     * Attach a host tier: submit() intercepts each request on the
+     * host, serves fully tier-resident (sample, table) slices from
+     * DRAM at TierTiming cost and forwards only the residual indices;
+     * served pooled partials merge back into the device results
+     * byte-exactly. Attaching also switches input-DMA accounting to
+     * the actual residual index count. Detach with nullptr.
+     */
+    void attachHostTier(std::shared_ptr<host::EmbeddingTier> tier)
+        override;
+    const host::EmbeddingTier *hostTier() const override
+    {
+        return hostTier_.get();
+    }
+    std::uint64_t tierSliceHits() const override
+    {
+        return hostTier_ ? hostTier_->sliceHits().value() : 0;
+    }
+    std::uint64_t tierSliceMisses() const override
+    {
+        return hostTier_ ? hostTier_->sliceMisses().value() : 0;
+    }
+
+    /**
+     * Charge input DMA by the actual per-sample index counts instead
+     * of the config formula (batch * lookupsPerSample). The cluster
+     * layer sets this on its shards when a tier runs above the router,
+     * so residual requests pay for the indices they carry — off by
+     * default to keep legacy accounting bit-identical.
+     */
+    void setChargeActualIndexBytes(bool on)
+    {
+        chargeActualIndexBytes_ = on;
+    }
 
     /** Frequency mapping; nullptr when placement is off. */
     ftl::FrequencyMapping *frequencyMapping() { return freqMapping_; }
@@ -330,9 +382,11 @@ class RmSsd : public InferenceDevice
         Cycle done;
         Cycle issueEnd;
     };
-    MicroBatchDone runMicroBatch(Cycle inputsReady,
-                                 std::span<const model::Sample> samples,
-                                 std::vector<float> *outputs);
+    MicroBatchDone runMicroBatch(
+        Cycle inputsReady, std::span<const model::Sample> samples,
+        std::vector<float> *outputs,
+        std::span<const std::vector<host::EmbeddingTier::ServedSlice>>
+            served = {});
 
     /** One issued-but-not-retired request (async pipeline). */
     struct InflightRequest
@@ -348,6 +402,28 @@ class RmSsd : public InferenceDevice
 
     /** Retire stage: result readback + presend clock bookkeeping. */
     void retireOldest();
+
+    /**
+     * Issue stage shared by the tiered and legacy paths. @p icpt is
+     * the host-tier intercept whose residual IS @p samples (nullptr
+     * without a tier); its served partials merge into the micro-batch
+     * results and its byte counts shape the DMA accounting.
+     */
+    RequestId
+    submitWith(std::span<const model::Sample> samples,
+               const host::EmbeddingTier::Intercept *icpt);
+
+    /**
+     * Execute planned swaps now: functional page copies plus (when
+     * @p timed) background flash traffic from the current device
+     * time, then the mapping commits. @return pages moved (2/swap)
+     */
+    std::uint64_t
+    executeSwaps(std::span<const ftl::FrequencyMapping::Swap> swaps,
+                 bool timed);
+
+    /** Run one pacing chunk of queued migration swaps (if any). */
+    void runPendingMigration();
 
     /** (Re)build searchResult_ for the variant at the given bEV. */
     void buildPlan(double readCyclesPerVector);
@@ -378,6 +454,13 @@ class RmSsd : public InferenceDevice
     std::unique_ptr<EmbeddingEngine> embeddingEngine_;
     /** Borrowed from ftl_; nullptr when placement is off. */
     ftl::FrequencyMapping *freqMapping_ = nullptr;
+    /** Host-DRAM embedding tier; nullptr without one. */
+    std::shared_ptr<host::EmbeddingTier> hostTier_;
+    bool chargeActualIndexBytes_ = false;
+    /** Migration swaps awaiting paced execution (pacing only). */
+    std::deque<ftl::FrequencyMapping::Swap> pendingSwaps_;
+    /** Swaps executed per request while the queue drains. */
+    std::size_t paceChunk_ = 0;
 
     SearchResult searchResult_;
     bool tablesLoaded_ = false;

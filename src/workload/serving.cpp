@@ -74,6 +74,9 @@ simulateServing(engine::InferenceDevice &device, TraceGenerator &gen,
     ServingResult result;
     const bool cached = device.hasEvCache();
     const std::uint64_t replansBefore = device.replanCount();
+    const std::uint64_t migratedBefore = device.migratedPageCount();
+    const std::uint64_t tierHitsBefore = device.tierSliceHits();
+    const std::uint64_t tierMissesBefore = device.tierSliceMisses();
     std::uint64_t hitsBase = cached ? device.cacheHits() : 0;
     std::uint64_t missesBase = cached ? device.cacheMisses() : 0;
     std::uint64_t steadyHits = 0;
@@ -139,7 +142,7 @@ simulateServing(engine::InferenceDevice &device, TraceGenerator &gen,
         }
         if (config.migrateCheckEvery > 0 &&
             (r + 1) % config.migrateCheckEvery == 0)
-            result.migratedPages += device.migrateIfDrifted();
+            device.migrateIfDrifted();
     }
     for (const engine::AsyncCompletion &completion : device.drain())
         recordCompletion(completion);
@@ -163,6 +166,16 @@ simulateServing(engine::InferenceDevice &device, TraceGenerator &gen,
             static_cast<double>(steadyHits) /
             static_cast<double>(steadyHits + steadyMisses);
     result.replans = device.replanCount() - replansBefore;
+    result.migratedPages =
+        device.migratedPageCount() - migratedBefore;
+    const std::uint64_t tierHits =
+        device.tierSliceHits() - tierHitsBefore;
+    const std::uint64_t tierMisses =
+        device.tierSliceMisses() - tierMissesBefore;
+    if (tierHits + tierMisses > 0)
+        result.tierHitRatio =
+            static_cast<double>(tierHits) /
+            static_cast<double>(tierHits + tierMisses);
     return result;
 }
 

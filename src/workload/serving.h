@@ -100,8 +100,17 @@ struct ServingResult
     double steadyHitRatio = 0.0;
     /** Adaptive re-plans triggered during the run. */
     std::uint64_t replans = 0;
-    /** Pages relocated by background migration during the run. */
+    /**
+     * Pages relocated by background migration during the run
+     * (counter delta, so paced passes executing after the triggering
+     * check still count).
+     */
     std::uint64_t migratedPages = 0;
+    /**
+     * Host-tier slice hit ratio over the run: served slices /
+     * intercepted slices. 0 when the device has no tier attached.
+     */
+    double tierHitRatio = 0.0;
     /** Mean device queue occupancy observed right after each submit. */
     double meanQueueDepth = 0.0;
 };

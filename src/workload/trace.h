@@ -15,6 +15,7 @@
 #define RMSSD_WORKLOAD_TRACE_H
 
 #include <cstdint>
+#include <vector>
 
 namespace rmssd::workload {
 
@@ -28,6 +29,23 @@ struct TraceConfig
     /** Zipf-ish skew exponent inside the hot set. */
     double hotSkew = 2.0;
     std::uint64_t seed = 0x7ace5eedULL;
+    /**
+     * Optional per-table hot-access fractions overriding
+     * hotAccessFraction. Production embedding tables are wildly
+     * heterogeneous: low-cardinality features (country, device type)
+     * have their entire touched row set inside the hot set (fraction
+     * 1.0), while long-tail features scatter. Empty (the default)
+     * keeps every table at the uniform hotAccessFraction — streams
+     * are bit-identical to configs predating this knob.
+     */
+    std::vector<double> tableHotFractions;
+
+    /** Hot-access fraction of table @p t (per-table override or uniform). */
+    double tableHotFraction(std::uint32_t t) const
+    {
+        return t < tableHotFractions.size() ? tableHotFractions[t]
+                                            : hotAccessFraction;
+    }
 };
 
 /**

@@ -41,7 +41,7 @@ TraceGenerator::isHotRow(std::uint32_t table, std::uint64_t row) const
 std::uint64_t
 TraceGenerator::drawIndexWith(Rng &rng, std::uint32_t table) const
 {
-    if (rng.nextDouble() < trace_.hotAccessFraction) {
+    if (rng.nextDouble() < trace_.tableHotFraction(table)) {
         // Zipf-skewed rank inside the hot set.
         const double u = rng.nextDouble();
         const std::uint64_t rank = static_cast<std::uint64_t>(
@@ -172,7 +172,7 @@ TraceGenerator::hotRowHeats() const
     for (std::uint32_t t = 0; t < config_.numTables; ++t) {
         for (std::uint64_t r = 0; r < trace_.hotRowsPerTable; ++r) {
             const double weight =
-                trace_.hotAccessFraction *
+                trace_.tableHotFraction(t) *
                 (std::pow((static_cast<double>(r) + 1.0) / n, invSkew) -
                  std::pow(static_cast<double>(r) / n, invSkew));
             heats.push_back(engine::RowHeat{TableId{t},
@@ -192,6 +192,18 @@ planTableShares(const std::vector<TraceGenerator::TableHistogram> &hist)
     for (const TraceGenerator::TableHistogram &h : hist)
         shares.push_back(static_cast<double>(
             std::max<std::uint64_t>(1, h.uniqueHotIndices)));
+    return shares;
+}
+
+std::vector<double>
+planTierShares(const std::vector<TraceGenerator::TableHistogram> &hist)
+{
+    RMSSD_ASSERT(!hist.empty(), "empty table histogram");
+    std::vector<double> shares;
+    shares.reserve(hist.size());
+    for (const TraceGenerator::TableHistogram &h : hist)
+        shares.push_back(static_cast<double>(
+            std::max<std::uint64_t>(1, h.hotLookups)));
     return shares;
 }
 

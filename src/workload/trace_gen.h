@@ -116,6 +116,17 @@ class TraceGenerator
 std::vector<double>
 planTableShares(const std::vector<TraceGenerator::TableHistogram> &hist);
 
+/**
+ * Turn a per-table histogram into relative host-tier budget shares
+ * for engine::planHostTier: each table's share is its hot *traffic*
+ * (hot lookups), not its working-set size — the tier pays off per
+ * lookup it absorbs, so budget should follow where the lookups go.
+ * Floor of one so a cold table can still be whole-table pinned when
+ * the budget allows.
+ */
+std::vector<double>
+planTierShares(const std::vector<TraceGenerator::TableHistogram> &hist);
+
 } // namespace rmssd::workload
 
 #endif // RMSSD_WORKLOAD_TRACE_GEN_H

@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Tests for the host-DRAM embedding tier: planner budget edge cases,
+ * slice-granularity interception, byte-exact tiered-vs-untiered
+ * results on a single device and a sharded cluster (blocking and
+ * async), residual re-sharding, DMA accounting, and stats export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "cluster/cluster.h"
+#include "engine/placement.h"
+#include "engine/rm_ssd.h"
+#include "host/embedding_tier.h"
+#include "model/model_zoo.h"
+#include "workload/serving.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+
+namespace rmssd {
+namespace {
+
+/** Small functional model: tables load into flash in milliseconds. */
+model::ModelConfig
+tinyConfig()
+{
+    model::ModelConfig cfg = model::rmc1(); // 8 tables
+    cfg.withRowsPerTable(512);
+    cfg.lookupsPerTable = 4;
+    return cfg;
+}
+
+/** Two fully-hot tables (always interceptable), six mixed tables. */
+workload::TraceConfig
+tieredTrace(std::uint64_t seed = 0x71e8ULL)
+{
+    workload::TraceConfig tc;
+    tc.hotRowsPerTable = 32;
+    tc.hotAccessFraction = 0.5;
+    tc.hotSkew = 2.0;
+    tc.seed = seed;
+    tc.tableHotFractions = {1.0, 1.0};
+    return tc;
+}
+
+/** Provision a tier for @p frac of the embedding bytes. */
+std::shared_ptr<host::EmbeddingTier>
+makeTier(const model::DlrmModel &model,
+         const workload::TraceGenerator &gen, double frac)
+{
+    const model::ModelConfig &cfg = model.config();
+    const auto hist = gen.tableHistograms(4096);
+    const auto heats = gen.hotRowHeats();
+    const engine::TierPlan plan = engine::planHostTier(
+        cfg.rowsPerTable, Bytes{cfg.vectorBytes()},
+        workload::planTierShares(hist), heats,
+        Bytes{static_cast<std::uint64_t>(
+            static_cast<double>(cfg.embeddingBytes()) * frac)});
+    auto tier = std::make_shared<host::EmbeddingTier>(model);
+    tier->provision(plan);
+    return tier;
+}
+
+// ---- Planner -------------------------------------------------------
+
+TEST(TierPlanner, ZeroBudgetIsEmpty)
+{
+    const std::vector<double> shares{1.0, 1.0};
+    const std::vector<engine::RowHeat> heats{
+        {TableId{0}, EvIndex{1}, 0.5}};
+    const engine::TierPlan plan =
+        engine::planHostTier(100, Bytes{4}, shares, heats, Bytes{0});
+    EXPECT_TRUE(plan.entries.empty());
+    EXPECT_EQ(plan.plannedBytes.raw(), 0u);
+    EXPECT_EQ(plan.budgetBytes.raw(), 0u);
+}
+
+TEST(TierPlanner, BudgetCoveringAllPinsEveryTableWhole)
+{
+    const std::vector<double> shares{3.0, 1.0, 2.0};
+    const std::vector<engine::RowHeat> heats{
+        {TableId{0}, EvIndex{1}, 0.5}};
+    const engine::TierPlan plan = engine::planHostTier(
+        100, Bytes{4}, shares, heats, Bytes{3 * 100 * 4});
+    ASSERT_EQ(plan.entries.size(), 3u);
+    for (const engine::TierPlanEntry &entry : plan.entries) {
+        EXPECT_TRUE(entry.wholeTable);
+        EXPECT_TRUE(entry.rows.empty());
+        EXPECT_EQ(entry.bytes.raw(), 100u * 4u);
+    }
+    EXPECT_EQ(plan.plannedBytes.raw(), 3u * 100u * 4u);
+}
+
+TEST(TierPlanner, ColdRowsAreNeverBought)
+{
+    // Each table has only 3 positive-weight rows; a 50-slot budget
+    // (no whole-table upgrade affordable) buys exactly those.
+    const std::vector<double> shares{1.0, 1.0};
+    std::vector<engine::RowHeat> heats;
+    for (std::uint32_t t = 0; t < 2; ++t)
+        for (std::uint64_t r = 0; r < 3; ++r)
+            heats.push_back(
+                {TableId{t}, EvIndex{10 + r}, 0.1});
+    const engine::TierPlan plan = engine::planHostTier(
+        100, Bytes{4}, shares, heats, Bytes{50 * 4});
+    ASSERT_EQ(plan.entries.size(), 2u);
+    for (const engine::TierPlanEntry &entry : plan.entries) {
+        EXPECT_FALSE(entry.wholeTable);
+        EXPECT_EQ(entry.rows.size(), 3u);
+    }
+    EXPECT_EQ(plan.plannedBytes.raw(), 6u * 4u);
+    EXPECT_LT(plan.plannedBytes.raw(), plan.budgetBytes.raw());
+}
+
+TEST(TierPlanner, AliasedRanksFoldToOneRow)
+{
+    // Two heat entries land on the same (table, row) — e.g. two hot
+    // ranks hashing onto one row — and must fold to a single resident
+    // row with summed weight, not a duplicate buy.
+    const std::vector<double> shares{1.0};
+    const std::vector<engine::RowHeat> heats{
+        {TableId{0}, EvIndex{7}, 0.2},
+        {TableId{0}, EvIndex{7}, 0.2},
+        {TableId{0}, EvIndex{3}, 0.3},
+    };
+    const engine::TierPlan plan = engine::planHostTier(
+        100, Bytes{4}, shares, heats, Bytes{2 * 4});
+    ASSERT_EQ(plan.entries.size(), 1u);
+    ASSERT_EQ(plan.entries[0].rows.size(), 2u);
+    // Folded weight 0.4 ranks row 7 above row 3.
+    EXPECT_EQ(plan.entries[0].rows[0].raw(), 7u);
+    EXPECT_EQ(plan.entries[0].rows[1].raw(), 3u);
+}
+
+TEST(TierPlanner, UpgradesChaseUncoveredTraffic)
+{
+    // Table 0's hot rows already cover all of its traffic; table 1 is
+    // almost entirely cold. Leftover slots must upgrade table 1, not
+    // waste a whole-table pin on the fully-covered table 0.
+    const std::vector<double> shares{1.0, 1.0};
+    std::vector<engine::RowHeat> heats;
+    for (std::uint64_t r = 0; r < 5; ++r)
+        heats.push_back({TableId{0}, EvIndex{r}, 0.2});
+    heats.push_back({TableId{1}, EvIndex{0}, 0.05});
+    const engine::TierPlan plan = engine::planHostTier(
+        10, Bytes{4}, shares, heats, Bytes{16 * 4});
+    ASSERT_EQ(plan.entries.size(), 2u);
+    EXPECT_FALSE(plan.entries[0].wholeTable);
+    EXPECT_EQ(plan.entries[0].rows.size(), 5u);
+    EXPECT_TRUE(plan.entries[1].wholeTable);
+}
+
+// ---- Tier residency and interception -------------------------------
+
+TEST(EmbeddingTier, ProvisionTracksResidency)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    const model::DlrmModel model(cfg);
+    host::EmbeddingTier tier(model);
+    EXPECT_FALSE(tier.active());
+
+    engine::TierPlan plan;
+    plan.entries.push_back({TableId{0}, true, {}, Bytes{}});
+    plan.entries.push_back(
+        {TableId{2}, false, {EvIndex{5}, EvIndex{9}}, Bytes{}});
+    tier.provision(plan);
+
+    EXPECT_TRUE(tier.active());
+    EXPECT_EQ(tier.residentRows(0), cfg.rowsPerTable);
+    EXPECT_EQ(tier.residentRows(1), 0u);
+    EXPECT_EQ(tier.residentRows(2), 2u);
+    EXPECT_TRUE(tier.resident(0, 123));
+    EXPECT_TRUE(tier.resident(2, 5));
+    EXPECT_FALSE(tier.resident(2, 6));
+    EXPECT_EQ(tier.residentBytes().raw(),
+              (cfg.rowsPerTable + 2) * cfg.vectorBytes());
+}
+
+TEST(EmbeddingTier, InterceptServesOnlyFullyResidentSlices)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    const model::DlrmModel model(cfg);
+    host::EmbeddingTier tier(model);
+    engine::TierPlan plan;
+    plan.entries.push_back({TableId{0}, true, {}, Bytes{}});
+    plan.entries.push_back(
+        {TableId{1}, false, {EvIndex{1}, EvIndex{2}}, Bytes{}});
+    tier.provision(plan);
+
+    model::Sample sample;
+    sample.dense.resize(cfg.denseInputDim(), 0.5f);
+    sample.indices.resize(cfg.numTables);
+    sample.indices[0] = {10, 20, 30, 40}; // whole table -> served
+    sample.indices[1] = {1, 2, 1, 2};     // all resident -> served
+    sample.indices[2] = {1, 2, 3, 4};     // no residency -> forwarded
+    const std::size_t forwarded = sample.indices[2].size();
+
+    const auto icpt = tier.intercept(
+        std::span<const model::Sample>(&sample, 1), true);
+    EXPECT_EQ(icpt.servedSlices, 2u);
+    EXPECT_EQ(icpt.servedRows, 8u);
+    EXPECT_EQ(icpt.residualIndices, forwarded);
+    EXPECT_GT(icpt.hostNanos.raw(), 0u);
+    ASSERT_EQ(icpt.residual.size(), 1u);
+    EXPECT_TRUE(icpt.residual[0].indices[0].empty());
+    EXPECT_TRUE(icpt.residual[0].indices[1].empty());
+    EXPECT_EQ(icpt.residual[0].indices[2].size(), forwarded);
+    ASSERT_EQ(icpt.served[0].size(), 2u);
+    // Served partials equal the reference fold bit-for-bit.
+    const std::vector<std::uint64_t> refIndices{10, 20, 30, 40};
+    const model::Vector ref =
+        model.embedding().tables()[0].slsReference(refIndices);
+    ASSERT_EQ(icpt.served[0][0].pooled.size(), ref.size());
+    for (std::size_t d = 0; d < ref.size(); ++d)
+        EXPECT_EQ(icpt.served[0][0].pooled[d], ref[d]);
+    EXPECT_EQ(tier.sliceHits().value(), 2u);
+    EXPECT_EQ(tier.sliceMisses().value(),
+              static_cast<std::uint64_t>(cfg.numTables) - 2u);
+}
+
+// ---- Byte-exactness against the un-tiered device -------------------
+
+void
+expectSameOutputs(const std::vector<float> &a,
+                  const std::vector<float> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "output " << i;
+}
+
+void
+runByteExactDevice(engine::EngineVariant variant, double budgetFrac,
+                   std::uint32_t queueDepth)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    engine::RmSsdOptions opt;
+    opt.functional = true;
+    opt.variant = variant;
+    engine::RmSsd plain(cfg, opt);
+    engine::RmSsd tiered(cfg, opt);
+    plain.loadTables();
+    tiered.loadTables();
+
+    workload::TraceGenerator gen(cfg, tieredTrace());
+    const auto tier = makeTier(tiered.model(), gen, budgetFrac);
+    ASSERT_TRUE(tier->active());
+    tiered.attachHostTier(tier);
+
+    plain.setMaxInflight(queueDepth);
+    tiered.setMaxInflight(queueDepth);
+    workload::TraceGenerator genA(cfg, tieredTrace());
+    workload::TraceGenerator genB(cfg, tieredTrace());
+    std::vector<std::vector<float>> outA;
+    std::vector<std::vector<float>> outB;
+    for (int r = 0; r < 12; ++r) {
+        plain.submit(genA.nextBatch(3));
+        tiered.submit(genB.nextBatch(3));
+        while (const auto c = plain.poll())
+            outA.push_back(c->outcome.outputs);
+        while (const auto c = tiered.poll())
+            outB.push_back(c->outcome.outputs);
+    }
+    for (const auto &c : plain.drain())
+        outA.push_back(c.outcome.outputs);
+    for (const auto &c : tiered.drain())
+        outB.push_back(c.outcome.outputs);
+
+    EXPECT_GT(tier->sliceHits().value(), 0u);
+    ASSERT_EQ(outA.size(), outB.size());
+    for (std::size_t r = 0; r < outA.size(); ++r)
+        expectSameOutputs(outA[r], outB[r]);
+}
+
+TEST(HostTier, EmbeddingOnlyByteExactFullResidencyDepth1)
+{
+    runByteExactDevice(engine::EngineVariant::EmbeddingOnly, 1.0, 1);
+}
+
+TEST(HostTier, EmbeddingOnlyByteExactPartialResidencyDepth1)
+{
+    runByteExactDevice(engine::EngineVariant::EmbeddingOnly, 0.125, 1);
+}
+
+TEST(HostTier, SearchedByteExactPartialResidencyDepth1)
+{
+    runByteExactDevice(engine::EngineVariant::Searched, 0.125, 1);
+}
+
+TEST(HostTier, SearchedByteExactPartialResidencyDepth4)
+{
+    runByteExactDevice(engine::EngineVariant::Searched, 0.125, 4);
+}
+
+TEST(HostTier, EmbeddingOnlyByteExactFullResidencyDepth4)
+{
+    runByteExactDevice(engine::EngineVariant::EmbeddingOnly, 1.0, 4);
+}
+
+TEST(HostTier, InputDmaShrinksWithTier)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    engine::RmSsdOptions opt;
+    opt.functional = true;
+    opt.variant = engine::EngineVariant::EmbeddingOnly;
+    engine::RmSsd plain(cfg, opt);
+    engine::RmSsd tiered(cfg, opt);
+    plain.loadTables();
+    tiered.loadTables();
+    workload::TraceGenerator gen(cfg, tieredTrace());
+    tiered.attachHostTier(makeTier(tiered.model(), gen, 1.0));
+
+    workload::TraceGenerator genA(cfg, tieredTrace());
+    workload::TraceGenerator genB(cfg, tieredTrace());
+    for (int r = 0; r < 8; ++r) {
+        plain.infer(genA.nextBatch(3));
+        tiered.infer(genB.nextBatch(3));
+    }
+    // Full residency serves every slice: only dense inputs go down,
+    // and readback shrinks to the status register.
+    EXPECT_LT(tiered.hostBytesWritten().value(),
+              plain.hostBytesWritten().value());
+    EXPECT_LT(tiered.hostBytesRead().value(),
+              plain.hostBytesRead().value());
+}
+
+// ---- Cluster: byte-exactness + residual re-sharding ----------------
+
+void
+runByteExactCluster(double budgetFrac, std::uint32_t queueDepth)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    cluster::ClusterOptions copt;
+    copt.sharding.numDevices = 4;
+    copt.embeddingOnly = true;
+    copt.device.functional = true;
+    cluster::RmSsdCluster plain(cfg, copt);
+    cluster::RmSsdCluster tiered(cfg, copt);
+
+    workload::TraceGenerator gen(cfg, tieredTrace());
+    const auto tier = makeTier(tiered.model(), gen, budgetFrac);
+    ASSERT_TRUE(tier->active());
+    tiered.attachHostTier(tier);
+
+    plain.setMaxInflight(queueDepth);
+    tiered.setMaxInflight(queueDepth);
+    workload::TraceGenerator genA(cfg, tieredTrace());
+    workload::TraceGenerator genB(cfg, tieredTrace());
+    std::vector<std::vector<float>> outA;
+    std::vector<std::vector<float>> outB;
+    for (int r = 0; r < 12; ++r) {
+        plain.submit(genA.nextBatch(3));
+        tiered.submit(genB.nextBatch(3));
+        while (const auto c = plain.poll())
+            outA.push_back(c->outcome.outputs);
+        while (const auto c = tiered.poll())
+            outB.push_back(c->outcome.outputs);
+    }
+    for (const auto &c : plain.drain())
+        outA.push_back(c.outcome.outputs);
+    for (const auto &c : tiered.drain())
+        outB.push_back(c.outcome.outputs);
+
+    EXPECT_GT(tier->sliceHits().value(), 0u);
+    ASSERT_EQ(outA.size(), outB.size());
+    for (std::size_t r = 0; r < outA.size(); ++r)
+        expectSameOutputs(outA[r], outB[r]);
+}
+
+TEST(HostTier, ClusterByteExactPartialResidencyDepth1)
+{
+    runByteExactCluster(0.125, 1);
+}
+
+TEST(HostTier, ClusterByteExactPartialResidencyDepth4)
+{
+    runByteExactCluster(0.125, 4);
+}
+
+TEST(HostTier, ClusterByteExactFullResidencyDepth4)
+{
+    runByteExactCluster(1.0, 4);
+}
+
+TEST(HostTier, ResidualReshardsAroundFullyServedShard)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    cluster::ClusterOptions copt;
+    copt.sharding.numDevices = 4;
+    copt.embeddingOnly = true;
+    copt.device.functional = true;
+    cluster::RmSsdCluster plain(cfg, copt);
+    cluster::RmSsdCluster tiered(cfg, copt);
+
+    // Pin exactly shard 0's tables whole: every slice they own is
+    // served on the host, so shard 0 must never see a sub-request.
+    engine::TierPlan plan;
+    for (const std::uint32_t g :
+         tiered.shardPlan().tablesPerDevice[0])
+        plan.entries.push_back({TableId{g}, true, {}, Bytes{}});
+    auto tier = std::make_shared<host::EmbeddingTier>(tiered.model());
+    tier->provision(plan);
+    tiered.attachHostTier(tier);
+
+    workload::TraceGenerator genA(cfg, tieredTrace());
+    workload::TraceGenerator genB(cfg, tieredTrace());
+    std::vector<std::vector<float>> outA;
+    std::vector<std::vector<float>> outB;
+    for (int r = 0; r < 8; ++r) {
+        outA.push_back(plain.infer(genA.nextBatch(2)).outputs);
+        outB.push_back(tiered.infer(genB.nextBatch(2)).outputs);
+    }
+    for (std::size_t r = 0; r < outA.size(); ++r)
+        expectSameOutputs(outA[r], outB[r]);
+
+    EXPECT_EQ(tiered.shard(0).inferences().value(), 0u);
+    EXPECT_GT(plain.shard(0).inferences().value(), 0u);
+    EXPECT_LT(tiered.subRequests().value(),
+              plain.subRequests().value());
+    EXPECT_LT(tiered.hostBytesWritten().value(),
+              plain.hostBytesWritten().value());
+}
+
+// ---- Stats + serving integration -----------------------------------
+
+TEST(HostTier, StatsExportHitsMissesBytesAndResidencyGauges)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    engine::RmSsdOptions opt;
+    opt.functional = true;
+    opt.variant = engine::EngineVariant::EmbeddingOnly;
+    engine::RmSsd dev(cfg, opt);
+    dev.loadTables();
+    workload::TraceGenerator gen(cfg, tieredTrace());
+    dev.attachHostTier(makeTier(dev.model(), gen, 0.25));
+
+    dev.infer(gen.nextBatch(2));
+
+    StatsRegistry reg;
+    dev.registerStats(reg, "dev");
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string dump = os.str();
+    EXPECT_NE(dump.find("dev.host.tier.hits"), std::string::npos);
+    EXPECT_NE(dump.find("dev.host.tier.misses"), std::string::npos);
+    EXPECT_NE(dump.find("dev.host.tier.bytes"), std::string::npos);
+    EXPECT_NE(dump.find("dev.host.tier.table0.residentRows"),
+              std::string::npos);
+    EXPECT_EQ(reg.counterValue("dev.host.tier.hits"),
+              dev.tierSliceHits());
+    EXPECT_EQ(reg.gaugeValue("dev.host.tier.table0.residentRows"),
+              dev.hostTier()->residentRows(0));
+    EXPECT_GT(reg.gaugeValue("dev.host.tier.residentBytes"), 0u);
+}
+
+TEST(HostTier, ServingLoopReportsTierHitRatio)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    engine::RmSsdOptions opt;
+    opt.functional = true;
+    opt.variant = engine::EngineVariant::EmbeddingOnly;
+    engine::RmSsd dev(cfg, opt);
+    dev.loadTables();
+    workload::TraceGenerator gen(cfg, tieredTrace());
+    dev.attachHostTier(makeTier(dev.model(), gen, 1.0));
+
+    workload::ServingConfig sc;
+    sc.arrivalQps = 2000.0;
+    sc.batchSize = 2;
+    sc.numRequests = 32;
+    const workload::ServingResult r =
+        workload::simulateServing(dev, gen, sc);
+    EXPECT_EQ(r.requests, 32u);
+    // Full residency serves every slice.
+    EXPECT_DOUBLE_EQ(r.tierHitRatio, 1.0);
+}
+
+TEST(HostTier, DetachRestoresLegacyAccounting)
+{
+    const model::ModelConfig cfg = tinyConfig();
+    engine::RmSsdOptions opt;
+    opt.functional = true;
+    opt.variant = engine::EngineVariant::EmbeddingOnly;
+    engine::RmSsd tiered(cfg, opt);
+    engine::RmSsd plain(cfg, opt);
+    tiered.loadTables();
+    plain.loadTables();
+    workload::TraceGenerator gen(cfg, tieredTrace());
+    tiered.attachHostTier(makeTier(tiered.model(), gen, 1.0));
+    tiered.attachHostTier(nullptr);
+    EXPECT_EQ(tiered.hostTier(), nullptr);
+
+    workload::TraceGenerator genA(cfg, tieredTrace());
+    workload::TraceGenerator genB(cfg, tieredTrace());
+    for (int r = 0; r < 4; ++r) {
+        plain.infer(genA.nextBatch(2));
+        tiered.infer(genB.nextBatch(2));
+    }
+    EXPECT_EQ(tiered.hostBytesWritten().value(),
+              plain.hostBytesWritten().value());
+    EXPECT_EQ(tiered.tierSliceHits(), 0u);
+}
+
+} // namespace
+} // namespace rmssd

@@ -48,6 +48,7 @@ FIG_TARGETS = [
     "fig16_scaleout",
     "fig17_pipeline",
     "fig18_placement",
+    "fig19_tiering",
 ]
 
 
@@ -122,7 +123,7 @@ def compare(run_a: pathlib.Path, run_b: pathlib.Path) -> list[str]:
 
 def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(
-        description="bit-exact replay gate for fig10-18")
+        description="bit-exact replay gate for fig10-19")
     ap.add_argument("--source", type=pathlib.Path, default=REPO)
     ap.add_argument("--work", type=pathlib.Path, default=None,
                     help="scratch dir (default: a fresh tempdir)")
