@@ -10,8 +10,8 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
 #include "bench_common.h"
+#include "catalog/catalog.h"
 #include "engine/energy_model.h"
 #include "engine/rm_ssd.h"
 #include "model/model_zoo.h"
@@ -57,7 +57,7 @@ runAblation()
 
         // --- host systems ------------------------------------------
         for (const char *system : {"SSD-S", "DRAM"}) {
-            auto sys = baseline::makeSystem(system, cfg);
+            auto sys = catalog::makeSystem(system, cfg);
             workload::TraceGenerator gen(cfg, bench::defaultTrace());
             const workload::RunResult run = sys->run(gen, 4, 6, 4);
             const std::uint64_t pageReads =

@@ -10,8 +10,8 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
 #include "bench_common.h"
+#include "catalog/catalog.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
 
@@ -38,7 +38,7 @@ runFigure()
                                 "emb-fs%", "emb-ssd%", "other%"});
         for (const std::uint32_t batch : batches) {
             for (const std::string &system : systems) {
-                auto sys = baseline::makeSystem(system, cfg);
+                auto sys = catalog::makeSystem(system, cfg);
                 workload::TraceGenerator gen(cfg, bench::defaultTrace());
                 const bench::RunScale scale;
                 const workload::RunResult r = sys->run(
@@ -74,7 +74,7 @@ void
 BM_SsdNaiveInference(benchmark::State &state)
 {
     const model::ModelConfig cfg = model::rmc1();
-    auto sys = baseline::makeSystem("SSD-S", cfg);
+    auto sys = catalog::makeSystem("SSD-S", cfg);
     workload::TraceGenerator gen(cfg, bench::defaultTrace());
     sys->run(gen, 1, 2, 2); // warm
     for (auto _ : state) {

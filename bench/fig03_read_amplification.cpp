@@ -9,8 +9,8 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
 #include "bench_common.h"
+#include "catalog/catalog.h"
 #include "host/page_cache.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
@@ -32,7 +32,7 @@ runFigure()
         const model::ModelConfig cfg = model::modelByName(modelName);
         std::vector<std::string> row{modelName, "1.0"};
         for (const char *system : {"SSD-M", "SSD-S"}) {
-            auto sys = baseline::makeSystem(system, cfg);
+            auto sys = catalog::makeSystem(system, cfg);
             workload::TraceGenerator gen(cfg, bench::defaultTrace());
             const auto r = sys->run(gen, 1, 8, 6);
             row.push_back(bench::fmt(r.readAmplification(), 1));

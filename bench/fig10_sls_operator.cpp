@@ -10,8 +10,8 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
 #include "bench_common.h"
+#include "catalog/catalog.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
 
@@ -26,7 +26,7 @@ double
 slsSecondsPer1k(const std::string &system,
                 const model::ModelConfig &cfg)
 {
-    auto sys = baseline::makeSystem(system, cfg);
+    auto sys = catalog::makeSystem(system, cfg);
     sys->setSlsOnly(true);
     workload::TraceGenerator gen(cfg, bench::defaultTrace());
     const auto r = sys->run(gen, 1, 6, 4);
@@ -73,7 +73,7 @@ void
 BM_EmbVectorSumSls(benchmark::State &state)
 {
     const model::ModelConfig cfg = model::rmc1();
-    auto sys = baseline::makeSystem("EMB-VectorSum", cfg);
+    auto sys = catalog::makeSystem("EMB-VectorSum", cfg);
     sys->setSlsOnly(true);
     workload::TraceGenerator gen(cfg, bench::defaultTrace());
     for (auto _ : state) {

@@ -8,8 +8,8 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
 #include "bench_common.h"
+#include "catalog/catalog.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
 
@@ -33,7 +33,7 @@ runFigure()
         bench::TextTable table({"system", "total (s/1K)", "emb (s)",
                                 "mlp (s)", "others (s)"});
         for (const std::string &system : systems) {
-            auto sys = baseline::makeSystem(system, cfg);
+            auto sys = catalog::makeSystem(system, cfg);
             workload::TraceGenerator gen(cfg, bench::defaultTrace());
             const auto r = sys->run(gen, 1, 6, 4);
             const double scale =
@@ -62,7 +62,7 @@ void
 BM_EndToEndVectorSum(benchmark::State &state)
 {
     const model::ModelConfig cfg = model::rmc3();
-    auto sys = baseline::makeSystem("EMB-VectorSum", cfg);
+    auto sys = catalog::makeSystem("EMB-VectorSum", cfg);
     workload::TraceGenerator gen(cfg, bench::defaultTrace());
     for (auto _ : state) {
         benchmark::DoNotOptimize(sys->run(gen, 1, 1, 0).totalNanos);

@@ -11,8 +11,8 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
 #include "bench_common.h"
+#include "catalog/catalog.h"
 #include "engine/rm_ssd.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
@@ -48,7 +48,7 @@ runFigure()
         for (const std::string &system : kSystems) {
             // One system instance per row: caches stay warm across
             // the batch sweep, like the paper's steady state.
-            auto sys = baseline::makeSystem(system, cfg);
+            auto sys = catalog::makeSystem(system, cfg);
             workload::TraceGenerator gen(cfg, bench::defaultTrace());
             std::vector<std::string> row{system};
             bool warmed = false;

@@ -9,9 +9,9 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
-#include "bench_common.h"
 #include "baseline/rm_ssd_system.h"
+#include "bench_common.h"
+#include "catalog/catalog.h"
 #include "engine/rm_ssd.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
@@ -46,7 +46,7 @@ runFigure()
                 secsPer1k =
                     nanosToSeconds(sys.measureLatency(gen, 1)) * 1000.0;
             } else {
-                auto sys = baseline::makeSystem(system, cfg);
+                auto sys = catalog::makeSystem(system, cfg);
                 const auto r = sys->run(gen, 1, 6, 4);
                 secsPer1k =
                     nanosToSeconds(r.breakdown.total() / r.batches) *

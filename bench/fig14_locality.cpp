@@ -22,9 +22,9 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
 #include "baseline/rm_ssd_system.h"
 #include "bench_common.h"
+#include "catalog/catalog.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
 
@@ -73,11 +73,11 @@ runFigure()
         for (const double k : ks) {
             const workload::TraceConfig tc = workload::localityK(k);
 
-            auto recssd = baseline::makeSystem("RecSSD", cfg);
+            auto recssd = catalog::makeSystem("RecSSD", cfg);
             workload::TraceGenerator genR(cfg, tc);
             const double qRec = recssd->run(genR, 4, 6, 4).qps();
 
-            auto rmssd = baseline::makeSystem("RM-SSD", cfg);
+            auto rmssd = catalog::makeSystem("RM-SSD", cfg);
             workload::TraceGenerator genM(cfg, tc);
             const double qRm = rmssd->run(genM, 4, 6, 1).qps();
 
@@ -146,7 +146,7 @@ void
 BM_RecssdColdTrace(benchmark::State &state)
 {
     const model::ModelConfig cfg = model::rmc1();
-    auto sys = baseline::makeSystem("RecSSD", cfg);
+    auto sys = catalog::makeSystem("RecSSD", cfg);
     workload::TraceGenerator gen(cfg, workload::localityK(2.0));
     sys->run(gen, 4, 1, 4);
     for (auto _ : state) {

@@ -9,8 +9,8 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
 #include "bench_common.h"
+#include "catalog/catalog.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
 
@@ -35,7 +35,7 @@ runFigure()
         double dram = 0.0;
         double rm = 0.0;
         for (const std::string &system : kSystems) {
-            auto sys = baseline::makeSystem(system, cfg);
+            auto sys = catalog::makeSystem(system, cfg);
             workload::TraceGenerator gen(cfg, bench::defaultTrace());
             const auto r = sys->run(gen, 8, 6, 4);
             const double kqps = r.qps() / 1000.0;
@@ -56,7 +56,7 @@ void
 BM_NcfInference(benchmark::State &state)
 {
     const model::ModelConfig cfg = model::ncf();
-    auto sys = baseline::makeSystem("RM-SSD", cfg);
+    auto sys = catalog::makeSystem("RM-SSD", cfg);
     workload::TraceGenerator gen(cfg, bench::defaultTrace());
     for (auto _ : state) {
         benchmark::DoNotOptimize(sys->run(gen, 8, 1, 0).totalNanos);

@@ -8,8 +8,8 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
 #include "bench_common.h"
+#include "catalog/catalog.h"
 #include "model/model_zoo.h"
 #include "workload/trace_gen.h"
 
@@ -29,7 +29,7 @@ runTable()
     for (const char *modelName : {"RMC1", "RMC2", "RMC3"}) {
         const model::ModelConfig cfg = model::modelByName(modelName);
 
-        auto base = baseline::makeSystem("SSD-S", cfg);
+        auto base = catalog::makeSystem("SSD-S", cfg);
         workload::TraceGenerator genBase(cfg, bench::defaultTrace());
         const auto rBase = base->run(genBase, 1, 8, 6);
         const double baseBytesPerInf =
@@ -39,7 +39,7 @@ runTable()
         std::vector<std::string> row{modelName};
         for (const char *system :
              {"RecSSD", "EMB-VectorSum", "RM-SSD"}) {
-            auto sys = baseline::makeSystem(system, cfg);
+            auto sys = catalog::makeSystem(system, cfg);
             workload::TraceGenerator gen(cfg, bench::defaultTrace());
             const auto r = sys->run(gen, 1, 8, 6);
             const double bytesPerInf =
@@ -60,7 +60,7 @@ void
 BM_TrafficAccounting(benchmark::State &state)
 {
     const model::ModelConfig cfg = model::rmc1();
-    auto sys = baseline::makeSystem("RM-SSD", cfg);
+    auto sys = catalog::makeSystem("RM-SSD", cfg);
     workload::TraceGenerator gen(cfg, bench::defaultTrace());
     for (auto _ : state) {
         benchmark::DoNotOptimize(

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "baseline/registry.h"
+#include "catalog/catalog.h"
 #include "model/model_zoo.h"
 #include "workload/trace.h"
 #include "workload/trace_gen.h"
@@ -35,7 +35,7 @@ main()
     for (const char *name :
          {"SSD-S", "SSD-M", "EMB-VectorSum", "RecSSD", "RM-SSD",
           "RM-SSD+cache", "RM-SSD+lfu"}) {
-        auto system = baseline::makeSystem(name, config);
+        auto system = catalog::makeSystem(name, config);
         workload::TraceGenerator gen(config, trace);
         const workload::RunResult r = system->run(
             gen, /*batchSize=*/4, /*numBatches=*/6,

@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "baseline/registry.h"
+#include "catalog/catalog.h"
 #include "model/model_zoo.h"
 #include "runtime/rm_api.h"
 #include "workload/trace.h"
@@ -100,7 +100,7 @@ main()
     const workload::TraceConfig trace = workload::localityK(0.3);
     std::printf("%-14s %12s\n", "system", "kQPS");
     for (const char *name : {"DRAM", "RecSSD", "RM-SSD"}) {
-        auto system = baseline::makeSystem(name, big);
+        auto system = catalog::makeSystem(name, big);
         workload::TraceGenerator gen(big, trace);
         const auto res = system->run(gen, 8, 6, 2);
         std::printf("%-14s %12.1f\n", name, res.qps() / 1000.0);

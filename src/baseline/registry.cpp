@@ -1,79 +1,19 @@
 #include "baseline/registry.h"
 
-#include "baseline/cluster_system.h"
-#include "baseline/dram_system.h"
-#include "baseline/emb_mmio_system.h"
-#include "baseline/emb_pagesum_system.h"
-#include "baseline/emb_vectorsum_system.h"
-#include "baseline/recssd_system.h"
-#include "baseline/rm_ssd_system.h"
-#include "baseline/ssd_naive_system.h"
-#include "sim/log.h"
+#include "catalog/catalog.h"
 
 namespace rmssd::baseline {
 
 std::unique_ptr<InferenceSystem>
 makeSystem(const std::string &name, const model::ModelConfig &config)
 {
-    if (name == "DRAM")
-        return std::make_unique<DramSystem>(config);
-    if (name == "SSD-S")
-        return std::make_unique<SsdNaiveSystem>(config, 0.25);
-    if (name == "SSD-M")
-        return std::make_unique<SsdNaiveSystem>(config, 0.5);
-    if (name == "EMB-MMIO")
-        return std::make_unique<EmbMmioSystem>(config);
-    if (name == "EMB-PageSum")
-        return std::make_unique<EmbPageSumSystem>(config);
-    if (name == "EMB-VectorSum")
-        return std::make_unique<EmbVectorSumSystem>(config);
-    if (name == "RecSSD")
-        return std::make_unique<RecssdSystem>(config);
-    if (name == "RM-SSD-Naive")
-        return std::make_unique<RmSsdSystem>(
-            config, engine::EngineVariant::Naive);
-    if (name == "RM-SSD")
-        return std::make_unique<RmSsdSystem>(
-            config, engine::EngineVariant::Searched);
-    if (name == "RM-SSD+cache")
-        return std::make_unique<RmSsdSystem>(config,
-                                             engine::EvCacheConfig{});
-    if (name == "RM-SSD+lfu") {
-        // Same capacity as RM-SSD+cache, but fills must earn their
-        // slot: TinyLFU admission keeps the cold tail out.
-        engine::EvCacheConfig evCache;
-        evCache.admission = engine::EvCacheAdmission::TinyLfu;
-        return std::make_unique<RmSsdSystem>(config, evCache, name);
-    }
-    if (name == "RM-SSD+part") {
-        // TinyLFU plus static per-table partitioning; the registry
-        // has no trace to profile, so tables split evenly (benches
-        // with a trace derive shares via workload::planTableShares).
-        engine::EvCacheConfig evCache;
-        evCache.admission = engine::EvCacheAdmission::TinyLfu;
-        evCache.tableShares.assign(config.numTables, 1.0);
-        return std::make_unique<RmSsdSystem>(config, evCache, name);
-    }
-    if (name == "RM-SSD x2" || name == "RM-SSD x4") {
-        // Scale-out fleets: tables shard over the devices (no traffic
-        // profile here, so the split is capacity-exact) and the router
-        // balances by outstanding work. Not part of allSystemNames():
-        // the single-device sweeps iterate that list.
-        cluster::ClusterOptions options;
-        options.sharding.numDevices = name == "RM-SSD x2" ? 2 : 4;
-        options.policy = cluster::RouterPolicy::LeastOutstanding;
-        return std::make_unique<ClusterSystem>(config, options, name);
-    }
-    fatal("unknown system '%s'", name.c_str());
+    return catalog::makeSystem(name, config);
 }
 
 std::vector<std::string>
 allSystemNames()
 {
-    return {"DRAM",          "SSD-S",        "SSD-M",
-            "EMB-MMIO",      "EMB-PageSum",  "EMB-VectorSum",
-            "RecSSD",        "RM-SSD-Naive", "RM-SSD",
-            "RM-SSD+cache",  "RM-SSD+lfu",   "RM-SSD+part"};
+    return catalog::allSystemNames();
 }
 
 } // namespace rmssd::baseline

@@ -1,6 +1,12 @@
 /**
  * @file
- * System factory: build any evaluated system by its paper name.
+ * Compat shim over the model/system catalog (`catalog::ModelCatalog`).
+ *
+ * The flat string-keyed factory that used to live here moved to
+ * `src/catalog/`; these forwarders keep the paper-name entry points
+ * (`makeSystem("RM-SSD", ...)` etc.) building byte-identical systems
+ * for existing callers. New code should use `catalog::makeSystem` or
+ * `catalog::ModelCatalog::builtin()` directly.
  */
 
 #ifndef RMSSD_BASELINE_REGISTRY_H
@@ -15,16 +21,14 @@
 namespace rmssd::baseline {
 
 /**
- * Create a system by name: "DRAM", "SSD-S", "SSD-M", "EMB-MMIO",
- * "EMB-PageSum", "EMB-VectorSum", "RecSSD", "RM-SSD-Naive", "RM-SSD",
- * "RM-SSD+cache" (RM-SSD with the device-side EV cache + intra-batch
- * coalescing enabled at default cache settings).
- * Fatal on unknown names.
+ * Create a system by its paper name ("DRAM", "SSD-S", ...,
+ * "RM-SSD+part", "RM-SSD x2"/"x4"). Forwards to the builtin catalog;
+ * fatal on unknown names.
  */
 std::unique_ptr<InferenceSystem>
 makeSystem(const std::string &name, const model::ModelConfig &config);
 
-/** All system names in the paper's presentation order. */
+/** All single-device system names in the paper's presentation order. */
 std::vector<std::string> allSystemNames();
 
 } // namespace rmssd::baseline

@@ -21,7 +21,22 @@ RmSsdCluster::RmSsdCluster(const model::ModelConfig &config,
     // flash holds exactly the bytes the unsharded device would.
     engine::RmSsdOptions shardOptions = options_.device;
     shardOptions.variant = engine::EngineVariant::EmbeddingOnly;
+    // A full-model EV-cache share vector (e.g. the multi-tenant
+    // carve's per-table budgets) slices per shard: shard slot s takes
+    // the share of the global table it hosts, so one table's
+    // partition budget follows the table to its owner.
+    const auto &fullShares = options_.device.evCache.tableShares;
+    if (!fullShares.empty() && fullShares.size() != config_.numTables)
+        fatal("evCache.tableShares has %zu entries for %u tables",
+              fullShares.size(),
+              static_cast<unsigned>(config_.numTables));
     for (std::uint32_t d = 0; d < plan_.numDevices(); ++d) {
+        if (!fullShares.empty()) {
+            shardOptions.evCache.tableShares.clear();
+            for (const std::uint32_t g : plan_.tablesPerDevice[d])
+                shardOptions.evCache.tableShares.push_back(
+                    fullShares[g]);
+        }
         shards_.push_back(std::make_unique<engine::RmSsd>(
             config_.withTableSubset(plan_.tablesPerDevice[d]),
             shardOptions));
@@ -367,6 +382,25 @@ RmSsdCluster::retireNext()
     return true;
 }
 
+bool
+RmSsdCluster::oldestDoneBy(Cycle when) const
+{
+    if (hasQueuedCompletion())
+        return true;
+    if (inflight_.empty())
+        return false;
+    // FIFO pairing (see retireOldest): the oldest fleet request's
+    // sub-request is the oldest unretired one on every participating
+    // shard, so the fleet's status poll is the AND of the shards'.
+    // Only the gather + home-MLP tail runs past `when` at retire.
+    for (const auto &[d, subId] : inflight_.front().participants) {
+        (void)subId;
+        if (!shards_[d]->oldestDoneBy(when))
+            return false;
+    }
+    return true;
+}
+
 void
 RmSsdCluster::setMaxInflight(std::uint32_t depth)
 {
@@ -463,9 +497,20 @@ RmSsdCluster::attachHostTier(std::shared_ptr<host::EmbeddingTier> tier)
     // Residual sub-requests carry variable-length lookup lists, so the
     // shards must charge input DMA by what they actually receive (the
     // config formula would charge full-size payloads for slices the
-    // tier absorbed). Restored when the tier detaches.
+    // tier absorbed). Restored when the tier detaches — unless a
+    // layer above (e.g. a multi-tenant front) asked for actual-count
+    // accounting independently.
     for (const auto &shard : shards_)
-        shard->setChargeActualIndexBytes(hostTier_ != nullptr);
+        shard->setChargeActualIndexBytes(hostTier_ != nullptr ||
+                                         chargeActualIndexBytes_);
+}
+
+void
+RmSsdCluster::setChargeActualIndexBytes(bool on)
+{
+    chargeActualIndexBytes_ = on;
+    for (const auto &shard : shards_)
+        shard->setChargeActualIndexBytes(on || hostTier_ != nullptr);
 }
 
 std::uint64_t
@@ -502,20 +547,24 @@ void
 RmSsdCluster::registerStats(StatsRegistry &registry,
                             const std::string &prefix) const
 {
-    registry.addCounter(prefix + ".requests", &requests_);
-    registry.addCounter(prefix + ".subRequests", &subRequests_);
-    registry.addCounter(prefix + ".queue.submitted", &submitted_);
-    registry.addCounter(prefix + ".queue.retired", &retired_);
-    registry.addDistribution(prefix + ".queue.depth",
-                             &queueDepthOnSubmit_);
-    registry.addCounter(prefix + ".host.bytesRead", &hostBytesRead_);
-    registry.addCounter(prefix + ".host.bytesWritten",
-                        &hostBytesWritten_);
-    if (hostTier_)
-        hostTier_->registerStats(registry, prefix + ".host.tier");
+    const ScopedStats stats = registry.scoped(prefix);
+    stats.addCounter("requests", &requests_);
+    stats.addCounter("subRequests", &subRequests_);
+    const ScopedStats queue = stats.scoped("queue");
+    queue.addCounter("submitted", &submitted_);
+    queue.addCounter("retired", &retired_);
+    queue.addDistribution("depth", &queueDepthOnSubmit_);
+    const ScopedStats host = stats.scoped("host");
+    host.addCounter("bytesRead", &hostBytesRead_);
+    host.addCounter("bytesWritten", &hostBytesWritten_);
+    if (hostTier_) {
+        const ScopedStats tier = host.scoped("tier");
+        hostTier_->registerStats(tier.registry(), tier.prefix());
+    }
     for (std::uint32_t d = 0; d < plan_.numDevices(); ++d) {
-        shards_[d]->registerStats(registry,
-                                  prefix + ".dev" + std::to_string(d));
+        const ScopedStats dev =
+            stats.scoped("dev" + std::to_string(d));
+        shards_[d]->registerStats(dev.registry(), dev.prefix());
     }
 }
 

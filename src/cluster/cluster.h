@@ -96,6 +96,8 @@ class RmSsdCluster : public engine::InferenceDevice
     /** Retire the oldest outstanding request; false when idle. */
     bool retireNext() override;
 
+    bool oldestDoneBy(Cycle when) const override;
+
     /** Requests issued but not yet retired. */
     std::uint32_t inflight() const override
     {
@@ -155,6 +157,13 @@ class RmSsdCluster : public engine::InferenceDevice
         return hostTier_ ? hostTier_->sliceMisses().value() : 0;
     }
 
+    /**
+     * Forward actual-index-count DMA accounting to every shard (a
+     * layer above the cluster submits rewritten requests). Sticky
+     * across tier attach/detach.
+     */
+    void setChargeActualIndexBytes(bool on) override;
+
     const ShardPlan &shardPlan() const { return plan_; }
     std::uint32_t numDevices() const { return plan_.numDevices(); }
     engine::RmSsd &shard(std::uint32_t d) { return *shards_[d]; }
@@ -209,6 +218,8 @@ class RmSsdCluster : public engine::InferenceDevice
     std::vector<std::unique_ptr<engine::RmSsd>> shards_;
     /** Host-DRAM embedding tier above the router; nullptr without. */
     std::shared_ptr<host::EmbeddingTier> hostTier_;
+    /** Actual-count DMA accounting requested from above the cluster. */
+    bool chargeActualIndexBytes_ = false;
 
     /** Fleet-level MLP plan (kernel search against the full model). */
     engine::SearchResult searchResult_;

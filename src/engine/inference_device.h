@@ -113,6 +113,22 @@ class InferenceDevice
      */
     virtual bool retireNext() { return false; }
 
+    /**
+     * Non-blocking completion probe: whether retireNext() would find
+     * its work already finished by cycle @p when — a completion is
+     * queued, or the oldest in-flight request's engine work is done (a
+     * host status poll at @p when would read done; only the result
+     * readout tail may run slightly past it). Lets a polling host
+     * harvest finished requests opportunistically without blocking its
+     * clock on an unfinished one. Conservative default for synchronous
+     * backends: only queued completions count.
+     */
+    virtual bool oldestDoneBy(Cycle when) const
+    {
+        (void)when;
+        return hasQueuedCompletion();
+    }
+
     /** Requests currently issued but not yet retired. */
     virtual std::uint32_t inflight() const { return 0; }
 
@@ -221,6 +237,16 @@ class InferenceDevice
     virtual std::uint64_t tierSliceMisses() const { return 0; }
 
     /**
+     * Charge input DMA by the actual per-sample index counts instead
+     * of the backend's config formula. Layers that rewrite requests
+     * before they reach the device (host-tier residuals, multi-tenant
+     * fronts submitting union-shape samples) set this so DMA
+     * accounting matches the indices actually carried. Backends
+     * without the knob keep formula accounting (no-op default).
+     */
+    virtual void setChargeActualIndexBytes(bool on) { (void)on; }
+
+    /**
      * Steady-state throughput in queries (samples) per second for a
      * continuous stream of requests of @p batchSize. Shared across
      * backends: built purely on the virtual hooks above.
@@ -239,6 +265,8 @@ class InferenceDevice
     void pushCompletion(AsyncCompletion completion);
     /** Drop queued completions and reset depth bookkeeping (timing reset). */
     void clearCompletions();
+    /** Whether an already-retired completion awaits poll(). */
+    bool hasQueuedCompletion() const { return !completed_.empty(); }
 
     /** Async submissions (including synchronous fallbacks). */
     Counter submitted_;

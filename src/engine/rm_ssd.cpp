@@ -732,6 +732,16 @@ RmSsd::retireNext()
     return true;
 }
 
+bool
+RmSsd::oldestDoneBy(Cycle when) const
+{
+    // A status poll at `when` reads done once the last micro-batch is
+    // through the engines; the result readout (MMIO/DMA) still runs at
+    // retire time, so the retire clock may trail slightly past `when`.
+    return hasQueuedCompletion() ||
+           (!inflight_.empty() && inflight_.front().lastDone <= when);
+}
+
 void
 RmSsd::attachHostTier(std::shared_ptr<host::EmbeddingTier> tier)
 {
@@ -759,84 +769,77 @@ void
 RmSsd::registerStats(StatsRegistry &registry,
                      const std::string &prefix) const
 {
-    registry.addCounter(prefix + ".inferences", &inferences_);
-    registry.addCounter(prefix + ".host.bytesRead", &hostBytesRead_);
-    registry.addCounter(prefix + ".host.bytesWritten",
-                        &hostBytesWritten_);
-    registry.addCounter(prefix + ".emb.lookups",
-                        &embeddingEngine_->lookups());
-    registry.addCounter(prefix + ".emb.lookupBytes",
-                        &embeddingEngine_->lookupBytes());
-    registry.addCounter(prefix + ".emb.flashReads",
-                        &embeddingEngine_->flashReads());
-    registry.addCounter(prefix + ".emb.coalesced",
-                        &embeddingEngine_->coalescedLookups());
+    const ScopedStats stats = registry.scoped(prefix);
+    stats.addCounter("inferences", &inferences_);
+    const ScopedStats host = stats.scoped("host");
+    host.addCounter("bytesRead", &hostBytesRead_);
+    host.addCounter("bytesWritten", &hostBytesWritten_);
+    const ScopedStats emb = stats.scoped("emb");
+    emb.addCounter("lookups", &embeddingEngine_->lookups());
+    emb.addCounter("lookupBytes", &embeddingEngine_->lookupBytes());
+    emb.addCounter("flashReads", &embeddingEngine_->flashReads());
+    emb.addCounter("coalesced", &embeddingEngine_->coalescedLookups());
     if (evCache_) {
-        registry.addCounter(prefix + ".emb.cache.hits",
-                            &evCache_->hits());
-        registry.addCounter(prefix + ".emb.cache.misses",
-                            &evCache_->misses());
-        registry.addCounter(prefix + ".emb.cache.fills",
-                            &evCache_->fills());
-        registry.addCounter(prefix + ".emb.cache.evictions",
-                            &evCache_->evictions());
-        registry.addCounter(prefix + ".emb.cache.admissionRejects",
-                            &evCache_->admissionRejects());
-        registry.addCounter(prefix + ".emb.cache.admissionWindowHits",
-                            &evCache_->admissionWindowHits());
-        registry.addCounter(prefix + ".emb.cache.replans", &replans_);
-        registry.addCounter(prefix + ".emb.cache.replanSkips",
-                            &replanSkips_);
-        registry.addRatio(prefix + ".emb.cache.hitRatio",
-                          &evCache_->hits(), &evCache_->misses());
+        const ScopedStats cache = emb.scoped("cache");
+        cache.addCounter("hits", &evCache_->hits());
+        cache.addCounter("misses", &evCache_->misses());
+        cache.addCounter("fills", &evCache_->fills());
+        cache.addCounter("evictions", &evCache_->evictions());
+        cache.addCounter("admissionRejects",
+                         &evCache_->admissionRejects());
+        cache.addCounter("admissionWindowHits",
+                         &evCache_->admissionWindowHits());
+        cache.addCounter("replans", &replans_);
+        cache.addCounter("replanSkips", &replanSkips_);
+        cache.addRatio("hitRatio", &evCache_->hits(),
+                       &evCache_->misses());
     }
-    if (hostTier_)
-        hostTier_->registerStats(registry, prefix + ".host.tier");
-    registry.addCounter(prefix + ".ftl.blockRequests",
-                        &ftl_->blockRequests());
-    registry.addCounter(prefix + ".ftl.evRequests",
-                        &ftl_->evRequests());
-    registry.addCounter(prefix + ".queue.submitted", &submitted_);
-    registry.addCounter(prefix + ".queue.retired", &retired_);
-    registry.addDistribution(prefix + ".queue.depth",
-                             &queueDepthOnSubmit_);
-    registry.addCounter(prefix + ".emb.issueBusyCycles",
-                        &embIssueBusy_);
-    registry.addCounter(prefix + ".mlp.bottomBusyCycles",
-                        &mlpBottomBusy_);
-    registry.addCounter(prefix + ".mlp.topBusyCycles", &mlpTopBusy_);
-    registry.addCounter(prefix + ".dma.transfers", &dma_.transfers());
-    registry.addCounter(prefix + ".dma.bytes", &dma_.bytesMoved());
-    registry.addCounter(prefix + ".dma.busyCycles",
-                        &dma_.busyCycles());
-    registry.addCounter(prefix + ".mmio.reads", &mmio_.hostReads());
-    registry.addCounter(prefix + ".mmio.writes", &mmio_.hostWrites());
+    if (hostTier_) {
+        const ScopedStats tier = host.scoped("tier");
+        hostTier_->registerStats(tier.registry(), tier.prefix());
+    }
+    const ScopedStats ftl = stats.scoped("ftl");
+    ftl.addCounter("blockRequests", &ftl_->blockRequests());
+    ftl.addCounter("evRequests", &ftl_->evRequests());
+    const ScopedStats queue = stats.scoped("queue");
+    queue.addCounter("submitted", &submitted_);
+    queue.addCounter("retired", &retired_);
+    queue.addDistribution("depth", &queueDepthOnSubmit_);
+    emb.addCounter("issueBusyCycles", &embIssueBusy_);
+    const ScopedStats mlp = stats.scoped("mlp");
+    mlp.addCounter("bottomBusyCycles", &mlpBottomBusy_);
+    mlp.addCounter("topBusyCycles", &mlpTopBusy_);
+    const ScopedStats dma = stats.scoped("dma");
+    dma.addCounter("transfers", &dma_.transfers());
+    dma.addCounter("bytes", &dma_.bytesMoved());
+    dma.addCounter("busyCycles", &dma_.busyCycles());
+    const ScopedStats mmio = stats.scoped("mmio");
+    mmio.addCounter("reads", &mmio_.hostReads());
+    mmio.addCounter("writes", &mmio_.hostWrites());
     if (freqMapping_) {
-        registry.addCounter(prefix + ".placement.migrationPasses",
-                            &migrationPasses_);
-        registry.addCounter(prefix + ".placement.migratedPages",
-                            &migratedPages_);
+        const ScopedStats placement = stats.scoped("placement");
+        placement.addCounter("migrationPasses", &migrationPasses_);
+        placement.addCounter("migratedPages", &migratedPages_);
     }
+    const ScopedStats flashStats = stats.scoped("flash");
     for (std::uint32_t c = 0; c < options_.geometry.numChannels; ++c) {
-        const std::string ch = prefix + ".flash.ch" + std::to_string(c);
+        const ScopedStats ch =
+            flashStats.scoped("ch" + std::to_string(c));
         const flash::Fmc *fmc = &flash_->fmc(c);
-        registry.addCounter(ch + ".pageReads", &fmc->pageReads());
-        registry.addCounter(ch + ".vectorReads", &fmc->vectorReads());
-        registry.addCounter(ch + ".busBytes", &fmc->busBytes());
-        registry.addCounter(ch + ".pagePrograms",
-                            &fmc->pagePrograms());
-        registry.addCounter(ch + ".blockErases", &fmc->blockErases());
-        registry.addCounter(ch + ".dieConflicts",
-                            &fmc->dieConflicts());
+        ch.addCounter("pageReads", &fmc->pageReads());
+        ch.addCounter("vectorReads", &fmc->vectorReads());
+        ch.addCounter("busBytes", &fmc->busBytes());
+        ch.addCounter("pagePrograms", &fmc->pagePrograms());
+        ch.addCounter("blockErases", &fmc->blockErases());
+        ch.addCounter("dieConflicts", &fmc->dieConflicts());
         // Busy cycles live inside occupancy trackers that reset with
         // timing state, so they export as gauges, sampled at dump.
-        registry.addGauge(ch + ".busyCycles", [fmc]() {
+        ch.addGauge("busyCycles", [fmc]() {
             return fmc->busBusyCycles().raw();
         });
         for (std::uint32_t d = 0; d < fmc->numDies(); ++d) {
-            registry.addGauge(
-                ch + ".die" + std::to_string(d) + ".busyCycles",
-                [fmc, d]() { return fmc->dieBusyCycles(d).raw(); });
+            ch.addGauge("die" + std::to_string(d) + ".busyCycles",
+                        [fmc, d]() { return fmc->dieBusyCycles(d).raw(); });
         }
     }
 }

@@ -190,6 +190,8 @@ class RmSsd : public InferenceDevice
     /** Retire the oldest outstanding request; false when idle. */
     bool retireNext() override;
 
+    bool oldestDoneBy(Cycle when) const override;
+
     /** Requests issued but not yet retired. */
     std::uint32_t inflight() const override
     {
@@ -286,7 +288,7 @@ class RmSsd : public InferenceDevice
      * so residual requests pay for the indices they carry — off by
      * default to keep legacy accounting bit-identical.
      */
-    void setChargeActualIndexBytes(bool on)
+    void setChargeActualIndexBytes(bool on) override
     {
         chargeActualIndexBytes_ = on;
     }

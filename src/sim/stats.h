@@ -63,6 +63,8 @@ class Distribution
  * Keep it that way: switching to unordered_map (or keying by the
  * registered pointer) would make export order an ASLR artifact.
  */
+class ScopedStats;
+
 class StatsRegistry
 {
   public:
@@ -84,6 +86,14 @@ class StatsRegistry
      */
     void addGauge(const std::string &name,
                   std::function<std::uint64_t()> value);
+
+    /**
+     * Namespaced view of this registry: every registration through the
+     * returned ScopedStats prepends "prefix." to the stat name. Nested
+     * namespaces (cluster.devN.*, host.tier.*, tenant.<id>.*) chain
+     * views instead of hand-concatenating prefix strings.
+     */
+    ScopedStats scoped(const std::string &prefix);
 
     /** Dump all registered stats as "name value" lines. */
     void dump(std::ostream &os) const;
@@ -110,6 +120,62 @@ class StatsRegistry
     std::map<std::string, Ratio> ratios_;
     std::map<std::string, std::function<std::uint64_t()>> gauges_;
 };
+
+/**
+ * Prefix-applying view over a StatsRegistry. A lightweight value type:
+ * copies are cheap, and the view borrows the registry (which must
+ * outlive it — the same lifetime rule as the registered pointers).
+ */
+class ScopedStats
+{
+  public:
+    ScopedStats(StatsRegistry &registry, std::string prefix)
+        : registry_(&registry), prefix_(std::move(prefix))
+    {
+    }
+
+    void addCounter(const std::string &name, const Counter *c) const
+    {
+        registry_->addCounter(qualify(name), c);
+    }
+    void addDistribution(const std::string &name, const Distribution *d) const
+    {
+        registry_->addDistribution(qualify(name), d);
+    }
+    void addRatio(const std::string &name, const Counter *part,
+                  const Counter *rest) const
+    {
+        registry_->addRatio(qualify(name), part, rest);
+    }
+    void addGauge(const std::string &name,
+                  std::function<std::uint64_t()> value) const
+    {
+        registry_->addGauge(qualify(name), std::move(value));
+    }
+
+    /** Nested namespace: scoped("a").scoped("b") registers "a.b.*". */
+    ScopedStats scoped(const std::string &sub) const
+    {
+        return ScopedStats(*registry_, qualify(sub));
+    }
+
+    const std::string &prefix() const { return prefix_; }
+    StatsRegistry &registry() const { return *registry_; }
+
+  private:
+    std::string qualify(const std::string &name) const
+    {
+        return prefix_.empty() ? name : prefix_ + "." + name;
+    }
+
+    StatsRegistry *registry_;
+    std::string prefix_;
+};
+
+inline ScopedStats StatsRegistry::scoped(const std::string &prefix)
+{
+    return ScopedStats(*this, prefix);
+}
 
 } // namespace rmssd
 

@@ -10,7 +10,7 @@
 
 #include <sstream>
 
-#include "baseline/registry.h"
+#include "catalog/catalog.h"
 #include "cluster/cluster.h"
 #include "cluster/sharding.h"
 #include "engine/rm_ssd.h"
@@ -283,7 +283,7 @@ TEST_F(ClusterTimingFixture, StatsAggregateUnderDevicePrefixes)
 TEST_F(ClusterTimingFixture, RegistryBuildsFleetVariants)
 {
     for (const std::string name : {"RM-SSD x2", "RM-SSD x4"}) {
-        auto system = baseline::makeSystem(name, config_);
+        auto system = catalog::makeSystem(name, config_);
         workload::TraceGenerator gen(config_, workload::localityK(0.3));
         const workload::RunResult result =
             system->run(gen, 4, 4, 1);

@@ -10,7 +10,7 @@
 
 #include <vector>
 
-#include "baseline/registry.h"
+#include "catalog/catalog.h"
 #include "engine/mlp_engine.h"
 #include "engine/rm_ssd.h"
 #include "model/model_zoo.h"
@@ -190,7 +190,7 @@ TEST(Integration, FullRmssdBeatsAllSsdBaselines)
     for (const std::string &name :
          {std::string("SSD-S"), std::string("EMB-MMIO"),
           std::string("RecSSD"), std::string("RM-SSD")}) {
-        auto sys = baseline::makeSystem(name, cfg);
+        auto sys = catalog::makeSystem(name, cfg);
         workload::TraceGenerator gen(cfg, tc);
         const double qps = sys->run(gen, 4, 6, 4).qps();
         if (name == "RM-SSD")

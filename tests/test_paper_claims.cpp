@@ -7,8 +7,8 @@
 
 #include <gtest/gtest.h>
 
-#include "baseline/registry.h"
 #include "baseline/rm_ssd_system.h"
+#include "catalog/catalog.h"
 #include "engine/embedding_engine.h"
 #include "engine/kernel_search.h"
 #include "model/model_zoo.h"
@@ -31,7 +31,7 @@ double
 systemQps(const std::string &name, const model::ModelConfig &cfg,
           std::uint32_t batch = 4)
 {
-    auto sys = baseline::makeSystem(name, cfg);
+    auto sys = catalog::makeSystem(name, cfg);
     workload::TraceGenerator gen(cfg, workload::localityK(0.3));
     return sys->run(gen, batch, 6, 4).qps();
 }
@@ -61,9 +61,9 @@ TEST(PaperClaims, SectionVIB_VectorSumWithinReachOfDram)
     // Fig. 10/11: the Embedding Lookup Engine brings the SLS operator
     // within a small factor of DRAM despite living in flash.
     const model::ModelConfig cfg = scaledRmc1();
-    auto vectorSum = baseline::makeSystem("EMB-VectorSum", cfg);
+    auto vectorSum = catalog::makeSystem("EMB-VectorSum", cfg);
     vectorSum->setSlsOnly(true);
-    auto dram = baseline::makeSystem("DRAM", cfg);
+    auto dram = catalog::makeSystem("DRAM", cfg);
     dram->setSlsOnly(true);
     workload::TraceGenerator g1(cfg, workload::localityK(0.3));
     workload::TraceGenerator g2(cfg, workload::localityK(0.3));

@@ -126,6 +126,36 @@ TEST(Stats, RegistryDumpsByName)
     EXPECT_EQ(reg.counterValue("missing"), 0u);
 }
 
+TEST(Stats, ScopedViewPrefixesEveryRegistration)
+{
+    Counter hits;
+    Counter misses;
+    hits.inc(3);
+    misses.inc(1);
+    StatsRegistry reg;
+    const ScopedStats scope = reg.scoped("cache");
+    scope.addCounter("hits", &hits);
+    scope.addRatio("hitRatio", &hits, &misses);
+    scope.addGauge("ways", [] { return 8ull; });
+    EXPECT_EQ(reg.counterValue("cache.hits"), 3u);
+    EXPECT_DOUBLE_EQ(reg.ratioValue("cache.hitRatio"), 0.75);
+    EXPECT_EQ(reg.gaugeValue("cache.ways"), 8u);
+}
+
+TEST(Stats, ScopedViewsNest)
+{
+    Counter c;
+    c.inc(5);
+    StatsRegistry reg;
+    reg.scoped("fleet").scoped("tenant.a").addCounter("submitted", &c);
+    EXPECT_EQ(reg.counterValue("fleet.tenant.a.submitted"), 5u);
+    // An empty prefix is the identity view.
+    Counter d;
+    d.inc(2);
+    reg.scoped("").addCounter("bare", &d);
+    EXPECT_EQ(reg.counterValue("bare"), 2u);
+}
+
 TEST(Rng, DeterministicForSameSeed)
 {
     Rng a(123);

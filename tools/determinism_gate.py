@@ -49,6 +49,7 @@ FIG_TARGETS = [
     "fig17_pipeline",
     "fig18_placement",
     "fig19_tiering",
+    "fig20_multitenant",
 ]
 
 

@@ -32,6 +32,7 @@ GUARDED_DIRS = [
     "src/cluster",
     "src/flash",
     "src/baseline",
+    "src/catalog",
     "src/model",
     "src/runtime",
 ]
