@@ -137,7 +137,7 @@ runFigure()
                      bench::fmt(r.achievedQps / qpsDepth1, 2) + "x",
                      bench::fmt(
                          static_cast<double>(r.p99.raw()) / 1e3, 1),
-                     bench::fmt(r.meanQueueDepth, 2)});
+                     bench::fmt(r.meanDepthOnSubmit, 2)});
             }
         }
         table.print();
@@ -167,7 +167,7 @@ runFigure()
                  bench::fmt(offered, 0),
                  bench::fmt(static_cast<double>(r.p99.raw()) / 1e3,
                             1),
-                 bench::fmt(r.meanQueueDepth, 2)});
+                 bench::fmt(r.meanDepthOnSubmit, 2)});
         }
     }
     tail.print();

@@ -220,6 +220,11 @@ class TenantFleet : public engine::InferenceDevice
     {
         return hasQueuedCompletion() || device_->oldestDoneBy(when);
     }
+    /** Backend's next completion cycle (fleet retires stay FIFO). */
+    Cycle nextDoneCycle() const override
+    {
+        return device_->nextDoneCycle();
+    }
     std::uint32_t inflight() const override
     {
         return static_cast<std::uint32_t>(inflight_.size());

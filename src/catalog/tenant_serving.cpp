@@ -142,17 +142,77 @@ simulateFleetServing(TenantFleet &fleet,
         }
     };
 
+    // Start-time fair queueing (SFQ) state for wfq mode: per-tenant
+    // virtual finish times against one global virtual clock. A
+    // dispatch starts at max(V, F_i) and finishes 1/weight_i later in
+    // virtual time, so over any contended interval tenant i's
+    // dispatch count tracks trafficShare_i / sum(trafficShare).
+    std::vector<double> vfinish(n, 0.0);
+    double vtime = 0.0;
+    std::vector<std::uint64_t> contendedDispatches(n, 0);
+    std::uint64_t contendedTotal = 0;
+    const auto backendRoom = [&] {
+        return fleet.inflight() < fleet.maxInflight();
+    };
+    const auto parkedTenantCount = [&] {
+        std::size_t count = 0;
+        for (std::uint32_t j = 0; j < n; ++j)
+            count += parked[j].empty() ? 0 : 1;
+        return count;
+    };
+    // Issue parked requests in SFQ order while the backend has room
+    // (never force-blocking the shared clock — isolation comes first,
+    // fairness decides who uses the free slots).
+    const auto flushParkedWfq = [&] {
+        while (backendRoom()) {
+            std::size_t best = n;
+            double bestStart = 0.0;
+            for (std::uint32_t j = 0; j < n; ++j) {
+                if (parked[j].empty() || !underCap(j))
+                    continue;
+                const double start = std::max(vtime, vfinish[j]);
+                if (best == n || start < bestStart) {
+                    best = j;
+                    bestStart = start;
+                }
+            }
+            if (best == n)
+                return;
+            const bool contended = parkedTenantCount() >= 2;
+            const Parked head = std::move(parked[best].front());
+            parked[best].pop_front();
+            const double weight =
+                std::max(fleet.tenant(best).trafficShare, 1e-9);
+            vtime = bestStart;
+            vfinish[best] = bestStart + 1.0 / weight;
+            if (contended) {
+                ++contendedDispatches[best];
+                ++contendedTotal;
+            }
+            submitNow(static_cast<std::uint32_t>(best), head.arrival,
+                      head.batch);
+        }
+    };
+
     for (const Arrival &arrival : arrivals) {
         const Cycle when = nanosToCycles(Nanos{arrival.nanos});
         if (fleet.deviceNow() < when)
             fleet.advanceHostClock(
                 cyclesToNanos(when - fleet.deviceNow()));
         harvest(when);
-        flushParked();
+        if (config.wfq)
+            flushParkedWfq();
+        else
+            flushParked();
         auto batch = gens[arrival.tenant].nextBatch(
             config.loads[arrival.tenant].batchSize);
-        if (underCap(arrival.tenant) &&
-            parked[arrival.tenant].empty()) {
+        if (config.wfq) {
+            // WFQ: every arrival goes through its tenant's queue so
+            // the SFQ scheduler owns all dispatch ordering.
+            parked[arrival.tenant].push_back({when, std::move(batch)});
+            flushParkedWfq();
+        } else if (underCap(arrival.tenant) &&
+                   parked[arrival.tenant].empty()) {
             submitNow(arrival.tenant, when, batch);
         } else {
             parked[arrival.tenant].push_back(
@@ -161,17 +221,32 @@ simulateFleetServing(TenantFleet &fleet,
     }
     // Tail: the capped backlogs issue at their owners' completion pace
     // (submitTenant's own gate advances the clock tenant-locally now
-    // that no further victim arrivals can be delayed by it).
-    for (bool again = true; again;) {
-        again = false;
-        harvest(fleet.deviceNow());
-        for (std::uint32_t j = 0; j < n; ++j) {
-            if (parked[j].empty())
-                continue;
-            const Parked head = std::move(parked[j].front());
-            parked[j].pop_front();
-            submitNow(j, head.arrival, head.batch);
-            again = true;
+    // that no further victim arrivals can be delayed by it). In WFQ
+    // mode the scheduler keeps picking; when the backend (or every
+    // backlogged tenant's cap) is full, retiring the oldest request
+    // forces progress.
+    if (config.wfq) {
+        while (parkedTenantCount() > 0) {
+            harvest(fleet.deviceNow());
+            flushParkedWfq();
+            if (parkedTenantCount() == 0)
+                break;
+            fleet.retireNext();
+            while (const auto completion = fleet.poll())
+                recordCompletion(*completion);
+        }
+    } else {
+        for (bool again = true; again;) {
+            again = false;
+            harvest(fleet.deviceNow());
+            for (std::uint32_t j = 0; j < n; ++j) {
+                if (parked[j].empty())
+                    continue;
+                const Parked head = std::move(parked[j].front());
+                parked[j].pop_front();
+                submitNow(j, head.arrival, head.batch);
+                again = true;
+            }
         }
     }
     for (const engine::AsyncCompletion &completion : fleet.drain())
@@ -206,6 +281,10 @@ simulateFleetServing(TenantFleet &fleet,
         if (hits + misses > 0)
             tr.tierHitRatio = static_cast<double>(hits) /
                               static_cast<double>(hits + misses);
+        if (contendedTotal > 0)
+            tr.contendedDispatchShare =
+                static_cast<double>(contendedDispatches[i]) /
+                static_cast<double>(contendedTotal);
         result.tenants.push_back(tr);
     }
     result.requests = totalRequests;

@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "engine/embedding_engine.h"
 #include "engine/fc_kernel.h"
@@ -162,13 +163,57 @@ RmSsdCluster::submitResidual(std::span<const model::Sample> samples,
     // many lookups each device is about to absorb.
     request.chosen.resize(config_.numTables);
     request.assignedLookups.assign(numDevices, 0);
+    std::vector<std::uint64_t> tableLookups(config_.numTables, 0);
     for (std::uint32_t g = 0; g < config_.numTables; ++g) {
         request.chosen[g] = chooseReplica(g);
         std::uint64_t lookups = 0;
         for (const model::Sample &sample : samples)
             lookups += sample.indices[g].size();
+        tableLookups[g] = lookups;
         request.assignedLookups[request.chosen[g]] += lookups;
     }
+
+    // Hedging: a replicated table whose chosen home shard is backed
+    // up also issues its lookups to the least-loaded other replica;
+    // the gather takes whichever sub-request finishes first. The
+    // alternate's lookups ride extraLookups (not assignedLookups), so
+    // routing-policy inputs — least-outstanding clocks, affinity home
+    // choice — see only the primary assignment.
+    std::vector<std::uint64_t> extraLookups(numDevices, 0);
+    if (options_.hedge.enabled) {
+        for (std::uint32_t g = 0; g < config_.numTables; ++g) {
+            const auto &owners = plan_.ownersPerTable[g];
+            if (owners.size() < 2 || tableLookups[g] == 0)
+                continue;
+            const std::uint32_t primary = request.chosen[g];
+            if (shards_[primary]->inflight() <
+                options_.hedge.queueThreshold)
+                continue;
+            std::uint32_t alt = numDevices;
+            for (const std::uint32_t d : owners) {
+                if (d == primary)
+                    continue;
+                if (alt == numDevices ||
+                    shards_[d]->inflight() < shards_[alt]->inflight())
+                    alt = d;
+            }
+            if (alt == numDevices)
+                continue;
+            request.hedged.emplace_back(g, alt);
+            extraLookups[alt] += tableLookups[g];
+            hedgesIssued_.inc();
+        }
+        if (!request.hedged.empty())
+            request.tableLookups = std::move(tableLookups);
+    }
+    const auto hedgedOn = [&request](std::uint32_t g,
+                                     std::uint32_t d) {
+        for (const auto &[hg, hd] : request.hedged) {
+            if (hg == g && hd == d)
+                return true;
+        }
+        return false;
+    };
 
     // Scatter: every device with assigned lookups gets a sub-request
     // holding only its tables' indices (empty lists for hosted tables
@@ -178,7 +223,7 @@ RmSsdCluster::submitResidual(std::span<const model::Sample> samples,
     // scatters; the gather and home MLP wait for the retire stage.
     request.participants.reserve(numDevices);
     for (std::uint32_t d = 0; d < numDevices; ++d) {
-        if (request.assignedLookups[d] == 0)
+        if (request.assignedLookups[d] == 0 && extraLookups[d] == 0)
             continue;
         const auto &tables = plan_.tablesPerDevice[d];
         std::vector<model::Sample> local(samples.size());
@@ -186,7 +231,8 @@ RmSsdCluster::submitResidual(std::span<const model::Sample> samples,
             local[s].dense = samples[s].dense;
             local[s].indices.resize(tables.size());
             for (std::uint32_t slot = 0; slot < tables.size(); ++slot) {
-                if (request.chosen[tables[slot]] == d)
+                if (request.chosen[tables[slot]] == d ||
+                    hedgedOn(tables[slot], d))
                     local[s].indices[slot] =
                         samples[s].indices[tables[slot]];
             }
@@ -224,30 +270,74 @@ RmSsdCluster::submitResidual(std::span<const model::Sample> samples,
 void
 RmSsdCluster::retireOldest()
 {
-    RMSSD_ASSERT(!inflight_.empty(), "no request in flight");
-    ClusterInflight request = std::move(inflight_.front());
-    inflight_.pop_front();
+    retireAt(0);
+}
+
+void
+RmSsdCluster::retireAt(std::size_t pos)
+{
+    RMSSD_ASSERT(pos < inflight_.size(), "no request in flight");
+    ClusterInflight request = std::move(inflight_[pos]);
+    inflight_.erase(inflight_.begin() +
+                    static_cast<std::ptrdiff_t>(pos));
     const Cycle t0 = request.t0;
 
-    // Gather: pop each participating shard's completion. FIFO pairing
-    // holds because cluster requests retire in order and each shard's
-    // sub-request stream is the per-shard subsequence of that order.
+    // Gather: pop each participating shard's completion, paired by
+    // sub-request id (PR 5's FIFO pairing is a special case — with
+    // in-order retires and mirrored depths the id-matched completion
+    // IS the shard's oldest, op-for-op). Id pairing is what lets
+    // eager harvests retire out of order and shard queues run at
+    // their own decoupled depth.
     std::vector<engine::InferenceOutcome> partial(plan_.numDevices());
-    Cycle gatherReady = t0;
     for (const auto &[d, subId] : request.participants) {
         engine::RmSsd &shard = *shards_[d];
         const std::uint64_t readBefore = shard.hostBytesRead().value();
-        auto completion = shard.poll();
+        auto completion = shard.pollId(subId);
         if (!completion) {
-            shard.retireNext();
-            completion = shard.poll();
+            shard.retireById(subId);
+            completion = shard.pollId(subId);
         }
-        RMSSD_ASSERT(completion && completion->id == subId,
-                     "shard completion out of order");
+        RMSSD_ASSERT(completion, "shard completion missing");
         hostBytesRead_.inc(shard.hostBytesRead().value() - readBefore);
-        gatherReady = std::max(gatherReady,
-                               completion->outcome.completionCycle);
         partial[d] = std::move(completion->outcome);
+    }
+
+    // Gather readiness: without hedges, every participant gates. A
+    // hedged table is ready at the EARLIER of its two sub-requests —
+    // the loser still runs to completion (hedging adds load; it only
+    // hides stragglers), but it no longer holds the gather.
+    Cycle gatherReady = t0;
+    std::vector<std::uint32_t> source = request.chosen;
+    if (request.hedged.empty()) {
+        for (const auto &[d, subId] : request.participants) {
+            (void)subId;
+            gatherReady = std::max(gatherReady,
+                                   partial[d].completionCycle);
+        }
+    } else {
+        const auto altFor = [&request](std::uint32_t g) {
+            for (const auto &[hg, hd] : request.hedged) {
+                if (hg == g)
+                    return hd;
+            }
+            return ~0u;
+        };
+        for (std::uint32_t g = 0; g < config_.numTables; ++g) {
+            if (request.tableLookups[g] == 0)
+                continue;
+            const std::uint32_t primary = request.chosen[g];
+            Cycle ready = partial[primary].completionCycle;
+            const std::uint32_t alt = altFor(g);
+            if (alt != ~0u) {
+                const Cycle altReady = partial[alt].completionCycle;
+                if (altReady < ready) {
+                    ready = altReady;
+                    source[g] = alt;
+                    hedgeWins_.inc();
+                }
+            }
+            gatherReady = std::max(gatherReady, ready);
+        }
     }
 
     // The home device's MLP pipeline consumes the gathered pooled
@@ -323,22 +413,35 @@ RmSsdCluster::retireOldest()
             for (std::uint32_t g = 0; g < config_.numTables; ++g) {
                 if (served[g])
                     continue;
-                const std::uint32_t d = request.chosen[g];
+                const std::uint32_t d = source[g];
                 // A shard that received no lookups at all never got a
                 // sub-request; its would-be partials are exact zeros,
                 // already in place.
                 if (partial[d].outputs.empty())
                     continue;
-                const auto &owners = plan_.ownersPerTable[g];
-                const std::size_t i = static_cast<std::size_t>(
-                    std::find(owners.begin(), owners.end(), d) -
-                    owners.begin());
-                const std::uint32_t slot = plan_.localSlotPerTable[g][i];
-                const std::size_t localTables =
-                    plan_.tablesPerDevice[d].size();
-                const std::size_t base =
-                    (s * localTables + slot) * dim;
-                std::copy_n(partial[d].outputs.data() + base, dim,
+                const auto slicePtr = [&](std::uint32_t dev) {
+                    const auto &owners = plan_.ownersPerTable[g];
+                    const std::size_t i = static_cast<std::size_t>(
+                        std::find(owners.begin(), owners.end(), dev) -
+                        owners.begin());
+                    const std::uint32_t slot =
+                        plan_.localSlotPerTable[g][i];
+                    const std::size_t localTables =
+                        plan_.tablesPerDevice[dev].size();
+                    return partial[dev].outputs.data() +
+                           (s * localTables + slot) * dim;
+                };
+                const float *slice = slicePtr(d);
+                // Hedge honesty: the replicas hold identical rows, so
+                // winner and loser must agree byte-for-byte — taking
+                // the first completion may change timing, never data.
+                if (d != request.chosen[g] &&
+                    !partial[request.chosen[g]].outputs.empty())
+                    RMSSD_ASSERT(
+                        std::memcmp(slice, slicePtr(request.chosen[g]),
+                                    dim * sizeof(float)) == 0,
+                        "hedge winner and loser disagree");
+                std::copy_n(slice, dim,
                             pooled.data() +
                                 static_cast<std::size_t>(g) * dim);
             }
@@ -383,22 +486,113 @@ RmSsdCluster::retireNext()
 }
 
 bool
+RmSsdCluster::requestReadyBy(const ClusterInflight &request,
+                             Cycle when) const
+{
+    const auto subDoneBy = [&](std::uint32_t d) {
+        for (const auto &[pd, subId] : request.participants) {
+            if (pd == d)
+                return shards_[d]->requestDoneBy(subId, when);
+        }
+        return false;
+    };
+    if (request.hedged.empty()) {
+        // Every participant gates; the sub-request is paired by id,
+        // so this holds even after out-of-order retires broke the
+        // per-shard FIFO alignment.
+        for (const auto &[d, subId] : request.participants) {
+            if (!shards_[d]->requestDoneBy(subId, when))
+                return false;
+        }
+        return true;
+    }
+    // Hedged: a table is ready once EITHER serving replica is done.
+    for (std::uint32_t g = 0; g < config_.numTables; ++g) {
+        if (request.tableLookups[g] == 0)
+            continue;
+        bool ready = subDoneBy(request.chosen[g]);
+        if (!ready) {
+            for (const auto &[hg, hd] : request.hedged) {
+                if (hg == g && subDoneBy(hd)) {
+                    ready = true;
+                    break;
+                }
+            }
+        }
+        if (!ready)
+            return false;
+    }
+    return true;
+}
+
+Cycle
+RmSsdCluster::requestReadyCycle(const ClusterInflight &request) const
+{
+    const auto subDoneCycle = [&](std::uint32_t d) {
+        for (const auto &[pd, subId] : request.participants) {
+            if (pd == d)
+                return shards_[d]->requestDoneCycle(subId);
+        }
+        return engine::kNeverCycle;
+    };
+    Cycle ready;
+    if (request.hedged.empty()) {
+        for (const auto &[d, subId] : request.participants) {
+            (void)subId;
+            ready = std::max(ready, subDoneCycle(d));
+        }
+        return ready;
+    }
+    for (std::uint32_t g = 0; g < config_.numTables; ++g) {
+        if (request.tableLookups[g] == 0)
+            continue;
+        Cycle table = subDoneCycle(request.chosen[g]);
+        for (const auto &[hg, hd] : request.hedged) {
+            if (hg == g)
+                table = std::min(table, subDoneCycle(hd));
+        }
+        ready = std::max(ready, table);
+    }
+    return ready;
+}
+
+bool
 RmSsdCluster::oldestDoneBy(Cycle when) const
 {
     if (hasQueuedCompletion())
         return true;
     if (inflight_.empty())
         return false;
-    // FIFO pairing (see retireOldest): the oldest fleet request's
-    // sub-request is the oldest unretired one on every participating
-    // shard, so the fleet's status poll is the AND of the shards'.
-    // Only the gather + home-MLP tail runs past `when` at retire.
-    for (const auto &[d, subId] : inflight_.front().participants) {
-        (void)subId;
-        if (!shards_[d]->oldestDoneBy(when))
-            return false;
+    // The oldest fleet request's status poll: all of its sub-requests
+    // (or, per hedged table, the first of the two) read done at
+    // `when`. Only the gather + home-MLP tail runs past `when` at
+    // retire.
+    return requestReadyBy(inflight_.front(), when);
+}
+
+std::uint32_t
+RmSsdCluster::harvestDoneBy(Cycle when)
+{
+    std::uint32_t retired = 0;
+    std::size_t pos = 0;
+    while (pos < inflight_.size()) {
+        if (requestReadyBy(inflight_[pos], when)) {
+            retireAt(pos);
+            ++retired;
+        } else {
+            ++pos;
+        }
     }
-    return true;
+    return retired;
+}
+
+Cycle
+RmSsdCluster::nextDoneCycle() const
+{
+    Cycle earliest = engine::kNeverCycle;
+    for (const ClusterInflight &request : inflight_)
+        earliest = std::min(earliest, requestReadyCycle(request));
+    return earliest;
 }
 
 void
@@ -407,8 +601,14 @@ RmSsdCluster::setMaxInflight(std::uint32_t depth)
     // Shrink the fleet queue first so shard queues never hold a
     // sub-request whose cluster request has already retired.
     engine::InferenceDevice::setMaxInflight(depth);
+    // Decoupled shard caps: a non-zero shardQueueDepth pins the
+    // shards' own backpressure bound regardless of the fleet depth
+    // (the id-paired gather tolerates shard-side force-retires).
+    const std::uint32_t shardDepth =
+        options_.shardQueueDepth != 0 ? options_.shardQueueDepth
+                                      : depth;
     for (const auto &shard : shards_)
-        shard->setMaxInflight(depth);
+        shard->setMaxInflight(shardDepth);
 }
 
 engine::InferenceOutcome
@@ -554,6 +754,13 @@ RmSsdCluster::registerStats(StatsRegistry &registry,
     queue.addCounter("submitted", &submitted_);
     queue.addCounter("retired", &retired_);
     queue.addDistribution("depth", &queueDepthOnSubmit_);
+    if (options_.hedge.enabled) {
+        // Registered only when hedging is on, so stats dumps of
+        // existing experiments stay byte-identical.
+        const ScopedStats hedge = stats.scoped("hedge");
+        hedge.addCounter("issued", &hedgesIssued_);
+        hedge.addCounter("wins", &hedgeWins_);
+    }
     const ScopedStats host = stats.scoped("host");
     host.addCounter("bytesRead", &hostBytesRead_);
     host.addCounter("bytesWritten", &hostBytesWritten_);

@@ -46,6 +46,21 @@ enum class RouterPolicy : std::uint8_t
     TableAffinity,
 };
 
+/** Hedged shard lookups to table replicas (off by default). */
+struct HedgeOptions
+{
+    bool enabled = false;
+    /**
+     * Home-shard queue length (in-flight sub-requests) at or above
+     * which a replicated table's lookups are also issued to the
+     * least-loaded other replica. The gather takes the first
+     * completion per table; winner and loser must agree byte-for-byte
+     * (asserted on functional devices) — hedging may only change
+     * timing, never results.
+     */
+    std::uint32_t queueThreshold = 2;
+};
+
 /** Fleet construction options. */
 struct ClusterOptions
 {
@@ -53,6 +68,18 @@ struct ClusterOptions
     RouterPolicy policy = RouterPolicy::RoundRobin;
     /** Per-shard device options (variant is forced to EmbeddingOnly). */
     engine::RmSsdOptions device;
+    /**
+     * Per-shard in-flight cap decoupled from the cluster-wide depth:
+     * when non-zero, setMaxInflight leaves every shard's queue at
+     * this bound instead of mirroring the fleet depth. Safe because
+     * the gather pairs shard completions by sub-request id, not FIFO
+     * position — a shard force-retiring an early sub-request under
+     * its own backpressure parks the completion until its cluster
+     * request gathers. 0 (the default) mirrors the fleet depth.
+     */
+    std::uint32_t shardQueueDepth = 0;
+    /** Hedged requests to replicas of hot tables (see HedgeOptions). */
+    HedgeOptions hedge;
     /**
      * Serve pooled embeddings only (no fleet MLP): outputs are the
      * gathered pooled vectors, matching a single EmbeddingOnly device
@@ -98,13 +125,28 @@ class RmSsdCluster : public engine::InferenceDevice
 
     bool oldestDoneBy(Cycle when) const override;
 
+    /**
+     * Eager completion scan: retire every in-flight fleet request
+     * whose gather inputs are ready by @p when — every table's
+     * lookups done on at least one serving replica (the home-MLP and
+     * readout tail still run at retire). Out-of-order finishers
+     * (disjoint shard sets, hedge wins) retire past a straggler.
+     */
+    std::uint32_t harvestDoneBy(Cycle when) override;
+
+    /** Earliest gather-ready cycle among in-flight fleet requests. */
+    Cycle nextDoneCycle() const override;
+
     /** Requests issued but not yet retired. */
     std::uint32_t inflight() const override
     {
         return static_cast<std::uint32_t>(inflight_.size());
     }
 
-    /** Propagate the queue depth to every shard, then resize. */
+    /**
+     * Propagate the queue depth to every shard (or pin shards at
+     * ClusterOptions::shardQueueDepth when set), then resize.
+     */
     void setMaxInflight(std::uint32_t depth) override;
 
     const model::DlrmModel &model() const override { return fullModel_; }
@@ -175,6 +217,10 @@ class RmSsdCluster : public engine::InferenceDevice
     const Counter &requests() const { return requests_; }
     /** Shard infer() calls issued by the scatter stage. */
     const Counter &subRequests() const { return subRequests_; }
+    /** Hedged table lookups issued to an alternate replica. */
+    const Counter &hedgesIssued() const { return hedgesIssued_; }
+    /** Hedges whose alternate replica finished strictly first. */
+    const Counter &hedgeWins() const { return hedgeWins_; }
 
   private:
     /** Replica of global table @p g serving this request. */
@@ -201,10 +247,28 @@ class RmSsdCluster : public engine::InferenceDevice
          *  slice.table is the GLOBAL table id (full-model samples). */
         std::vector<std::vector<host::EmbeddingTier::ServedSlice>>
             tierServed;
+        /** Hedged tables: (global table, alternate device) pairs. */
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> hedged;
+        /** Per-table lookup counts (filled only when hedging). */
+        std::vector<std::uint64_t> tableLookups;
     };
 
     /** Retire stage: shard gather + home MLP + presend bookkeeping. */
     void retireOldest();
+
+    /** Retire the in-flight request at queue position @p pos. */
+    void retireAt(std::size_t pos);
+
+    /**
+     * Whether @p request can gather by @p when: every table with
+     * lookups is done on at least one of its serving replicas (the
+     * chosen home, or — for hedged tables — the alternate too).
+     */
+    bool requestReadyBy(const ClusterInflight &request,
+                        Cycle when) const;
+
+    /** First cycle @p request can gather (kNeverCycle = not yet known). */
+    Cycle requestReadyCycle(const ClusterInflight &request) const;
 
     /** Route/scatter stage over the (possibly residual) samples. */
     engine::RequestId
@@ -242,6 +306,8 @@ class RmSsdCluster : public engine::InferenceDevice
     Counter subRequests_;
     Counter hostBytesRead_;
     Counter hostBytesWritten_;
+    Counter hedgesIssued_;
+    Counter hedgeWins_;
 };
 
 } // namespace rmssd::cluster

@@ -34,6 +34,41 @@ InferenceDevice::poll()
     return completion;
 }
 
+std::optional<AsyncCompletion>
+InferenceDevice::pollId(RequestId id)
+{
+    for (auto it = completed_.begin(); it != completed_.end(); ++it) {
+        if (it->id != id)
+            continue;
+        AsyncCompletion completion = std::move(*it);
+        completed_.erase(it);
+        return completion;
+    }
+    return std::nullopt;
+}
+
+bool
+InferenceDevice::hasCompletionFor(RequestId id) const
+{
+    for (const AsyncCompletion &completion : completed_) {
+        if (completion.id == id)
+            return true;
+    }
+    return false;
+}
+
+std::uint32_t
+InferenceDevice::harvestDoneBy(Cycle when)
+{
+    std::uint32_t retired = 0;
+    while (oldestDoneBy(when)) {
+        if (!retireNext())
+            break;
+        ++retired;
+    }
+    return retired;
+}
+
 std::vector<AsyncCompletion>
 InferenceDevice::drain()
 {

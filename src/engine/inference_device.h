@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -46,6 +47,10 @@ struct InferenceOutcome
 
 /** Ticket identifying one asynchronously submitted request. */
 using RequestId = std::uint64_t;
+
+/** "Never" sentinel for completion-cycle probes (nothing in flight). */
+inline constexpr Cycle kNeverCycle{
+    std::numeric_limits<std::uint64_t>::max()};
 
 /** One retired asynchronous request. */
 struct AsyncCompletion
@@ -99,6 +104,18 @@ class InferenceDevice
     std::optional<AsyncCompletion> poll();
 
     /**
+     * Pop the retired completion for @p id regardless of its queue
+     * position; std::nullopt when @p id has not retired (or was
+     * already consumed). Hosts that track requests by ticket — the
+     * cluster gather, the SLO serving loop — pair completions by id
+     * instead of relying on FIFO ordering.
+     */
+    std::optional<AsyncCompletion> pollId(RequestId id);
+
+    /** Whether a retired completion for @p id awaits pollId(). */
+    bool hasCompletionFor(RequestId id) const;
+
+    /**
      * Retire every outstanding request and return all unconsumed
      * completions in FIFO order. Idempotent: a second drain() with
      * nothing submitted in between returns an empty vector.
@@ -128,6 +145,27 @@ class InferenceDevice
         (void)when;
         return hasQueuedCompletion();
     }
+
+    /**
+     * Eager completion scan: retire EVERY outstanding request whose
+     * engine work is done by cycle @p when — not only the oldest — so
+     * a polling host can harvest out-of-order finishers without
+     * blocking its clock on a straggler at the front of the queue.
+     * The default walks the FIFO probe (oldestDoneBy + retireNext),
+     * which is exact for backends whose pipeline completes in order.
+     * @return requests retired by this scan
+     */
+    virtual std::uint32_t harvestDoneBy(Cycle when);
+
+    /**
+     * Earliest cycle at which some in-flight request's engine work
+     * completes (the first cycle a status poll would read done);
+     * kNeverCycle when nothing is in flight. Lets an event-driven
+     * host advance straight to the next completion instead of
+     * spinning a probe. Synchronous backends never hold in-flight
+     * work, so the default is the sentinel.
+     */
+    virtual Cycle nextDoneCycle() const { return kNeverCycle; }
 
     /** Requests currently issued but not yet retired. */
     virtual std::uint32_t inflight() const { return 0; }

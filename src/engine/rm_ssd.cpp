@@ -680,9 +680,16 @@ RmSsd::submitWith(std::span<const model::Sample> samples,
 void
 RmSsd::retireOldest()
 {
-    RMSSD_ASSERT(!inflight_.empty(), "no request in flight");
-    InflightRequest request = std::move(inflight_.front());
-    inflight_.pop_front();
+    retireAt(0);
+}
+
+void
+RmSsd::retireAt(std::size_t pos)
+{
+    RMSSD_ASSERT(pos < inflight_.size(), "no request in flight");
+    InflightRequest request = std::move(inflight_[pos]);
+    inflight_.erase(inflight_.begin() +
+                    static_cast<std::ptrdiff_t>(pos));
 
     // Results: the host polls the status register; small results ride
     // the 64-byte MMIO read, larger ones take a DMA transfer.
@@ -740,6 +747,69 @@ RmSsd::oldestDoneBy(Cycle when) const
     // retire time, so the retire clock may trail slightly past `when`.
     return hasQueuedCompletion() ||
            (!inflight_.empty() && inflight_.front().lastDone <= when);
+}
+
+std::uint32_t
+RmSsd::harvestDoneBy(Cycle when)
+{
+    std::uint32_t retired = 0;
+    // Scan in queue order; retire every finished request, including
+    // mid-queue finishers parked behind an unfinished straggler.
+    std::size_t pos = 0;
+    while (pos < inflight_.size()) {
+        if (inflight_[pos].lastDone <= when) {
+            retireAt(pos);
+            ++retired;
+        } else {
+            ++pos;
+        }
+    }
+    return retired;
+}
+
+Cycle
+RmSsd::nextDoneCycle() const
+{
+    Cycle earliest = kNeverCycle;
+    for (const InflightRequest &request : inflight_)
+        earliest = std::min(earliest, request.lastDone);
+    return earliest;
+}
+
+bool
+RmSsd::requestDoneBy(RequestId id, Cycle when) const
+{
+    if (hasCompletionFor(id))
+        return true;
+    for (const InflightRequest &request : inflight_) {
+        if (request.id == id)
+            return request.lastDone <= when;
+    }
+    return false;
+}
+
+Cycle
+RmSsd::requestDoneCycle(RequestId id) const
+{
+    if (hasCompletionFor(id))
+        return Cycle{0};
+    for (const InflightRequest &request : inflight_) {
+        if (request.id == id)
+            return request.lastDone;
+    }
+    return kNeverCycle;
+}
+
+bool
+RmSsd::retireById(RequestId id)
+{
+    for (std::size_t pos = 0; pos < inflight_.size(); ++pos) {
+        if (inflight_[pos].id == id) {
+            retireAt(pos);
+            return true;
+        }
+    }
+    return false;
 }
 
 void

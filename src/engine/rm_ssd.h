@@ -192,6 +192,35 @@ class RmSsd : public InferenceDevice
 
     bool oldestDoneBy(Cycle when) const override;
 
+    /**
+     * Eager completion scan: retire every in-flight request whose
+     * last micro-batch is through the engines by @p when, regardless
+     * of queue position — a mid-queue finisher behind a straggler
+     * retires too. As with retireNext, only the result-readout tail
+     * may run slightly past @p when.
+     */
+    std::uint32_t harvestDoneBy(Cycle when) override;
+
+    /** Earliest lastDone among in-flight requests (kNeverCycle if none). */
+    Cycle nextDoneCycle() const override;
+
+    /**
+     * Whether request @p id would read done at a status poll at
+     * @p when: its completion is already queued, or its engine work
+     * finishes by @p when. False for unknown ids.
+     */
+    bool requestDoneBy(RequestId id, Cycle when) const;
+
+    /**
+     * Engine-completion cycle of in-flight request @p id; Cycle{0}
+     * when its completion is already queued (done in the past),
+     * kNeverCycle for unknown ids.
+     */
+    Cycle requestDoneCycle(RequestId id) const;
+
+    /** Retire in-flight request @p id regardless of queue position. */
+    bool retireById(RequestId id);
+
     /** Requests issued but not yet retired. */
     std::uint32_t inflight() const override
     {
@@ -404,6 +433,9 @@ class RmSsd : public InferenceDevice
 
     /** Retire stage: result readback + presend clock bookkeeping. */
     void retireOldest();
+
+    /** Retire the in-flight request at queue position @p pos. */
+    void retireAt(std::size_t pos);
 
     /**
      * Issue stage shared by the tiered and legacy paths. @p icpt is

@@ -11,11 +11,13 @@
 #define RMSSD_WORKLOAD_SERVING_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "engine/inference_device.h"
 #include "sim/stats.h"
 #include "sim/types.h"
+#include "workload/depth_controller.h"
 #include "workload/trace_gen.h"
 
 namespace rmssd::workload {
@@ -25,6 +27,13 @@ class LatencyRecorder
 {
   public:
     void add(Nanos latency);
+
+    /**
+     * Fold @p other's samples into this recorder, so per-class or
+     * per-tenant recorders compose into a fleet-wide percentile
+     * without re-adding samples at the call sites.
+     */
+    void merge(const LatencyRecorder &other);
 
     std::size_t count() const { return samples_.size(); }
     /** Mean latency; Nanos{0} on an empty recorder. */
@@ -43,6 +52,53 @@ class LatencyRecorder
     mutable bool sorted_ = true;
 };
 
+/** One request priority class of the SLO serving mode. */
+struct ServingClass
+{
+    std::string name = "default";
+    /** Relative share of requests assigned to this class. */
+    double share = 1.0;
+    /** Dispatch priority: higher dispatches first (EDF within). */
+    std::uint32_t priority = 0;
+    /** Completion deadline budget from arrival; Nanos{0} = best-effort. */
+    Nanos deadline{};
+};
+
+/**
+ * SLO control-plane knobs. All default OFF: simulateServing then runs
+ * the legacy FIFO blocking loop and existing results stay
+ * byte-identical.
+ */
+struct SloServingOptions
+{
+    /**
+     * Master switch for the SLO serving loop: arrivals park in a
+     * priority/EDF dispatch queue, finished requests harvest eagerly
+     * (InferenceDevice::harvestDoneBy) instead of only at FIFO
+     * backpressure points, and per-request queue-wait vs service time
+     * is recorded.
+     */
+    bool enabled = false;
+    /**
+     * Adaptive queue depth: a workload::DepthController walks the
+     * device's maxInflight within [controller.minDepth,
+     * controller.maxDepth] against targetP99. Mutually exclusive with
+     * an explicit ServingConfig::queueDepth sweep (> 1) —
+     * simulateServing asserts rather than silently ignoring one of
+     * the two knobs.
+     */
+    bool adaptiveDepth = false;
+    /** Latency SLO the controller's tail guard sheds against. */
+    Nanos targetP99{};
+    DepthControllerConfig controller;
+    /**
+     * Priority classes; each arrival is assigned a class
+     * deterministically (by share, drawn from the arrival RNG
+     * stream). Empty = one best-effort class.
+     */
+    std::vector<ServingClass> classes;
+};
+
 /** Configuration of one serving experiment. */
 struct ServingConfig
 {
@@ -51,12 +107,17 @@ struct ServingConfig
     std::uint32_t numRequests = 200;
     std::uint64_t seed = 0x5e12e5ULL;
     /**
-     * Requests kept in flight on the device (submit/poll pipelining).
-     * 1 (the default) reproduces the blocking infer() loop
-     * bit-for-bit; deeper queues overlap request r+1's embedding
-     * lookups with request r's MLP tail.
+     * Static queue depth: requests kept in flight on the device
+     * (submit/poll pipelining). 1 (the default) reproduces the
+     * blocking infer() loop bit-for-bit; deeper queues overlap
+     * request r+1's embedding lookups with request r's MLP tail.
+     * This is no longer the only pipelining knob: with
+     * slo.adaptiveDepth the DepthController drives the depth at run
+     * time instead, and the two are mutually exclusive (asserted).
      */
     std::uint32_t queueDepth = 1;
+    /** SLO control plane (off by default — legacy loop). */
+    SloServingOptions slo;
     /**
      * Adaptive re-planning: every @p replanCheckEvery requests, call
      * InferenceDevice::replanIfDrifted with this threshold so the MLP
@@ -74,6 +135,18 @@ struct ServingConfig
      * reads). 0 (the default) disables the check.
      */
     std::uint32_t migrateCheckEvery = 0;
+};
+
+/** Per-class slice of an SLO serving run. */
+struct ClassServingResult
+{
+    std::string name;
+    std::uint64_t requests = 0;
+    /** Completions past arrival + class deadline (0 if best-effort). */
+    std::uint64_t deadlineMisses = 0;
+    Nanos p99;
+    Nanos meanLatency;
+    Nanos meanQueueWait;
 };
 
 /** Outcome of a serving experiment. */
@@ -111,8 +184,32 @@ struct ServingResult
      * intercepted slices. 0 when the device has no tier attached.
      */
     double tierHitRatio = 0.0;
-    /** Mean device queue occupancy observed right after each submit. */
+    /**
+     * Mean device queue occupancy, time-weighted over the span from
+     * the first dispatch to the last completion (each request counts
+     * from its dispatch cycle to its completion cycle). The pre-PR-10
+     * submit-sampled reading — biased toward submit instants — lives
+     * on as meanDepthOnSubmit.
+     */
     double meanQueueDepth = 0.0;
+    /** Mean occupancy sampled right after each submit (legacy view). */
+    double meanDepthOnSubmit = 0.0;
+    /**
+     * Host dispatch-queue wait per request, arrival to dispatch
+     * (the `queue.waitNanos` breakdown; in the legacy loop this is
+     * the host-block time before the blocking submit).
+     */
+    Distribution queueWaitNanos;
+    /** Device service time per request, dispatch to completion. */
+    Distribution serviceNanos;
+    /** Deadline misses across all classes (SLO mode with deadlines). */
+    std::uint64_t deadlineMisses = 0;
+    /** Per-class breakdown (SLO mode; one entry per class). */
+    std::vector<ClassServingResult> classes;
+    /** Depth-controller adjustments (SLO mode with adaptiveDepth). */
+    std::uint64_t depthAdjustments = 0;
+    /** Device queue depth when the run ended (controller's endpoint). */
+    std::uint32_t finalDepth = 0;
 };
 
 /**

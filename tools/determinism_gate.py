@@ -50,6 +50,7 @@ FIG_TARGETS = [
     "fig18_placement",
     "fig19_tiering",
     "fig20_multitenant",
+    "fig21_slo",
 ]
 
 
